@@ -1,0 +1,58 @@
+// orpheus-export writes the built-in model zoo (the paper's five
+// evaluation networks) to ONNX files, standing in for "models exported
+// from other training frameworks". The emitted files round-trip through
+// any ONNX tooling and through orpheus-run / orpheus-inspect.
+//
+// Usage:
+//
+//	orpheus-export -dir models/                 # all five models
+//	orpheus-export -dir models/ -models wrn-40-2,resnet-18
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"orpheus/internal/onnx"
+	"orpheus/internal/zoo"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", ".", "output directory")
+		models = flag.String("models", "", "comma-separated subset (default: all)")
+	)
+	flag.Parse()
+
+	names := zoo.Names()
+	if *models != "" {
+		names = strings.Split(*models, ",")
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range names {
+		g, err := zoo.Build(name, 1)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*dir, name+".onnx")
+		if err := onnx.ExportFile(g, path); err != nil {
+			fatal(err)
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %-28s %7.2f MB  (%d nodes, %.2fM params)\n",
+			path, float64(info.Size())/(1<<20), len(g.Nodes), float64(g.NumParams())/1e6)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "orpheus-export:", err)
+	os.Exit(1)
+}

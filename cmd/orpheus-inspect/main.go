@@ -1,0 +1,90 @@
+// orpheus-inspect prints the structure of an ONNX model file: metadata,
+// inputs/outputs, operator inventory and (optionally) every node with its
+// inferred shape — the quick "what is in this model?" tool.
+//
+// Usage:
+//
+//	orpheus-inspect model.onnx
+//	orpheus-inspect -nodes -optimized model.onnx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"orpheus/internal/onnx"
+	"orpheus/internal/ops"
+	"orpheus/internal/passes"
+	"orpheus/internal/tensor"
+)
+
+func main() {
+	var (
+		showNodes = flag.Bool("nodes", false, "print every node")
+		optimized = flag.Bool("optimized", false, "apply the optimisation pipeline before printing")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: orpheus-inspect [-nodes] [-optimized] <model.onnx>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := onnx.Unmarshal(data)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("file: %s (%.2f MB)\n", path, float64(len(data))/(1<<20))
+	fmt.Printf("producer: %s, ir_version %d, opset %d\n", model.ProducerName, model.IRVersion, model.OpsetVersion)
+
+	g, err := onnx.Import(model)
+	if err != nil {
+		fatal(err)
+	}
+	if *optimized {
+		if _, err := passes.Default().Run(g); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("graph: %s\n", g)
+	for _, in := range g.Inputs {
+		fmt.Printf("input:  %-20s %s\n", in.Name, tensor.ShapeString(in.Shape))
+	}
+	for _, out := range g.Outputs {
+		fmt.Printf("output: %-20s %s\n", out.Name, tensor.ShapeString(out.Shape))
+	}
+
+	counts := g.OpCounts()
+	opsSorted := make([]string, 0, len(counts))
+	for op := range counts {
+		opsSorted = append(opsSorted, op)
+	}
+	sort.Strings(opsSorted)
+	fmt.Println("\noperator inventory:")
+	var totalFlops int64
+	for _, n := range g.Nodes {
+		totalFlops += ops.NodeFlops(n)
+	}
+	for _, op := range opsSorted {
+		fmt.Printf("  %-20s x%d\n", op, counts[op])
+	}
+	fmt.Printf("total: %d nodes, %.1f MFLOPs per inference\n", len(g.Nodes), float64(totalFlops)/1e6)
+
+	if *showNodes {
+		fmt.Println("\nnodes (topological order):")
+		for _, n := range g.Nodes {
+			fmt.Printf("  %-32s %-14s -> %s\n", n.Name, n.Op, tensor.ShapeString(n.Outputs[0].Shape))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "orpheus-inspect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// orpheus-run executes inference on an ONNX model file (or a built-in zoo
+// model) and reports timing, the selected kernels and the top
+// predictions. It is the command-line equivalent of the Python bindings
+// the paper describes for embedding Orpheus in experimental workflows.
+//
+// Usage:
+//
+//	orpheus-run -model mobilenet.onnx
+//	orpheus-run -zoo resnet-18 -backend tvm-sim -reps 5
+//	orpheus-run -zoo wrn-40-2 -profile          # per-layer breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"orpheus"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "path to an .onnx model file")
+		zooName   = flag.String("zoo", "", "built-in model name (wrn-40-2, mobilenet-v1, resnet-18, inception-v3, resnet-50)")
+		backendN  = flag.String("backend", "orpheus", "execution backend")
+		workers   = flag.Int("workers", 1, "kernel thread budget")
+		reps      = flag.Int("reps", 3, "timed repetitions")
+		warmup    = flag.Int("warmup", 1, "warm-up runs")
+		profile   = flag.Bool("profile", false, "print a per-layer breakdown")
+		tracePath = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of one profiled run to this file")
+		seed      = flag.Uint64("seed", 42, "seed for the synthetic input tensor")
+		topK      = flag.Int("top", 5, "print the top-K output classes")
+	)
+	flag.Parse()
+
+	var (
+		model *orpheus.Model
+		err   error
+	)
+	switch {
+	case *modelPath != "":
+		model, err = orpheus.LoadONNX(*modelPath)
+	case *zooName != "":
+		model, err = orpheus.BuildZooModel(*zooName)
+	default:
+		err = fmt.Errorf("one of -model or -zoo is required (zoo models: %v)", orpheus.ZooModels())
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(model.Summary())
+
+	sess, err := model.Compile(orpheus.WithBackend(*backendN), orpheus.WithWorkers(*workers))
+	if err != nil {
+		fatal(err)
+	}
+	weights, arena := sess.MemoryFootprint()
+	fmt.Printf("backend %s: weights %.2f MB, activation arena %.2f MB\n",
+		*backendN, float64(weights)/(1<<20), float64(arena)/(1<<20))
+
+	x := orpheus.RandomTensor(*seed, model.InputShape()...)
+	if *profile || *tracePath != "" {
+		out, timings, err := sess.PredictProfiled(x)
+		if err != nil {
+			fatal(err)
+		}
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := orpheus.WriteTrace(f, timings); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote Chrome trace to %s\n", *tracePath)
+		}
+		sort.Slice(timings, func(i, j int) bool { return timings[i].Duration > timings[j].Duration })
+		fmt.Println("\nper-layer breakdown (slowest first):")
+		for i, lt := range timings {
+			if i >= 15 {
+				fmt.Printf("  … %d more layers\n", len(timings)-15)
+				break
+			}
+			fmt.Printf("  %-32s %-10s %-18s %10v\n", lt.Node.Name, lt.Node.Op, lt.Kernel, lt.Duration)
+		}
+		printTop(out, *topK)
+		return
+	}
+
+	stats, err := sess.Benchmark(x, *warmup, *reps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("inference time: %s\n", stats)
+	out, err := sess.Predict(x)
+	if err != nil {
+		fatal(err)
+	}
+	printTop(out, *topK)
+}
+
+func printTop(out *orpheus.Tensor, k int) {
+	fmt.Printf("\ntop-%d classes:\n", k)
+	for _, idx := range out.TopK(k) {
+		fmt.Printf("  class %4d  p=%.4f\n", idx, out.Data()[idx])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "orpheus-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// orpheus-serve hosts models behind an HTTP/JSON inference API — the
+// deployment-side counterpart of the paper's Python bindings.
+//
+// Usage:
+//
+//	orpheus-serve -zoo wrn-40-2 -addr :8080
+//	orpheus-serve -model mobilenet.onnx -backend tvm-sim
+//
+//	curl localhost:8080/models
+//	curl -X POST localhost:8080/predict/wrn-40-2 \
+//	     -d '{"input": [ ...3072 floats... ], "topk": 5}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"path/filepath"
+	"strings"
+
+	"orpheus/internal/onnx"
+	"orpheus/internal/serve"
+	"orpheus/internal/zoo"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		zooNames  = flag.String("zoo", "", "comma-separated built-in models to host")
+		modelPath = flag.String("model", "", "path to an .onnx model to host")
+		backendN  = flag.String("backend", "orpheus", "execution backend")
+		workers   = flag.Int("workers", 1, "kernel thread budget")
+	)
+	flag.Parse()
+
+	s := serve.New()
+	hosted := 0
+	if *zooNames != "" {
+		for _, name := range strings.Split(*zooNames, ",") {
+			g, err := zoo.Build(name, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := s.AddModel(name, g, *backendN, *workers); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("hosting %s (%s backend)", name, *backendN)
+			hosted++
+		}
+	}
+	if *modelPath != "" {
+		g, err := onnx.ImportFile(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(*modelPath), ".onnx")
+		if err := s.AddModel(name, g, *backendN, *workers); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("hosting %s from %s (%s backend)", name, *modelPath, *backendN)
+		hosted++
+	}
+	if hosted == 0 {
+		log.Fatal(fmt.Errorf("nothing to host: pass -zoo and/or -model (zoo models: %v)", zoo.Names()))
+	}
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+}

@@ -1,0 +1,61 @@
+// Backends: the paper's core workflow — run the same model under
+// different backends (kernel-selection policies) and compare both the
+// chosen implementations and the resulting inference time. This is
+// Figure 2 in miniature.
+//
+//	go run ./examples/backends
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"orpheus"
+)
+
+func main() {
+	model, err := orpheus.BuildZooModel("wrn-40-2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := orpheus.RandomTensor(11, model.InputShape()...)
+
+	fmt.Printf("%s\n\n", model.Summary())
+	fmt.Printf("%-18s %-14s %s\n", "backend", "median", "conv kernels selected")
+	fmt.Println(strings.Repeat("-", 78))
+
+	for _, name := range []string{"orpheus", "orpheus-heuristic", "tvm-sim", "torch-sim", "darknet-sim"} {
+		// darknet-sim refuses non-ResNet zoo models by name, mirroring the
+		// paper; compile the raw graph to show the error handling.
+		sess, err := model.Compile(orpheus.WithBackend(name))
+		if err != nil {
+			fmt.Printf("%-18s %v\n", name, err)
+			continue
+		}
+		stats, err := sess.Benchmark(input, 1, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %-14v %s\n", name, stats.Median.Round(100_000), convKernels(sess))
+	}
+
+	fmt.Println("\nExpected: tvm-sim (spatial pack) wins this small model, as in the")
+	fmt.Println("paper's Figure 2; orpheus (GEMM) wins the larger ResNets.")
+}
+
+// convKernels summarises which conv implementation the backend picked.
+func convKernels(sess *orpheus.Session) string {
+	counts := map[string]int{}
+	for _, line := range sess.PlanSummary() {
+		fields := strings.Fields(line)
+		if len(fields) >= 3 && fields[1] == "Conv" {
+			counts[fields[2]]++
+		}
+	}
+	var parts []string
+	for k, n := range counts {
+		parts = append(parts, fmt.Sprintf("%s×%d", k, n))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,91 @@
+// Classify: an edge image-classification pipeline — decode an image into
+// a CHW tensor, normalise it, run MobileNetV1 and report top-5. Since the
+// repository ships no binary assets, the "image" is generated in memory
+// (a deterministic gradient-with-noise pattern), then preprocessed
+// exactly as a camera frame would be.
+//
+//	go run ./examples/classify
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"orpheus"
+)
+
+const (
+	imgH, imgW = 224, 224
+)
+
+// capture synthesises an RGB "photo": smooth gradients plus structured
+// noise, values in [0, 255], mimicking a camera frame.
+func capture(seed uint64) []uint8 {
+	px := make([]uint8, 3*imgH*imgW)
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		return z ^ (z >> 27)
+	}
+	for c := 0; c < 3; c++ {
+		for y := 0; y < imgH; y++ {
+			for x := 0; x < imgW; x++ {
+				base := (x + y + c*37) % 256
+				noise := int(next() % 64)
+				v := base + noise
+				if v > 255 {
+					v = 255
+				}
+				px[(c*imgH+y)*imgW+x] = uint8(v)
+			}
+		}
+	}
+	return px
+}
+
+// preprocess converts a uint8 CHW frame to a normalised NCHW tensor using
+// the standard ImageNet mean/stddev.
+func preprocess(px []uint8) *orpheus.Tensor {
+	mean := [3]float32{0.485, 0.456, 0.406}
+	std := [3]float32{0.229, 0.224, 0.225}
+	data := make([]float32, len(px))
+	plane := imgH * imgW
+	for c := 0; c < 3; c++ {
+		for i := 0; i < plane; i++ {
+			v := float32(px[c*plane+i]) / 255
+			data[c*plane+i] = (v - mean[c]) / std[c]
+		}
+	}
+	return orpheus.TensorFromSlice(data, 1, 3, imgH, imgW)
+}
+
+func main() {
+	model, err := orpheus.BuildZooModel("mobilenet-v1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := model.Compile(orpheus.WithBackend("orpheus"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(model.Summary())
+
+	for frame := uint64(0); frame < 3; frame++ {
+		img := capture(frame)
+		input := preprocess(img)
+		start := time.Now()
+		probs, err := sess.Predict(input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		top := probs.TopK(5)
+		fmt.Printf("\nframe %d (%v):\n", frame, elapsed.Round(time.Millisecond))
+		for rank, idx := range top {
+			fmt.Printf("  #%d class %4d  p=%.4f\n", rank+1, idx, probs.Data()[idx])
+		}
+	}
+}

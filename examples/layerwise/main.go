@@ -1,0 +1,70 @@
+// Layerwise: per-layer evaluation, the paper's "evaluating … individual
+// layers" workflow. Profiles MobileNetV1 and groups time by operator and
+// by kernel, showing where depthwise vs pointwise time goes.
+//
+//	go run ./examples/layerwise
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"orpheus"
+)
+
+func main() {
+	model, err := orpheus.BuildZooModel("mobilenet-v1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := model.Compile(orpheus.WithBackend("orpheus"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := orpheus.RandomTensor(3, model.InputShape()...)
+
+	// Warm-up, then profile.
+	if _, err := sess.Predict(input); err != nil {
+		log.Fatal(err)
+	}
+	_, timings, err := sess.PredictProfiled(input)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var total time.Duration
+	byKernel := map[string]time.Duration{}
+	for _, lt := range timings {
+		total += lt.Duration
+		byKernel[lt.Kernel] += lt.Duration
+	}
+
+	fmt.Printf("%s — %d layers, total %v\n\n", model.Summary(), len(timings), total.Round(time.Millisecond))
+
+	fmt.Println("time by kernel implementation:")
+	type kv struct {
+		k string
+		d time.Duration
+	}
+	var ks []kv
+	for k, d := range byKernel {
+		ks = append(ks, kv{k, d})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].d > ks[j].d })
+	for _, e := range ks {
+		fmt.Printf("  %-22s %10v  %5.1f%%\n", e.k, e.d.Round(10*time.Microsecond), 100*float64(e.d)/float64(total))
+	}
+
+	sort.Slice(timings, func(i, j int) bool { return timings[i].Duration > timings[j].Duration })
+	fmt.Println("\nten slowest layers:")
+	for i, lt := range timings {
+		if i >= 10 {
+			break
+		}
+		gflops := float64(lt.Flops) / float64(lt.Duration.Nanoseconds())
+		fmt.Printf("  %-26s %-18s %10v  %6.2f GFLOP/s\n",
+			lt.Node.Name, lt.Kernel, lt.Duration.Round(10*time.Microsecond), gflops)
+	}
+}

@@ -1,0 +1,143 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/ops"
+	"orpheus/internal/runtime"
+	"orpheus/internal/tensor"
+)
+
+// AutoTunePolicy selects kernels empirically: for each distinct
+// (op, attributes, input-shapes) signature it times every supporting
+// kernel on synthetic data and caches the fastest. This is the
+// profile-guided flavour of the paper's "multiple implementations selected
+// at runtime" and the subject of ablation A5.
+type AutoTunePolicy struct {
+	// Repeats per kernel measurement (after one warm-up); default 3.
+	Repeats int
+	// cache maps signature → kernel name.
+	cache map[string]string
+	// Trace receives one line per tuning decision when non-nil.
+	Trace func(sig, winner string, times map[string]time.Duration)
+}
+
+// NewAutoTunePolicy returns an empty-cache tuner.
+func NewAutoTunePolicy() *AutoTunePolicy {
+	return &AutoTunePolicy{cache: make(map[string]string)}
+}
+
+// Name implements runtime.Policy.
+func (p *AutoTunePolicy) Name() string { return "autotune" }
+
+// Select implements runtime.Policy.
+func (p *AutoTunePolicy) Select(n *graph.Node) (ops.Kernel, error) {
+	sig := nodeSignature(n)
+	if name, ok := p.cache[sig]; ok {
+		return ops.ByName(name), nil
+	}
+	winner, times, err := p.tune(n)
+	if err != nil {
+		return nil, err
+	}
+	p.cache[sig] = winner.Name()
+	if p.Trace != nil {
+		p.Trace(sig, winner.Name(), times)
+	}
+	return winner, nil
+}
+
+// tune benchmarks every supporting kernel on synthetic tensors shaped like
+// the node's inputs.
+func (p *AutoTunePolicy) tune(n *graph.Node) (ops.Kernel, map[string]time.Duration, error) {
+	candidates := supportingKernels(n)
+	if len(candidates) == 0 {
+		return nil, nil, fmt.Errorf("backend: no kernel supports node %q (%s)", n.Name, n.Op)
+	}
+	if len(candidates) == 1 {
+		return candidates[0], nil, nil
+	}
+	reps := p.Repeats
+	if reps <= 0 {
+		reps = 3
+	}
+	in := make([]*tensor.Tensor, len(n.Inputs))
+	r := tensor.NewRNG(tensor.SeedFromString(nodeSignature(n)))
+	for i, v := range n.Inputs {
+		if v.IsConst() {
+			in[i] = v.Const
+		} else {
+			in[i] = tensor.Rand(r, -1, 1, v.Shape...)
+		}
+	}
+	out := make([]*tensor.Tensor, len(n.Outputs))
+	for i, v := range n.Outputs {
+		out[i] = tensor.New(v.Shape...)
+	}
+	times := make(map[string]time.Duration, len(candidates))
+	var best ops.Kernel
+	var bestTime time.Duration
+	for _, k := range candidates {
+		ctx := ops.NewCtx(1)
+		if err := k.Run(ctx, n, in, out); err != nil { // warm-up + correctness gate
+			continue
+		}
+		start := time.Now()
+		for rep := 0; rep < reps; rep++ {
+			if err := k.Run(ctx, n, in, out); err != nil {
+				break
+			}
+		}
+		elapsed := time.Since(start) / time.Duration(reps)
+		times[k.Name()] = elapsed
+		if best == nil || elapsed < bestTime {
+			best, bestTime = k, elapsed
+		}
+	}
+	if best == nil {
+		return nil, nil, fmt.Errorf("backend: every candidate kernel failed for node %q", n.Name)
+	}
+	return best, times, nil
+}
+
+// CacheSize returns the number of tuned signatures so far.
+func (p *AutoTunePolicy) CacheSize() int { return len(p.cache) }
+
+// supportingKernels lists the registered kernels able to run n, in stable
+// name order.
+func supportingKernels(n *graph.Node) []ops.Kernel {
+	var out []ops.Kernel
+	for _, k := range ops.ForOp(n.Op) {
+		if k.Supports(n) {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// nodeSignature builds the tuning cache key: op, attributes and input
+// shapes (names excluded so identical layers share one entry).
+func nodeSignature(n *graph.Node) string {
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sig := n.Op
+	for _, k := range keys {
+		sig += fmt.Sprintf("|%s=%v", k, n.Attrs[k])
+	}
+	for _, in := range n.Inputs {
+		sig += "|" + tensor.ShapeString(in.Shape)
+	}
+	return sig
+}
+
+// interface check
+var _ runtime.Policy = (*AutoTunePolicy)(nil)
+var _ runtime.Policy = (*PreferencePolicy)(nil)
+var _ runtime.Policy = (*HeuristicPolicy)(nil)

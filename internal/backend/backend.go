@@ -1,0 +1,212 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/passes"
+	"orpheus/internal/runtime"
+)
+
+// Backend bundles a kernel policy with runtime behaviour, emulating one
+// framework from the paper's evaluation (or a native Orpheus
+// configuration).
+type Backend struct {
+	// Name is the identifier used by the harness and CLI ("orpheus",
+	// "tvm-sim", ...).
+	Name string
+	// Paper is the framework this backend stands in for, as labelled in
+	// Figure 2 ("Orpheus", "TVM", "PyTorch", ...).
+	Paper string
+	// Description explains the emulation in one line.
+	Description string
+
+	// NewPolicy creates a fresh kernel-selection policy (fresh so that
+	// stateful policies like the auto-tuner do not leak between models).
+	NewPolicy func() runtime.Policy
+
+	// Optimize applies the graph-simplification pipeline before running
+	// (graph frameworks do; eager frameworks such as PyTorch and DarkNet
+	// do not).
+	Optimize bool
+	// NoBufferReuse / DisableScratchReuse model per-call allocation.
+	NoBufferReuse       bool
+	DisableScratchReuse bool
+	// ForceAllCores pins the worker count to every available core and
+	// refuses single-threaded operation (the paper's TF-Lite complaint).
+	ForceAllCores bool
+	// SupportsModel returns nil if the backend can run the named model
+	// (DarkNet only ships the ResNets, per the paper).
+	SupportsModel func(model string) error
+	// SimDispatchNs is the per-operator dispatch overhead, in nanoseconds,
+	// charged by the device cost model: compiled runtimes dispatch in a
+	// couple of microseconds, eager frameworks pay an order of magnitude
+	// more per call.
+	SimDispatchNs float64
+}
+
+// Prepare optimises (a clone of) g according to the backend's rules and
+// compiles it. workers <= 0 means 1. Returns an error if the backend
+// cannot honour the requested thread count.
+func (b *Backend) Prepare(g *graph.Graph, workers int) (*runtime.Plan, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	if b.ForceAllCores && workers == 1 {
+		return nil, fmt.Errorf("backend %s: cannot select a single thread (the API always uses the maximum)", b.Name)
+	}
+	work := g.Clone()
+	if err := work.Finalize(); err != nil {
+		return nil, err
+	}
+	if b.Optimize {
+		if _, err := passes.Default().Run(work); err != nil {
+			return nil, err
+		}
+	}
+	return runtime.Compile(work, runtime.Options{
+		Policy:              b.NewPolicy(),
+		Workers:             workers,
+		NoBufferReuse:       b.NoBufferReuse,
+		DisableScratchReuse: b.DisableScratchReuse,
+	})
+}
+
+var registry = map[string]*Backend{}
+
+// Register adds a backend; duplicate names panic.
+func Register(b *Backend) {
+	if _, dup := registry[b.Name]; dup {
+		panic(fmt.Sprintf("backend: duplicate backend %q", b.Name))
+	}
+	registry[b.Name] = b
+}
+
+// ByName returns the named backend.
+func ByName(name string) (*Backend, error) {
+	b, ok := registry[name]
+	if !ok {
+		names := Names()
+		return nil, fmt.Errorf("backend: unknown backend %q (known: %s)", name, strings.Join(names, ", "))
+	}
+	return b, nil
+}
+
+// Names lists registered backends sorted by name.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Figure2Backends returns the backends in the order the paper's Figure 2
+// groups them: Orpheus, TVM, PyTorch (DarkNet and TF-Lite are handled as
+// exclusions in the harness).
+func Figure2Backends() []*Backend {
+	out := make([]*Backend, 0, 3)
+	for _, n := range []string{"orpheus", "tvm-sim", "torch-sim"} {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+func init() {
+	Register(&Backend{
+		Name:        "orpheus",
+		Paper:       "Orpheus",
+		Description: "native: GEMM (im2col+packed) convolution, dedicated depthwise kernel, fused graph, arena memory",
+		NewPolicy: func() runtime.Policy {
+			return &PreferencePolicy{PolicyName: "orpheus", Prefs: map[string][]string{
+				"Conv":  {"conv.depthwise", "conv.im2col"},
+				"Dense": {"dense.gemm"},
+			}}
+		},
+		Optimize:      true,
+		SimDispatchNs: 2000,
+	})
+	Register(&Backend{
+		Name:          "orpheus-heuristic",
+		Paper:         "Orpheus (heuristic)",
+		Description:   "native with size-based conv algorithm choice (spatial pack below the GEMM crossover)",
+		NewPolicy:     func() runtime.Policy { return &HeuristicPolicy{} },
+		Optimize:      true,
+		SimDispatchNs: 2000,
+	})
+	Register(&Backend{
+		Name:          "orpheus-tuned",
+		Paper:         "Orpheus (tuned)",
+		Description:   "native with per-layer empirical auto-tuning over all registered kernels",
+		NewPolicy:     func() runtime.Policy { return NewAutoTunePolicy() },
+		Optimize:      true,
+		SimDispatchNs: 2000,
+	})
+	Register(&Backend{
+		Name:        "tvm-sim",
+		Paper:       "TVM",
+		Description: "TVM emulation: spatial-pack convolution schedule, optimised graph",
+		NewPolicy: func() runtime.Policy {
+			return &PreferencePolicy{PolicyName: "tvm-sim", Prefs: map[string][]string{
+				"Conv":  {"conv.depthwise", "conv.spatialpack", "conv.im2col"},
+				"Dense": {"dense.gemm"},
+			}}
+		},
+		Optimize:      true,
+		SimDispatchNs: 1500,
+	})
+	Register(&Backend{
+		Name:        "torch-sim",
+		Paper:       "PyTorch",
+		Description: "PyTorch-eager emulation: GEMM convolution, per-group im2col depthwise, per-call allocation, no graph fusion",
+		NewPolicy: func() runtime.Policy {
+			return &PreferencePolicy{PolicyName: "torch-sim", Prefs: map[string][]string{
+				"Conv":  {"conv.group_im2col", "conv.im2col"},
+				"Dense": {"dense.gemm"},
+			}}
+		},
+		Optimize:            false,
+		NoBufferReuse:       true,
+		DisableScratchReuse: true,
+		SimDispatchNs:       30000,
+	})
+	Register(&Backend{
+		Name:        "darknet-sim",
+		Paper:       "DarkNet",
+		Description: "DarkNet emulation: direct convolution, naive dense, no graph optimisation; ResNets only",
+		NewPolicy: func() runtime.Policy {
+			return &PreferencePolicy{PolicyName: "darknet-sim", Prefs: map[string][]string{
+				"Conv":  {"conv.direct"},
+				"Dense": {"dense.naive"},
+			}}
+		},
+		Optimize:      false,
+		SimDispatchNs: 4000,
+		SupportsModel: func(model string) error {
+			if !strings.HasPrefix(model, "resnet") {
+				return fmt.Errorf("darknet-sim: model %s not available (paper: only the ResNet models were available)", model)
+			}
+			return nil
+		},
+	})
+	Register(&Backend{
+		Name:        "tflite-sim",
+		Paper:       "TF-Lite",
+		Description: "TF-Lite emulation: GEMM convolution but the API always selects the maximum thread count",
+		NewPolicy: func() runtime.Policy {
+			return &PreferencePolicy{PolicyName: "tflite-sim", Prefs: map[string][]string{"Conv": {"conv.depthwise", "conv.im2col"}, "Dense": {"dense.gemm"}}}
+		},
+		Optimize:      true,
+		ForceAllCores: true,
+		SimDispatchNs: 3000,
+		SupportsModel: func(model string) error {
+			if strings.HasPrefix(model, "resnet") {
+				return fmt.Errorf("tflite-sim: model %s not available (paper: all models excepting ResNets were available)", model)
+			}
+			return nil
+		},
+	})
+}

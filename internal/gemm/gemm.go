@@ -1,0 +1,89 @@
+// Package gemm implements single-precision general matrix multiply,
+// C += A·B, the computational core of GEMM-based convolution and dense
+// layers in Orpheus.
+//
+// Three implementations are provided, mirroring the tiers an edge inference
+// framework typically carries:
+//
+//   - Naive: textbook triple loop; the correctness reference.
+//   - Blocked: cache-blocked loop nest with an ikj inner order.
+//   - Packed: panel packing plus a register-blocked 4x8 micro-kernel; the
+//     production path used by the Orpheus backend.
+//
+// All operate on row-major dense matrices described by flat []float32
+// slices. Dimensions are validated by the exported entry points; the inner
+// kernels assume valid arguments.
+package gemm
+
+import "fmt"
+
+// validate panics if the slice lengths cannot hold the described matrices.
+func validate(a, b, c []float32, m, n, k int) {
+	if m < 0 || n < 0 || k < 0 {
+		panic(fmt.Sprintf("gemm: negative dimension m=%d n=%d k=%d", m, n, k))
+	}
+	if m == 0 || n == 0 || k == 0 {
+		// Nothing to compute; empty buffers are fine.
+		return
+	}
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic(fmt.Sprintf("gemm: buffer too small for m=%d n=%d k=%d (lenA=%d lenB=%d lenC=%d)",
+			m, n, k, len(a), len(b), len(c)))
+	}
+}
+
+// Naive computes C += A·B with the textbook triple loop. A is m×k, B is
+// k×n, C is m×n, all row-major.
+func Naive(a, b, c []float32, m, n, k int) {
+	validate(a, b, c, m, n, k)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[p*n+j]
+			}
+			c[i*n+j] += s
+		}
+	}
+}
+
+// Blocked computes C += A·B using cache blocking with an i-k-j inner order,
+// which streams B rows and keeps a C row hot.
+func Blocked(a, b, c []float32, m, n, k int) {
+	validate(a, b, c, m, n, k)
+	const (
+		mc = 64
+		kc = 128
+		nc = 256
+	)
+	for jj := 0; jj < n; jj += nc {
+		jmax := min(jj+nc, n)
+		for pp := 0; pp < k; pp += kc {
+			pmax := min(pp+kc, k)
+			for ii := 0; ii < m; ii += mc {
+				imax := min(ii+mc, m)
+				for i := ii; i < imax; i++ {
+					ci := c[i*n : i*n+n]
+					ai := a[i*k : i*k+k]
+					for p := pp; p < pmax; p++ {
+						av := ai[p]
+						if av == 0 {
+							continue
+						}
+						bp := b[p*n : p*n+n]
+						for j := jj; j < jmax; j++ {
+							ci[j] += av * bp[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,223 @@
+package gemm
+
+// Packing + micro-kernel GEMM. This is the "production" tier: panels of A
+// and B are repacked into contiguous strips sized for the register-blocked
+// micro-kernel, which computes a 4x8 block of C per inner iteration.
+
+const (
+	mr = 4 // micro-kernel rows
+	nr = 8 // micro-kernel cols
+
+	mcBlock = 128 // rows of A per packed panel
+	kcBlock = 256 // shared dimension per panel
+	ncBlock = 512 // cols of B per packed panel
+)
+
+// Context holds the packing scratch buffers for packed GEMM so repeated
+// calls (the common case during inference) do not reallocate. The zero
+// value is ready to use. A Context is not safe for concurrent use.
+type Context struct {
+	packA []float32
+	packB []float32
+}
+
+// Packed computes C += A·B using panel packing and a 4x8 micro-kernel.
+func (ctx *Context) Packed(a, b, c []float32, m, n, k int) {
+	validate(a, b, c, m, n, k)
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	ctx.grow()
+	for pp := 0; pp < k; pp += kcBlock {
+		kc := min(kcBlock, k-pp)
+		for jj := 0; jj < n; jj += ncBlock {
+			nc := min(ncBlock, n-jj)
+			packB(ctx.packB, b, pp, jj, kc, nc, n)
+			for ii := 0; ii < m; ii += mcBlock {
+				mc := min(mcBlock, m-ii)
+				packA(ctx.packA, a, ii, pp, mc, kc, k)
+				macroKernel(ctx.packA, ctx.packB, c, ii, jj, mc, nc, kc, n)
+			}
+		}
+	}
+}
+
+func (ctx *Context) grow() {
+	// Packed panels are padded up to full micro-tiles.
+	an := ((mcBlock+mr-1)/mr*mr + mr) * kcBlock
+	bn := ((ncBlock+nr-1)/nr*nr + nr) * kcBlock
+	if cap(ctx.packA) < an {
+		ctx.packA = make([]float32, an)
+	}
+	if cap(ctx.packB) < bn {
+		ctx.packB = make([]float32, bn)
+	}
+	ctx.packA = ctx.packA[:cap(ctx.packA)]
+	ctx.packB = ctx.packB[:cap(ctx.packB)]
+}
+
+// packA copies an mc×kc panel of A (row ii, col pp) into strips of mr rows,
+// stored column-major within each strip so the micro-kernel reads
+// contiguously. Rows beyond mc are zero-padded.
+func packA(dst, a []float32, ii, pp, mc, kc, lda int) {
+	di := 0
+	for i := 0; i < mc; i += mr {
+		rows := min(mr, mc-i)
+		for p := 0; p < kc; p++ {
+			for r := 0; r < rows; r++ {
+				dst[di] = a[(ii+i+r)*lda+pp+p]
+				di++
+			}
+			for r := rows; r < mr; r++ {
+				dst[di] = 0
+				di++
+			}
+		}
+	}
+}
+
+// packB copies a kc×nc panel of B (row pp, col jj) into strips of nr
+// columns, row-major within each strip. Columns beyond nc are zero-padded.
+func packB(dst, b []float32, pp, jj, kc, nc, ldb int) {
+	di := 0
+	for j := 0; j < nc; j += nr {
+		cols := min(nr, nc-j)
+		for p := 0; p < kc; p++ {
+			base := (pp+p)*ldb + jj + j
+			for cc := 0; cc < cols; cc++ {
+				dst[di] = b[base+cc]
+				di++
+			}
+			for cc := cols; cc < nr; cc++ {
+				dst[di] = 0
+				di++
+			}
+		}
+	}
+}
+
+// macroKernel multiplies the packed panels into C.
+func macroKernel(pa, pb, c []float32, ii, jj, mc, nc, kc, ldc int) {
+	var tail [mr * nr]float32
+	for i := 0; i < mc; i += mr {
+		rows := min(mr, mc-i)
+		aStrip := pa[(i/mr)*kc*mr:]
+		for j := 0; j < nc; j += nr {
+			cols := min(nr, nc-j)
+			bStrip := pb[(j/nr)*kc*nr:]
+			if rows == mr && cols == nr {
+				microKernel(aStrip, bStrip, c[(ii+i)*ldc+jj+j:], kc, ldc)
+				continue
+			}
+			// Edge tile: accumulate into a temporary then add the live part.
+			for x := range tail {
+				tail[x] = 0
+			}
+			microKernel(aStrip, bStrip, tail[:], kc, nr)
+			for r := 0; r < rows; r++ {
+				cRow := c[(ii+i+r)*ldc+jj+j:]
+				for cc := 0; cc < cols; cc++ {
+					cRow[cc] += tail[r*nr+cc]
+				}
+			}
+		}
+	}
+}
+
+// microKernel computes a full mr×nr block: C[r][cc] += sum_p A[p][r]*B[p][cc].
+// pa is packed as kc groups of mr values; pb as kc groups of nr values.
+// ldc is the row stride of c.
+func microKernel(pa, pb, c []float32, kc, ldc int) {
+	var (
+		c00, c01, c02, c03, c04, c05, c06, c07 float32
+		c10, c11, c12, c13, c14, c15, c16, c17 float32
+		c20, c21, c22, c23, c24, c25, c26, c27 float32
+		c30, c31, c32, c33, c34, c35, c36, c37 float32
+	)
+	pa = pa[:kc*mr]
+	pb = pb[:kc*nr]
+	for p := 0; p < kc; p++ {
+		a0 := pa[p*mr+0]
+		a1 := pa[p*mr+1]
+		a2 := pa[p*mr+2]
+		a3 := pa[p*mr+3]
+		b := pb[p*nr : p*nr+nr : p*nr+nr]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		b4, b5, b6, b7 := b[4], b[5], b[6], b[7]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c04 += a0 * b4
+		c05 += a0 * b5
+		c06 += a0 * b6
+		c07 += a0 * b7
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c14 += a1 * b4
+		c15 += a1 * b5
+		c16 += a1 * b6
+		c17 += a1 * b7
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c24 += a2 * b4
+		c25 += a2 * b5
+		c26 += a2 * b6
+		c27 += a2 * b7
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		c34 += a3 * b4
+		c35 += a3 * b5
+		c36 += a3 * b6
+		c37 += a3 * b7
+	}
+	r0 := c[0*ldc : 0*ldc+nr]
+	r0[0] += c00
+	r0[1] += c01
+	r0[2] += c02
+	r0[3] += c03
+	r0[4] += c04
+	r0[5] += c05
+	r0[6] += c06
+	r0[7] += c07
+	r1 := c[1*ldc : 1*ldc+nr]
+	r1[0] += c10
+	r1[1] += c11
+	r1[2] += c12
+	r1[3] += c13
+	r1[4] += c14
+	r1[5] += c15
+	r1[6] += c16
+	r1[7] += c17
+	r2 := c[2*ldc : 2*ldc+nr]
+	r2[0] += c20
+	r2[1] += c21
+	r2[2] += c22
+	r2[3] += c23
+	r2[4] += c24
+	r2[5] += c25
+	r2[6] += c26
+	r2[7] += c27
+	r3 := c[3*ldc : 3*ldc+nr]
+	r3[0] += c30
+	r3[1] += c31
+	r3[2] += c32
+	r3[3] += c33
+	r3[4] += c34
+	r3[5] += c35
+	r3[6] += c36
+	r3[7] += c37
+}
+
+// Packed computes C += A·B with a throwaway Context. Prefer a long-lived
+// Context in hot paths.
+func Packed(a, b, c []float32, m, n, k int) {
+	var ctx Context
+	ctx.Packed(a, b, c, m, n, k)
+}

@@ -1,0 +1,95 @@
+package graph
+
+import "fmt"
+
+// Attrs holds a node's operator attributes (stride, padding, axis, …).
+// Values are int, float64, string, bool, []int or []float64; the typed
+// getters return a default when the key is absent and panic on a type
+// mismatch, which indicates a malformed graph-construction bug rather than
+// a runtime condition.
+type Attrs map[string]any
+
+// Int returns the int attribute key, or def if absent.
+func (a Attrs) Int(key string, def int) int {
+	v, ok := a[key]
+	if !ok {
+		return def
+	}
+	i, ok := v.(int)
+	if !ok {
+		panic(fmt.Sprintf("attrs: %q is %T, want int", key, v))
+	}
+	return i
+}
+
+// Ints returns the []int attribute key, or def if absent. The returned
+// slice must not be modified.
+func (a Attrs) Ints(key string, def []int) []int {
+	v, ok := a[key]
+	if !ok {
+		return def
+	}
+	s, ok := v.([]int)
+	if !ok {
+		panic(fmt.Sprintf("attrs: %q is %T, want []int", key, v))
+	}
+	return s
+}
+
+// Float returns the float64 attribute key, or def if absent. Int values
+// are widened.
+func (a Attrs) Float(key string, def float64) float64 {
+	v, ok := a[key]
+	if !ok {
+		return def
+	}
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int:
+		return float64(x)
+	}
+	panic(fmt.Sprintf("attrs: %q is %T, want float64", key, a[key]))
+}
+
+// Str returns the string attribute key, or def if absent.
+func (a Attrs) Str(key, def string) string {
+	v, ok := a[key]
+	if !ok {
+		return def
+	}
+	s, ok := v.(string)
+	if !ok {
+		panic(fmt.Sprintf("attrs: %q is %T, want string", key, v))
+	}
+	return s
+}
+
+// Bool returns the bool attribute key, or def if absent.
+func (a Attrs) Bool(key string, def bool) bool {
+	v, ok := a[key]
+	if !ok {
+		return def
+	}
+	b, ok := v.(bool)
+	if !ok {
+		panic(fmt.Sprintf("attrs: %q is %T, want bool", key, v))
+	}
+	return b
+}
+
+// Has reports whether key is present.
+func (a Attrs) Has(key string) bool {
+	_, ok := a[key]
+	return ok
+}
+
+// Clone returns a shallow copy (slice values are shared; passes treat
+// attribute slices as immutable).
+func (a Attrs) Clone() Attrs {
+	c := make(Attrs, len(a))
+	for k, v := range a {
+		c[k] = v
+	}
+	return c
+}

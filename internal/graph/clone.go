@@ -1,0 +1,35 @@
+package graph
+
+// Clone returns a deep copy of the graph structure. Constant tensors are
+// shared (they are treated as immutable throughout Orpheus); nodes, values
+// and attribute maps are copied, so passes run on the clone leave the
+// original untouched. Experiments use this to compare optimised and raw
+// variants of one model.
+func (g *Graph) Clone() *Graph {
+	c := New(g.Name)
+	vmap := make(map[*Value]*Value, len(g.values))
+	for name, v := range g.values {
+		nv := &Value{Name: name, Shape: append([]int(nil), v.Shape...), Const: v.Const}
+		c.values[name] = nv
+		vmap[v] = nv
+	}
+	for _, n := range g.Nodes {
+		nn := &Node{Name: n.Name, Op: n.Op, Attrs: n.Attrs.Clone()}
+		for _, in := range n.Inputs {
+			nn.Inputs = append(nn.Inputs, vmap[in])
+		}
+		for _, out := range n.Outputs {
+			nv := vmap[out]
+			nv.Producer = nn
+			nn.Outputs = append(nn.Outputs, nv)
+		}
+		c.Nodes = append(c.Nodes, nn)
+	}
+	for _, in := range g.Inputs {
+		c.Inputs = append(c.Inputs, vmap[in])
+	}
+	for _, out := range g.Outputs {
+		c.Outputs = append(c.Outputs, vmap[out])
+	}
+	return c
+}

@@ -1,0 +1,247 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"orpheus/internal/tensor"
+)
+
+func init() {
+	// Minimal shape functions for the ops used by these tests. The real
+	// registry is populated by internal/ops; unit tests here stay
+	// self-contained.
+	RegisterShapeFn("testRelu", func(n *Node) ([][]int, error) {
+		return [][]int{append([]int(nil), n.Inputs[0].Shape...)}, nil
+	})
+	RegisterShapeFn("testAdd", func(n *Node) ([][]int, error) {
+		return [][]int{append([]int(nil), n.Inputs[0].Shape...)}, nil
+	})
+}
+
+func buildDiamond(t *testing.T) (*Graph, *Value) {
+	t.Helper()
+	g := New("diamond")
+	x, err := g.Input("x", []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := g.Add("testRelu", "a", nil, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Add("testRelu", "b", nil, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.Add("testAdd", "sum", nil, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.MarkOutput(s); err != nil {
+		t.Fatal(err)
+	}
+	return g, s
+}
+
+func TestBuildAndFinalize(t *testing.T) {
+	g, out := buildDiamond(t)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(out.Shape, []int{1, 4}) {
+		t.Fatalf("output shape = %v", out.Shape)
+	}
+	if len(g.Nodes) != 3 {
+		t.Fatalf("nodes = %d", len(g.Nodes))
+	}
+}
+
+func TestDuplicateValueName(t *testing.T) {
+	g := New("dup")
+	if _, err := g.Input("x", []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Input("x", []int{1}); err == nil {
+		t.Fatal("duplicate input name accepted")
+	}
+	if _, err := g.Const("", tensor.New(1)); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestForeignValueRejected(t *testing.T) {
+	g1 := New("g1")
+	x1, _ := g1.Input("x", []int{1})
+	g2 := New("g2")
+	if _, err := g2.Add("testRelu", "r", nil, x1); err == nil {
+		t.Fatal("foreign value accepted as input")
+	}
+	if err := g2.MarkOutput(x1); err == nil {
+		t.Fatal("foreign value accepted as output")
+	}
+}
+
+func TestTopoSortOrdersDependencies(t *testing.T) {
+	g, _ := buildDiamond(t)
+	// Scramble: move the sum node first.
+	g.Nodes[0], g.Nodes[2] = g.Nodes[2], g.Nodes[0]
+	if err := g.TopoSort(); err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range g.Nodes {
+		pos[n.Name] = i
+	}
+	if pos["sum"] < pos["a"] || pos["sum"] < pos["b"] {
+		t.Fatalf("topo order wrong: %v", pos)
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	g := New("cyc")
+	x, _ := g.Input("x", []int{1})
+	a, _ := g.Add("testRelu", "a", nil, x)
+	b, _ := g.Add("testRelu", "b", nil, a)
+	// Manually create a cycle a <- b.
+	g.Nodes[0].Inputs[0] = b
+	_ = g.MarkOutput(b)
+	if err := g.TopoSort(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestValidateCatchesMissingOutput(t *testing.T) {
+	g := New("noout")
+	x, _ := g.Input("x", []int{1})
+	_, _ = g.Add("testRelu", "a", nil, x)
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "no outputs") {
+		t.Fatalf("missing graph output not caught: %v", err)
+	}
+}
+
+func TestRemoveNodeAndReplaceUses(t *testing.T) {
+	g, _ := buildDiamond(t)
+	var aNode *Node
+	for _, n := range g.Nodes {
+		if n.Name == "a" {
+			aNode = n
+		}
+	}
+	// a is consumed by sum: removal must fail.
+	if err := g.RemoveNode(aNode); err == nil {
+		t.Fatal("removing consumed node should fail")
+	}
+	// Rewire uses of a's output to x, then removal succeeds.
+	g.ReplaceUses(aNode.Outputs[0], g.Inputs[0])
+	if err := g.RemoveNode(aNode); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 2 {
+		t.Fatalf("nodes after removal = %d", len(g.Nodes))
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveGraphOutputRejected(t *testing.T) {
+	g, _ := buildDiamond(t)
+	var sum *Node
+	for _, n := range g.Nodes {
+		if n.Name == "sum" {
+			sum = n
+		}
+	}
+	if err := g.RemoveNode(sum); err == nil {
+		t.Fatal("removing the node producing a graph output should fail")
+	}
+}
+
+func TestConsumers(t *testing.T) {
+	g, _ := buildDiamond(t)
+	cons := g.Consumers()
+	if len(cons[g.Inputs[0]]) != 2 {
+		t.Fatalf("x should have 2 consumers, got %d", len(cons[g.Inputs[0]]))
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	g, _ := buildDiamond(t)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the clone must not affect the original.
+	c.Nodes[0].Attrs["k"] = 1
+	if g.Nodes[0].Attrs.Has("k") {
+		t.Fatal("clone shares attrs with original")
+	}
+	if len(c.Nodes) != len(g.Nodes) || len(c.Inputs) != 1 || len(c.Outputs) != 1 {
+		t.Fatal("clone structure differs")
+	}
+	if c.Value("x") == g.Value("x") {
+		t.Fatal("clone shares Value pointers")
+	}
+}
+
+func TestNumParamsAndOpCounts(t *testing.T) {
+	g := New("params")
+	x, _ := g.Input("x", []int{1, 3})
+	w, _ := g.Const("w", tensor.New(3, 3))
+	s, _ := g.Add("testAdd", "s", nil, x, w)
+	_ = g.MarkOutput(s)
+	if g.NumParams() != 9 {
+		t.Fatalf("NumParams = %d", g.NumParams())
+	}
+	if g.OpCounts()["testAdd"] != 1 {
+		t.Fatalf("OpCounts = %v", g.OpCounts())
+	}
+	if !strings.Contains(g.String(), "params") {
+		t.Fatalf("String = %q", g.String())
+	}
+}
+
+func TestInferShapesUnknownOp(t *testing.T) {
+	g := New("unknown")
+	x, _ := g.Input("x", []int{1})
+	y, _ := g.Add("noSuchOp", "n", nil, x)
+	_ = g.MarkOutput(y)
+	if err := g.Finalize(); err == nil || !strings.Contains(err.Error(), "no shape function") {
+		t.Fatalf("unknown op not caught: %v", err)
+	}
+}
+
+func TestAttrsGetters(t *testing.T) {
+	a := Attrs{"i": 3, "is": []int{1, 2}, "f": 2.5, "s": "x", "b": true}
+	if a.Int("i", 0) != 3 || a.Int("missing", 7) != 7 {
+		t.Fatal("Int getter wrong")
+	}
+	if got := a.Ints("is", nil); len(got) != 2 || got[1] != 2 {
+		t.Fatal("Ints getter wrong")
+	}
+	if a.Float("f", 0) != 2.5 || a.Float("i", 0) != 3 {
+		t.Fatal("Float getter wrong (or int widening broken)")
+	}
+	if a.Str("s", "") != "x" || !a.Bool("b", false) || !a.Has("i") || a.Has("zz") {
+		t.Fatal("Str/Bool/Has wrong")
+	}
+	c := a.Clone()
+	c["i"] = 9
+	if a.Int("i", 0) != 3 {
+		t.Fatal("Clone aliases map")
+	}
+}
+
+func TestAttrsTypeMismatchPanics(t *testing.T) {
+	a := Attrs{"i": "oops"}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type mismatch did not panic")
+		}
+	}()
+	a.Int("i", 0)
+}

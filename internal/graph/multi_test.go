@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"testing"
+
+	"orpheus/internal/tensor"
+)
+
+func init() {
+	RegisterShapeFn("testSplit2", func(n *Node) ([][]int, error) {
+		s := n.Inputs[0].Shape
+		half := append([]int(nil), s...)
+		half[len(half)-1] /= 2
+		return [][]int{half, half}, nil
+	})
+}
+
+func TestAddMultiOutputs(t *testing.T) {
+	g := New("multi")
+	x, err := g.Input("x", []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := g.AddMulti("testSplit2", "split", nil, []*Value{x}, []string{"lo", "hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 || outs[0].Name != "lo" || outs[1].Name != "hi" {
+		t.Fatalf("outputs = %v", outs)
+	}
+	a, _ := g.Add("testRelu", "a", nil, outs[0])
+	b, _ := g.Add("testRelu", "b", nil, outs[1])
+	s, _ := g.Add("testAdd", "s", nil, a, b)
+	if err := g.MarkOutput(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(outs[0].Shape, []int{1, 4}) || !tensor.ShapeEq(s.Shape, []int{1, 4}) {
+		t.Fatalf("shapes: %v, %v", outs[0].Shape, s.Shape)
+	}
+	// Both outputs share one producer.
+	if outs[0].Producer != outs[1].Producer {
+		t.Fatal("split outputs have different producers")
+	}
+}
+
+func TestAddMultiDuplicateOutputName(t *testing.T) {
+	g := New("dup")
+	x, _ := g.Input("x", []int{1, 8})
+	if _, err := g.AddMulti("testSplit2", "s", nil, []*Value{x}, []string{"y", "y"}); err == nil {
+		t.Fatal("duplicate output names accepted")
+	}
+}
+
+func TestValueNamesSorted(t *testing.T) {
+	g := New("names")
+	_, _ = g.Input("zeta", []int{1})
+	_, _ = g.Const("alpha", tensor.New(1))
+	_, _ = g.Input("mid", []int{1})
+	names := g.ValueNames()
+	if len(names) != 3 || names[0] != "alpha" || names[1] != "mid" || names[2] != "zeta" {
+		t.Fatalf("ValueNames = %v", names)
+	}
+}
+
+func TestRegisteredOpsListsShapeFns(t *testing.T) {
+	found := false
+	for _, op := range RegisteredOps() {
+		if op == "testSplit2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("RegisteredOps missing testSplit2")
+	}
+	if ShapeFnFor("testSplit2") == nil || ShapeFnFor("noSuchThing") != nil {
+		t.Fatal("ShapeFnFor lookup wrong")
+	}
+}
+
+func TestDuplicateShapeFnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate shape fn registration did not panic")
+		}
+	}()
+	RegisterShapeFn("testSplit2", nil)
+}
+
+func TestCloneMultiOutput(t *testing.T) {
+	g := New("cm")
+	x, _ := g.Input("x", []int{1, 8})
+	outs, _ := g.AddMulti("testSplit2", "split", nil, []*Value{x}, []string{"lo", "hi"})
+	_ = g.MarkOutput(outs[0])
+	_ = g.MarkOutput(outs[1])
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Outputs) != 2 || c.Value("lo") == g.Value("lo") {
+		t.Fatal("clone of multi-output graph malformed")
+	}
+	if c.Value("lo").Producer != c.Value("hi").Producer {
+		t.Fatal("clone split outputs lost shared producer")
+	}
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ShapeFn infers a node's output shapes from its (already inferred) input
+// shapes and attributes.
+type ShapeFn func(n *Node) ([][]int, error)
+
+// shapeFns is the operator shape-inference registry. internal/ops populates
+// it from init functions so that graph remains independent of the kernels.
+var shapeFns = map[string]ShapeFn{}
+
+// RegisterShapeFn installs the shape-inference function for op. Registering
+// the same op twice panics: it indicates two operators claiming one name.
+func RegisterShapeFn(op string, fn ShapeFn) {
+	if _, dup := shapeFns[op]; dup {
+		panic(fmt.Sprintf("graph: duplicate shape function for op %q", op))
+	}
+	shapeFns[op] = fn
+}
+
+// ShapeFnFor returns the registered shape function for op, or nil.
+func ShapeFnFor(op string) ShapeFn { return shapeFns[op] }
+
+// RegisteredOps lists all ops with shape functions, sorted.
+func RegisteredOps() []string {
+	ops := make([]string, 0, len(shapeFns))
+	for op := range shapeFns {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	return ops
+}
+
+// InferShapes runs shape inference over the (topologically sorted) graph,
+// filling in Value.Shape for every node output.
+func (g *Graph) InferShapes() error {
+	for _, n := range g.Nodes {
+		fn := shapeFns[n.Op]
+		if fn == nil {
+			return fmt.Errorf("graph %q: no shape function registered for op %q (node %q)", g.Name, n.Op, n.Name)
+		}
+		for _, in := range n.Inputs {
+			if in.Shape == nil {
+				return fmt.Errorf("graph %q: node %q input %q has no shape", g.Name, n.Name, in.Name)
+			}
+		}
+		shapes, err := fn(n)
+		if err != nil {
+			return fmt.Errorf("graph %q: node %q (%s): %w", g.Name, n.Name, n.Op, err)
+		}
+		if len(shapes) != len(n.Outputs) {
+			return fmt.Errorf("graph %q: node %q (%s): shape fn returned %d shapes for %d outputs",
+				g.Name, n.Name, n.Op, len(shapes), len(n.Outputs))
+		}
+		for i, out := range n.Outputs {
+			out.Shape = copyShape(shapes[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuantizeExperiment(t *testing.T) {
+	e, err := ByID("quantize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(simCfg("wrn-40-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if !strings.HasSuffix(rep.Rows[0][3], "x") {
+		t.Fatalf("compression cell = %q", rep.Rows[0][3])
+	}
+}
+
+func TestThreadsExperimentMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("threads experiment measures real inference; run without -short")
+	}
+	e, err := ByID("threads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(&Config{Mode: ModeMeasure, Models: []string{"wrn-40-2"}, Warmup: 0, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// orpheus row + tflite-sim row; tflite 1-thread cell must be n/a.
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d: %v", len(rep.Rows), rep.Rows)
+	}
+	for _, row := range rep.Rows {
+		if row[1] == "TF-Lite" && row[2] != "n/a" {
+			t.Fatalf("TF-Lite 1-thread cell = %q, want n/a", row[2])
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"fmt"
+
+	"orpheus/internal/backend"
+	"orpheus/internal/zoo"
+)
+
+// Figure 2: inference time (1 thread) for the five network models across
+// frameworks. DarkNet rows appear only for the ResNets and TF-Lite is
+// excluded from single-thread runs — both exactly as reported in the
+// paper's evaluation section.
+func init() {
+	register(&Experiment{
+		ID:    "fig2",
+		Title: "Inference time (1 thread) for the five network models",
+		Run:   runFig2,
+	})
+}
+
+// fig2BackendNames lists the frameworks in the figure's legend order.
+var fig2BackendNames = []string{"orpheus", "tvm-sim", "torch-sim", "darknet-sim", "tflite-sim"}
+
+// RunFig2 executes the Figure 2 experiment and returns both the raw
+// results and the formatted report (exported for the bench harness and
+// tests).
+func RunFig2(cfg *Config) ([]modelResult, *Report, error) {
+	cfg.fill()
+	rep := &Report{ID: "fig2", Title: "Inference time (1 thread), batch 1"}
+	switch cfg.Mode {
+	case ModeBoth:
+		rep.Header = []string{"model", "framework", "simulated A73 ms", "measured host ms"}
+	case ModeMeasure:
+		rep.Header = []string{"model", "framework", "measured host ms"}
+	default:
+		rep.Header = []string{"model", "framework", "simulated A73 ms"}
+	}
+
+	var results []modelResult
+	for _, modelName := range cfg.Models {
+		g, err := zoo.Build(modelName, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, bname := range fig2BackendNames {
+			b, err := backend.ByName(bname)
+			if err != nil {
+				return nil, nil, err
+			}
+			res := runModelBackend(cfg, g, modelName, b)
+			results = append(results, res)
+			if res.excluded != "" {
+				switch cfg.Mode {
+				case ModeBoth:
+					rep.AddRow(modelName, b.Paper, "n/a", "n/a")
+				default:
+					rep.AddRow(modelName, b.Paper, "n/a")
+				}
+				rep.AddNote("%s on %s: %s", b.Paper, modelName, res.excluded)
+				continue
+			}
+			switch cfg.Mode {
+			case ModeBoth:
+				rep.AddRow(modelName, b.Paper, fmtMs(res.simMs), fmtMs(res.measuredMs))
+			case ModeMeasure:
+				rep.AddRow(modelName, b.Paper, fmtMs(res.measuredMs))
+			default:
+				rep.AddRow(modelName, b.Paper, fmtMs(res.simMs))
+			}
+		}
+	}
+	for _, note := range fig2ShapeNotes(results, cfg.Mode) {
+		rep.AddNote("%s", note)
+	}
+	return results, rep, nil
+}
+
+func runFig2(cfg *Config) (*Report, error) {
+	_, rep, err := RunFig2(cfg)
+	return rep, err
+}
+
+func fmtMs(ms float64) string {
+	if ms >= 1000 {
+		return fmt.Sprintf("%.0f", ms)
+	}
+	if ms >= 100 {
+		return fmt.Sprintf("%.1f", ms)
+	}
+	return fmt.Sprintf("%.2f", ms)
+}
+
+// fig2ShapeNotes summarises who wins each model — the property the paper's
+// Figure 2 demonstrates.
+func fig2ShapeNotes(results []modelResult, mode Mode) []string {
+	winners := map[string]string{}
+	best := map[string]float64{}
+	for _, r := range results {
+		if r.excluded != "" || r.backendName == "darknet-sim" || r.backendName == "tflite-sim" {
+			continue
+		}
+		ms := r.ms(mode)
+		if ms <= 0 {
+			continue
+		}
+		if cur, ok := best[r.model]; !ok || ms < cur {
+			best[r.model] = ms
+			winners[r.model] = r.backendName
+		}
+	}
+	var notes []string
+	for _, m := range zoo.Names() {
+		if w, ok := winners[m]; ok {
+			notes = append(notes, fmt.Sprintf("fastest on %s: %s", m, w))
+		}
+	}
+	return notes
+}
+
+// Fig2Winners maps model name to the fastest of the three main frameworks
+// (used by tests and Table I's derived performance row).
+func Fig2Winners(cfg *Config) (map[string]string, error) {
+	cfg.fill()
+	results, _, err := RunFig2(cfg)
+	if err != nil {
+		return nil, err
+	}
+	winners := map[string]string{}
+	best := map[string]float64{}
+	for _, r := range results {
+		if r.excluded != "" || r.backendName == "darknet-sim" || r.backendName == "tflite-sim" {
+			continue
+		}
+		ms := r.ms(cfg.Mode)
+		if cur, ok := best[r.model]; !ok || ms < cur {
+			best[r.model] = ms
+			winners[r.model] = r.backendName
+		}
+	}
+	return winners, nil
+}

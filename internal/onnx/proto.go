@@ -1,0 +1,682 @@
+// Package onnx reads and writes the subset of the ONNX format that
+// Orpheus needs to exchange models with training frameworks (the paper's
+// "system to parse pre-trained models exported to the ONNX format").
+// Serialisation uses the from-scratch protobuf codec in onnx/wire; no
+// generated code or external dependencies are involved.
+//
+// Supported messages: ModelProto, GraphProto, NodeProto, AttributeProto,
+// TensorProto (float32 and int64), ValueInfoProto and the TypeProto chain,
+// with field numbers from the official onnx.proto3.
+package onnx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"orpheus/internal/onnx/wire"
+)
+
+// Tensor element types (TensorProto.DataType).
+const (
+	TensorFloat = 1
+	TensorInt64 = 7
+)
+
+// Attribute types (AttributeProto.AttributeType).
+const (
+	AttrFloat   = 1
+	AttrInt     = 2
+	AttrString  = 3
+	AttrTensor  = 4
+	AttrFloats  = 6
+	AttrInts    = 7
+	AttrStrings = 8
+)
+
+// Model mirrors ModelProto.
+type Model struct {
+	IRVersion    int64
+	OpsetVersion int64
+	ProducerName string
+	Graph        Graph
+}
+
+// Graph mirrors GraphProto.
+type Graph struct {
+	Name         string
+	Nodes        []Node
+	Initializers []Tensor
+	Inputs       []ValueInfo
+	Outputs      []ValueInfo
+}
+
+// Node mirrors NodeProto.
+type Node struct {
+	Name       string
+	OpType     string
+	Inputs     []string
+	Outputs    []string
+	Attributes []Attribute
+}
+
+// Attr returns the named attribute, or nil.
+func (n *Node) Attr(name string) *Attribute {
+	for i := range n.Attributes {
+		if n.Attributes[i].Name == name {
+			return &n.Attributes[i]
+		}
+	}
+	return nil
+}
+
+// Attribute mirrors AttributeProto (single-value and repeated forms).
+type Attribute struct {
+	Name    string
+	Type    int
+	F       float32
+	I       int64
+	S       string
+	T       *Tensor
+	Floats  []float32
+	Ints    []int64
+	Strings []string
+}
+
+// Tensor mirrors TensorProto. Exactly one of FloatData/Int64Data/RawData
+// is set on write; on read RawData is decoded into the typed fields.
+type Tensor struct {
+	Name      string
+	Dims      []int64
+	DataType  int
+	FloatData []float32
+	Int64Data []int64
+}
+
+// ValueInfo mirrors ValueInfoProto for dense float tensors.
+type ValueInfo struct {
+	Name     string
+	ElemType int
+	Shape    []int64
+}
+
+// --- Encoding ---
+
+// Marshal serialises the model to ONNX bytes.
+func (m *Model) Marshal() []byte {
+	var e wire.Encoder
+	e.Int64(1, m.IRVersion)
+	e.String(2, m.ProducerName)
+	e.Message(7, m.Graph.encode)
+	e.Message(8, func(op *wire.Encoder) {
+		op.String(1, "") // default domain
+		op.Int64(2, m.OpsetVersion)
+	})
+	return e.Encoded()
+}
+
+func (g *Graph) encode(e *wire.Encoder) {
+	for i := range g.Nodes {
+		e.Message(1, g.Nodes[i].encode)
+	}
+	e.String(2, g.Name)
+	for i := range g.Initializers {
+		e.Message(5, g.Initializers[i].encode)
+	}
+	for i := range g.Inputs {
+		e.Message(11, g.Inputs[i].encode)
+	}
+	for i := range g.Outputs {
+		e.Message(12, g.Outputs[i].encode)
+	}
+}
+
+func (n *Node) encode(e *wire.Encoder) {
+	for _, in := range n.Inputs {
+		e.String(1, in)
+	}
+	for _, out := range n.Outputs {
+		e.String(2, out)
+	}
+	e.String(3, n.Name)
+	e.String(4, n.OpType)
+	for i := range n.Attributes {
+		e.Message(5, n.Attributes[i].encode)
+	}
+}
+
+func (a *Attribute) encode(e *wire.Encoder) {
+	e.String(1, a.Name)
+	switch a.Type {
+	case AttrFloat:
+		e.Float32(2, a.F)
+	case AttrInt:
+		e.Int64(3, a.I)
+	case AttrString:
+		e.String(4, a.S)
+	case AttrTensor:
+		e.Message(5, a.T.encode)
+	case AttrFloats:
+		e.PackedFloat32(7, a.Floats)
+	case AttrInts:
+		e.PackedInt64(8, a.Ints)
+	case AttrStrings:
+		for _, s := range a.Strings {
+			e.String(9, s)
+		}
+	}
+	e.Int64(20, int64(a.Type))
+}
+
+func (t *Tensor) encode(e *wire.Encoder) {
+	e.PackedInt64(1, t.Dims)
+	e.Int64(2, int64(t.DataType))
+	e.String(8, t.Name)
+	// Raw little-endian data keeps exporters compatible with common ONNX
+	// producers (PyTorch exports raw_data for float weights).
+	switch t.DataType {
+	case TensorFloat:
+		raw := make([]byte, 4*len(t.FloatData))
+		for i, v := range t.FloatData {
+			binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+		}
+		e.Bytes(9, raw)
+	case TensorInt64:
+		raw := make([]byte, 8*len(t.Int64Data))
+		for i, v := range t.Int64Data {
+			binary.LittleEndian.PutUint64(raw[8*i:], uint64(v))
+		}
+		e.Bytes(9, raw)
+	}
+}
+
+func (v *ValueInfo) encode(e *wire.Encoder) {
+	e.String(1, v.Name)
+	e.Message(2, func(tp *wire.Encoder) {
+		tp.Message(1, func(tt *wire.Encoder) {
+			tt.Int64(1, int64(v.ElemType))
+			tt.Message(2, func(sh *wire.Encoder) {
+				for _, d := range v.Shape {
+					sh.Message(1, func(dim *wire.Encoder) {
+						dim.Int64(1, d)
+					})
+				}
+			})
+		})
+	})
+}
+
+// --- Decoding ---
+
+// Unmarshal parses ONNX bytes into a Model.
+func Unmarshal(data []byte) (*Model, error) {
+	m := &Model{}
+	d := wire.NewDecoder(data)
+	for d.More() {
+		field, wtype, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1:
+			if m.IRVersion, err = d.Int64(); err != nil {
+				return nil, err
+			}
+		case 2:
+			if m.ProducerName, err = d.String(); err != nil {
+				return nil, err
+			}
+		case 7:
+			b, err := d.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.Graph.decode(b); err != nil {
+				return nil, err
+			}
+		case 8:
+			b, err := d.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			ver, err := decodeOpset(b)
+			if err != nil {
+				return nil, err
+			}
+			if ver > m.OpsetVersion {
+				m.OpsetVersion = ver
+			}
+		default:
+			if err := d.Skip(wtype); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+func decodeOpset(b []byte) (int64, error) {
+	d := wire.NewDecoder(b)
+	var ver int64
+	for d.More() {
+		field, wtype, err := d.Next()
+		if err != nil {
+			return 0, err
+		}
+		if field == 2 {
+			if ver, err = d.Int64(); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if err := d.Skip(wtype); err != nil {
+			return 0, err
+		}
+	}
+	return ver, nil
+}
+
+func (g *Graph) decode(b []byte) error {
+	d := wire.NewDecoder(b)
+	for d.More() {
+		field, wtype, err := d.Next()
+		if err != nil {
+			return err
+		}
+		switch field {
+		case 1:
+			nb, err := d.Bytes()
+			if err != nil {
+				return err
+			}
+			var n Node
+			if err := n.decode(nb); err != nil {
+				return err
+			}
+			g.Nodes = append(g.Nodes, n)
+		case 2:
+			if g.Name, err = d.String(); err != nil {
+				return err
+			}
+		case 5:
+			tb, err := d.Bytes()
+			if err != nil {
+				return err
+			}
+			var t Tensor
+			if err := t.decode(tb); err != nil {
+				return err
+			}
+			g.Initializers = append(g.Initializers, t)
+		case 11, 12:
+			vb, err := d.Bytes()
+			if err != nil {
+				return err
+			}
+			var v ValueInfo
+			if err := v.decode(vb); err != nil {
+				return err
+			}
+			if field == 11 {
+				g.Inputs = append(g.Inputs, v)
+			} else {
+				g.Outputs = append(g.Outputs, v)
+			}
+		default:
+			if err := d.Skip(wtype); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (n *Node) decode(b []byte) error {
+	d := wire.NewDecoder(b)
+	for d.More() {
+		field, wtype, err := d.Next()
+		if err != nil {
+			return err
+		}
+		switch field {
+		case 1:
+			s, err := d.String()
+			if err != nil {
+				return err
+			}
+			n.Inputs = append(n.Inputs, s)
+		case 2:
+			s, err := d.String()
+			if err != nil {
+				return err
+			}
+			n.Outputs = append(n.Outputs, s)
+		case 3:
+			if n.Name, err = d.String(); err != nil {
+				return err
+			}
+		case 4:
+			if n.OpType, err = d.String(); err != nil {
+				return err
+			}
+		case 5:
+			ab, err := d.Bytes()
+			if err != nil {
+				return err
+			}
+			var a Attribute
+			if err := a.decode(ab); err != nil {
+				return err
+			}
+			n.Attributes = append(n.Attributes, a)
+		default:
+			if err := d.Skip(wtype); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (a *Attribute) decode(b []byte) error {
+	d := wire.NewDecoder(b)
+	for d.More() {
+		field, wtype, err := d.Next()
+		if err != nil {
+			return err
+		}
+		switch field {
+		case 1:
+			if a.Name, err = d.String(); err != nil {
+				return err
+			}
+		case 2:
+			if a.F, err = d.Float32(); err != nil {
+				return err
+			}
+		case 3:
+			if a.I, err = d.Int64(); err != nil {
+				return err
+			}
+		case 4:
+			if a.S, err = d.String(); err != nil {
+				return err
+			}
+		case 5:
+			tb, err := d.Bytes()
+			if err != nil {
+				return err
+			}
+			a.T = &Tensor{}
+			if err := a.T.decode(tb); err != nil {
+				return err
+			}
+		case 7:
+			if wtype == wire.TypeBytes {
+				if a.Floats, err = d.PackedFloat32(); err != nil {
+					return err
+				}
+			} else {
+				v, err := d.Float32()
+				if err != nil {
+					return err
+				}
+				a.Floats = append(a.Floats, v)
+			}
+		case 8:
+			if wtype == wire.TypeBytes {
+				if a.Ints, err = d.PackedInt64(); err != nil {
+					return err
+				}
+			} else {
+				v, err := d.Int64()
+				if err != nil {
+					return err
+				}
+				a.Ints = append(a.Ints, v)
+			}
+		case 9:
+			s, err := d.String()
+			if err != nil {
+				return err
+			}
+			a.Strings = append(a.Strings, s)
+		case 20:
+			v, err := d.Int64()
+			if err != nil {
+				return err
+			}
+			a.Type = int(v)
+		default:
+			if err := d.Skip(wtype); err != nil {
+				return err
+			}
+		}
+	}
+	if a.Type == 0 {
+		// Tolerate writers that omit the type field by inferring it.
+		switch {
+		case a.T != nil:
+			a.Type = AttrTensor
+		case len(a.Ints) > 0:
+			a.Type = AttrInts
+		case len(a.Floats) > 0:
+			a.Type = AttrFloats
+		case len(a.Strings) > 0:
+			a.Type = AttrStrings
+		case a.S != "":
+			a.Type = AttrString
+		case a.I != 0:
+			a.Type = AttrInt
+		case a.F != 0:
+			a.Type = AttrFloat
+		}
+	}
+	return nil
+}
+
+func (t *Tensor) decode(b []byte) error {
+	d := wire.NewDecoder(b)
+	var raw []byte
+	for d.More() {
+		field, wtype, err := d.Next()
+		if err != nil {
+			return err
+		}
+		switch field {
+		case 1:
+			if wtype == wire.TypeBytes {
+				if t.Dims, err = d.PackedInt64(); err != nil {
+					return err
+				}
+			} else {
+				v, err := d.Int64()
+				if err != nil {
+					return err
+				}
+				t.Dims = append(t.Dims, v)
+			}
+		case 2:
+			v, err := d.Int64()
+			if err != nil {
+				return err
+			}
+			t.DataType = int(v)
+		case 4:
+			if wtype == wire.TypeBytes {
+				if t.FloatData, err = d.PackedFloat32(); err != nil {
+					return err
+				}
+			} else {
+				v, err := d.Float32()
+				if err != nil {
+					return err
+				}
+				t.FloatData = append(t.FloatData, v)
+			}
+		case 7:
+			if wtype == wire.TypeBytes {
+				if t.Int64Data, err = d.PackedInt64(); err != nil {
+					return err
+				}
+			} else {
+				v, err := d.Int64()
+				if err != nil {
+					return err
+				}
+				t.Int64Data = append(t.Int64Data, v)
+			}
+		case 8:
+			if t.Name, err = d.String(); err != nil {
+				return err
+			}
+		case 9:
+			if raw, err = d.Bytes(); err != nil {
+				return err
+			}
+		default:
+			if err := d.Skip(wtype); err != nil {
+				return err
+			}
+		}
+	}
+	if raw != nil {
+		switch t.DataType {
+		case TensorFloat:
+			if len(raw)%4 != 0 {
+				return fmt.Errorf("onnx: raw float tensor %q has %d bytes", t.Name, len(raw))
+			}
+			t.FloatData = make([]float32, len(raw)/4)
+			for i := range t.FloatData {
+				t.FloatData[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+			}
+		case TensorInt64:
+			if len(raw)%8 != 0 {
+				return fmt.Errorf("onnx: raw int64 tensor %q has %d bytes", t.Name, len(raw))
+			}
+			t.Int64Data = make([]int64, len(raw)/8)
+			for i := range t.Int64Data {
+				t.Int64Data[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
+			}
+		default:
+			return fmt.Errorf("onnx: tensor %q has unsupported data type %d", t.Name, t.DataType)
+		}
+	}
+	return nil
+}
+
+func (v *ValueInfo) decode(b []byte) error {
+	d := wire.NewDecoder(b)
+	for d.More() {
+		field, wtype, err := d.Next()
+		if err != nil {
+			return err
+		}
+		switch field {
+		case 1:
+			if v.Name, err = d.String(); err != nil {
+				return err
+			}
+		case 2:
+			tb, err := d.Bytes()
+			if err != nil {
+				return err
+			}
+			if err := v.decodeType(tb); err != nil {
+				return err
+			}
+		default:
+			if err := d.Skip(wtype); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (v *ValueInfo) decodeType(b []byte) error {
+	d := wire.NewDecoder(b)
+	for d.More() {
+		field, wtype, err := d.Next()
+		if err != nil {
+			return err
+		}
+		if field != 1 { // tensor_type
+			if err := d.Skip(wtype); err != nil {
+				return err
+			}
+			continue
+		}
+		tb, err := d.Bytes()
+		if err != nil {
+			return err
+		}
+		td := wire.NewDecoder(tb)
+		for td.More() {
+			tf, twt, err := td.Next()
+			if err != nil {
+				return err
+			}
+			switch tf {
+			case 1:
+				et, err := td.Int64()
+				if err != nil {
+					return err
+				}
+				v.ElemType = int(et)
+			case 2:
+				sb, err := td.Bytes()
+				if err != nil {
+					return err
+				}
+				if err := v.decodeShape(sb); err != nil {
+					return err
+				}
+			default:
+				if err := td.Skip(twt); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (v *ValueInfo) decodeShape(b []byte) error {
+	d := wire.NewDecoder(b)
+	for d.More() {
+		field, wtype, err := d.Next()
+		if err != nil {
+			return err
+		}
+		if field != 1 {
+			if err := d.Skip(wtype); err != nil {
+				return err
+			}
+			continue
+		}
+		db, err := d.Bytes()
+		if err != nil {
+			return err
+		}
+		dd := wire.NewDecoder(db)
+		var dim int64 = -1
+		for dd.More() {
+			df, dwt, err := dd.Next()
+			if err != nil {
+				return err
+			}
+			if df == 1 {
+				if dim, err = dd.Int64(); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := dd.Skip(dwt); err != nil {
+				return err
+			}
+		}
+		v.Shape = append(v.Shape, dim)
+	}
+	return nil
+}

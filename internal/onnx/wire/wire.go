@@ -1,0 +1,255 @@
+// Package wire implements the subset of the protocol-buffers wire format
+// needed to read and write ONNX models: varints, length-delimited fields
+// and 32/64-bit fixed fields. Orpheus is dependency-free, so this codec is
+// written from scratch against the official encoding specification.
+//
+// Wire types: 0 = varint, 1 = 64-bit, 2 = length-delimited, 5 = 32-bit.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire types per the protobuf encoding spec.
+const (
+	TypeVarint = 0
+	TypeI64    = 1
+	TypeBytes  = 2
+	TypeI32    = 5
+)
+
+// Encoder appends protobuf-encoded fields to a buffer. The zero value is
+// ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Encoded returns the encoded buffer.
+func (e *Encoder) Encoded() []byte { return e.buf }
+
+// Len returns the current encoded length.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+func (e *Encoder) tag(field, wtype int) {
+	e.varint(uint64(field)<<3 | uint64(wtype))
+}
+
+func (e *Encoder) varint(v uint64) {
+	for v >= 0x80 {
+		e.buf = append(e.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	e.buf = append(e.buf, byte(v))
+}
+
+// Varint emits a varint field. Negative int64 values must go through
+// Int64, which encodes them as 10-byte two's-complement varints.
+func (e *Encoder) Varint(field int, v uint64) {
+	e.tag(field, TypeVarint)
+	e.varint(v)
+}
+
+// Int64 emits an int64 varint field (two's complement, as protobuf int64).
+func (e *Encoder) Int64(field int, v int64) {
+	e.Varint(field, uint64(v))
+}
+
+// Float32 emits a 32-bit float field.
+func (e *Encoder) Float32(field int, v float32) {
+	e.tag(field, TypeI32)
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+	e.buf = append(e.buf, b[:]...)
+}
+
+// Bytes emits a length-delimited field.
+func (e *Encoder) Bytes(field int, b []byte) {
+	e.tag(field, TypeBytes)
+	e.varint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String emits a string field.
+func (e *Encoder) String(field int, s string) {
+	e.tag(field, TypeBytes)
+	e.varint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Message emits an embedded message field built by fn.
+func (e *Encoder) Message(field int, fn func(*Encoder)) {
+	var sub Encoder
+	fn(&sub)
+	e.Bytes(field, sub.buf)
+}
+
+// PackedFloat32 emits a packed repeated float field.
+func (e *Encoder) PackedFloat32(field int, vs []float32) {
+	e.tag(field, TypeBytes)
+	e.varint(uint64(4 * len(vs)))
+	var b [4]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+		e.buf = append(e.buf, b[:]...)
+	}
+}
+
+// PackedInt64 emits a packed repeated int64 field.
+func (e *Encoder) PackedInt64(field int, vs []int64) {
+	var sub Encoder
+	for _, v := range vs {
+		sub.varint(uint64(v))
+	}
+	e.Bytes(field, sub.buf)
+}
+
+// Decoder reads protobuf fields sequentially from a buffer.
+type Decoder struct {
+	buf []byte
+	pos int
+}
+
+// NewDecoder wraps buf for decoding.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// More reports whether any bytes remain.
+func (d *Decoder) More() bool { return d.pos < len(d.buf) }
+
+// Next reads the next field tag, returning field number and wire type.
+func (d *Decoder) Next() (field, wtype int, err error) {
+	tag, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	field = int(tag >> 3)
+	wtype = int(tag & 7)
+	if field == 0 {
+		return 0, 0, fmt.Errorf("wire: invalid field number 0 at offset %d", d.pos)
+	}
+	return field, wtype, nil
+}
+
+func (d *Decoder) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if d.pos >= len(d.buf) {
+			return 0, fmt.Errorf("wire: truncated varint at offset %d", d.pos)
+		}
+		b := d.buf[d.pos]
+		d.pos++
+		if shift == 63 && b > 1 {
+			return 0, fmt.Errorf("wire: varint overflows 64 bits at offset %d", d.pos)
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, fmt.Errorf("wire: varint too long at offset %d", d.pos)
+		}
+	}
+}
+
+// Varint reads a varint payload.
+func (d *Decoder) Varint() (uint64, error) { return d.varint() }
+
+// Int64 reads a varint as int64.
+func (d *Decoder) Int64() (int64, error) {
+	v, err := d.varint()
+	return int64(v), err
+}
+
+// Float32 reads a 32-bit float payload.
+func (d *Decoder) Float32() (float32, error) {
+	if d.pos+4 > len(d.buf) {
+		return 0, fmt.Errorf("wire: truncated fixed32 at offset %d", d.pos)
+	}
+	v := math.Float32frombits(binary.LittleEndian.Uint32(d.buf[d.pos:]))
+	d.pos += 4
+	return v, nil
+}
+
+// Bytes reads a length-delimited payload. The returned slice aliases the
+// input buffer.
+func (d *Decoder) Bytes() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(d.buf)-d.pos) < n {
+		return nil, fmt.Errorf("wire: length-delimited field of %d bytes exceeds remaining %d", n, len(d.buf)-d.pos)
+	}
+	b := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
+}
+
+// String reads a length-delimited payload as a string.
+func (d *Decoder) String() (string, error) {
+	b, err := d.Bytes()
+	return string(b), err
+}
+
+// Skip discards a payload of the given wire type.
+func (d *Decoder) Skip(wtype int) error {
+	switch wtype {
+	case TypeVarint:
+		_, err := d.varint()
+		return err
+	case TypeI64:
+		if d.pos+8 > len(d.buf) {
+			return fmt.Errorf("wire: truncated fixed64 at offset %d", d.pos)
+		}
+		d.pos += 8
+		return nil
+	case TypeBytes:
+		_, err := d.Bytes()
+		return err
+	case TypeI32:
+		if d.pos+4 > len(d.buf) {
+			return fmt.Errorf("wire: truncated fixed32 at offset %d", d.pos)
+		}
+		d.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("wire: unsupported wire type %d", wtype)
+	}
+}
+
+// PackedFloat32 decodes a packed float payload.
+func (d *Decoder) PackedFloat32() ([]float32, error) {
+	b, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("wire: packed float payload of %d bytes not a multiple of 4", len(b))
+	}
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}
+
+// PackedInt64 decodes a packed int64 payload.
+func (d *Decoder) PackedInt64() ([]int64, error) {
+	b, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	sub := NewDecoder(b)
+	var out []int64
+	for sub.More() {
+		v, err := sub.varint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, int64(v))
+	}
+	return out, nil
+}

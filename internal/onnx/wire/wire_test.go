@@ -1,0 +1,217 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarintRoundTrip(t *testing.T) {
+	f := func(v uint64, field uint8) bool {
+		fd := int(field%100) + 1
+		var e Encoder
+		e.Varint(fd, v)
+		d := NewDecoder(e.Encoded())
+		gotF, wt, err := d.Next()
+		if err != nil || gotF != fd || wt != TypeVarint {
+			return false
+		}
+		got, err := d.Varint()
+		return err == nil && got == v && !d.More()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64NegativeRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, -1, 1, math.MinInt64, math.MaxInt64, -123456789} {
+		var e Encoder
+		e.Int64(3, v)
+		d := NewDecoder(e.Encoded())
+		if _, _, err := d.Next(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Int64()
+		if err != nil || got != v {
+			t.Fatalf("Int64(%d) round-trip = %d, %v", v, got, err)
+		}
+	}
+}
+
+func TestFloat32RoundTrip(t *testing.T) {
+	f := func(v float32) bool {
+		var e Encoder
+		e.Float32(2, v)
+		d := NewDecoder(e.Encoded())
+		_, wt, err := d.Next()
+		if err != nil || wt != TypeI32 {
+			return false
+		}
+		got, err := d.Float32()
+		if err != nil {
+			return false
+		}
+		return got == v || (math.IsNaN(float64(got)) && math.IsNaN(float64(v)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringBytesRoundTrip(t *testing.T) {
+	var e Encoder
+	e.String(1, "hello")
+	e.Bytes(2, []byte{0, 1, 255})
+	d := NewDecoder(e.Encoded())
+	if _, _, err := d.Next(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.String()
+	if err != nil || s != "hello" {
+		t.Fatalf("string = %q, %v", s, err)
+	}
+	if _, _, err := d.Next(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Bytes()
+	if err != nil || len(b) != 3 || b[2] != 255 {
+		t.Fatalf("bytes = %v, %v", b, err)
+	}
+}
+
+func TestEmbeddedMessage(t *testing.T) {
+	var e Encoder
+	e.Message(7, func(sub *Encoder) {
+		sub.Varint(1, 42)
+		sub.String(2, "inner")
+	})
+	d := NewDecoder(e.Encoded())
+	field, wt, err := d.Next()
+	if err != nil || field != 7 || wt != TypeBytes {
+		t.Fatalf("outer tag: %d %d %v", field, wt, err)
+	}
+	inner, err := d.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := NewDecoder(inner)
+	if _, _, err := sub.Next(); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := sub.Varint()
+	if v != 42 {
+		t.Fatalf("inner varint = %d", v)
+	}
+}
+
+func TestPackedFloat32RoundTrip(t *testing.T) {
+	vs := []float32{1.5, -2.25, 0, float32(math.Pi)}
+	var e Encoder
+	e.PackedFloat32(4, vs)
+	d := NewDecoder(e.Encoded())
+	if _, _, err := d.Next(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.PackedFloat32()
+	if err != nil || len(got) != len(vs) {
+		t.Fatalf("packed floats: %v %v", got, err)
+	}
+	for i := range vs {
+		if got[i] != vs[i] {
+			t.Fatalf("packed[%d] = %v, want %v", i, got[i], vs[i])
+		}
+	}
+}
+
+func TestPackedInt64RoundTrip(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		vs := []int64{a, b, c}
+		var e Encoder
+		e.PackedInt64(1, vs)
+		d := NewDecoder(e.Encoded())
+		if _, _, err := d.Next(); err != nil {
+			return false
+		}
+		got, err := d.PackedInt64()
+		if err != nil || len(got) != 3 {
+			return false
+		}
+		return got[0] == a && got[1] == b && got[2] == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipAllTypes(t *testing.T) {
+	var e Encoder
+	e.Varint(1, 5)
+	e.Float32(2, 1.0)
+	e.String(3, "skip me")
+	e.Varint(4, 99)
+	d := NewDecoder(e.Encoded())
+	for i := 0; i < 3; i++ {
+		_, wt, err := d.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Skip(wt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	field, _, err := d.Next()
+	if err != nil || field != 4 {
+		t.Fatalf("after skips: field %d, %v", field, err)
+	}
+	v, _ := d.Varint()
+	if v != 99 {
+		t.Fatalf("final varint = %d", v)
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	// Truncated varint.
+	d := NewDecoder([]byte{0x80})
+	if _, err := d.Varint(); err == nil {
+		t.Fatal("truncated varint not detected")
+	}
+	// Length-delimited longer than buffer.
+	var e Encoder
+	e.tag(1, TypeBytes)
+	e.varint(100)
+	d = NewDecoder(e.Encoded())
+	_, _, _ = d.Next()
+	if _, err := d.Bytes(); err == nil {
+		t.Fatal("oversized length not detected")
+	}
+	// Field number 0 invalid.
+	d = NewDecoder([]byte{0x00})
+	if _, _, err := d.Next(); err == nil {
+		t.Fatal("field 0 not rejected")
+	}
+	// Truncated fixed32.
+	d = NewDecoder([]byte{0x15, 0x01})
+	_, _, _ = d.Next()
+	if _, err := d.Float32(); err == nil {
+		t.Fatal("truncated fixed32 not detected")
+	}
+	// Unsupported wire type in Skip (3 = start-group).
+	d = NewDecoder(nil)
+	if err := d.Skip(3); err == nil {
+		t.Fatal("group wire type should be unsupported")
+	}
+}
+
+func TestVarintBoundary(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 16383, 16384, math.MaxUint64} {
+		var e Encoder
+		e.Varint(1, v)
+		d := NewDecoder(e.Encoded())
+		_, _, _ = d.Next()
+		got, err := d.Varint()
+		if err != nil || got != v {
+			t.Fatalf("varint %d -> %d, %v", v, got, err)
+		}
+	}
+}

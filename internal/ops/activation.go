@@ -1,0 +1,66 @@
+package ops
+
+import (
+	"math"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// Elementwise activations. Each is also available fused into Conv/Dense via
+// the "activation" attribute (set by the fusion pass); the standalone
+// kernels below serve unfused graphs.
+func init() {
+	Register(NewKernel("relu.direct", "Relu", nil, runRelu))
+	Register(NewKernel("relu6.direct", "Relu6", nil, runRelu6))
+	Register(NewKernel("leakyrelu.direct", "LeakyRelu", nil, runLeakyRelu))
+	Register(NewKernel("sigmoid.direct", "Sigmoid", nil, runSigmoid))
+}
+
+func runRelu(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	x, y := in[0].Data(), out[0].Data()
+	for i, v := range x {
+		if v < 0 {
+			y[i] = 0
+		} else {
+			y[i] = v
+		}
+	}
+	return nil
+}
+
+func runRelu6(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	x, y := in[0].Data(), out[0].Data()
+	for i, v := range x {
+		switch {
+		case v < 0:
+			y[i] = 0
+		case v > 6:
+			y[i] = 6
+		default:
+			y[i] = v
+		}
+	}
+	return nil
+}
+
+func runLeakyRelu(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	alpha := float32(n.Attrs.Float("alpha", 0.01))
+	x, y := in[0].Data(), out[0].Data()
+	for i, v := range x {
+		if v < 0 {
+			y[i] = alpha * v
+		} else {
+			y[i] = v
+		}
+	}
+	return nil
+}
+
+func runSigmoid(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	x, y := in[0].Data(), out[0].Data()
+	for i, v := range x {
+		y[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package ops
+
+import (
+	"orpheus/internal/gemm"
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// Depthwise convolution kernels. MobileNetV1's performance hinges on how a
+// framework executes groups == Cin convolutions:
+//
+//   - conv.depthwise: a dedicated per-channel direct loop — the efficient
+//     path Orpheus uses.
+//   - conv.group_im2col: the pathological treatment the paper blames for
+//     PyTorch's MobileNetV1 collapse — every group (one channel!) gets its
+//     own im2col unfold plus a 1-row GEMM, so per-call overhead dominates.
+func init() {
+	Register(NewKernel("conv.depthwise", "Conv", supportsDepthwise, runConvDepthwise))
+	Register(NewKernel("conv.group_im2col", "Conv", supportsGroupIm2col, runConvGroupIm2col))
+}
+
+func supportsDepthwise(n *graph.Node) bool {
+	p, err := resolveConv(n)
+	if err != nil {
+		return false
+	}
+	return p.isDepthwise()
+}
+
+func runConvDepthwise(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	p, err := resolveConv(n)
+	if err != nil {
+		return err
+	}
+	x := in[0].Data()
+	w := in[1].Data() // [c][1][kh][kw]
+	var bias []float32
+	if p.hasBias {
+		bias = in[2].Data()
+	}
+	y := out[0].Data()
+
+	for b := 0; b < p.n; b++ {
+		for c := 0; c < p.cin; c++ {
+			src := x[(b*p.cin+c)*p.h*p.w:]
+			dst := y[(b*p.cin+c)*p.oh*p.ow:]
+			wc := w[c*p.kh*p.kw : (c+1)*p.kh*p.kw]
+			var bv float32
+			if bias != nil {
+				bv = bias[c]
+			}
+			for oy := 0; oy < p.oh; oy++ {
+				iy0 := oy*p.sh - p.padT
+				for ox := 0; ox < p.ow; ox++ {
+					ix0 := ox*p.sw - p.padL
+					acc := bv
+					for ky := 0; ky < p.kh; ky++ {
+						iy := iy0 + ky*p.dh
+						if iy < 0 || iy >= p.h {
+							continue
+						}
+						rowW := wc[ky*p.kw:]
+						rowX := src[iy*p.w:]
+						for kx := 0; kx < p.kw; kx++ {
+							ix := ix0 + kx*p.dw
+							if ix < 0 || ix >= p.w {
+								continue
+							}
+							acc += rowX[ix] * rowW[kx]
+						}
+					}
+					dst[oy*p.ow+ox] = acc
+				}
+			}
+		}
+	}
+	applyActivation(y, p.activation, p.alpha)
+	return nil
+}
+
+func supportsGroupIm2col(n *graph.Node) bool {
+	p, err := resolveConv(n)
+	if err != nil {
+		return false
+	}
+	return p.groups > 1
+}
+
+// runConvGroupIm2col deliberately mirrors a generic grouped-conv lowering:
+// per batch and per group it allocates (when scratch reuse is off) and
+// fills an unfold buffer, then performs a tiny naive GEMM. Correct, but
+// with per-channel overhead — the behaviour Figure 2 shows for PyTorch on
+// MobileNetV1.
+func runConvGroupIm2col(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	return convIm2colPerGroupNaive(ctx, n, in, out)
+}
+
+func convIm2colPerGroupNaive(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	p, err := resolveConv(n)
+	if err != nil {
+		return err
+	}
+	x := in[0].Data()
+	w := in[1].Data()
+	var bias []float32
+	if p.hasBias {
+		bias = in[2].Data()
+	}
+	y := out[0].Data()
+
+	cinG := p.cin / p.groups
+	coutG := p.cout / p.groups
+	kdim := cinG * p.kh * p.kw
+	cols := p.oh * p.ow
+	for b := 0; b < p.n; b++ {
+		for g := 0; g < p.groups; g++ {
+			// A fresh unfold per (batch, group): the overhead under study.
+			colBuf := ctx.Scratch("conv.group_im2col:"+n.Name, kdim*cols)
+			src := x[(b*p.cin+g*cinG)*p.h*p.w:]
+			tensor.Im2ColInto(colBuf, src, 1, cinG, p.h, p.w,
+				p.kh, p.kw, p.sh, p.sw, p.padT, p.padL, p.dh, p.dw, p.oh, p.ow)
+			wg := w[g*coutG*kdim : (g+1)*coutG*kdim]
+			dst := y[(b*p.cout+g*coutG)*cols : (b*p.cout+(g+1)*coutG)*cols]
+			gemm.Naive(wg, colBuf, dst, coutG, cols, kdim)
+		}
+	}
+	if bias != nil {
+		addBiasNCHW(y, bias, p.n, p.cout, cols)
+	}
+	applyActivation(y, p.activation, p.alpha)
+	return nil
+}

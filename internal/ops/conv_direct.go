@@ -1,0 +1,69 @@
+package ops
+
+import (
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// conv.direct — the textbook seven-loop convolution. It supports every
+// attribute combination (groups, dilation, asymmetric padding) and is the
+// correctness reference for all other conv kernels. DarkNet-style
+// frameworks run convolution this way, which is why the darknet-sim
+// backend selects it.
+func init() {
+	RegisterReference(NewKernel("conv.direct", "Conv", nil, runConvDirect))
+}
+
+func runConvDirect(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	p, err := resolveConv(n)
+	if err != nil {
+		return err
+	}
+	x := in[0].Data()
+	w := in[1].Data()
+	var bias []float32
+	if p.hasBias {
+		bias = in[2].Data()
+	}
+	y := out[0].Data()
+
+	cinG := p.cin / p.groups
+	coutG := p.cout / p.groups
+	for b := 0; b < p.n; b++ {
+		for g := 0; g < p.groups; g++ {
+			for ocg := 0; ocg < coutG; ocg++ {
+				oc := g*coutG + ocg
+				var bv float32
+				if bias != nil {
+					bv = bias[oc]
+				}
+				for oy := 0; oy < p.oh; oy++ {
+					for ox := 0; ox < p.ow; ox++ {
+						acc := bv
+						for icg := 0; icg < cinG; icg++ {
+							ic := g*cinG + icg
+							for ky := 0; ky < p.kh; ky++ {
+								iy := oy*p.sh - p.padT + ky*p.dh
+								if iy < 0 || iy >= p.h {
+									continue
+								}
+								for kx := 0; kx < p.kw; kx++ {
+									ix := ox*p.sw - p.padL + kx*p.dw
+									if ix < 0 || ix >= p.w {
+										continue
+									}
+									xv := x[((b*p.cin+ic)*p.h+iy)*p.w+ix]
+									wv := w[((oc*cinG+icg)*p.kh+ky)*p.kw+kx]
+									acc += xv * wv
+								}
+							}
+						}
+						y[((b*p.cout+oc)*p.oh+oy)*p.ow+ox] = acc
+					}
+				}
+			}
+		}
+	}
+	applyActivation(y, p.activation, p.alpha)
+	return nil
+}

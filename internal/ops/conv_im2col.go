@@ -1,0 +1,105 @@
+package ops
+
+import (
+	"orpheus/internal/gemm"
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// conv.im2col — GEMM convolution. The input is unfolded into a column
+// matrix (im2col) and multiplied by the reshaped weight matrix with the
+// packed GEMM. This is the Orpheus production path: the paper notes
+// "Orpheus uses GEMM convolution, which pays off for big matrices".
+//
+// Groups are handled per (batch, group) block; a pure depthwise conv is
+// better served by conv.depthwise (this kernel still computes it
+// correctly, just slowly).
+func init() {
+	Register(NewKernel("conv.im2col", "Conv", nil, runConvIm2col))
+}
+
+func runConvIm2col(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	return convIm2col(ctx, n, in, out, false)
+}
+
+// convIm2col implements both conv.im2col (parallel=false honours
+// ctx.Workers through gemm.Parallel) and the per-group path reused by
+// conv.group_im2col.
+func convIm2col(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor, forceNaiveGemm bool) error {
+	p, err := resolveConv(n)
+	if err != nil {
+		return err
+	}
+	x := in[0].Data()
+	w := in[1].Data()
+	var bias []float32
+	if p.hasBias {
+		bias = in[2].Data()
+	}
+	y := out[0].Data()
+
+	cinG := p.cin / p.groups
+	coutG := p.cout / p.groups
+	kdim := cinG * p.kh * p.kw
+	cols := p.oh * p.ow
+
+	// Pointwise fast path: a 1x1 stride-1 unpadded convolution is exactly
+	// C[cout×HW] = W[cout×cin] · X[cin×HW]; the unfold would be a copy.
+	if p.kh == 1 && p.kw == 1 && p.sh == 1 && p.sw == 1 && p.dh == 1 && p.dw == 1 &&
+		p.padT == 0 && p.padL == 0 && p.padB == 0 && p.padR == 0 && p.groups == 1 && !forceNaiveGemm {
+		for b := 0; b < p.n; b++ {
+			src := x[b*p.cin*cols : (b+1)*p.cin*cols]
+			dst := y[b*p.cout*cols : (b+1)*p.cout*cols]
+			if ctx.Workers > 1 {
+				gemm.Parallel(w, src, dst, p.cout, cols, p.cin, ctx.Workers)
+			} else {
+				ctx.Gemm.Packed(w, src, dst, p.cout, cols, p.cin)
+			}
+		}
+		if bias != nil {
+			addBiasNCHW(y, bias, p.n, p.cout, cols)
+		}
+		applyActivation(y, p.activation, p.alpha)
+		return nil
+	}
+
+	colBuf := ctx.Scratch("conv.im2col:"+n.Name, kdim*cols)
+
+	for b := 0; b < p.n; b++ {
+		for g := 0; g < p.groups; g++ {
+			// The group's input channels are contiguous within one batch
+			// image: offset (b*cin + g*cinG)*h*w.
+			src := x[(b*p.cin+g*cinG)*p.h*p.w:]
+			tensor.Im2ColInto(colBuf, src, 1, cinG, p.h, p.w,
+				p.kh, p.kw, p.sh, p.sw, p.padT, p.padL, p.dh, p.dw, p.oh, p.ow)
+			// Weight rows for this group are contiguous: [coutG, kdim].
+			wg := w[g*coutG*kdim : (g+1)*coutG*kdim]
+			dst := y[(b*p.cout+g*coutG)*cols : (b*p.cout+(g+1)*coutG)*cols]
+			if forceNaiveGemm {
+				gemm.Naive(wg, colBuf, dst, coutG, cols, kdim)
+			} else if ctx.Workers > 1 {
+				gemm.Parallel(wg, colBuf, dst, coutG, cols, kdim, ctx.Workers)
+			} else {
+				ctx.Gemm.Packed(wg, colBuf, dst, coutG, cols, kdim)
+			}
+		}
+	}
+	if bias != nil {
+		addBiasNCHW(y, bias, p.n, p.cout, cols)
+	}
+	applyActivation(y, p.activation, p.alpha)
+	return nil
+}
+
+// addBiasNCHW adds bias[c] to every spatial element of channel c.
+func addBiasNCHW(y, bias []float32, n, c, spatial int) {
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			bv := bias[ch]
+			row := y[(b*c+ch)*spatial : (b*c+ch+1)*spatial]
+			for i := range row {
+				row[i] += bv
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package ops
+
+import (
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// conv.spatialpack — spatial-pack convolution in the style of TVM's ARM
+// CPU schedule, which the paper credits for TVM's wins on small models.
+//
+// Instead of materialising the full im2col matrix, the output is processed
+// in small spatial tiles. For each tile the receptive fields are gathered
+// once into an L1-resident patch buffer, then all output channels are
+// accumulated over it with an unrolled inner loop. The working set stays
+// in cache, so small layers (small channel counts / spatial dims) avoid
+// the packing and memory traffic that full GEMM pays; on large layers the
+// repeated weight traversal per tile loses to packed GEMM. That asymmetry
+// is exactly the crossover Figure 2 of the paper shows.
+func init() {
+	Register(NewKernel("conv.spatialpack", "Conv", supportsSpatialPack, runConvSpatialPack))
+}
+
+func supportsSpatialPack(n *graph.Node) bool {
+	p, err := resolveConv(n)
+	if err != nil {
+		return false
+	}
+	return p.groups == 1 && p.dh == 1 && p.dw == 1
+}
+
+// Tile geometry: 32 output pixels per tile keeps patch buffers within L1
+// for typical kernel sizes.
+const spTile = 32
+
+func runConvSpatialPack(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	p, err := resolveConv(n)
+	if err != nil {
+		return err
+	}
+	x := in[0].Data()
+	w := in[1].Data() // [cout][cin*kh*kw], rows contiguous
+	var bias []float32
+	if p.hasBias {
+		bias = in[2].Data()
+	}
+	y := out[0].Data()
+
+	kdim := p.cin * p.kh * p.kw
+	patch := ctx.Scratch("conv.spatialpack:"+n.Name, kdim*spTile)
+	spatial := p.oh * p.ow
+
+	for b := 0; b < p.n; b++ {
+		xb := x[b*p.cin*p.h*p.w:]
+		yb := y[b*p.cout*spatial:]
+		for t0 := 0; t0 < spatial; t0 += spTile {
+			tn := spatial - t0
+			if tn > spTile {
+				tn = spTile
+			}
+			// Gather: patch[kd][t] = input value feeding output pixel t0+t
+			// through weight element kd.
+			for ic := 0; ic < p.cin; ic++ {
+				plane := xb[ic*p.h*p.w:]
+				for ky := 0; ky < p.kh; ky++ {
+					for kx := 0; kx < p.kw; kx++ {
+						kd := (ic*p.kh+ky)*p.kw + kx
+						row := patch[kd*spTile : kd*spTile+spTile]
+						for t := 0; t < tn; t++ {
+							op := t0 + t
+							oy := op / p.ow
+							ox := op % p.ow
+							iy := oy*p.sh - p.padT + ky
+							ix := ox*p.sw - p.padL + kx
+							if iy < 0 || iy >= p.h || ix < 0 || ix >= p.w {
+								row[t] = 0
+							} else {
+								row[t] = plane[iy*p.w+ix]
+							}
+						}
+						for t := tn; t < spTile; t++ {
+							row[t] = 0
+						}
+					}
+				}
+			}
+			// Accumulate all output channels over the packed patch.
+			for oc := 0; oc < p.cout; oc++ {
+				var acc [spTile]float32
+				wRow := w[oc*kdim : (oc+1)*kdim]
+				for kd, wv := range wRow {
+					if wv == 0 {
+						continue
+					}
+					row := patch[kd*spTile : kd*spTile+spTile : kd*spTile+spTile]
+					acc[0] += wv * row[0]
+					acc[1] += wv * row[1]
+					acc[2] += wv * row[2]
+					acc[3] += wv * row[3]
+					acc[4] += wv * row[4]
+					acc[5] += wv * row[5]
+					acc[6] += wv * row[6]
+					acc[7] += wv * row[7]
+					acc[8] += wv * row[8]
+					acc[9] += wv * row[9]
+					acc[10] += wv * row[10]
+					acc[11] += wv * row[11]
+					acc[12] += wv * row[12]
+					acc[13] += wv * row[13]
+					acc[14] += wv * row[14]
+					acc[15] += wv * row[15]
+					acc[16] += wv * row[16]
+					acc[17] += wv * row[17]
+					acc[18] += wv * row[18]
+					acc[19] += wv * row[19]
+					acc[20] += wv * row[20]
+					acc[21] += wv * row[21]
+					acc[22] += wv * row[22]
+					acc[23] += wv * row[23]
+					acc[24] += wv * row[24]
+					acc[25] += wv * row[25]
+					acc[26] += wv * row[26]
+					acc[27] += wv * row[27]
+					acc[28] += wv * row[28]
+					acc[29] += wv * row[29]
+					acc[30] += wv * row[30]
+					acc[31] += wv * row[31]
+				}
+				var bv float32
+				if bias != nil {
+					bv = bias[oc]
+				}
+				dst := yb[oc*spatial+t0:]
+				for t := 0; t < tn; t++ {
+					dst[t] = acc[t] + bv
+				}
+			}
+		}
+	}
+	applyActivation(y, p.activation, p.alpha)
+	return nil
+}

@@ -1,0 +1,267 @@
+package ops
+
+import (
+	"testing"
+	"testing/quick"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+func TestConvDirectKnownValues(t *testing.T) {
+	// 1x1x3x3 input, single 2x2 all-ones kernel, no pad, stride 1:
+	// each output is the sum of a 2x2 window.
+	x := tensor.FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 1, 3, 3)
+	w := tensor.Full(1, 1, 1, 2, 2)
+	out := runKernel(t, "conv.direct", "Conv", graph.Attrs{}, x, w)
+	want := []float32{12, 16, 24, 28}
+	if !tensor.ShapeEq(out.Shape(), []int{1, 1, 2, 2}) {
+		t.Fatalf("shape = %v", out.Shape())
+	}
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestConvDirectIdentityKernel(t *testing.T) {
+	// A centred 3x3 delta kernel with pad 1 reproduces the input.
+	r := tensor.NewRNG(1)
+	x := tensor.Rand(r, -1, 1, 1, 1, 5, 5)
+	w := tensor.New(1, 1, 3, 3)
+	w.Set(1, 0, 0, 1, 1)
+	out := runKernel(t, "conv.direct", "Conv",
+		graph.Attrs{"pads": []int{1, 1, 1, 1}}, x, w)
+	if tensor.MaxAbsDiff(out, x) != 0 {
+		t.Fatal("delta-kernel conv should be identity")
+	}
+}
+
+func TestConvBias(t *testing.T) {
+	x := tensor.Full(0, 1, 1, 3, 3)
+	w := tensor.Full(1, 2, 1, 1, 1)
+	b := tensor.FromSlice([]float32{1.5, -2}, 2)
+	out := runKernel(t, "conv.direct", "Conv", graph.Attrs{}, x, w, b)
+	if out.At(0, 0, 1, 1) != 1.5 || out.At(0, 1, 2, 2) != -2 {
+		t.Fatalf("bias not applied: %v", out.Data())
+	}
+}
+
+func TestConvFusedActivations(t *testing.T) {
+	x := tensor.FromSlice([]float32{-2, 8}, 1, 1, 1, 2)
+	w := tensor.Full(1, 1, 1, 1, 1)
+	for _, k := range []string{"conv.direct", "conv.im2col", "conv.spatialpack"} {
+		relu := runKernel(t, k, "Conv", graph.Attrs{"activation": "relu"}, x, w)
+		if relu.At(0, 0, 0, 0) != 0 || relu.At(0, 0, 0, 1) != 8 {
+			t.Fatalf("%s relu wrong: %v", k, relu.Data())
+		}
+		relu6 := runKernel(t, k, "Conv", graph.Attrs{"activation": "relu6"}, x, w)
+		if relu6.At(0, 0, 0, 0) != 0 || relu6.At(0, 0, 0, 1) != 6 {
+			t.Fatalf("%s relu6 wrong: %v", k, relu6.Data())
+		}
+		leaky := runKernel(t, k, "Conv", graph.Attrs{"activation": "leakyrelu", "alpha": 0.1}, x, w)
+		if !tensor.AllClose(leaky, tensor.FromSlice([]float32{-0.2, 8}, 1, 1, 1, 2), 1e-6) {
+			t.Fatalf("%s leakyrelu wrong: %v", k, leaky.Data())
+		}
+	}
+}
+
+// TestConvKernelEquivalence is the heart of the operator test suite: every
+// conv algorithm must agree with the direct reference on every geometry it
+// claims to support.
+func TestConvKernelEquivalence(t *testing.T) {
+	algos := []string{"conv.im2col", "conv.spatialpack", "conv.winograd", "conv.depthwise", "conv.group_im2col"}
+	for _, tc := range convMatrix {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			inputs := tc.tensors(tensor.SeedFromString(tc.name))
+			ref := runKernel(t, "conv.direct", "Conv", tc.attrs(), inputs...)
+			n := buildNode(t, "Conv", tc.attrs(), inputs...)
+			for _, name := range algos {
+				k := ByName(name)
+				if !k.Supports(n) {
+					continue
+				}
+				got := runKernel(t, name, "Conv", tc.attrs(), inputs...)
+				if !tensor.AllClose(got, ref, tensor.DefaultTolerance) {
+					t.Errorf("%s diverges from conv.direct on %s: max diff %g",
+						name, tc.name, tensor.MaxAbsDiff(got, ref))
+				}
+			}
+		})
+	}
+}
+
+func TestConvKernelSupportMatrix(t *testing.T) {
+	dwCase := convMatrix[8] // depthwise
+	n := buildNode(t, "Conv", dwCase.attrs(), dwCase.tensors(1)...)
+	if !ByName("conv.depthwise").Supports(n) {
+		t.Fatal("conv.depthwise should support depthwise node")
+	}
+	if ByName("conv.spatialpack").Supports(n) {
+		t.Fatal("conv.spatialpack should reject grouped conv")
+	}
+	if ByName("conv.winograd").Supports(n) {
+		t.Fatal("conv.winograd should reject grouped conv")
+	}
+
+	plain := convMatrix[1] // 3x3 pad1 stride1
+	n = buildNode(t, "Conv", plain.attrs(), plain.tensors(2)...)
+	if !ByName("conv.winograd").Supports(n) {
+		t.Fatal("conv.winograd should support 3x3 s1 conv")
+	}
+	if ByName("conv.depthwise").Supports(n) {
+		t.Fatal("conv.depthwise should reject dense conv")
+	}
+	if ByName("conv.group_im2col").Supports(n) {
+		t.Fatal("conv.group_im2col should reject ungrouped conv")
+	}
+
+	strided := convMatrix[2]
+	n = buildNode(t, "Conv", strided.attrs(), strided.tensors(3)...)
+	if ByName("conv.winograd").Supports(n) {
+		t.Fatal("conv.winograd should reject stride-2 conv")
+	}
+}
+
+func TestPropConvIm2colMatchesDirect(t *testing.T) {
+	f := func(seed uint64, chb, cob, kb, sb, pb uint8) bool {
+		cin := int(chb%4) + 1
+		cout := int(cob%4) + 1
+		k := []int{1, 3, 5}[kb%3]
+		s := int(sb%2) + 1
+		pad := int(pb % 2)
+		h := 8
+		if h+2*pad < k {
+			return true
+		}
+		tc := convCase{n: 1, cin: cin, h: h, w: h, cout: cout, kh: k, kw: k,
+			sh: s, sw: s, padT: pad, padL: pad, padB: pad, padR: pad, dh: 1, dw: 1, groups: 1}
+		inputs := tc.tensors(seed)
+		ref := runKernel(t, "conv.direct", "Conv", tc.attrs(), inputs...)
+		got := runKernel(t, "conv.im2col", "Conv", tc.attrs(), inputs...)
+		return tensor.AllClose(got, ref, tensor.DefaultTolerance)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropConvSpatialPackMatchesDirect(t *testing.T) {
+	f := func(seed uint64, chb, cob, kb uint8) bool {
+		cin := int(chb%5) + 1
+		cout := int(cob%5) + 1
+		k := []int{1, 3}[kb%2]
+		pad := k / 2
+		tc := convCase{n: 1, cin: cin, h: 7, w: 9, cout: cout, kh: k, kw: k,
+			sh: 1, sw: 1, padT: pad, padL: pad, padB: pad, padR: pad, dh: 1, dw: 1, groups: 1}
+		inputs := tc.tensors(seed)
+		ref := runKernel(t, "conv.direct", "Conv", tc.attrs(), inputs...)
+		got := runKernel(t, "conv.spatialpack", "Conv", tc.attrs(), inputs...)
+		return tensor.AllClose(got, ref, tensor.DefaultTolerance)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropConvWinogradMatchesDirect(t *testing.T) {
+	f := func(seed uint64, chb, cob, hb uint8) bool {
+		cin := int(chb%4) + 1
+		cout := int(cob%4) + 1
+		h := int(hb%6) + 4 // 4..9, exercises odd sizes and edge tiles
+		tc := convCase{n: 1, cin: cin, h: h, w: h + 1, cout: cout, kh: 3, kw: 3,
+			sh: 1, sw: 1, padT: 1, padL: 1, padB: 1, padR: 1, dh: 1, dw: 1, groups: 1, bias: true}
+		inputs := tc.tensors(seed)
+		ref := runKernel(t, "conv.direct", "Conv", tc.attrs(), inputs...)
+		got := runKernel(t, "conv.winograd", "Conv", tc.attrs(), inputs...)
+		return tensor.AllClose(got, ref, 5e-4) // Winograd loses ~1 bit to transforms
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropDepthwiseMatchesDirect(t *testing.T) {
+	f := func(seed uint64, cb, sb uint8) bool {
+		c := int(cb%8) + 2 // >= 2: a 1-channel conv has groups == 1 and is not depthwise
+		s := int(sb%2) + 1
+		tc := convCase{n: 1, cin: c, h: 8, w: 8, cout: c, kh: 3, kw: 3,
+			sh: s, sw: s, padT: 1, padL: 1, padB: 1, padR: 1, dh: 1, dw: 1, groups: c, bias: true}
+		inputs := tc.tensors(seed)
+		ref := runKernel(t, "conv.direct", "Conv", tc.attrs(), inputs...)
+		got := runKernel(t, "conv.depthwise", "Conv", tc.attrs(), inputs...)
+		return tensor.AllClose(got, ref, tensor.DefaultTolerance)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvShapeInference(t *testing.T) {
+	tc := convMatrix[2] // stride 2, 9x9 -> 5x5
+	n := buildNode(t, "Conv", tc.attrs(), tc.tensors(1)...)
+	if !tensor.ShapeEq(n.Outputs[0].Shape, []int{2, 6, 5, 5}) {
+		t.Fatalf("inferred %v", n.Outputs[0].Shape)
+	}
+}
+
+func TestConvShapeErrors(t *testing.T) {
+	g := graph.New("bad")
+	x, _ := g.Input("x", []int{1, 3, 8, 8})
+	w, _ := g.Const("w", tensor.New(4, 2, 3, 3)) // wrong cin
+	y, _ := g.Add("Conv", "c", graph.Attrs{}, x, w)
+	_ = g.MarkOutput(y)
+	if err := g.Finalize(); err == nil {
+		t.Fatal("channel mismatch not caught")
+	}
+
+	g2 := graph.New("bad2")
+	x2, _ := g2.Input("x", []int{1, 4, 8, 8})
+	w2, _ := g2.Const("w", tensor.New(6, 2, 3, 3))
+	y2, _ := g2.Add("Conv", "c", graph.Attrs{"group": 3}, x2, w2) // 4 % 3 != 0
+	_ = g2.MarkOutput(y2)
+	if err := g2.Finalize(); err == nil {
+		t.Fatal("bad group count not caught")
+	}
+
+	g3 := graph.New("bad3")
+	x3, _ := g3.Input("x", []int{1, 1, 2, 2})
+	w3, _ := g3.Const("w", tensor.New(1, 1, 5, 5)) // kernel larger than input
+	y3, _ := g3.Add("Conv", "c", graph.Attrs{}, x3, w3)
+	_ = g3.MarkOutput(y3)
+	if err := g3.Finalize(); err == nil {
+		t.Fatal("non-positive output not caught")
+	}
+}
+
+func TestConvFlopsCount(t *testing.T) {
+	tc := convCase{n: 1, cin: 2, h: 4, w: 4, cout: 3, kh: 3, kw: 3,
+		sh: 1, sw: 1, padT: 1, padL: 1, padB: 1, padR: 1, dh: 1, dw: 1, groups: 1}
+	n := buildNode(t, "Conv", tc.attrs(), tc.tensors(1)...)
+	p, err := resolveConv(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 * (cin*kh*kw) * (cout*oh*ow) = 2*18*48 = 1728.
+	if p.flops() != 1728 {
+		t.Fatalf("flops = %d, want 1728", p.flops())
+	}
+}
+
+func TestGroupIm2colMatchesDirectOnGroups(t *testing.T) {
+	for _, idx := range []int{7, 8, 9} { // grouped and depthwise cases
+		tc := convMatrix[idx]
+		inputs := tc.tensors(42)
+		ref := runKernel(t, "conv.direct", "Conv", tc.attrs(), inputs...)
+		got := runKernel(t, "conv.group_im2col", "Conv", tc.attrs(), inputs...)
+		if !tensor.AllClose(got, ref, tensor.DefaultTolerance) {
+			t.Fatalf("group_im2col diverges on %s: %g", tc.name, tensor.MaxAbsDiff(got, ref))
+		}
+	}
+}

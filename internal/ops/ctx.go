@@ -1,0 +1,86 @@
+package ops
+
+import "orpheus/internal/gemm"
+
+// Ctx carries per-session execution state into kernels: the worker count,
+// the GEMM packing context and a keyed scratch-buffer pool.
+//
+// Scratch buffers let kernels such as im2col reuse their unfold buffers
+// across inference runs instead of reallocating. The torch-sim backend sets
+// DisableScratchReuse to model a framework that allocates per operator
+// call; the memory-planner ablation (experiment A3) measures the cost of
+// that choice.
+type Ctx struct {
+	// Workers is the number of goroutines kernels may use. 1 reproduces
+	// the paper's single-core evaluation.
+	Workers int
+
+	// DisableScratchReuse forces a fresh allocation on every Scratch call.
+	DisableScratchReuse bool
+
+	// Gemm is the shared packing context for GEMM-based kernels.
+	Gemm gemm.Context
+
+	scratch map[string][]float32
+	cache   map[string][]float32
+
+	// ScratchBytes accumulates the bytes handed out by Scratch, for the
+	// memory-footprint experiments.
+	ScratchBytes int64
+}
+
+// Cache returns the persistent buffer stored under key, or nil. Unlike
+// Scratch buffers, cached buffers keep their contents between calls;
+// kernels use them for run-invariant precomputation such as Winograd
+// weight transforms.
+func (c *Ctx) Cache(key string) []float32 { return c.cache[key] }
+
+// PutCache stores buf persistently under key.
+func (c *Ctx) PutCache(key string, buf []float32) {
+	if c.cache == nil {
+		c.cache = make(map[string][]float32)
+	}
+	c.cache[key] = buf
+	c.ScratchBytes += int64(len(buf)) * 4
+}
+
+// NewCtx returns a context with the given worker count (minimum 1).
+func NewCtx(workers int) *Ctx {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Ctx{Workers: workers, scratch: make(map[string][]float32)}
+}
+
+// Scratch returns a zeroed float32 buffer of length n, reused across calls
+// with the same key unless DisableScratchReuse is set.
+func (c *Ctx) Scratch(key string, n int) []float32 {
+	if c.DisableScratchReuse {
+		c.ScratchBytes += int64(n) * 4
+		return make([]float32, n)
+	}
+	if c.scratch == nil {
+		c.scratch = make(map[string][]float32)
+	}
+	buf := c.scratch[key]
+	if cap(buf) < n {
+		buf = make([]float32, n)
+		c.scratch[key] = buf
+		c.ScratchBytes += int64(n) * 4
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// PeakScratchBytes returns the total bytes currently retained by the
+// scratch pool.
+func (c *Ctx) PeakScratchBytes() int64 {
+	var total int64
+	for _, b := range c.scratch {
+		total += int64(cap(b)) * 4
+	}
+	return total
+}

@@ -1,0 +1,78 @@
+package ops
+
+import (
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// Dense (fully connected) kernels.
+//
+//	inputs: X [N, K], W [M, K] (out×in, PyTorch convention), optional B [M]
+//	output: Y [N, M] = X · Wᵀ + B
+//
+// dense.naive is the correctness reference; dense.gemm uses the packed
+// GEMM on the transposed weight.
+func init() {
+	Register(NewKernel("dense.naive", "Dense", nil, runDenseNaive))
+	Register(NewKernel("dense.gemm", "Dense", nil, runDenseGemm))
+}
+
+func runDenseNaive(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	x, w := in[0], in[1]
+	batch, k := x.Shape()[0], x.Shape()[1]
+	m := w.Shape()[0]
+	var bias []float32
+	if len(in) == 3 {
+		bias = in[2].Data()
+	}
+	xd, wd, yd := x.Data(), w.Data(), out[0].Data()
+	for b := 0; b < batch; b++ {
+		for j := 0; j < m; j++ {
+			var acc float32
+			if bias != nil {
+				acc = bias[j]
+			}
+			row := wd[j*k : (j+1)*k]
+			xr := xd[b*k : (b+1)*k]
+			for p := 0; p < k; p++ {
+				acc += xr[p] * row[p]
+			}
+			yd[b*m+j] = acc
+		}
+	}
+	applyActivation(yd, n.Attrs.Str("activation", ""), float32(n.Attrs.Float("alpha", 0.01)))
+	return nil
+}
+
+func runDenseGemm(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	x, w := in[0], in[1]
+	batch, k := x.Shape()[0], x.Shape()[1]
+	m := w.Shape()[0]
+	// Y[N,M] = X[N,K] · Wᵀ[K,M]. Transposing W once per call is cheap next
+	// to the multiply; cache it since weights are run-invariant.
+	key := "dense.gemm.wt:" + n.Name
+	wt := ctx.Cache(key)
+	if wt == nil {
+		wt = make([]float32, k*m)
+		wd := w.Data()
+		for j := 0; j < m; j++ {
+			for p := 0; p < k; p++ {
+				wt[p*m+j] = wd[j*k+p]
+			}
+		}
+		ctx.PutCache(key, wt)
+	}
+	yd := out[0].Data()
+	ctx.Gemm.Packed(x.Data(), wt, yd, batch, m, k)
+	if len(in) == 3 {
+		bias := in[2].Data()
+		for b := 0; b < batch; b++ {
+			row := yd[b*m : (b+1)*m]
+			for j := range row {
+				row[j] += bias[j]
+			}
+		}
+	}
+	applyActivation(yd, n.Attrs.Str("activation", ""), float32(n.Attrs.Float("alpha", 0.01)))
+	return nil
+}

@@ -1,0 +1,96 @@
+package ops
+
+import (
+	"testing"
+	"testing/quick"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+func TestDenseNaiveKnownValues(t *testing.T) {
+	// X = [1 2], W = [[1 0],[0 1],[1 1]] (M=3,K=2), B = [10 20 30].
+	x := tensor.FromSlice([]float32{1, 2}, 1, 2)
+	w := tensor.FromSlice([]float32{1, 0, 0, 1, 1, 1}, 3, 2)
+	b := tensor.FromSlice([]float32{10, 20, 30}, 3)
+	out := runKernel(t, "dense.naive", "Dense", graph.Attrs{}, x, w, b)
+	want := []float32{11, 22, 33}
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestDenseGemmMatchesNaive(t *testing.T) {
+	f := func(seed uint64, nb, kb, mb uint8) bool {
+		n := int(nb%4) + 1
+		k := int(kb%32) + 1
+		m := int(mb%32) + 1
+		r := tensor.NewRNG(seed)
+		x := tensor.Rand(r, -1, 1, n, k)
+		w := tensor.Rand(r, -1, 1, m, k)
+		b := tensor.Rand(r, -1, 1, m)
+		ref := runKernel(t, "dense.naive", "Dense", graph.Attrs{}, x, w, b)
+		got := runKernel(t, "dense.gemm", "Dense", graph.Attrs{}, x, w, b)
+		return tensor.AllClose(got, ref, tensor.DefaultTolerance)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseNoBias(t *testing.T) {
+	x := tensor.FromSlice([]float32{3}, 1, 1)
+	w := tensor.FromSlice([]float32{2}, 1, 1)
+	for _, k := range []string{"dense.naive", "dense.gemm"} {
+		out := runKernel(t, k, "Dense", graph.Attrs{}, x, w)
+		if out.At(0, 0) != 6 {
+			t.Fatalf("%s: %v", k, out.Data())
+		}
+	}
+}
+
+func TestDenseFusedRelu(t *testing.T) {
+	x := tensor.FromSlice([]float32{1, -1}, 1, 2)
+	w := tensor.FromSlice([]float32{1, 0, 0, 1}, 2, 2)
+	for _, k := range []string{"dense.naive", "dense.gemm"} {
+		out := runKernel(t, k, "Dense", graph.Attrs{"activation": "relu"}, x, w)
+		if out.At(0, 0) != 1 || out.At(0, 1) != 0 {
+			t.Fatalf("%s fused relu wrong: %v", k, out.Data())
+		}
+	}
+}
+
+func TestDenseGemmWeightCacheSurvivesReuse(t *testing.T) {
+	// The transposed-weight cache is keyed by node name; two runs with the
+	// same ctx must give identical results.
+	r := tensor.NewRNG(5)
+	x := tensor.Rand(r, -1, 1, 2, 8)
+	w := tensor.Rand(r, -1, 1, 4, 8)
+	n := buildNode(t, "Dense", graph.Attrs{}, x, w)
+	ctx := NewCtx(1)
+	k := ByName("dense.gemm")
+	out1 := tensor.New(2, 4)
+	out2 := tensor.New(2, 4)
+	if err := k.Run(ctx, n, []*tensor.Tensor{x, w}, []*tensor.Tensor{out1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(ctx, n, []*tensor.Tensor{x, w}, []*tensor.Tensor{out2}); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(out1, out2, 0) {
+		t.Fatal("cached-weight rerun differs")
+	}
+}
+
+func TestDenseShapeErrors(t *testing.T) {
+	g := graph.New("bad")
+	x, _ := g.Input("x", []int{1, 4})
+	w, _ := g.Const("w", tensor.New(3, 5)) // K mismatch
+	y, _ := g.Add("Dense", "d", nil, x, w)
+	_ = g.MarkOutput(y)
+	if err := g.Finalize(); err == nil {
+		t.Fatal("feature mismatch not caught")
+	}
+}

@@ -1,0 +1,45 @@
+package ops
+
+import (
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// Binary elementwise operators (residual additions, scaling). Shapes must
+// match exactly, or the second operand may be a single-element tensor
+// (scalar broadcast).
+func init() {
+	Register(NewKernel("add.direct", "Add", nil, runAdd))
+	Register(NewKernel("mul.direct", "Mul", nil, runMul))
+}
+
+func runAdd(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	a, b, y := in[0].Data(), in[1].Data(), out[0].Data()
+	if len(b) == 1 {
+		s := b[0]
+		for i, v := range a {
+			y[i] = v + s
+		}
+		return nil
+	}
+	for i, v := range a {
+		y[i] = v + b[i]
+	}
+	applyActivation(y, n.Attrs.Str("activation", ""), float32(n.Attrs.Float("alpha", 0.01)))
+	return nil
+}
+
+func runMul(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	a, b, y := in[0].Data(), in[1].Data(), out[0].Data()
+	if len(b) == 1 {
+		s := b[0]
+		for i, v := range a {
+			y[i] = v * s
+		}
+		return nil
+	}
+	for i, v := range a {
+		y[i] = v * b[i]
+	}
+	return nil
+}

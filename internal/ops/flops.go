@@ -1,0 +1,65 @@
+package ops
+
+import (
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// NodeFlops estimates the floating-point operation count of one node
+// (multiply-accumulate counted as 2 flops). Structural ops (reshape,
+// concat, pad) count zero arithmetic; the byte estimate captures their
+// cost instead.
+func NodeFlops(n *graph.Node) int64 {
+	switch n.Op {
+	case "Conv":
+		p, err := resolveConv(n)
+		if err != nil {
+			return 0
+		}
+		return p.flops()
+	case "Dense":
+		x, w := n.Inputs[0].Shape, n.Inputs[1].Shape
+		if len(x) != 2 || len(w) != 2 {
+			return 0
+		}
+		return 2 * int64(x[0]) * int64(x[1]) * int64(w[0])
+	case "BatchNorm", "Softmax", "Sigmoid":
+		return 4 * outVolume(n) // a few ops per element
+	case "Relu", "Relu6", "LeakyRelu", "Add", "Mul":
+		return outVolume(n)
+	case "MaxPool", "AveragePool":
+		p, err := resolvePool(n)
+		if err != nil {
+			return 0
+		}
+		return int64(p.n) * int64(p.c) * int64(p.oh) * int64(p.ow) * int64(p.kh) * int64(p.kw)
+	case "GlobalAveragePool":
+		if len(n.Inputs) == 1 {
+			return int64(tensor.Volume(n.Inputs[0].Shape))
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// NodeBytes estimates the memory traffic of one node: every input read
+// once plus every output written once, in bytes (float32).
+func NodeBytes(n *graph.Node) int64 {
+	var total int64
+	for _, in := range n.Inputs {
+		total += int64(tensor.Volume(in.Shape))
+	}
+	for _, out := range n.Outputs {
+		total += int64(tensor.Volume(out.Shape))
+	}
+	return total * 4
+}
+
+func outVolume(n *graph.Node) int64 {
+	var total int64
+	for _, out := range n.Outputs {
+		total += int64(tensor.Volume(out.Shape))
+	}
+	return total
+}

@@ -1,0 +1,100 @@
+package ops
+
+import (
+	"testing"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+func TestNodeFlopsDense(t *testing.T) {
+	x := tensor.New(2, 64)
+	w := tensor.New(10, 64)
+	n := buildNode(t, "Dense", nil, x, w)
+	// 2 * N * K * M = 2*2*64*10.
+	if got := NodeFlops(n); got != 2560 {
+		t.Fatalf("Dense flops = %d, want 2560", got)
+	}
+}
+
+func TestNodeFlopsPooling(t *testing.T) {
+	x := tensor.New(1, 4, 8, 8)
+	n := buildNode(t, "MaxPool", graph.Attrs{"kernel": []int{2, 2}, "strides": []int{2, 2}}, x)
+	// out 4x4x4 cells, 4 comparisons each: 4*16*4 = 256.
+	if got := NodeFlops(n); got != 256 {
+		t.Fatalf("MaxPool flops = %d, want 256", got)
+	}
+	g := buildNode(t, "GlobalAveragePool", nil, x)
+	if got := NodeFlops(g); got != 4*64 {
+		t.Fatalf("GAP flops = %d, want 256", got)
+	}
+}
+
+func TestNodeFlopsElementwise(t *testing.T) {
+	x := tensor.New(1, 10)
+	n := buildNode(t, "Relu", nil, x)
+	if got := NodeFlops(n); got != 10 {
+		t.Fatalf("Relu flops = %d, want 10", got)
+	}
+	sm := buildNode(t, "Softmax", nil, x)
+	if got := NodeFlops(sm); got != 40 {
+		t.Fatalf("Softmax flops = %d, want 40", got)
+	}
+}
+
+func TestNodeFlopsStructuralIsZero(t *testing.T) {
+	x := tensor.New(1, 2, 4, 4)
+	for _, tc := range []struct {
+		op    string
+		attrs graph.Attrs
+	}{
+		{"Flatten", graph.Attrs{"axis": 1}},
+		{"Reshape", graph.Attrs{"shape": []int{1, -1}}},
+		{"Identity", nil},
+		{"Pad", graph.Attrs{"pads": []int{1, 1, 1, 1}}},
+	} {
+		n := buildNode(t, tc.op, tc.attrs, x)
+		if got := NodeFlops(n); got != 0 {
+			t.Errorf("%s flops = %d, want 0", tc.op, got)
+		}
+	}
+}
+
+func TestNodeBytesCountsAllOperands(t *testing.T) {
+	a := tensor.New(1, 8)
+	b := tensor.New(1, 8)
+	n := buildNode(t, "Add", nil, a, b)
+	// in 8 + in 8 + out 8 elements = 24 * 4 bytes.
+	if got := NodeBytes(n); got != 96 {
+		t.Fatalf("Add bytes = %d, want 96", got)
+	}
+}
+
+func TestNodeFlopsGroupedConvScales(t *testing.T) {
+	// Depthwise conv does groups-times less work than dense conv of the
+	// same shape.
+	mk := func(groups int) *graph.Node {
+		r := tensor.NewRNG(1)
+		x := tensor.Rand(r, -1, 1, 1, 8, 6, 6)
+		w := tensor.Rand(r, -1, 1, 8, 8/groups, 3, 3)
+		return buildNode(t, "Conv", graph.Attrs{"pads": []int{1, 1, 1, 1}, "group": groups}, x, w)
+	}
+	dense := NodeFlops(mk(1))
+	dw := NodeFlops(mk(8))
+	if dense != 8*dw {
+		t.Fatalf("grouped conv flops: dense %d vs depthwise %d, want 8x ratio", dense, dw)
+	}
+}
+
+func TestFlopsMatchProfilerView(t *testing.T) {
+	// NodeFlops must agree with the convParams computation for convs.
+	tc := convMatrix[1]
+	n := buildNode(t, "Conv", tc.attrs(), tc.tensors(5)...)
+	p, err := resolveConv(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NodeFlops(n) != p.flops() {
+		t.Fatalf("NodeFlops %d != convParams.flops %d", NodeFlops(n), p.flops())
+	}
+}

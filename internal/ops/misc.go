@@ -1,0 +1,74 @@
+package ops
+
+import (
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// Structural operators: Identity/Dropout (inference no-ops), Flatten,
+// Reshape (layout is row-major, so both are copies), Concat and Pad.
+func init() {
+	Register(NewKernel("identity.copy", "Identity", nil, runCopy))
+	Register(NewKernel("dropout.copy", "Dropout", nil, runCopy))
+	Register(NewKernel("flatten.copy", "Flatten", nil, runCopy))
+	Register(NewKernel("reshape.copy", "Reshape", nil, runCopy))
+	Register(NewKernel("concat.copy", "Concat", nil, runConcat))
+	Register(NewKernel("pad.copy", "Pad", nil, runPad))
+}
+
+func runCopy(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	copy(out[0].Data(), in[0].Data())
+	return nil
+}
+
+func runConcat(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	axis := n.Attrs.Int("axis", 1)
+	shape := in[0].Shape()
+	if axis < 0 {
+		axis += len(shape)
+	}
+	outer, inner := 1, 1
+	for i := 0; i < axis; i++ {
+		outer *= shape[i]
+	}
+	for i := axis + 1; i < len(shape); i++ {
+		inner *= shape[i]
+	}
+	outAxis := out[0].Shape()[axis]
+	outRow := outAxis * inner
+	yd := out[0].Data()
+	off := 0
+	for _, t := range in {
+		rowLen := t.Shape()[axis] * inner
+		td := t.Data()
+		for o := 0; o < outer; o++ {
+			copy(yd[o*outRow+off:o*outRow+off+rowLen], td[o*rowLen:(o+1)*rowLen])
+		}
+		off += rowLen
+	}
+	return nil
+}
+
+func runPad(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	pads := n.Attrs.Ints("pads", nil)
+	value := float32(n.Attrs.Float("value", 0))
+	s := in[0].Shape()
+	nb, c, h, w := s[0], s[1], s[2], s[3]
+	top, left := pads[0], pads[1]
+	oh := out[0].Shape()[2]
+	ow := out[0].Shape()[3]
+	xd, yd := in[0].Data(), out[0].Data()
+	if value != 0 {
+		for i := range yd {
+			yd[i] = value
+		}
+	}
+	for i := 0; i < nb*c; i++ {
+		src := xd[i*h*w:]
+		dst := yd[i*oh*ow:]
+		for y := 0; y < h; y++ {
+			copy(dst[(y+top)*ow+left:(y+top)*ow+left+w], src[y*w:(y+1)*w])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package ops
+
+import (
+	"testing"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+func TestIdentityDropoutCopy(t *testing.T) {
+	r := tensor.NewRNG(1)
+	x := tensor.Rand(r, -1, 1, 2, 3)
+	for _, tc := range []struct{ kernel, op string }{
+		{"identity.copy", "Identity"},
+		{"dropout.copy", "Dropout"},
+	} {
+		out := runKernel(t, tc.kernel, tc.op, nil, x)
+		if !tensor.AllClose(out, x, 0) {
+			t.Fatalf("%s is not a copy", tc.op)
+		}
+	}
+}
+
+func TestFlattenShapesAndData(t *testing.T) {
+	r := tensor.NewRNG(2)
+	x := tensor.Rand(r, -1, 1, 2, 3, 4)
+	out := runKernel(t, "flatten.copy", "Flatten", graph.Attrs{"axis": 1}, x)
+	if !tensor.ShapeEq(out.Shape(), []int{2, 12}) {
+		t.Fatalf("flatten shape = %v", out.Shape())
+	}
+	if !tensor.AllClose(out.Reshape(2, 3, 4), x, 0) {
+		t.Fatal("flatten reordered data")
+	}
+	out0 := runKernel(t, "flatten.copy", "Flatten", graph.Attrs{"axis": 0}, x)
+	if !tensor.ShapeEq(out0.Shape(), []int{1, 24}) {
+		t.Fatalf("flatten axis0 shape = %v", out0.Shape())
+	}
+}
+
+func TestReshapeOp(t *testing.T) {
+	r := tensor.NewRNG(3)
+	x := tensor.Rand(r, -1, 1, 2, 6)
+	out := runKernel(t, "reshape.copy", "Reshape", graph.Attrs{"shape": []int{3, -1}}, x)
+	if !tensor.ShapeEq(out.Shape(), []int{3, 4}) {
+		t.Fatalf("reshape shape = %v", out.Shape())
+	}
+	// ONNX zero-copy dim semantics.
+	out2 := runKernel(t, "reshape.copy", "Reshape", graph.Attrs{"shape": []int{0, 6}}, x)
+	if !tensor.ShapeEq(out2.Shape(), []int{2, 6}) {
+		t.Fatalf("reshape 0-dim shape = %v", out2.Shape())
+	}
+}
+
+func TestConcatOpMatchesTensorConcat(t *testing.T) {
+	r := tensor.NewRNG(4)
+	a := tensor.Rand(r, -1, 1, 1, 2, 2, 2)
+	b := tensor.Rand(r, -1, 1, 1, 3, 2, 2)
+	out := runKernel(t, "concat.copy", "Concat", graph.Attrs{"axis": 1}, a, b)
+	want := tensor.Concat(1, a, b)
+	if !tensor.AllClose(out, want, 0) {
+		t.Fatal("Concat op diverges from tensor.Concat")
+	}
+}
+
+func TestPadOpMatchesTensorPad(t *testing.T) {
+	r := tensor.NewRNG(5)
+	x := tensor.Rand(r, -1, 1, 1, 2, 3, 3)
+	out := runKernel(t, "pad.copy", "Pad", graph.Attrs{"pads": []int{1, 2, 0, 1}, "value": 0.5}, x)
+	want := x.Pad2D(1, 0, 2, 1, 0.5)
+	if !tensor.AllClose(out, want, 0) {
+		t.Fatal("Pad op diverges from tensor.Pad2D")
+	}
+}
+
+func TestRegistryInvariants(t *testing.T) {
+	// Every op has at least one kernel and a reference; every kernel's
+	// Op() matches its registry bucket.
+	for _, op := range Ops() {
+		ks := ForOp(op)
+		if len(ks) == 0 {
+			t.Fatalf("op %q has no kernels", op)
+		}
+		if Reference(op) == nil {
+			t.Fatalf("op %q has no reference kernel", op)
+		}
+		for _, k := range ks {
+			if k.Op() != op {
+				t.Fatalf("kernel %q registered under %q but reports op %q", k.Name(), op, k.Op())
+			}
+			if ByName(k.Name()) != k {
+				t.Fatalf("kernel %q not retrievable by name", k.Name())
+			}
+		}
+	}
+	// Conv must expose the full algorithm menu — the paper's core claim.
+	convKernels := ForOp("Conv")
+	if len(convKernels) < 5 {
+		t.Fatalf("Conv has %d kernels, want >= 5 (direct, im2col, spatialpack, winograd, depthwise, ...)", len(convKernels))
+	}
+	if Reference("Conv").Name() != "conv.direct" {
+		t.Fatalf("Conv reference = %q, want conv.direct", Reference("Conv").Name())
+	}
+}
+
+func TestEveryOpHasShapeFn(t *testing.T) {
+	for _, op := range Ops() {
+		if graph.ShapeFnFor(op) == nil {
+			t.Fatalf("op %q has kernels but no shape function", op)
+		}
+	}
+}
+
+func TestDuplicateKernelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(NewKernel("conv.direct", "Conv", nil, nil))
+}
+
+func TestCtxScratchReuse(t *testing.T) {
+	ctx := NewCtx(1)
+	a := ctx.Scratch("k", 100)
+	a[0] = 42
+	b := ctx.Scratch("k", 50)
+	if b[0] != 0 {
+		t.Fatal("scratch not zeroed on reuse")
+	}
+	if ctx.PeakScratchBytes() != 400 {
+		t.Fatalf("peak scratch = %d, want 400", ctx.PeakScratchBytes())
+	}
+	ctx2 := NewCtx(0)
+	if ctx2.Workers != 1 {
+		t.Fatal("workers should clamp to 1")
+	}
+	ctx2.DisableScratchReuse = true
+	_ = ctx2.Scratch("k", 10)
+	_ = ctx2.Scratch("k", 10)
+	if ctx2.ScratchBytes != 80 {
+		t.Fatalf("no-reuse scratch bytes = %d, want 80", ctx2.ScratchBytes)
+	}
+}
+
+func TestCtxCache(t *testing.T) {
+	ctx := NewCtx(1)
+	if ctx.Cache("missing") != nil {
+		t.Fatal("missing cache key should be nil")
+	}
+	ctx.PutCache("u", []float32{1, 2})
+	got := ctx.Cache("u")
+	if len(got) != 2 || got[0] != 1 {
+		t.Fatal("cache round-trip failed")
+	}
+}

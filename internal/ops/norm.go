@@ -1,0 +1,46 @@
+package ops
+
+import (
+	"math"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// BatchNorm (inference mode): y = scale * (x - mean) / sqrt(var + eps) + bias
+// per channel. The optimisation pipeline normally folds this into the
+// preceding Conv/Dense; this kernel exists for unoptimised graphs and for
+// the pass-ablation experiment.
+//
+//	inputs: X [N,C,...], scale [C], bias [C], mean [C], var [C]
+//	attr:   "epsilon" float64 (default 1e-5)
+func init() {
+	Register(NewKernel("batchnorm.direct", "BatchNorm", nil, runBatchNorm))
+}
+
+func runBatchNorm(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	x := in[0]
+	scale, bias, mean, variance := in[1].Data(), in[2].Data(), in[3].Data(), in[4].Data()
+	eps := n.Attrs.Float("epsilon", 1e-5)
+	s := x.Shape()
+	nb, c := s[0], s[1]
+	spatial := 1
+	for _, d := range s[2:] {
+		spatial *= d
+	}
+	xd, yd := x.Data(), out[0].Data()
+	for ch := 0; ch < c; ch++ {
+		// Precompute the affine form: y = a*x + b.
+		a := scale[ch] / float32(math.Sqrt(float64(variance[ch])+eps))
+		b := bias[ch] - a*mean[ch]
+		for batch := 0; batch < nb; batch++ {
+			off := (batch*c + ch) * spatial
+			src := xd[off : off+spatial]
+			dst := yd[off : off+spatial]
+			for i, v := range src {
+				dst[i] = a*v + b
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+// Package ops implements the Orpheus neural-network operator library.
+//
+// The package embodies the paper's central design idea: layers are first
+// class citizens with multiple interchangeable implementations ("kernels")
+// that are selected at runtime. Every operator registers one or more
+// Kernels keyed by operator type; a backend policy (internal/backend) picks
+// which kernel executes each node. Every operator also registers a shape
+// inference function with internal/graph.
+//
+// Kernel naming follows "<op-family>.<algorithm>", e.g. "conv.im2col",
+// "conv.spatialpack", "dense.gemm". The first kernel registered for an op
+// is its correctness reference; the cross-kernel equivalence tests compare
+// every other kernel against it.
+package ops
+
+import (
+	"fmt"
+	"sort"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// Kernel is one concrete implementation of an operator.
+type Kernel interface {
+	// Name uniquely identifies the implementation, e.g. "conv.winograd".
+	Name() string
+	// Op is the operator type this kernel executes, e.g. "Conv".
+	Op() string
+	// Supports reports whether the kernel can execute this node (some
+	// algorithms only handle a subset of attribute combinations).
+	Supports(n *graph.Node) bool
+	// Run executes the node. in and out are the node's input and output
+	// tensors; out tensors are pre-allocated with the inferred shapes and
+	// zero-filled.
+	Run(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error
+}
+
+// kernelFunc adapts plain functions to the Kernel interface.
+type kernelFunc struct {
+	name, op string
+	supports func(n *graph.Node) bool
+	run      func(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error
+}
+
+func (k *kernelFunc) Name() string { return k.name }
+func (k *kernelFunc) Op() string   { return k.op }
+func (k *kernelFunc) Supports(n *graph.Node) bool {
+	if k.supports == nil {
+		return true
+	}
+	return k.supports(n)
+}
+func (k *kernelFunc) Run(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	return k.run(ctx, n, in, out)
+}
+
+// NewKernel builds a Kernel from functions. supports may be nil (always
+// supported).
+func NewKernel(name, op string,
+	supports func(n *graph.Node) bool,
+	run func(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error) Kernel {
+	return &kernelFunc{name: name, op: op, supports: supports, run: run}
+}
+
+var (
+	kernelsByOp   = map[string][]Kernel{}
+	kernelsByName = map[string]Kernel{}
+	referenceFor  = map[string]Kernel{}
+	refExplicit   = map[string]bool{}
+)
+
+// Register adds a kernel to the registry. Unless RegisterReference names
+// another kernel explicitly, the first kernel registered for an op becomes
+// that op's correctness reference. Duplicate kernel names panic (two
+// implementations claiming one identity is a programming error).
+func Register(k Kernel) {
+	if _, dup := kernelsByName[k.Name()]; dup {
+		panic(fmt.Sprintf("ops: duplicate kernel %q", k.Name()))
+	}
+	kernelsByName[k.Name()] = k
+	kernelsByOp[k.Op()] = append(kernelsByOp[k.Op()], k)
+	if _, ok := referenceFor[k.Op()]; !ok {
+		referenceFor[k.Op()] = k
+	}
+}
+
+// RegisterReference registers k and marks it as the op's correctness
+// reference, regardless of file-init order. At most one kernel per op may
+// do this.
+func RegisterReference(k Kernel) {
+	Register(k)
+	if refExplicit[k.Op()] {
+		panic(fmt.Sprintf("ops: op %q already has an explicit reference kernel", k.Op()))
+	}
+	refExplicit[k.Op()] = true
+	referenceFor[k.Op()] = k
+}
+
+// ForOp returns the kernels registered for op, in registration order. The
+// returned slice must not be modified.
+func ForOp(op string) []Kernel { return kernelsByOp[op] }
+
+// ByName returns the kernel with the given name, or nil.
+func ByName(name string) Kernel { return kernelsByName[name] }
+
+// Reference returns the correctness-reference kernel for op, or nil.
+func Reference(op string) Kernel { return referenceFor[op] }
+
+// Ops returns every operator type with at least one kernel, sorted.
+func Ops() []string {
+	out := make([]string, 0, len(kernelsByOp))
+	for op := range kernelsByOp {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KernelNames returns every registered kernel name, sorted.
+func KernelNames() []string {
+	out := make([]string, 0, len(kernelsByName))
+	for name := range kernelsByName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

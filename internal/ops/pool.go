@@ -1,0 +1,114 @@
+package ops
+
+import (
+	"math"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// Pooling kernels: MaxPool, AveragePool (with optional count_include_pad)
+// and GlobalAveragePool.
+func init() {
+	Register(NewKernel("maxpool.direct", "MaxPool", nil, runMaxPool))
+	Register(NewKernel("avgpool.direct", "AveragePool", nil, runAvgPool))
+	Register(NewKernel("globalavgpool.direct", "GlobalAveragePool", nil, runGlobalAvgPool))
+}
+
+func runMaxPool(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	p, err := resolvePool(n)
+	if err != nil {
+		return err
+	}
+	x, y := in[0].Data(), out[0].Data()
+	for b := 0; b < p.n; b++ {
+		for c := 0; c < p.c; c++ {
+			src := x[(b*p.c+c)*p.h*p.w:]
+			dst := y[(b*p.c+c)*p.oh*p.ow:]
+			for oy := 0; oy < p.oh; oy++ {
+				for ox := 0; ox < p.ow; ox++ {
+					best := float32(math.Inf(-1))
+					for ky := 0; ky < p.kh; ky++ {
+						iy := oy*p.sh - p.padT + ky
+						if iy < 0 || iy >= p.h {
+							continue
+						}
+						for kx := 0; kx < p.kw; kx++ {
+							ix := ox*p.sw - p.padL + kx
+							if ix < 0 || ix >= p.w {
+								continue
+							}
+							if v := src[iy*p.w+ix]; v > best {
+								best = v
+							}
+						}
+					}
+					dst[oy*p.ow+ox] = best
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func runAvgPool(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	p, err := resolvePool(n)
+	if err != nil {
+		return err
+	}
+	x, y := in[0].Data(), out[0].Data()
+	for b := 0; b < p.n; b++ {
+		for c := 0; c < p.c; c++ {
+			src := x[(b*p.c+c)*p.h*p.w:]
+			dst := y[(b*p.c+c)*p.oh*p.ow:]
+			for oy := 0; oy < p.oh; oy++ {
+				for ox := 0; ox < p.ow; ox++ {
+					var sum float32
+					count := 0
+					for ky := 0; ky < p.kh; ky++ {
+						iy := oy*p.sh - p.padT + ky
+						if iy < 0 || iy >= p.h {
+							continue
+						}
+						for kx := 0; kx < p.kw; kx++ {
+							ix := ox*p.sw - p.padL + kx
+							if ix < 0 || ix >= p.w {
+								continue
+							}
+							sum += src[iy*p.w+ix]
+							count++
+						}
+					}
+					if p.includePad {
+						count = p.kh * p.kw
+					}
+					if count == 0 {
+						dst[oy*p.ow+ox] = 0
+					} else {
+						dst[oy*p.ow+ox] = sum / float32(count)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func runGlobalAvgPool(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	x := in[0]
+	s := x.Shape()
+	nb, c, spatial := s[0], s[1], s[2]*s[3]
+	xd, yd := x.Data(), out[0].Data()
+	inv := 1 / float32(spatial)
+	for b := 0; b < nb; b++ {
+		for ch := 0; ch < c; ch++ {
+			var sum float64
+			plane := xd[(b*c+ch)*spatial : (b*c+ch+1)*spatial]
+			for _, v := range plane {
+				sum += float64(v)
+			}
+			yd[b*c+ch] = float32(sum) * inv
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package ops
+
+import (
+	"testing"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+func TestMaxPoolKnownValues(t *testing.T) {
+	x := tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	out := runKernel(t, "maxpool.direct", "MaxPool",
+		graph.Attrs{"kernel": []int{2, 2}, "strides": []int{2, 2}}, x)
+	want := []float32{6, 8, 14, 16}
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestMaxPoolWithPadding(t *testing.T) {
+	// 3x3 window, pad 1, stride 2 on 4x4: padded cells never win because
+	// they are skipped, not treated as zero (matters for negative inputs).
+	x := tensor.Full(-5, 1, 1, 4, 4)
+	out := runKernel(t, "maxpool.direct", "MaxPool",
+		graph.Attrs{"kernel": []int{3, 3}, "strides": []int{2, 2}, "pads": []int{1, 1, 1, 1}}, x)
+	for _, v := range out.Data() {
+		if v != -5 {
+			t.Fatalf("padding leaked into max: %v", out.Data())
+		}
+	}
+}
+
+func TestAvgPoolExcludePad(t *testing.T) {
+	x := tensor.Full(4, 1, 1, 2, 2)
+	// 2x2 window, stride 1, pad 1 -> 3x3 out. Corner windows see one real
+	// element; with count_include_pad=false the average is still 4.
+	out := runKernel(t, "avgpool.direct", "AveragePool",
+		graph.Attrs{"kernel": []int{2, 2}, "strides": []int{1, 1}, "pads": []int{1, 1, 1, 1}}, x)
+	if out.At(0, 0, 0, 0) != 4 {
+		t.Fatalf("exclude-pad corner = %v, want 4", out.At(0, 0, 0, 0))
+	}
+	// With count_include_pad=true the corner divides by 4: 4/4 = 1.
+	out = runKernel(t, "avgpool.direct", "AveragePool",
+		graph.Attrs{"kernel": []int{2, 2}, "strides": []int{1, 1}, "pads": []int{1, 1, 1, 1},
+			"count_include_pad": true}, x)
+	if out.At(0, 0, 0, 0) != 1 {
+		t.Fatalf("include-pad corner = %v, want 1", out.At(0, 0, 0, 0))
+	}
+}
+
+func TestAvgPoolMatchesManual(t *testing.T) {
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	out := runKernel(t, "avgpool.direct", "AveragePool",
+		graph.Attrs{"kernel": []int{2, 2}}, x)
+	if !tensor.ShapeEq(out.Shape(), []int{1, 1, 1, 1}) || out.At(0, 0, 0, 0) != 2.5 {
+		t.Fatalf("avg = %v", out.Data())
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	r := tensor.NewRNG(3)
+	x := tensor.Rand(r, -1, 1, 2, 3, 5, 7)
+	out := runKernel(t, "globalavgpool.direct", "GlobalAveragePool", nil, x)
+	if !tensor.ShapeEq(out.Shape(), []int{2, 3, 1, 1}) {
+		t.Fatalf("shape = %v", out.Shape())
+	}
+	// Channel (1,2) mean computed independently.
+	var sum float32
+	for y := 0; y < 5; y++ {
+		for z := 0; z < 7; z++ {
+			sum += x.At(1, 2, y, z)
+		}
+	}
+	want := sum / 35
+	if d := out.At(1, 2, 0, 0) - want; d > 1e-5 || d < -1e-5 {
+		t.Fatalf("global avg = %v, want %v", out.At(1, 2, 0, 0), want)
+	}
+}
+
+func TestPoolShapeInference(t *testing.T) {
+	x := tensor.New(1, 8, 224, 224)
+	n := buildNode(t, "MaxPool", graph.Attrs{"kernel": []int{3, 3}, "strides": []int{2, 2}, "pads": []int{1, 1, 1, 1}}, x)
+	if !tensor.ShapeEq(n.Outputs[0].Shape, []int{1, 8, 112, 112}) {
+		t.Fatalf("inferred %v", n.Outputs[0].Shape)
+	}
+}
+
+func TestPoolShapeErrors(t *testing.T) {
+	g := graph.New("bad")
+	x, _ := g.Input("x", []int{1, 1, 4, 4})
+	y, _ := g.Add("MaxPool", "p", graph.Attrs{"kernel": []int{9, 9}}, x)
+	_ = g.MarkOutput(y)
+	if err := g.Finalize(); err == nil {
+		t.Fatal("oversized pool window not caught")
+	}
+	g2 := graph.New("bad2")
+	x2, _ := g2.Input("x", []int{1, 1, 4, 4})
+	y2, _ := g2.Add("AveragePool", "p", graph.Attrs{}, x2) // kernel missing
+	_ = g2.MarkOutput(y2)
+	if err := g2.Finalize(); err == nil {
+		t.Fatal("missing kernel attr not caught")
+	}
+}

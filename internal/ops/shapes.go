@@ -1,0 +1,269 @@
+package ops
+
+import (
+	"fmt"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// Shape inference for every operator, registered with internal/graph.
+
+func init() {
+	graph.RegisterShapeFn("Conv", convShape)
+	for _, op := range []string{"Relu", "Relu6", "LeakyRelu", "Sigmoid", "Softmax", "Identity", "Dropout"} {
+		graph.RegisterShapeFn(op, sameShape)
+	}
+	graph.RegisterShapeFn("BatchNorm", batchNormShape)
+	graph.RegisterShapeFn("MaxPool", poolShape)
+	graph.RegisterShapeFn("AveragePool", poolShape)
+	graph.RegisterShapeFn("GlobalAveragePool", globalPoolShape)
+	graph.RegisterShapeFn("Dense", denseShape)
+	graph.RegisterShapeFn("Add", binaryShape)
+	graph.RegisterShapeFn("Mul", binaryShape)
+	graph.RegisterShapeFn("Concat", concatShape)
+	graph.RegisterShapeFn("Flatten", flattenShape)
+	graph.RegisterShapeFn("Reshape", reshapeShape)
+	graph.RegisterShapeFn("Pad", padShape)
+}
+
+func sameShape(n *graph.Node) ([][]int, error) {
+	if len(n.Inputs) != 1 {
+		return nil, fmt.Errorf("%s wants 1 input, got %d", n.Op, len(n.Inputs))
+	}
+	return [][]int{append([]int(nil), n.Inputs[0].Shape...)}, nil
+}
+
+func convShape(n *graph.Node) ([][]int, error) {
+	p, err := resolveConv(n)
+	if err != nil {
+		return nil, err
+	}
+	return [][]int{{p.n, p.cout, p.oh, p.ow}}, nil
+}
+
+func batchNormShape(n *graph.Node) ([][]int, error) {
+	if len(n.Inputs) != 5 {
+		return nil, fmt.Errorf("BatchNorm wants 5 inputs (x, scale, bias, mean, var), got %d", len(n.Inputs))
+	}
+	x := n.Inputs[0].Shape
+	if len(x) < 2 {
+		return nil, fmt.Errorf("BatchNorm input must have a channel dim, got %v", x)
+	}
+	c := x[1]
+	for i := 1; i < 5; i++ {
+		s := n.Inputs[i].Shape
+		if len(s) != 1 || s[0] != c {
+			return nil, fmt.Errorf("BatchNorm param %d has shape %v, want [%d]", i, s, c)
+		}
+	}
+	return [][]int{append([]int(nil), x...)}, nil
+}
+
+// poolParams mirrors convParams for pooling windows.
+type poolParams struct {
+	n, c, h, w             int
+	kh, kw, sh, sw         int
+	padT, padL, padB, padR int
+	oh, ow                 int
+	includePad             bool
+}
+
+func resolvePool(n *graph.Node) (poolParams, error) {
+	var p poolParams
+	if len(n.Inputs) != 1 {
+		return p, fmt.Errorf("%s wants 1 input, got %d", n.Op, len(n.Inputs))
+	}
+	x := n.Inputs[0].Shape
+	if len(x) != 4 {
+		return p, fmt.Errorf("%s input must be 4-D NCHW, got %v", n.Op, x)
+	}
+	p.n, p.c, p.h, p.w = x[0], x[1], x[2], x[3]
+	kernel := n.Attrs.Ints("kernel", nil)
+	if len(kernel) != 2 || kernel[0] < 1 || kernel[1] < 1 {
+		return p, fmt.Errorf("%s kernel %v invalid", n.Op, kernel)
+	}
+	p.kh, p.kw = kernel[0], kernel[1]
+	strides := n.Attrs.Ints("strides", kernel)
+	if len(strides) != 2 || strides[0] < 1 || strides[1] < 1 {
+		return p, fmt.Errorf("%s strides %v invalid", n.Op, strides)
+	}
+	p.sh, p.sw = strides[0], strides[1]
+	pads := n.Attrs.Ints("pads", []int{0, 0, 0, 0})
+	if len(pads) != 4 {
+		return p, fmt.Errorf("%s pads %v invalid", n.Op, pads)
+	}
+	p.padT, p.padL, p.padB, p.padR = pads[0], pads[1], pads[2], pads[3]
+	numH := p.h + p.padT + p.padB - p.kh
+	numW := p.w + p.padL + p.padR - p.kw
+	if numH < 0 || numW < 0 {
+		return p, fmt.Errorf("%s window %dx%d exceeds padded input %dx%d",
+			n.Op, p.kh, p.kw, p.h+p.padT+p.padB, p.w+p.padL+p.padR)
+	}
+	p.oh = numH/p.sh + 1
+	p.ow = numW/p.sw + 1
+	p.includePad = n.Attrs.Bool("count_include_pad", false)
+	return p, nil
+}
+
+func poolShape(n *graph.Node) ([][]int, error) {
+	p, err := resolvePool(n)
+	if err != nil {
+		return nil, err
+	}
+	return [][]int{{p.n, p.c, p.oh, p.ow}}, nil
+}
+
+func globalPoolShape(n *graph.Node) ([][]int, error) {
+	if len(n.Inputs) != 1 {
+		return nil, fmt.Errorf("GlobalAveragePool wants 1 input, got %d", len(n.Inputs))
+	}
+	x := n.Inputs[0].Shape
+	if len(x) != 4 {
+		return nil, fmt.Errorf("GlobalAveragePool input must be 4-D, got %v", x)
+	}
+	return [][]int{{x[0], x[1], 1, 1}}, nil
+}
+
+func denseShape(n *graph.Node) ([][]int, error) {
+	if len(n.Inputs) < 2 || len(n.Inputs) > 3 {
+		return nil, fmt.Errorf("Dense wants 2 or 3 inputs, got %d", len(n.Inputs))
+	}
+	x, w := n.Inputs[0].Shape, n.Inputs[1].Shape
+	if len(x) != 2 {
+		return nil, fmt.Errorf("Dense input must be 2-D [N,K], got %v", x)
+	}
+	if len(w) != 2 {
+		return nil, fmt.Errorf("Dense weight must be 2-D [M,K], got %v", w)
+	}
+	if x[1] != w[1] {
+		return nil, fmt.Errorf("Dense: input features %d != weight features %d", x[1], w[1])
+	}
+	if len(n.Inputs) == 3 {
+		b := n.Inputs[2].Shape
+		if len(b) != 1 || b[0] != w[0] {
+			return nil, fmt.Errorf("Dense bias shape %v, want [%d]", b, w[0])
+		}
+	}
+	return [][]int{{x[0], w[0]}}, nil
+}
+
+func binaryShape(n *graph.Node) ([][]int, error) {
+	if len(n.Inputs) != 2 {
+		return nil, fmt.Errorf("%s wants 2 inputs, got %d", n.Op, len(n.Inputs))
+	}
+	a, b := n.Inputs[0].Shape, n.Inputs[1].Shape
+	if tensor.ShapeEq(a, b) {
+		return [][]int{append([]int(nil), a...)}, nil
+	}
+	// Scalar broadcast: second operand with volume 1.
+	if tensor.Volume(b) == 1 {
+		return [][]int{append([]int(nil), a...)}, nil
+	}
+	return nil, fmt.Errorf("%s shapes %v and %v incompatible (only exact match or scalar broadcast)", n.Op, a, b)
+}
+
+func concatShape(n *graph.Node) ([][]int, error) {
+	if len(n.Inputs) == 0 {
+		return nil, fmt.Errorf("Concat wants at least 1 input")
+	}
+	axis := n.Attrs.Int("axis", 1)
+	first := n.Inputs[0].Shape
+	if axis < 0 {
+		axis += len(first)
+	}
+	if axis < 0 || axis >= len(first) {
+		return nil, fmt.Errorf("Concat axis %d out of range for rank %d", axis, len(first))
+	}
+	out := append([]int(nil), first...)
+	for _, in := range n.Inputs[1:] {
+		s := in.Shape
+		if len(s) != len(first) {
+			return nil, fmt.Errorf("Concat rank mismatch: %v vs %v", s, first)
+		}
+		for i := range s {
+			if i != axis && s[i] != first[i] {
+				return nil, fmt.Errorf("Concat dim %d mismatch: %v vs %v", i, s, first)
+			}
+		}
+		out[axis] += s[axis]
+	}
+	return [][]int{out}, nil
+}
+
+func flattenShape(n *graph.Node) ([][]int, error) {
+	if len(n.Inputs) != 1 {
+		return nil, fmt.Errorf("Flatten wants 1 input, got %d", len(n.Inputs))
+	}
+	axis := n.Attrs.Int("axis", 1)
+	s := n.Inputs[0].Shape
+	if axis < 0 || axis > len(s) {
+		return nil, fmt.Errorf("Flatten axis %d out of range for rank %d", axis, len(s))
+	}
+	outer, inner := 1, 1
+	for i := 0; i < axis; i++ {
+		outer *= s[i]
+	}
+	for i := axis; i < len(s); i++ {
+		inner *= s[i]
+	}
+	return [][]int{{outer, inner}}, nil
+}
+
+func reshapeShape(n *graph.Node) ([][]int, error) {
+	if len(n.Inputs) != 1 {
+		return nil, fmt.Errorf("Reshape wants 1 input, got %d", len(n.Inputs))
+	}
+	want := n.Attrs.Ints("shape", nil)
+	if len(want) == 0 {
+		return nil, fmt.Errorf("Reshape requires a 'shape' attribute")
+	}
+	vol := tensor.Volume(n.Inputs[0].Shape)
+	out := append([]int(nil), want...)
+	infer, prod := -1, 1
+	for i, d := range out {
+		switch {
+		case d == -1:
+			if infer >= 0 {
+				return nil, fmt.Errorf("Reshape shape %v has multiple -1", want)
+			}
+			infer = i
+		case d == 0: // ONNX semantics: copy the input dimension
+			if i >= len(n.Inputs[0].Shape) {
+				return nil, fmt.Errorf("Reshape dim 0 at %d beyond input rank", i)
+			}
+			out[i] = n.Inputs[0].Shape[i]
+			prod *= out[i]
+		case d < 0:
+			return nil, fmt.Errorf("Reshape shape %v has invalid dim", want)
+		default:
+			prod *= d
+		}
+	}
+	if infer >= 0 {
+		if prod == 0 || vol%prod != 0 {
+			return nil, fmt.Errorf("Reshape cannot infer -1: volume %d vs partial %d", vol, prod)
+		}
+		out[infer] = vol / prod
+		prod *= out[infer]
+	}
+	if prod != vol {
+		return nil, fmt.Errorf("Reshape volume mismatch: %v (%d) vs input %v (%d)", out, prod, n.Inputs[0].Shape, vol)
+	}
+	return [][]int{out}, nil
+}
+
+func padShape(n *graph.Node) ([][]int, error) {
+	if len(n.Inputs) != 1 {
+		return nil, fmt.Errorf("Pad wants 1 input, got %d", len(n.Inputs))
+	}
+	x := n.Inputs[0].Shape
+	if len(x) != 4 {
+		return nil, fmt.Errorf("Pad input must be 4-D NCHW, got %v", x)
+	}
+	pads := n.Attrs.Ints("pads", nil)
+	if len(pads) != 4 || pads[0] < 0 || pads[1] < 0 || pads[2] < 0 || pads[3] < 0 {
+		return nil, fmt.Errorf("Pad pads %v invalid (want [top,left,bottom,right])", pads)
+	}
+	return [][]int{{x[0], x[1], x[2] + pads[0] + pads[2], x[3] + pads[1] + pads[3]}}, nil
+}

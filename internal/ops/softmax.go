@@ -1,0 +1,58 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// Softmax over the given axis (default 1, the class dimension of [N, C]
+// logits). Numerically stabilised by subtracting the row maximum.
+func init() {
+	Register(NewKernel("softmax.direct", "Softmax", nil, runSoftmax))
+}
+
+func runSoftmax(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	x := in[0]
+	shape := x.Shape()
+	axis := n.Attrs.Int("axis", 1)
+	if axis < 0 {
+		axis += len(shape)
+	}
+	if axis < 0 || axis >= len(shape) {
+		return fmt.Errorf("Softmax axis %d out of range for shape %v", n.Attrs.Int("axis", 1), shape)
+	}
+	outer, inner := 1, 1
+	for i := 0; i < axis; i++ {
+		outer *= shape[i]
+	}
+	for i := axis + 1; i < len(shape); i++ {
+		inner *= shape[i]
+	}
+	c := shape[axis]
+	xd, yd := x.Data(), out[0].Data()
+	for o := 0; o < outer; o++ {
+		for in0 := 0; in0 < inner; in0++ {
+			base := o*c*inner + in0
+			maxV := float32(math.Inf(-1))
+			for j := 0; j < c; j++ {
+				if v := xd[base+j*inner]; v > maxV {
+					maxV = v
+				}
+			}
+			var sum float64
+			for j := 0; j < c; j++ {
+				e := math.Exp(float64(xd[base+j*inner] - maxV))
+				yd[base+j*inner] = float32(e)
+				sum += e
+			}
+			invSum := float32(1 / sum)
+			for j := 0; j < c; j++ {
+				yd[base+j*inner] *= invSum
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package passes
+
+import (
+	"fmt"
+	"math"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// FoldBatchNorm folds an inference-mode BatchNorm into the Conv or Dense
+// node that feeds it:
+//
+//	BN(W·x + b) = a ⊙ (W·x + b - μ) + β  with a = γ/√(σ²+ε)
+//	            = (a ⊙ W)·x + (a ⊙ (b - μ) + β)
+//
+// The producing node gets rescaled weights and a new bias; the BatchNorm
+// node disappears. This is both a latency and a memory win and is the
+// single most profitable simplification on BN-heavy models (all five
+// models in Figure 2 use BN after almost every convolution).
+func FoldBatchNorm() Pass {
+	return newPass("fold-batchnorm", func(g *graph.Graph) (bool, error) {
+		changed := false
+		for {
+			bn, prod := findFoldableBN(g)
+			if bn == nil {
+				return changed, nil
+			}
+			if err := foldBN(g, bn, prod); err != nil {
+				return changed, err
+			}
+			changed = true
+		}
+	})
+}
+
+func findFoldableBN(g *graph.Graph) (bn, producer *graph.Node) {
+	consumers := g.Consumers()
+	for _, n := range g.Nodes {
+		if n.Op != "BatchNorm" {
+			continue
+		}
+		prod := n.Inputs[0].Producer
+		if prod == nil || (prod.Op != "Conv" && prod.Op != "Dense") {
+			continue
+		}
+		if soleConsumer(g, consumers, prod.Outputs[0]) != n {
+			continue
+		}
+		// All BN params and the producer weights must be constant, and the
+		// producer must not already carry a fused activation (folding a BN
+		// through an activation would change semantics).
+		if prod.Attrs.Str("activation", "") != "" {
+			continue
+		}
+		constOK := prod.Inputs[1].IsConst()
+		if len(prod.Inputs) == 3 {
+			constOK = constOK && prod.Inputs[2].IsConst()
+		}
+		for _, p := range n.Inputs[1:] {
+			constOK = constOK && p.IsConst()
+		}
+		if !constOK {
+			continue
+		}
+		return n, prod
+	}
+	return nil, nil
+}
+
+func foldBN(g *graph.Graph, bn, prod *graph.Node) error {
+	scale := bn.Inputs[1].Const.Data()
+	beta := bn.Inputs[2].Const.Data()
+	mean := bn.Inputs[3].Const.Data()
+	variance := bn.Inputs[4].Const.Data()
+	eps := bn.Attrs.Float("epsilon", 1e-5)
+
+	w := prod.Inputs[1].Const
+	cout := w.Shape()[0]
+	if cout != len(scale) {
+		return fmt.Errorf("fold-batchnorm: %d output channels vs %d BN channels", cout, len(scale))
+	}
+
+	// a[oc] = γ/√(σ²+ε); W'[oc] = a[oc]·W[oc]; b'[oc] = a[oc]·(b[oc]-μ[oc]) + β[oc].
+	a := make([]float32, cout)
+	for i := range a {
+		a[i] = scale[i] / float32(math.Sqrt(float64(variance[i])+eps))
+	}
+	neww := w.Clone()
+	wd := neww.Data()
+	per := neww.Size() / cout
+	for oc := 0; oc < cout; oc++ {
+		row := wd[oc*per : (oc+1)*per]
+		for i := range row {
+			row[i] *= a[oc]
+		}
+	}
+	newb := tensor.New(cout)
+	bd := newb.Data()
+	var oldBias []float32
+	if len(prod.Inputs) == 3 {
+		oldBias = prod.Inputs[2].Const.Data()
+	}
+	for oc := 0; oc < cout; oc++ {
+		var b float32
+		if oldBias != nil {
+			b = oldBias[oc]
+		}
+		bd[oc] = a[oc]*(b-mean[oc]) + beta[oc]
+	}
+
+	wv, err := g.Const(freshName(g, prod.Name+".bnfold_w"), neww)
+	if err != nil {
+		return err
+	}
+	bv, err := g.Const(freshName(g, prod.Name+".bnfold_b"), newb)
+	if err != nil {
+		return err
+	}
+	prod.Inputs[1] = wv
+	if len(prod.Inputs) == 3 {
+		prod.Inputs[2] = bv
+	} else {
+		prod.Inputs = append(prod.Inputs, bv)
+	}
+	g.ReplaceUses(bn.Outputs[0], prod.Outputs[0])
+	return g.RemoveNode(bn)
+}
+
+// freshName returns base, or base#k for the first k that is unused.
+func freshName(g *graph.Graph, base string) string {
+	if g.Value(base) == nil {
+		return base
+	}
+	for k := 2; ; k++ {
+		name := fmt.Sprintf("%s#%d", base, k)
+		if g.Value(name) == nil {
+			return name
+		}
+	}
+}

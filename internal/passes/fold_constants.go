@@ -1,0 +1,90 @@
+package passes
+
+import (
+	"fmt"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/ops"
+	"orpheus/internal/tensor"
+)
+
+// FoldConstants evaluates nodes whose inputs are all constants using the
+// op's reference kernel and replaces their outputs with constant values.
+// Weight-preprocessing chains emitted by exporters (transposes, reshapes,
+// folded scales) disappear from the runtime graph this way.
+func FoldConstants() Pass {
+	return newPass("fold-constants", func(g *graph.Graph) (bool, error) {
+		changed := false
+		ctx := ops.NewCtx(1)
+		for {
+			n := findConstNode(g)
+			if n == nil {
+				return changed, nil
+			}
+			if err := foldNode(g, ctx, n); err != nil {
+				return changed, err
+			}
+			changed = true
+		}
+	})
+}
+
+func findConstNode(g *graph.Graph) *graph.Node {
+	for _, n := range g.Nodes {
+		if ops.Reference(n.Op) == nil {
+			continue
+		}
+		allConst := len(n.Inputs) > 0
+		for _, in := range n.Inputs {
+			if !in.IsConst() {
+				allConst = false
+				break
+			}
+		}
+		if !allConst {
+			continue
+		}
+		// Keep nodes whose outputs are graph outputs: the runtime expects
+		// to produce them.
+		anyOut := false
+		for _, out := range n.Outputs {
+			if isGraphOutput(g, out) {
+				anyOut = true
+				break
+			}
+		}
+		if anyOut {
+			continue
+		}
+		return n
+	}
+	return nil
+}
+
+func foldNode(g *graph.Graph, ctx *ops.Ctx, n *graph.Node) error {
+	kernel := ops.Reference(n.Op)
+	in := make([]*tensor.Tensor, len(n.Inputs))
+	for i, v := range n.Inputs {
+		in[i] = v.Const
+	}
+	// Output shapes must be inferred; Finalize before optimisation
+	// guarantees this for the original nodes, and new consts carry shapes.
+	out := make([]*tensor.Tensor, len(n.Outputs))
+	for i, v := range n.Outputs {
+		if v.Shape == nil {
+			return fmt.Errorf("fold-constants: node %q output %q has no inferred shape", n.Name, v.Name)
+		}
+		out[i] = tensor.New(v.Shape...)
+	}
+	if err := kernel.Run(ctx, n, in, out); err != nil {
+		return fmt.Errorf("fold-constants: evaluating %q (%s): %w", n.Name, n.Op, err)
+	}
+	for i, v := range n.Outputs {
+		cv, err := g.Const(freshName(g, v.Name+".const"), out[i])
+		if err != nil {
+			return err
+		}
+		g.ReplaceUses(v, cv)
+	}
+	return g.RemoveNode(n)
+}

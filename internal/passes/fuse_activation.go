@@ -1,0 +1,66 @@
+package passes
+
+import "orpheus/internal/graph"
+
+// FuseActivation folds a Relu, Relu6 or LeakyRelu node into the producing
+// Conv, Dense or Add node's "activation" attribute, so the kernel applies
+// the nonlinearity in its output loop instead of re-walking the tensor.
+func FuseActivation() Pass {
+	return newPass("fuse-activation", func(g *graph.Graph) (bool, error) {
+		changed := false
+		for {
+			act, prod := findFusableActivation(g)
+			if act == nil {
+				return changed, nil
+			}
+			prod.Attrs = prod.Attrs.Clone()
+			prod.Attrs["activation"] = fusedName(act.Op)
+			if act.Op == "LeakyRelu" {
+				prod.Attrs["alpha"] = act.Attrs.Float("alpha", 0.01)
+			}
+			g.ReplaceUses(act.Outputs[0], prod.Outputs[0])
+			if err := g.RemoveNode(act); err != nil {
+				return changed, err
+			}
+			changed = true
+		}
+	})
+}
+
+func fusedName(op string) string {
+	switch op {
+	case "Relu":
+		return "relu"
+	case "Relu6":
+		return "relu6"
+	case "LeakyRelu":
+		return "leakyrelu"
+	}
+	return ""
+}
+
+func findFusableActivation(g *graph.Graph) (act, producer *graph.Node) {
+	consumers := g.Consumers()
+	for _, n := range g.Nodes {
+		if fusedName(n.Op) == "" {
+			continue
+		}
+		prod := n.Inputs[0].Producer
+		if prod == nil {
+			continue
+		}
+		switch prod.Op {
+		case "Conv", "Dense", "Add":
+		default:
+			continue
+		}
+		if prod.Attrs.Str("activation", "") != "" {
+			continue
+		}
+		if soleConsumer(g, consumers, prod.Outputs[0]) != n {
+			continue
+		}
+		return n, prod
+	}
+	return nil, nil
+}

@@ -1,0 +1,303 @@
+package passes
+
+import (
+	"testing"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/runtime"
+	"orpheus/internal/tensor"
+)
+
+// convBNRelu builds x -> conv -> bn -> relu -> output, the canonical
+// fusion target, with an optional Identity and Pad sprinkled in.
+func convBNRelu(t testing.TB, withIdentity, withPad bool) *graph.Graph {
+	t.Helper()
+	r := tensor.NewRNG(11)
+	g := graph.New("cbr")
+	x, err := g.Input("x", []int{1, 3, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := x
+	if withPad {
+		cur, _ = g.Add("Pad", "pad0", graph.Attrs{"pads": []int{1, 1, 1, 1}}, cur)
+	}
+	w, _ := g.Const("w", tensor.HeNormal(r, 8, 3, 3, 3))
+	pads := []int{1, 1, 1, 1}
+	if withPad {
+		pads = []int{0, 0, 0, 0}
+	}
+	c, _ := g.Add("Conv", "conv", graph.Attrs{"pads": pads}, cur, w)
+	scale, _ := g.Const("bn_s", tensor.Rand(r, 0.5, 1.5, 8))
+	beta, _ := g.Const("bn_b", tensor.Rand(r, -0.5, 0.5, 8))
+	mean, _ := g.Const("bn_m", tensor.Rand(r, -0.5, 0.5, 8))
+	variance, _ := g.Const("bn_v", tensor.Rand(r, 0.5, 2, 8))
+	bn, _ := g.Add("BatchNorm", "bn", graph.Attrs{"epsilon": 1e-5}, c, scale, beta, mean, variance)
+	cur = bn
+	if withIdentity {
+		cur, _ = g.Add("Identity", "id0", nil, cur)
+	}
+	relu, _ := g.Add("Relu", "relu", nil, cur)
+	if err := g.MarkOutput(relu); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func evaluate(t testing.TB, g *graph.Graph, x *tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	plan, err := runtime.Compile(g, runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := runtime.NewSession(plan)
+	out, err := sess.Run(map[string]*tensor.Tensor{g.Inputs[0].Name: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		return v.Clone()
+	}
+	t.Fatal("no outputs")
+	return nil
+}
+
+func TestDefaultPipelinePreservesSemantics(t *testing.T) {
+	g := convBNRelu(t, true, true)
+	x := tensor.Rand(tensor.NewRNG(1), -1, 1, 1, 3, 8, 8)
+	want := evaluate(t, g, x)
+
+	opt := g.Clone()
+	if err := opt.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	applied, err := Default().Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) == 0 {
+		t.Fatal("pipeline applied no passes to an obviously optimisable graph")
+	}
+	got := evaluate(t, opt, x)
+	if !tensor.AllClose(got, want, 1e-4) {
+		t.Fatalf("optimised graph diverges: %g", tensor.MaxAbsDiff(got, want))
+	}
+	// Structure: pad, bn, identity and relu must all be gone; a single
+	// fused conv remains.
+	counts := opt.OpCounts()
+	if counts["BatchNorm"] != 0 || counts["Identity"] != 0 || counts["Pad"] != 0 || counts["Relu"] != 0 {
+		t.Fatalf("leftover nodes after optimisation: %v", counts)
+	}
+	if counts["Conv"] != 1 || len(opt.Nodes) != 1 {
+		t.Fatalf("expected a single fused conv, got %v", counts)
+	}
+	conv := opt.Nodes[0]
+	if conv.Attrs.Str("activation", "") != "relu" {
+		t.Fatal("relu not fused into conv")
+	}
+	if got := conv.Attrs.Ints("pads", nil); got[0] != 1 || got[1] != 1 {
+		t.Fatalf("pad not folded into conv: %v", got)
+	}
+	if len(conv.Inputs) != 3 {
+		t.Fatal("BN fold should have introduced a conv bias")
+	}
+}
+
+func TestFoldBatchNormNumericalIdentity(t *testing.T) {
+	g := convBNRelu(t, false, false)
+	x := tensor.Rand(tensor.NewRNG(2), -1, 1, 1, 3, 8, 8)
+	want := evaluate(t, g, x)
+	opt := g.Clone()
+	_ = opt.Finalize()
+	changed, err := FoldBatchNorm().Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("FoldBatchNorm found nothing to fold")
+	}
+	if err := opt.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	got := evaluate(t, opt, x)
+	if !tensor.AllClose(got, want, 1e-4) {
+		t.Fatalf("BN fold changed numerics: %g", tensor.MaxAbsDiff(got, want))
+	}
+}
+
+func TestFoldBatchNormSkipsSharedConvOutput(t *testing.T) {
+	// conv output feeds both BN and a second consumer: folding would
+	// change the second consumer's view, so the pass must skip it.
+	r := tensor.NewRNG(3)
+	g := graph.New("shared")
+	x, _ := g.Input("x", []int{1, 2, 4, 4})
+	w, _ := g.Const("w", tensor.HeNormal(r, 2, 2, 1, 1))
+	c, _ := g.Add("Conv", "conv", nil, x, w)
+	scale, _ := g.Const("s", tensor.Full(1, 2))
+	beta, _ := g.Const("b", tensor.New(2))
+	mean, _ := g.Const("m", tensor.New(2))
+	variance, _ := g.Const("v", tensor.Full(1, 2))
+	bn, _ := g.Add("BatchNorm", "bn", nil, c, scale, beta, mean, variance)
+	other, _ := g.Add("Relu", "other", nil, c)
+	sum, _ := g.Add("Add", "sum", nil, bn, other)
+	_ = g.MarkOutput(sum)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := FoldBatchNorm().Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("FoldBatchNorm folded through a multiply-consumed conv output")
+	}
+}
+
+func TestFuseActivationSkipsGraphOutputProducer(t *testing.T) {
+	// conv output is itself a graph output: fusing relu into it would
+	// change that output.
+	r := tensor.NewRNG(4)
+	g := graph.New("convout")
+	x, _ := g.Input("x", []int{1, 2, 4, 4})
+	w, _ := g.Const("w", tensor.HeNormal(r, 2, 2, 1, 1))
+	c, _ := g.Add("Conv", "conv", nil, x, w)
+	relu, _ := g.Add("Relu", "relu", nil, c)
+	_ = g.MarkOutput(c)
+	_ = g.MarkOutput(relu)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := FuseActivation().Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("FuseActivation fused into a node whose output is a graph output")
+	}
+}
+
+func TestFuseActivationOnAdd(t *testing.T) {
+	g := graph.New("addrelu")
+	a, _ := g.Input("a", []int{1, 4})
+	b, _ := g.Input("b", []int{1, 4})
+	s, _ := g.Add("Add", "sum", nil, a, b)
+	relu, _ := g.Add("Relu", "relu", nil, s)
+	_ = g.MarkOutput(relu)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := FuseActivation().Run(g)
+	if err != nil || !changed {
+		t.Fatalf("Add+Relu not fused: changed=%v err=%v", changed, err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	plan, _ := runtime.Compile(g, runtime.Options{})
+	sess := runtime.NewSession(plan)
+	out, err := sess.Run(map[string]*tensor.Tensor{
+		"a": tensor.FromSlice([]float32{-1, 2, -3, 4}, 1, 4),
+		"b": tensor.FromSlice([]float32{0, -5, 1, 1}, 1, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 0, 0, 5}
+	for _, v := range out {
+		for i, got := range v.Data() {
+			if got != want[i] {
+				t.Fatalf("fused add+relu[%d] = %v, want %v", i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestFoldConstants(t *testing.T) {
+	// A const-only subgraph (relu of a const) collapses to a const.
+	g := graph.New("constfold")
+	x, _ := g.Input("x", []int{1, 2}) // also keep a live input path
+	cval, _ := g.Const("c", tensor.FromSlice([]float32{-1, 3}, 1, 2))
+	crelu, _ := g.Add("Relu", "crelu", nil, cval)
+	sum, _ := g.Add("Add", "sum", nil, x, crelu)
+	_ = g.MarkOutput(sum)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := FoldConstants().Run(g)
+	if err != nil || !changed {
+		t.Fatalf("constants not folded: changed=%v err=%v", changed, err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if g.OpCounts()["Relu"] != 0 {
+		t.Fatal("const relu not removed")
+	}
+	out := evaluate(t, g, tensor.FromSlice([]float32{10, 10}, 1, 2))
+	want := []float32{10, 13} // relu(-1,3) = (0,3)
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Fatalf("folded graph out[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestEliminateDeadRemovesChains(t *testing.T) {
+	g := graph.New("dead")
+	x, _ := g.Input("x", []int{1, 4})
+	live, _ := g.Add("Relu", "live", nil, x)
+	d1, _ := g.Add("Relu", "dead1", nil, x)
+	_, _ = g.Add("Relu", "dead2", nil, d1)
+	_ = g.MarkOutput(live)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := EliminateDead().Run(g)
+	if err != nil || !changed {
+		t.Fatalf("dead chain not removed: %v", err)
+	}
+	if len(g.Nodes) != 1 {
+		t.Fatalf("nodes after dead elimination = %d, want 1", len(g.Nodes))
+	}
+}
+
+func TestPipelineIdempotent(t *testing.T) {
+	g := convBNRelu(t, true, true)
+	if _, err := Default().Run(g); err != nil {
+		t.Fatal(err)
+	}
+	before := len(g.Nodes)
+	applied, err := Default().Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 0 {
+		t.Fatalf("second pipeline run still applied: %v", applied)
+	}
+	if len(g.Nodes) != before {
+		t.Fatal("second run changed node count")
+	}
+}
+
+func TestFusePadRequiresZeroValue(t *testing.T) {
+	r := tensor.NewRNG(5)
+	g := graph.New("padval")
+	x, _ := g.Input("x", []int{1, 1, 4, 4})
+	p, _ := g.Add("Pad", "pad", graph.Attrs{"pads": []int{1, 1, 1, 1}, "value": 1.0}, x)
+	w, _ := g.Const("w", tensor.HeNormal(r, 1, 1, 3, 3))
+	c, _ := g.Add("Conv", "conv", nil, p, w)
+	_ = g.MarkOutput(c)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := FusePad().Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("non-zero Pad must not fold into Conv zero-padding")
+	}
+}

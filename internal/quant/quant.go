@@ -1,0 +1,158 @@
+// Package quant implements post-training int8 quantisation, an extension
+// in the spirit of the paper's motivation (Turner et al.'s across-stack
+// compression study): Orpheus exists so that optimisations like this can
+// be prototyped and *measured at system level* instead of assumed.
+//
+// The scheme is per-output-channel symmetric weight quantisation:
+//
+//	w_q[i] = round(w[i] / scale_c),  scale_c = max|w_c| / 127
+//
+// Activations stay float32 (weight-only quantisation), so accuracy loss
+// is bounded by weight rounding alone; the win is a 4x smaller weight
+// footprint — the metric the memory experiment tracks — at a modest
+// compute cost for dequantise-on-the-fly kernels.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// QTensor is a per-channel symmetric int8 quantised tensor. Channel is
+// the first dimension (Cout for conv weights, M for dense weights).
+type QTensor struct {
+	Shape  []int
+	Data   []int8
+	Scales []float32 // one per channel (dim 0)
+}
+
+// Quantize converts a float tensor to per-channel int8. The tensor must
+// have rank >= 1; dimension 0 is the channel axis.
+func Quantize(t *tensor.Tensor) (*QTensor, error) {
+	shape := t.Shape()
+	if len(shape) < 1 || shape[0] == 0 {
+		return nil, fmt.Errorf("quant: cannot quantise shape %v", shape)
+	}
+	channels := shape[0]
+	per := t.Size() / channels
+	q := &QTensor{
+		Shape:  append([]int(nil), shape...),
+		Data:   make([]int8, t.Size()),
+		Scales: make([]float32, channels),
+	}
+	src := t.Data()
+	for c := 0; c < channels; c++ {
+		row := src[c*per : (c+1)*per]
+		var maxAbs float32
+		for _, v := range row {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := maxAbs / 127
+		if scale == 0 {
+			scale = 1 // all-zero channel: any scale round-trips to zero
+		}
+		q.Scales[c] = scale
+		inv := 1 / scale
+		for i, v := range row {
+			r := math.RoundToEven(float64(v * inv))
+			if r > 127 {
+				r = 127
+			} else if r < -127 {
+				r = -127
+			}
+			q.Data[c*per+i] = int8(r)
+		}
+	}
+	return q, nil
+}
+
+// Dequantize reconstructs the float tensor.
+func (q *QTensor) Dequantize() *tensor.Tensor {
+	out := tensor.New(q.Shape...)
+	channels := q.Shape[0]
+	per := len(q.Data) / channels
+	dst := out.Data()
+	for c := 0; c < channels; c++ {
+		s := q.Scales[c]
+		for i := 0; i < per; i++ {
+			dst[c*per+i] = float32(q.Data[c*per+i]) * s
+		}
+	}
+	return out
+}
+
+// Bytes returns the quantised storage size (data + scales).
+func (q *QTensor) Bytes() int64 {
+	return int64(len(q.Data)) + int64(len(q.Scales))*4
+}
+
+// MaxError returns the largest |original - dequantised| element error;
+// it is bounded by scale/2 per channel.
+func MaxError(t *tensor.Tensor, q *QTensor) float64 {
+	return tensor.MaxAbsDiff(t, q.Dequantize())
+}
+
+// Report summarises the effect of quantising every Conv/Dense weight in a
+// graph.
+type Report struct {
+	Tensors       int
+	FloatBytes    int64
+	QuantBytes    int64
+	WorstRelError float64 // max per-tensor ||w - deq(q(w))|| / ||w||
+}
+
+// Compression is the float/quant byte ratio.
+func (r Report) Compression() float64 {
+	if r.QuantBytes == 0 {
+		return 0
+	}
+	return float64(r.FloatBytes) / float64(r.QuantBytes)
+}
+
+// QuantizeGraph rewrites g in place: every Conv and Dense weight constant
+// is replaced by its quantise→dequantise image (weight-only fake-quant,
+// the standard way to measure quantisation quality without dedicated
+// int8 kernels), and returns the footprint report. Biases and BN
+// parameters are left in float, as deployed int8 runtimes do.
+func QuantizeGraph(g *graph.Graph) (Report, error) {
+	var rep Report
+	seen := map[*graph.Value]bool{}
+	for _, n := range g.Nodes {
+		if n.Op != "Conv" && n.Op != "Dense" {
+			continue
+		}
+		if len(n.Inputs) < 2 {
+			continue
+		}
+		w := n.Inputs[1]
+		if !w.IsConst() || seen[w] {
+			continue
+		}
+		seen[w] = true
+		q, err := Quantize(w.Const)
+		if err != nil {
+			return rep, fmt.Errorf("quant: node %q: %w", n.Name, err)
+		}
+		deq := q.Dequantize()
+		rel := tensor.RelError(deq, w.Const)
+		if rel > rep.WorstRelError {
+			rep.WorstRelError = rel
+		}
+		rep.Tensors++
+		rep.FloatBytes += int64(w.Const.Size()) * 4
+		rep.QuantBytes += q.Bytes()
+		// Swap the constant contents in place so every consumer sees the
+		// quantised weights.
+		copy(w.Const.Data(), deq.Data())
+	}
+	return rep, nil
+}

@@ -1,0 +1,146 @@
+package quant
+
+import (
+	"testing"
+	"testing/quick"
+
+	"orpheus/internal/runtime"
+	"orpheus/internal/tensor"
+	"orpheus/internal/zoo"
+)
+
+func TestQuantizeRoundTripBounded(t *testing.T) {
+	f := func(seed uint64, cb uint8) bool {
+		c := int(cb%8) + 1
+		w := tensor.RandNormal(tensor.NewRNG(seed), 0.2, c, 16)
+		q, err := Quantize(w)
+		if err != nil {
+			return false
+		}
+		// Per-channel error bound: scale/2 (round-to-nearest).
+		deq := q.Dequantize()
+		for ch := 0; ch < c; ch++ {
+			bound := float64(q.Scales[ch]) / 2 * 1.0001
+			for i := 0; i < 16; i++ {
+				d := float64(w.At(ch, i) - deq.At(ch, i))
+				if d < 0 {
+					d = -d
+				}
+				if d > bound {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeExactValues(t *testing.T) {
+	// Channel max 127 → scale 1 → integers survive exactly.
+	w := tensor.FromSlice([]float32{127, -127, 64, 0}, 1, 4)
+	q, err := Quantize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Scales[0] != 1 {
+		t.Fatalf("scale = %v", q.Scales[0])
+	}
+	if MaxError(w, q) != 0 {
+		t.Fatal("integer weights should quantise exactly")
+	}
+}
+
+func TestQuantizeZeroChannel(t *testing.T) {
+	w := tensor.New(2, 3) // all zeros
+	q, err := Quantize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxError(w, q) != 0 {
+		t.Fatal("zero tensor should round-trip exactly")
+	}
+}
+
+func TestQuantizeRejectsEmpty(t *testing.T) {
+	if _, err := Quantize(tensor.New(0, 4)); err == nil {
+		t.Fatal("empty channel dim accepted")
+	}
+}
+
+func TestBytesCompression(t *testing.T) {
+	w := tensor.RandNormal(tensor.NewRNG(1), 0.1, 8, 64)
+	q, _ := Quantize(w)
+	// 512 int8 + 8 scales*4 = 544 vs 2048 float bytes ≈ 3.76x.
+	if q.Bytes() != 512+32 {
+		t.Fatalf("Bytes = %d", q.Bytes())
+	}
+}
+
+func TestQuantizeGraphOnWRN(t *testing.T) {
+	g, err := zoo.WRN40_2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Rand(tensor.NewRNG(2), -1, 1, 1, 3, 32, 32)
+	run := func() *tensor.Tensor {
+		plan, err := runtime.Compile(g, runtime.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := runtime.NewSession(plan)
+		out, err := sess.Run(map[string]*tensor.Tensor{"input": x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range out {
+			return v.Clone()
+		}
+		return nil
+	}
+	before := run()
+	rep, err := QuantizeGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tensors != 40 { // one per conv; dense counted too -> 41
+		if rep.Tensors != 41 {
+			t.Fatalf("quantised %d tensors, want 40 convs + 1 dense", rep.Tensors)
+		}
+	}
+	if rep.Compression() < 3.5 || rep.Compression() > 4.0 {
+		t.Fatalf("compression = %.2fx, want ~3.9x", rep.Compression())
+	}
+	if rep.WorstRelError > 0.02 {
+		t.Fatalf("worst weight relative error %.4f too high", rep.WorstRelError)
+	}
+	after := run()
+	// Weight-only int8 should barely move the softmax output.
+	if d := tensor.MaxAbsDiff(before, after); d > 0.2 {
+		t.Fatalf("quantised network diverges: max prob diff %g", d)
+	}
+}
+
+func TestQuantizeGraphIdempotentByteCount(t *testing.T) {
+	g, err := zoo.WRN40_2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := QuantizeGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := QuantizeGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Tensors != rep2.Tensors || rep1.FloatBytes != rep2.FloatBytes {
+		t.Fatal("second quantisation saw different tensors")
+	}
+	// Second pass quantises already-quantised weights: error ~ 0.
+	if rep2.WorstRelError > 1e-3 {
+		t.Fatalf("re-quantisation error %g, want ~0", rep2.WorstRelError)
+	}
+}

@@ -1,0 +1,78 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"orpheus/internal/tensor"
+)
+
+// Stats summarises repeated inference timings.
+type Stats struct {
+	Runs   int
+	Min    time.Duration
+	Max    time.Duration
+	Mean   time.Duration
+	Median time.Duration
+	Stddev time.Duration
+}
+
+// String formats the stats compactly for experiment tables.
+func (s Stats) String() string {
+	return fmt.Sprintf("median %s (min %s, mean %s ± %s, n=%d)",
+		s.Median, s.Min, s.Mean, s.Stddev, s.Runs)
+}
+
+// Measure runs warm-up iterations followed by timed repetitions of the
+// whole graph and returns the distribution. This mirrors the paper's
+// experiment infrastructure for "evaluating full networks".
+func Measure(s *Session, inputs map[string]*tensor.Tensor, warmup, reps int) (Stats, error) {
+	if reps < 1 {
+		return Stats{}, fmt.Errorf("runtime: Measure needs at least 1 rep, got %d", reps)
+	}
+	for i := 0; i < warmup; i++ {
+		if _, err := s.Run(inputs); err != nil {
+			return Stats{}, err
+		}
+	}
+	durations := make([]time.Duration, reps)
+	for i := range durations {
+		start := time.Now()
+		if _, err := s.Run(inputs); err != nil {
+			return Stats{}, err
+		}
+		durations[i] = time.Since(start)
+	}
+	return Summarise(durations), nil
+}
+
+// Summarise computes distribution statistics over raw durations.
+func Summarise(durations []time.Duration) Stats {
+	if len(durations) == 0 {
+		return Stats{}
+	}
+	sorted := append([]time.Duration(nil), durations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum, sq float64
+	for _, d := range sorted {
+		f := float64(d)
+		sum += f
+		sq += f * f
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Stats{
+		Runs:   len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   time.Duration(mean),
+		Median: sorted[len(sorted)/2],
+		Stddev: time.Duration(math.Sqrt(variance)),
+	}
+}

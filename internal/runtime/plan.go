@@ -1,0 +1,165 @@
+package runtime
+
+import (
+	"fmt"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/ops"
+	"orpheus/internal/tensor"
+)
+
+// Options configures plan compilation and execution.
+type Options struct {
+	// Policy selects kernels; nil means ReferencePolicy.
+	Policy Policy
+	// Workers is the goroutine budget handed to kernels (default 1, the
+	// paper's single-core setting).
+	Workers int
+	// NoBufferReuse disables the liveness-based memory planner: every
+	// value gets a private buffer allocated at run time, emulating
+	// frameworks that allocate per operator call (torch-sim; ablation A3).
+	NoBufferReuse bool
+	// DisableScratchReuse additionally makes kernels reallocate their
+	// internal scratch (im2col buffers etc.) on every call.
+	DisableScratchReuse bool
+}
+
+// step is one planned node execution.
+type step struct {
+	node   *graph.Node
+	kernel ops.Kernel
+}
+
+// Plan is a compiled execution plan: topologically ordered steps with
+// kernels chosen and buffer slots assigned.
+type Plan struct {
+	g     *graph.Graph
+	opts  Options
+	steps []step
+
+	// slotOf maps every intermediate (non-const, non-input) value to an
+	// arena slot; slotSize is each slot's element capacity.
+	slotOf   map[*graph.Value]int
+	slotSize []int
+
+	// arenaBytes is the planned arena footprint; noReuseBytes is what the
+	// same graph needs without reuse (for the memory experiments).
+	arenaBytes   int64
+	noReuseBytes int64
+}
+
+// Compile plans execution of g: validates it, selects kernels and lays out
+// the buffer arena. The graph must have been Finalize()d.
+func Compile(g *graph.Graph, opts Options) (*Plan, error) {
+	if opts.Policy == nil {
+		opts.Policy = ReferencePolicy{}
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if err := g.TopoSort(); err != nil {
+		return nil, err
+	}
+	p := &Plan{g: g, opts: opts, slotOf: make(map[*graph.Value]int)}
+	for _, n := range g.Nodes {
+		k, err := opts.Policy.Select(n)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: selecting kernel for %q (%s): %w", n.Name, n.Op, err)
+		}
+		if k.Op() != n.Op {
+			return nil, fmt.Errorf("runtime: policy %q returned kernel %q (op %s) for op %s",
+				opts.Policy.Name(), k.Name(), k.Op(), n.Op)
+		}
+		if !k.Supports(n) {
+			return nil, fmt.Errorf("runtime: policy %q selected kernel %q which does not support node %q",
+				opts.Policy.Name(), k.Name(), n.Name)
+		}
+		p.steps = append(p.steps, step{node: n, kernel: k})
+	}
+	p.planBuffers()
+	return p, nil
+}
+
+// planBuffers assigns arena slots to intermediate values using a greedy
+// best-fit allocator over value live ranges.
+func (p *Plan) planBuffers() {
+	lastUse := make(map[*graph.Value]int)
+	for i, st := range p.steps {
+		for _, in := range st.node.Inputs {
+			lastUse[in] = i
+		}
+	}
+	// Graph outputs live to the end.
+	for _, out := range p.g.Outputs {
+		lastUse[out] = len(p.steps)
+	}
+
+	type freeSlot struct{ id, size int }
+	var free []freeSlot
+	takeSlot := func(size int) int {
+		// Best fit: smallest free slot that holds size; grow the smallest
+		// slot otherwise (keeps slot count minimal).
+		best := -1
+		for i, f := range free {
+			if f.size >= size && (best < 0 || f.size < free[best].size) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			id := free[best].id
+			free = append(free[:best], free[best+1:]...)
+			return id
+		}
+		p.slotSize = append(p.slotSize, size)
+		return len(p.slotSize) - 1
+	}
+
+	for i, st := range p.steps {
+		for _, out := range st.node.Outputs {
+			size := tensor.Volume(out.Shape)
+			p.noReuseBytes += int64(size) * 4
+			id := takeSlot(size)
+			if p.slotSize[id] < size {
+				p.slotSize[id] = size
+			}
+			p.slotOf[out] = id
+		}
+		// Release slots whose values die at this step.
+		for _, in := range st.node.Inputs {
+			if lastUse[in] != i {
+				continue
+			}
+			if id, ok := p.slotOf[in]; ok {
+				free = append(free, freeSlot{id: id, size: p.slotSize[id]})
+			}
+		}
+	}
+	for _, size := range p.slotSize {
+		p.arenaBytes += int64(size) * 4
+	}
+}
+
+// ArenaBytes returns the planned intermediate-buffer footprint with reuse.
+func (p *Plan) ArenaBytes() int64 { return p.arenaBytes }
+
+// NoReuseBytes returns the footprint the graph would need if every
+// intermediate value had a private buffer.
+func (p *Plan) NoReuseBytes() int64 { return p.noReuseBytes }
+
+// WeightBytes returns the total constant (weight) footprint.
+func (p *Plan) WeightBytes() int64 { return p.g.NumParams() * 4 }
+
+// Steps returns the planned (node, kernel-name) sequence for reporting.
+func (p *Plan) Steps() []PlannedStep {
+	out := make([]PlannedStep, len(p.steps))
+	for i, st := range p.steps {
+		out[i] = PlannedStep{Node: st.node, Kernel: st.kernel.Name()}
+	}
+	return out
+}
+
+// PlannedStep describes one entry of the execution plan.
+type PlannedStep struct {
+	Node   *graph.Node
+	Kernel string
+}

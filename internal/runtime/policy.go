@@ -1,0 +1,40 @@
+// Package runtime executes Orpheus graphs: it selects a kernel for every
+// node according to a Policy, plans buffer reuse from value liveness, and
+// runs inference with optional per-layer profiling.
+package runtime
+
+import (
+	"fmt"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/ops"
+)
+
+// Policy chooses which registered kernel executes a node. Backends
+// (internal/backend) supply policies that emulate different frameworks'
+// algorithm choices; the default policy picks each op's reference kernel.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Select returns the kernel to run for n.
+	Select(n *graph.Node) (ops.Kernel, error)
+}
+
+// ReferencePolicy selects every op's reference kernel (the simplest
+// correct implementation). It is the fallback when no backend is given.
+type ReferencePolicy struct{}
+
+// Name implements Policy.
+func (ReferencePolicy) Name() string { return "reference" }
+
+// Select implements Policy.
+func (ReferencePolicy) Select(n *graph.Node) (ops.Kernel, error) {
+	k := ops.Reference(n.Op)
+	if k == nil {
+		return nil, fmt.Errorf("runtime: no kernel registered for op %q", n.Op)
+	}
+	if !k.Supports(n) {
+		return nil, fmt.Errorf("runtime: reference kernel %q does not support node %q", k.Name(), n.Name)
+	}
+	return k, nil
+}

@@ -1,0 +1,258 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/ops"
+	"orpheus/internal/tensor"
+)
+
+// smallCNN builds conv(3x3) -> relu -> maxpool -> flatten -> dense -> softmax.
+func smallCNN(t testing.TB) *graph.Graph {
+	t.Helper()
+	r := tensor.NewRNG(1)
+	g := graph.New("smallcnn")
+	x, err := g.Input("x", []int{1, 3, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, _ := g.Const("w1", tensor.HeNormal(r, 4, 3, 3, 3))
+	b1, _ := g.Const("b1", tensor.Rand(r, -0.1, 0.1, 4))
+	c1, _ := g.Add("Conv", "conv1", graph.Attrs{"pads": []int{1, 1, 1, 1}}, x, w1, b1)
+	a1, _ := g.Add("Relu", "relu1", nil, c1)
+	p1, _ := g.Add("MaxPool", "pool1", graph.Attrs{"kernel": []int{2, 2}, "strides": []int{2, 2}}, a1)
+	f1, _ := g.Add("Flatten", "flat", graph.Attrs{"axis": 1}, p1)
+	wd, _ := g.Const("wd", tensor.HeNormal(r, 10, 4*4*4))
+	bd, _ := g.Const("bd", tensor.Rand(r, -0.1, 0.1, 10))
+	d1, _ := g.Add("Dense", "fc", nil, f1, wd, bd)
+	sm, _ := g.Add("Softmax", "prob", nil, d1)
+	if err := g.MarkOutput(sm); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func runGraph(t testing.TB, g *graph.Graph, opts Options, x *tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	plan, err := Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(plan)
+	out, err := sess.Run(map[string]*tensor.Tensor{g.Inputs[0].Name: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("outputs = %d, want 1", len(out))
+	}
+	for _, v := range out {
+		return v.Clone()
+	}
+	return nil
+}
+
+func TestSessionRunsSmallCNN(t *testing.T) {
+	g := smallCNN(t)
+	x := tensor.Rand(tensor.NewRNG(2), -1, 1, 1, 3, 8, 8)
+	out := runGraph(t, g, Options{}, x)
+	if !tensor.ShapeEq(out.Shape(), []int{1, 10}) {
+		t.Fatalf("output shape = %v", out.Shape())
+	}
+	var sum float64
+	for _, v := range out.Data() {
+		sum += float64(v)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("softmax output sums to %v", sum)
+	}
+}
+
+func TestBufferReuseMatchesNoReuse(t *testing.T) {
+	g := smallCNN(t)
+	x := tensor.Rand(tensor.NewRNG(3), -1, 1, 1, 3, 8, 8)
+	a := runGraph(t, g, Options{}, x)
+	b := runGraph(t, g, Options{NoBufferReuse: true, DisableScratchReuse: true}, x)
+	if !tensor.AllClose(a, b, 1e-6) {
+		t.Fatalf("arena execution differs from fresh-alloc execution: %g", tensor.MaxAbsDiff(a, b))
+	}
+}
+
+func TestRepeatedRunsAreDeterministic(t *testing.T) {
+	g := smallCNN(t)
+	plan, err := Compile(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(plan)
+	x := tensor.Rand(tensor.NewRNG(4), -1, 1, 1, 3, 8, 8)
+	in := map[string]*tensor.Tensor{"x": x}
+	out1, err := sess.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := out1["prob_out"].Clone()
+	for i := 0; i < 3; i++ {
+		out, err := sess.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.AllClose(out["prob_out"], first, 0) {
+			t.Fatalf("run %d differs from first run", i)
+		}
+	}
+}
+
+func TestArenaSmallerThanNoReuse(t *testing.T) {
+	g := smallCNN(t)
+	plan, err := Compile(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ArenaBytes() >= plan.NoReuseBytes() {
+		t.Fatalf("arena %d >= no-reuse %d: planner found no reuse in a chain graph",
+			plan.ArenaBytes(), plan.NoReuseBytes())
+	}
+	if plan.WeightBytes() != g.NumParams()*4 {
+		t.Fatal("WeightBytes inconsistent with graph params")
+	}
+}
+
+func TestMissingAndMisshapenInputs(t *testing.T) {
+	g := smallCNN(t)
+	plan, _ := Compile(g, Options{})
+	sess := NewSession(plan)
+	if _, err := sess.Run(map[string]*tensor.Tensor{}); err == nil || !strings.Contains(err.Error(), "missing input") {
+		t.Fatalf("missing input not reported: %v", err)
+	}
+	bad := tensor.New(1, 3, 4, 4)
+	if _, err := sess.Run(map[string]*tensor.Tensor{"x": bad}); err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Fatalf("shape mismatch not reported: %v", err)
+	}
+}
+
+func TestRunProfiledCoversAllNodes(t *testing.T) {
+	g := smallCNN(t)
+	plan, _ := Compile(g, Options{})
+	sess := NewSession(plan)
+	x := tensor.Rand(tensor.NewRNG(5), -1, 1, 1, 3, 8, 8)
+	_, timings, err := sess.RunProfiled(map[string]*tensor.Tensor{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timings) != len(g.Nodes) {
+		t.Fatalf("timings for %d nodes, want %d", len(timings), len(g.Nodes))
+	}
+	var convFlops int64
+	for _, lt := range timings {
+		if lt.Node.Op == "Conv" {
+			convFlops = lt.Flops
+		}
+	}
+	// conv1: 2 * (3*3*3) * (4*8*8) = 13824.
+	if convFlops != 13824 {
+		t.Fatalf("conv flops = %d, want 13824", convFlops)
+	}
+}
+
+// namedPolicy forces a specific kernel for one op.
+type namedPolicy struct{ op, kernel string }
+
+func (p namedPolicy) Name() string { return "test-" + p.kernel }
+func (p namedPolicy) Select(n *graph.Node) (ops.Kernel, error) {
+	if n.Op == p.op {
+		return ops.ByName(p.kernel), nil
+	}
+	return ReferencePolicy{}.Select(n)
+}
+
+func TestPolicySelectsRequestedKernel(t *testing.T) {
+	g := smallCNN(t)
+	plan, err := Compile(g, Options{Policy: namedPolicy{op: "Conv", kernel: "conv.im2col"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, st := range plan.Steps() {
+		if st.Node.Op == "Conv" && st.Kernel == "conv.im2col" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("policy did not select conv.im2col")
+	}
+	// Numerical equivalence across policies.
+	x := tensor.Rand(tensor.NewRNG(6), -1, 1, 1, 3, 8, 8)
+	ref := runGraph(t, g, Options{}, x)
+	got := runGraph(t, g, Options{Policy: namedPolicy{op: "Conv", kernel: "conv.im2col"}}, x)
+	if !tensor.AllClose(ref, got, 1e-5) {
+		t.Fatal("im2col policy diverges from reference policy")
+	}
+}
+
+func TestPolicyRejectsUnsupportedKernel(t *testing.T) {
+	g := smallCNN(t) // conv1 is not depthwise
+	_, err := Compile(g, Options{Policy: namedPolicy{op: "Conv", kernel: "conv.depthwise"}})
+	if err == nil {
+		t.Fatal("unsupported kernel selection not rejected at compile time")
+	}
+}
+
+func TestDiamondLivenessNoAliasing(t *testing.T) {
+	// x -> a(relu), x -> b(relu); out = a + b. The planner must not give a
+	// and b the same slot even though both die at the Add.
+	g := graph.New("diamond")
+	x, _ := g.Input("x", []int{1, 16})
+	a, _ := g.Add("Relu", "a", nil, x)
+	b, _ := g.Add("LeakyRelu", "b", graph.Attrs{"alpha": 0.5}, x)
+	s, _ := g.Add("Add", "sum", nil, a, b)
+	_ = g.MarkOutput(s)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	xs := tensor.Full(-2, 1, 16)
+	out := runGraph(t, g, Options{}, xs)
+	// relu(-2) + leaky(-2, 0.5) = 0 + (-1) = -1.
+	for _, v := range out.Data() {
+		if v != -1 {
+			t.Fatalf("diamond result = %v, want -1 (slot aliasing?)", v)
+		}
+	}
+}
+
+func TestMeasureStats(t *testing.T) {
+	g := smallCNN(t)
+	plan, _ := Compile(g, Options{})
+	sess := NewSession(plan)
+	x := tensor.Rand(tensor.NewRNG(7), -1, 1, 1, 3, 8, 8)
+	stats, err := Measure(sess, map[string]*tensor.Tensor{"x": x}, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != 5 || stats.Min <= 0 || stats.Median < stats.Min || stats.Max < stats.Median {
+		t.Fatalf("implausible stats: %+v", stats)
+	}
+	if _, err := Measure(sess, map[string]*tensor.Tensor{"x": x}, 0, 0); err == nil {
+		t.Fatal("Measure with 0 reps should error")
+	}
+}
+
+func TestSummariseKnownValues(t *testing.T) {
+	s := Summarise(nil)
+	if s.Runs != 0 {
+		t.Fatal("empty summarise should be zero")
+	}
+	s = Summarise([]time.Duration{4, 2, 8, 6})
+	if s.Min != 2 || s.Max != 8 || s.Mean != 5 || s.Median != 6 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if !strings.Contains(s.String(), "median") {
+		t.Fatal("String should mention median")
+	}
+}

@@ -1,0 +1,151 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/ops"
+	"orpheus/internal/tensor"
+)
+
+// Session executes a compiled Plan. It owns the buffer arena and the
+// kernel context (scratch pools, GEMM packing buffers), so repeated Run
+// calls are allocation-free on the planned path. A Session is not safe for
+// concurrent use; create one per goroutine.
+type Session struct {
+	plan *Plan
+	ctx  *ops.Ctx
+
+	// slots are the arena buffers (nil when NoBufferReuse).
+	slots [][]float32
+}
+
+// NewSession prepares an executable session from a plan, allocating the
+// arena up front.
+func NewSession(plan *Plan) *Session {
+	s := &Session{plan: plan, ctx: ops.NewCtx(plan.opts.Workers)}
+	s.ctx.DisableScratchReuse = plan.opts.DisableScratchReuse
+	if !plan.opts.NoBufferReuse {
+		s.slots = make([][]float32, len(plan.slotSize))
+		for i, size := range plan.slotSize {
+			s.slots[i] = make([]float32, size)
+		}
+	}
+	return s
+}
+
+// LayerTiming records one node execution during a profiled run.
+type LayerTiming struct {
+	Node     *graph.Node
+	Kernel   string
+	Duration time.Duration
+	Flops    int64
+}
+
+// Run executes the graph on the given named inputs and returns the graph
+// outputs keyed by value name. Output tensors alias arena storage and are
+// only valid until the next Run; Clone them to keep results.
+func (s *Session) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	outs, _, err := s.run(inputs, false)
+	return outs, err
+}
+
+// RunProfiled is Run plus per-layer wall-clock timings.
+func (s *Session) RunProfiled(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, []LayerTiming, error) {
+	return s.run(inputs, true)
+}
+
+func (s *Session) run(inputs map[string]*tensor.Tensor, profile bool) (map[string]*tensor.Tensor, []LayerTiming, error) {
+	bound := make(map[*graph.Value]*tensor.Tensor, len(s.plan.slotOf)+len(inputs))
+	for _, in := range s.plan.g.Inputs {
+		t, ok := inputs[in.Name]
+		if !ok {
+			return nil, nil, fmt.Errorf("runtime: missing input %q", in.Name)
+		}
+		if !tensor.ShapeEq(t.Shape(), in.Shape) {
+			return nil, nil, fmt.Errorf("runtime: input %q has shape %v, want %v", in.Name, t.Shape(), in.Shape)
+		}
+		bound[in] = t
+	}
+
+	var timings []LayerTiming
+	if profile {
+		timings = make([]LayerTiming, 0, len(s.plan.steps))
+	}
+	for _, st := range s.plan.steps {
+		in := make([]*tensor.Tensor, len(st.node.Inputs))
+		for i, v := range st.node.Inputs {
+			t, err := s.tensorFor(bound, v)
+			if err != nil {
+				return nil, nil, err
+			}
+			in[i] = t
+		}
+		out := make([]*tensor.Tensor, len(st.node.Outputs))
+		for i, v := range st.node.Outputs {
+			out[i] = s.allocOutput(bound, v)
+		}
+		start := time.Time{}
+		if profile {
+			start = time.Now()
+		}
+		if err := st.kernel.Run(s.ctx, st.node, in, out); err != nil {
+			return nil, nil, fmt.Errorf("runtime: node %q (%s, kernel %s): %w", st.node.Name, st.node.Op, st.kernel.Name(), err)
+		}
+		if profile {
+			timings = append(timings, LayerTiming{
+				Node:     st.node,
+				Kernel:   st.kernel.Name(),
+				Duration: time.Since(start),
+				Flops:    ops.NodeFlops(st.node),
+			})
+		}
+	}
+
+	results := make(map[string]*tensor.Tensor, len(s.plan.g.Outputs))
+	for _, o := range s.plan.g.Outputs {
+		t, err := s.tensorFor(bound, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		results[o.Name] = t
+	}
+	return results, timings, nil
+}
+
+// tensorFor resolves the tensor currently bound to v.
+func (s *Session) tensorFor(bound map[*graph.Value]*tensor.Tensor, v *graph.Value) (*tensor.Tensor, error) {
+	if t := bound[v]; t != nil {
+		return t, nil
+	}
+	if v.IsConst() {
+		return v.Const, nil
+	}
+	return nil, fmt.Errorf("runtime: value %q read before being produced", v.Name)
+}
+
+// allocOutput binds v to storage: an arena slot view under the planner, or
+// a fresh tensor when buffer reuse is disabled.
+func (s *Session) allocOutput(bound map[*graph.Value]*tensor.Tensor, v *graph.Value) *tensor.Tensor {
+	size := tensor.Volume(v.Shape)
+	var t *tensor.Tensor
+	if s.slots != nil {
+		buf := s.slots[s.plan.slotOf[v]][:size]
+		for i := range buf {
+			buf[i] = 0
+		}
+		t = tensor.FromSlice(buf, v.Shape...)
+	} else {
+		t = tensor.New(v.Shape...)
+	}
+	bound[v] = t
+	return t
+}
+
+// Plan returns the session's compiled plan.
+func (s *Session) Plan() *Plan { return s.plan }
+
+// CtxScratchBytes reports the kernel scratch footprint accumulated so far
+// (im2col buffers, Winograd transforms, cached weights).
+func (s *Session) CtxScratchBytes() int64 { return s.ctx.ScratchBytes }

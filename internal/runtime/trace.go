@@ -1,0 +1,58 @@
+package runtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// TraceEvent is one entry of the Chrome trace-event format ("X" complete
+// events), so profiled runs can be inspected in chrome://tracing or
+// Perfetto.
+type TraceEvent struct {
+	Name     string         `json:"name"`
+	Category string         `json:"cat"`
+	Phase    string         `json:"ph"`
+	TsMicros float64        `json:"ts"`
+	DurMicro float64        `json:"dur"`
+	PID      int            `json:"pid"`
+	TID      int            `json:"tid"`
+	Args     map[string]any `json:"args,omitempty"`
+}
+
+// WriteTrace serialises per-layer timings as a Chrome trace. Events are
+// laid end to end on one timeline (profiled execution is sequential), so
+// the visual width of each slice is the layer's share of inference time.
+func WriteTrace(w io.Writer, timings []LayerTiming) error {
+	events := make([]TraceEvent, 0, len(timings))
+	var cursor time.Duration
+	for _, lt := range timings {
+		args := map[string]any{
+			"op":     lt.Node.Op,
+			"kernel": lt.Kernel,
+		}
+		if lt.Flops > 0 {
+			args["mflops"] = float64(lt.Flops) / 1e6
+			if lt.Duration > 0 {
+				args["gflops_per_s"] = float64(lt.Flops) / float64(lt.Duration.Nanoseconds())
+			}
+		}
+		events = append(events, TraceEvent{
+			Name:     lt.Node.Name,
+			Category: lt.Node.Op,
+			Phase:    "X",
+			TsMicros: float64(cursor) / 1e3,
+			DurMicro: float64(lt.Duration) / 1e3,
+			PID:      1,
+			TID:      1,
+			Args:     args,
+		})
+		cursor += lt.Duration
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(map[string]any{"traceEvents": events}); err != nil {
+		return fmt.Errorf("runtime: encoding trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"orpheus/internal/tensor"
+)
+
+func TestWriteTrace(t *testing.T) {
+	g := smallCNN(t)
+	plan, err := Compile(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(plan)
+	x := tensor.Rand(tensor.NewRNG(8), -1, 1, 1, 3, 8, 8)
+	_, timings, err := sess.RunProfiled(map[string]*tensor.Tensor{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, timings); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(timings) {
+		t.Fatalf("events = %d, want %d", len(doc.TraceEvents), len(timings))
+	}
+	// Events must be laid end to end: ts monotonically non-decreasing.
+	prevEnd := -1.0
+	for _, e := range doc.TraceEvents {
+		if e.Phase != "X" || e.TsMicros < prevEnd-1e-9 {
+			t.Fatalf("event %q overlaps previous: ts=%v prevEnd=%v", e.Name, e.TsMicros, prevEnd)
+		}
+		prevEnd = e.TsMicros + e.DurMicro
+	}
+	// Conv events carry kernel and flops args.
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e.Category == "Conv" {
+			found = true
+			if e.Args["kernel"] == "" || e.Args["mflops"] == nil {
+				t.Fatalf("conv event args incomplete: %v", e.Args)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no Conv event in trace")
+	}
+}
+
+func TestWriteTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("traceEvents")) {
+		t.Fatal("empty trace missing traceEvents key")
+	}
+}

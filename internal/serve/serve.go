@@ -1,0 +1,242 @@
+// Package serve embeds Orpheus behind an HTTP/JSON API — the deployment
+// role the paper assigns to its Python bindings ("embedding in other
+// experimental workflows"), done the Go way with net/http. A Server hosts
+// one or more compiled sessions and exposes:
+//
+//	GET  /healthz          liveness
+//	GET  /models           loaded models with shapes and footprints
+//	POST /predict/{model}  {"input": [...]} → {"output": [...], "topk": ...}
+//	POST /profile/{model}  same input → per-layer timing breakdown
+//
+// Inputs are flat row-major float32 arrays matching the model's input
+// shape; the handler validates length so malformed clients get a 400, not
+// a panic.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"orpheus/internal/backend"
+	"orpheus/internal/graph"
+	"orpheus/internal/runtime"
+	"orpheus/internal/tensor"
+)
+
+// Entry is one hosted model.
+type Entry struct {
+	Name    string
+	Backend string
+	graph   *graph.Graph
+	session *runtime.Session
+	mu      sync.Mutex // sessions are single-threaded; serialise requests
+}
+
+// Server hosts compiled models behind an http.Handler.
+type Server struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// New returns an empty server.
+func New() *Server {
+	return &Server{entries: make(map[string]*Entry)}
+}
+
+// AddModel compiles g under the named backend and hosts it as name.
+func (s *Server) AddModel(name string, g *graph.Graph, backendName string, workers int) error {
+	be, err := backend.ByName(backendName)
+	if err != nil {
+		return err
+	}
+	plan, err := be.Prepare(g, workers)
+	if err != nil {
+		return fmt.Errorf("serve: compiling %s: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.entries[name]; dup {
+		return fmt.Errorf("serve: model %q already hosted", name)
+	}
+	s.entries[name] = &Entry{
+		Name:    name,
+		Backend: backendName,
+		graph:   g,
+		session: runtime.NewSession(plan),
+	}
+	return nil
+}
+
+// Handler returns the HTTP routing for the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /models", s.handleModels)
+	mux.HandleFunc("POST /predict/{model}", s.handlePredict)
+	mux.HandleFunc("POST /profile/{model}", s.handleProfile)
+	return mux
+}
+
+// modelInfo is the /models response element.
+type modelInfo struct {
+	Name       string `json:"name"`
+	Backend    string `json:"backend"`
+	InputShape []int  `json:"input_shape"`
+	Nodes      int    `json:"nodes"`
+	ParamBytes int64  `json:"param_bytes"`
+	ArenaBytes int64  `json:"arena_bytes"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	infos := make([]modelInfo, 0, len(s.entries))
+	for _, e := range s.entries {
+		infos = append(infos, modelInfo{
+			Name:       e.Name,
+			Backend:    e.Backend,
+			InputShape: e.graph.Inputs[0].Shape,
+			Nodes:      len(e.graph.Nodes),
+			ParamBytes: e.session.Plan().WeightBytes(),
+			ArenaBytes: e.session.Plan().ArenaBytes(),
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// predictRequest is the /predict and /profile request body.
+type predictRequest struct {
+	Input []float32 `json:"input"`
+	TopK  int       `json:"topk,omitempty"`
+}
+
+// predictResponse is the /predict response body.
+type predictResponse struct {
+	Output    []float32 `json:"output"`
+	Shape     []int     `json:"shape"`
+	TopK      []int     `json:"topk,omitempty"`
+	LatencyMs float64   `json:"latency_ms"`
+}
+
+// layerTimingJSON is one /profile breakdown row.
+type layerTimingJSON struct {
+	Layer    string  `json:"layer"`
+	Op       string  `json:"op"`
+	Kernel   string  `json:"kernel"`
+	Ms       float64 `json:"ms"`
+	GFlopsPS float64 `json:"gflops_per_s"`
+}
+
+func (s *Server) entry(name string) (*Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[name]
+	return e, ok
+}
+
+// decodeInput parses and validates the request body against the model's
+// input shape.
+func (e *Entry) decodeInput(r *http.Request) (*tensor.Tensor, int, error) {
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil, 0, fmt.Errorf("invalid JSON: %w", err)
+	}
+	shape := e.graph.Inputs[0].Shape
+	want := tensor.Volume(shape)
+	if len(req.Input) != want {
+		return nil, 0, fmt.Errorf("input has %d values, model %s wants %d (%s)",
+			len(req.Input), e.Name, want, tensor.ShapeString(shape))
+	}
+	return tensor.FromSlice(req.Input, shape...), req.TopK, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(r.PathValue("model"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("model %q not hosted", r.PathValue("model")))
+		return
+	}
+	in, topK, err := e.decodeInput(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	e.mu.Lock()
+	start := time.Now()
+	outs, err := e.session.Run(map[string]*tensor.Tensor{e.graph.Inputs[0].Name: in})
+	elapsed := time.Since(start)
+	var out *tensor.Tensor
+	for _, v := range outs {
+		out = v.Clone()
+	}
+	e.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := predictResponse{
+		Output:    out.Data(),
+		Shape:     out.Shape(),
+		LatencyMs: float64(elapsed) / 1e6,
+	}
+	if topK > 0 {
+		resp.TopK = out.TopK(topK)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(r.PathValue("model"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("model %q not hosted", r.PathValue("model")))
+		return
+	}
+	in, _, err := e.decodeInput(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	e.mu.Lock()
+	_, timings, err := e.session.RunProfiled(map[string]*tensor.Tensor{e.graph.Inputs[0].Name: in})
+	e.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	rows := make([]layerTimingJSON, len(timings))
+	for i, lt := range timings {
+		var gf float64
+		if lt.Duration > 0 {
+			gf = float64(lt.Flops) / float64(lt.Duration.Nanoseconds())
+		}
+		rows[i] = layerTimingJSON{
+			Layer:    lt.Node.Name,
+			Op:       lt.Node.Op,
+			Kernel:   lt.Kernel,
+			Ms:       float64(lt.Duration) / 1e6,
+			GFlopsPS: gf,
+		}
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	msg := err.Error()
+	// Keep internal prefixes out of client-facing messages.
+	msg = strings.TrimPrefix(msg, "serve: ")
+	writeJSON(w, code, map[string]string{"error": msg})
+}

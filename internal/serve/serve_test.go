@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// tinyModel: conv -> relu -> gap -> flatten -> dense -> softmax on 8x8.
+func tinyModel(t testing.TB) *graph.Graph {
+	t.Helper()
+	r := tensor.NewRNG(61)
+	g := graph.New("tiny")
+	x, _ := g.Input("input", []int{1, 3, 8, 8})
+	w, _ := g.Const("w", tensor.HeNormal(r, 8, 3, 3, 3))
+	c, _ := g.Add("Conv", "conv", graph.Attrs{"pads": []int{1, 1, 1, 1}}, x, w)
+	rl, _ := g.Add("Relu", "relu", nil, c)
+	gap, _ := g.Add("GlobalAveragePool", "gap", nil, rl)
+	fl, _ := g.Add("Flatten", "flat", graph.Attrs{"axis": 1}, gap)
+	wf, _ := g.Const("wf", tensor.HeNormal(r, 4, 8))
+	fc, _ := g.Add("Dense", "fc", nil, fl, wf)
+	sm, _ := g.Add("Softmax", "prob", nil, fc)
+	_ = g.MarkOutput(sm)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New()
+	if err := s.AddModel("tiny", tinyModel(t), "orpheus", 1); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func TestModelsListing(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0]["name"] != "tiny" || infos[0]["backend"] != "orpheus" {
+		t.Fatalf("models = %v", infos)
+	}
+	if infos[0]["param_bytes"].(float64) <= 0 {
+		t.Fatal("param_bytes missing")
+	}
+}
+
+func TestPredict(t *testing.T) {
+	_, ts := newTestServer(t)
+	input := make([]float32, 3*8*8)
+	for i := range input {
+		input[i] = float32(i%7) * 0.1
+	}
+	resp := postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": input, "topk": 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict = %d", resp.StatusCode)
+	}
+	var out struct {
+		Output    []float32 `json:"output"`
+		Shape     []int     `json:"shape"`
+		TopK      []int     `json:"topk"`
+		LatencyMs float64   `json:"latency_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Output) != 4 || len(out.TopK) != 2 {
+		t.Fatalf("response: %+v", out)
+	}
+	var sum float32
+	for _, v := range out.Output {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+	if out.LatencyMs <= 0 {
+		t.Fatal("latency missing")
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Wrong input length → 400.
+	resp := postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": []float32{1, 2, 3}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short input = %d, want 400", resp.StatusCode)
+	}
+	var e map[string]string
+	_ = json.NewDecoder(resp.Body).Decode(&e)
+	if e["error"] == "" {
+		t.Fatal("error body missing")
+	}
+	// Unknown model → 404.
+	resp = postJSON(t, ts.URL+"/predict/nope", map[string]any{"input": []float32{}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model = %d, want 404", resp.StatusCode)
+	}
+	// Invalid JSON → 400.
+	r2, err := http.Post(ts.URL+"/predict/tiny", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON = %d, want 400", r2.StatusCode)
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	input := make([]float32, 3*8*8)
+	resp := postJSON(t, ts.URL+"/profile/tiny", map[string]any{"input": input})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile = %d", resp.StatusCode)
+	}
+	var rows []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	// The orpheus backend fuses relu into the conv: conv+relu, gap,
+	// flatten, dense, softmax.
+	if len(rows) != 5 {
+		t.Fatalf("profile rows = %d, want 5", len(rows))
+	}
+	if rows[0]["kernel"] == "" {
+		t.Fatal("kernel name missing in profile")
+	}
+}
+
+func TestConcurrentPredicts(t *testing.T) {
+	// Sessions are serialised per entry; concurrent requests must all
+	// succeed and produce identical outputs for identical inputs.
+	_, ts := newTestServer(t)
+	input := make([]float32, 3*8*8)
+	for i := range input {
+		input[i] = 0.01 * float32(i%13)
+	}
+	var wg sync.WaitGroup
+	outs := make([][]float32, 8)
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, _ := json.Marshal(map[string]any{"input": input})
+			resp, err := http.Post(ts.URL+"/predict/tiny", "application/json", bytes.NewReader(b))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			var out struct {
+				Output []float32 `json:"output"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i] = out.Output
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		for j := range outs[i] {
+			if outs[i][j] != outs[0][j] {
+				t.Fatalf("request %d diverged", i)
+			}
+		}
+	}
+}
+
+func TestAddModelErrors(t *testing.T) {
+	s := New()
+	g := tinyModel(t)
+	if err := s.AddModel("m", g, "no-such-backend", 1); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if err := s.AddModel("m", g, "orpheus", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddModel("m", g, "orpheus", 1); err == nil {
+		t.Fatal("duplicate model name accepted")
+	}
+	if err := s.AddModel("m2", g, "tflite-sim", 1); err == nil {
+		t.Fatal("tflite-sim single-thread should fail compile")
+	}
+	_ = fmt.Sprint() // keep fmt for future expansion
+}

@@ -1,0 +1,69 @@
+package tensor
+
+import "math"
+
+// DefaultTolerance is the absolute+relative tolerance used by tests and the
+// cross-kernel equivalence checks when no explicit tolerance is given.
+// Float32 convolution reductions over thousands of terms accumulate error of
+// roughly this magnitude.
+const DefaultTolerance = 1e-4
+
+// AllClose reports whether a and b have the same shape and every pair of
+// elements satisfies |x-y| <= tol + tol*|y|.
+func AllClose(a, b *Tensor, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.data {
+		x, y := float64(a.data[i]), float64(b.data[i])
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return false
+		}
+		if math.Abs(x-y) > tol+tol*math.Abs(y) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest elementwise absolute difference between a
+// and b, which must have identical shapes.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if !a.SameShape(b) {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	var m float64
+	for i := range a.data {
+		d := math.Abs(float64(a.data[i]) - float64(b.data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// RelError returns ||a-b|| / (||b|| + eps), a scale-free difference measure
+// used by the integration tests.
+func RelError(a, b *Tensor) float64 {
+	if !a.SameShape(b) {
+		panic("tensor: RelError shape mismatch")
+	}
+	var num, den float64
+	for i := range a.data {
+		d := float64(a.data[i]) - float64(b.data[i])
+		num += d * d
+		den += float64(b.data[i]) * float64(b.data[i])
+	}
+	return math.Sqrt(num) / (math.Sqrt(den) + 1e-12)
+}
+
+// HasNaN reports whether the tensor contains any NaN or infinity.
+func (t *Tensor) HasNaN() bool {
+	for _, v := range t.data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// AddInPlace adds u elementwise into t. Shapes must match exactly.
+func (t *Tensor) AddInPlace(u *Tensor) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: AddInPlace shape mismatch %v vs %v", t.shape, u.shape))
+	}
+	for i, v := range u.data {
+		t.data[i] += v
+	}
+}
+
+// MulInPlace multiplies t elementwise by u. Shapes must match exactly.
+func (t *Tensor) MulInPlace(u *Tensor) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: MulInPlace shape mismatch %v vs %v", t.shape, u.shape))
+	}
+	for i, v := range u.data {
+		t.data[i] *= v
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to zero.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Sum returns the sum of all elements (accumulated in float64 for
+// stability).
+func (t *Tensor) Sum() float32 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return float32(s)
+}
+
+// Mean returns the arithmetic mean of all elements; zero for an empty
+// tensor.
+func (t *Tensor) Mean() float32 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float32(len(t.data))
+}
+
+// Max returns the maximum element and its flat index. It panics on an
+// empty tensor.
+func (t *Tensor) Max() (float32, int) {
+	if len(t.data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	best, arg := t.data[0], 0
+	for i, v := range t.data {
+		if v > best {
+			best, arg = v, i
+		}
+	}
+	return best, arg
+}
+
+// Min returns the minimum element and its flat index. It panics on an
+// empty tensor.
+func (t *Tensor) Min() (float32, int) {
+	if len(t.data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	best, arg := t.data[0], 0
+	for i, v := range t.data {
+		if v < best {
+			best, arg = v, i
+		}
+	}
+	return best, arg
+}
+
+// AbsMax returns the maximum absolute element value; zero for an empty
+// tensor.
+func (t *Tensor) AbsMax() float32 {
+	var m float32
+	for _, v := range t.data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// L2Norm returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) L2Norm() float32 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// TopK returns the indices of the k largest elements in descending order.
+// k is clamped to the tensor size.
+func (t *Tensor) TopK(k int) []int {
+	if k > len(t.data) {
+		k = len(t.data)
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, 0, k)
+	taken := make([]bool, len(t.data))
+	for n := 0; n < k; n++ {
+		best := -1
+		for i, v := range t.data {
+			if taken[i] {
+				continue
+			}
+			if best < 0 || v > t.data[best] {
+				best = i
+				_ = v
+			}
+		}
+		taken[best] = true
+		idx = append(idx, best)
+	}
+	return idx
+}

@@ -1,0 +1,138 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAddMulInPlace(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float32{10, 20, 30, 40}, 2, 2)
+	a.AddInPlace(b)
+	want := []float32{11, 22, 33, 44}
+	for i, v := range a.Data() {
+		if v != want[i] {
+			t.Fatalf("AddInPlace[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	a.MulInPlace(b)
+	if a.At(1, 1) != 44*40 {
+		t.Fatalf("MulInPlace = %v", a.At(1, 1))
+	}
+}
+
+func TestAddInPlaceShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	New(2, 2).AddInPlace(New(4))
+}
+
+func TestScaleFillZero(t *testing.T) {
+	a := Full(2, 3)
+	a.Scale(1.5)
+	if a.At(0) != 3 {
+		t.Fatalf("Scale = %v", a.At(0))
+	}
+	a.Fill(-1)
+	if a.Sum() != -3 {
+		t.Fatalf("Fill/Sum = %v", a.Sum())
+	}
+	a.Zero()
+	if a.Sum() != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestSumMean(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 4)
+	if a.Sum() != 10 || a.Mean() != 2.5 {
+		t.Fatalf("Sum=%v Mean=%v", a.Sum(), a.Mean())
+	}
+	empty := New(0)
+	if empty.Mean() != 0 {
+		t.Fatal("Mean of empty should be 0")
+	}
+}
+
+func TestMaxMinArg(t *testing.T) {
+	a := FromSlice([]float32{3, -5, 7, 1}, 4)
+	v, i := a.Max()
+	if v != 7 || i != 2 {
+		t.Fatalf("Max = %v@%d", v, i)
+	}
+	v, i = a.Min()
+	if v != -5 || i != 1 {
+		t.Fatalf("Min = %v@%d", v, i)
+	}
+}
+
+func TestAbsMaxL2(t *testing.T) {
+	a := FromSlice([]float32{3, -4}, 2)
+	if a.AbsMax() != 4 {
+		t.Fatalf("AbsMax = %v", a.AbsMax())
+	}
+	if math.Abs(float64(a.L2Norm())-5) > 1e-6 {
+		t.Fatalf("L2Norm = %v, want 5", a.L2Norm())
+	}
+}
+
+func TestTopK(t *testing.T) {
+	a := FromSlice([]float32{0.1, 0.9, 0.3, 0.7, 0.5}, 5)
+	got := a.TopK(3)
+	want := []int{1, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	if len(a.TopK(100)) != 5 {
+		t.Fatal("TopK should clamp k")
+	}
+	if a.TopK(0) != nil {
+		t.Fatal("TopK(0) should be nil")
+	}
+}
+
+func TestAllClose(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{1, 2, 3.00001}, 3)
+	if !AllClose(a, b, 1e-4) {
+		t.Fatal("AllClose should accept tiny diff")
+	}
+	c := FromSlice([]float32{1, 2, 4}, 3)
+	if AllClose(a, c, 1e-4) {
+		t.Fatal("AllClose should reject large diff")
+	}
+	if AllClose(a, New(4), 1) {
+		t.Fatal("AllClose should reject shape mismatch")
+	}
+	nan := FromSlice([]float32{float32(math.NaN()), 2, 3}, 3)
+	if AllClose(nan, nan, 1) {
+		t.Fatal("AllClose should reject NaN")
+	}
+}
+
+func TestMaxAbsDiffRelError(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{1.5, 2}, 2)
+	if d := MaxAbsDiff(a, b); d != 0.5 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+	if RelError(a, a) > 1e-9 {
+		t.Fatal("RelError of identical tensors should be ~0")
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	if a.HasNaN() {
+		t.Fatal("clean tensor reported NaN")
+	}
+	a.Set(float32(math.Inf(1)), 0)
+	if !a.HasNaN() {
+		t.Fatal("Inf not detected")
+	}
+}

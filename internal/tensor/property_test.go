@@ -1,0 +1,117 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property tests (testing/quick) over the core data-structure invariants.
+
+func TestPropReshapePreservesData(t *testing.T) {
+	f := func(seed uint64, a, b uint8) bool {
+		h := int(a%8) + 1
+		w := int(b%8) + 1
+		x := Rand(NewRNG(seed), -1, 1, h, w)
+		y := x.Reshape(w, h).Reshape(h, w)
+		return AllClose(x, y, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropTransposeRoundTrip(t *testing.T) {
+	f := func(seed uint64, a, b, c uint8) bool {
+		d0, d1, d2 := int(a%5)+1, int(b%5)+1, int(c%5)+1
+		x := Rand(NewRNG(seed), -1, 1, d0, d1, d2)
+		y := x.Transpose(1, 2, 0).Transpose(2, 0, 1)
+		return AllClose(x, y, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropConcatSliceInverse(t *testing.T) {
+	f := func(seed uint64, a, b uint8) bool {
+		n1 := int(a%4) + 1
+		n2 := int(b%4) + 1
+		r := NewRNG(seed)
+		x := Rand(r, -1, 1, n1, 3)
+		y := Rand(r, -1, 1, n2, 3)
+		c := Concat(0, x, y)
+		if !ShapeEq(c.Shape(), []int{n1 + n2, 3}) {
+			return false
+		}
+		for i := 0; i < n1; i++ {
+			if !AllClose(c.SliceDim0(i), x.SliceDim0(i), 0) {
+				return false
+			}
+		}
+		for i := 0; i < n2; i++ {
+			if !AllClose(c.SliceDim0(n1+i), y.SliceDim0(i), 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropPadThenCropIsIdentity(t *testing.T) {
+	f := func(seed uint64, p uint8) bool {
+		pad := int(p % 4)
+		x := Rand(NewRNG(seed), -1, 1, 1, 2, 5, 5)
+		y := x.Pad2D(pad, pad, pad, pad, 0)
+		// Crop back by indexing.
+		for c := 0; c < 2; c++ {
+			for i := 0; i < 5; i++ {
+				for j := 0; j < 5; j++ {
+					if y.At(0, c, i+pad, j+pad) != x.At(0, c, i, j) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSumLinear(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		x := Rand(r, -1, 1, 64)
+		y := Rand(r, -1, 1, 64)
+		sx, sy := x.Sum(), y.Sum()
+		x.AddInPlace(y)
+		diff := float64(x.Sum() - (sx + sy))
+		return diff < 1e-3 && diff > -1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropIm2ColVolumeAndFinite(t *testing.T) {
+	f := func(seed uint64, kb, sb uint8) bool {
+		k := int(kb%3) + 1 // kernel 1..3
+		s := int(sb%2) + 1 // stride 1..2
+		x := Rand(NewRNG(seed), -1, 1, 1, 2, 8, 8)
+		pad := k / 2
+		oh := (8+2*pad-k)/s + 1
+		ow := oh
+		cols := Im2Col(x, k, k, s, s, pad, pad, 1, 1, oh, ow)
+		if !ShapeEq(cols.Shape(), []int{2 * k * k, oh * ow}) {
+			return false
+		}
+		return !cols.HasNaN()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (SplitMix64).
+// Orpheus uses it everywhere synthetic weights or inputs are needed so that
+// every experiment and test is reproducible bit-for-bit, independent of the
+// Go runtime's seeded sources.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// SeedFromString returns a deterministic seed derived from s (FNV-1a),
+// used to give every named weight tensor its own stream.
+func SeedFromString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: RNG.Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float32 returns a uniform float32 in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / float32(1<<24)
+}
+
+// Uniform returns a uniform float32 in [lo, hi).
+func (r *RNG) Uniform(lo, hi float32) float32 {
+	return lo + (hi-lo)*r.Float32()
+}
+
+// Normal returns a standard normal float32 (Box–Muller).
+func (r *RNG) Normal() float32 {
+	// Avoid log(0) by offsetting into (0,1].
+	u1 := float64(r.Uint64()>>11)/float64(1<<53) + 1e-12
+	u2 := float64(r.Uint64()>>11) / float64(1<<53)
+	return float32(math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2))
+}
+
+// Rand returns a tensor of the given shape filled with uniform values in
+// [lo, hi).
+func Rand(r *RNG, lo, hi float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = r.Uniform(lo, hi)
+	}
+	return t
+}
+
+// RandNormal returns a tensor filled with normal(0, stddev) values.
+func RandNormal(r *RNG, stddev float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = stddev * r.Normal()
+	}
+	return t
+}
+
+// HeNormal fills a convolution/dense weight tensor using He initialisation:
+// normal with stddev sqrt(2/fanIn). fanIn is the product of all dimensions
+// except the first (output channels).
+func HeNormal(r *RNG, shape ...int) *Tensor {
+	fanIn := 1
+	for _, d := range shape[1:] {
+		fanIn *= d
+	}
+	if fanIn == 0 {
+		fanIn = 1
+	}
+	std := float32(math.Sqrt(2 / float64(fanIn)))
+	return RandNormal(r, std, shape...)
+}

@@ -1,0 +1,188 @@
+package tensor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Size() != 24 {
+		t.Fatalf("Size = %d, want 24", x.Size())
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestNewScalarShape(t *testing.T) {
+	x := New()
+	if x.Size() != 1 || x.Rank() != 0 {
+		t.Fatalf("scalar tensor: size=%d rank=%d", x.Size(), x.Rank())
+	}
+}
+
+func TestNewPanicsOnNegativeDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1, 3)
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float32{1, 2, 3, 4, 5, 6}
+	x := FromSlice(d, 2, 3)
+	if x.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v, want 6", x.At(1, 2))
+	}
+	d[0] = 42 // FromSlice aliases
+	if x.At(0, 0) != 42 {
+		t.Fatal("FromSlice should alias the input slice")
+	}
+}
+
+func TestFromSlicePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched FromSlice did not panic")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4, 5)
+	x.Set(7.5, 2, 1, 3)
+	if got := x.At(2, 1, 3); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	// Flat layout check: offset = (2*4+1)*5+3 = 48.
+	if x.Data()[48] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range At did not panic")
+		}
+	}()
+	x.At(2, 0)
+}
+
+func TestAtPanicsWrongRank(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-rank At did not panic")
+		}
+	}()
+	x.At(1)
+}
+
+func TestDimNegativeIndex(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Dim(-1) != 4 || x.Dim(-3) != 2 || x.Dim(1) != 3 {
+		t.Fatalf("Dim: got %d %d %d", x.Dim(-1), x.Dim(-3), x.Dim(1))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := Full(3, 2, 2)
+	y := x.Clone()
+	y.Set(9, 0, 0)
+	if x.At(0, 0) != 3 {
+		t.Fatal("Clone shares data with original")
+	}
+	if !x.SameShape(y) {
+		t.Fatal("Clone changed shape")
+	}
+}
+
+func TestReshapeView(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	if y.At(2, 1) != 6 {
+		t.Fatalf("reshaped At(2,1) = %v, want 6", y.At(2, 1))
+	}
+	y.Set(-1, 0, 0)
+	if x.At(0, 0) != -1 {
+		t.Fatal("Reshape should be a view over the same data")
+	}
+}
+
+func TestReshapeInfer(t *testing.T) {
+	x := New(2, 3, 4)
+	y := x.Reshape(4, -1)
+	if !ShapeEq(y.Shape(), []int{4, 6}) {
+		t.Fatalf("inferred shape = %v, want [4 6]", y.Shape())
+	}
+}
+
+func TestReshapePanicsOnBadVolume(t *testing.T) {
+	x := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad reshape did not panic")
+		}
+	}()
+	x.Reshape(4, 2)
+}
+
+func TestReshapePanicsOnDoubleInfer(t *testing.T) {
+	x := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double -1 reshape did not panic")
+		}
+	}()
+	x.Reshape(-1, -1)
+}
+
+func TestFullAndScalar(t *testing.T) {
+	x := Full(2.5, 3)
+	for _, v := range x.Data() {
+		if v != 2.5 {
+			t.Fatalf("Full element = %v", v)
+		}
+	}
+	s := Scalar(7)
+	if s.Size() != 1 || s.Data()[0] != 7 {
+		t.Fatalf("Scalar: %v", s)
+	}
+}
+
+func TestStringTruncates(t *testing.T) {
+	x := New(100)
+	s := x.String()
+	if !strings.Contains(s, "…") {
+		t.Fatalf("String of large tensor should truncate: %q", s)
+	}
+	if !strings.Contains(s, "[100]") {
+		t.Fatalf("String should include shape: %q", s)
+	}
+}
+
+func TestVolumeAndShapeHelpers(t *testing.T) {
+	if Volume([]int{2, 3, 4}) != 24 {
+		t.Fatal("Volume wrong")
+	}
+	if Volume(nil) != 1 {
+		t.Fatal("Volume of empty shape should be 1 (scalar)")
+	}
+	if !ShapeEq([]int{1, 2}, []int{1, 2}) || ShapeEq([]int{1}, []int{1, 1}) {
+		t.Fatal("ShapeEq wrong")
+	}
+	if ShapeString([]int{1, 3, 224, 224}) != "1x3x224x224" {
+		t.Fatalf("ShapeString = %q", ShapeString([]int{1, 3, 224, 224}))
+	}
+	if ShapeString(nil) != "scalar" {
+		t.Fatal("ShapeString(nil) should be scalar")
+	}
+}

@@ -1,0 +1,191 @@
+package tensor
+
+import "fmt"
+
+// Transpose returns a new tensor with dimensions permuted by perm, which
+// must be a permutation of [0, rank). The result is contiguous.
+func (t *Tensor) Transpose(perm ...int) *Tensor {
+	r := len(t.shape)
+	if len(perm) != r {
+		panic(fmt.Sprintf("tensor: Transpose perm %v does not match rank %d", perm, r))
+	}
+	seen := make([]bool, r)
+	outShape := make([]int, r)
+	for i, p := range perm {
+		if p < 0 || p >= r || seen[p] {
+			panic(fmt.Sprintf("tensor: Transpose perm %v is not a permutation", perm))
+		}
+		seen[p] = true
+		outShape[i] = t.shape[p]
+	}
+	out := New(outShape...)
+	if len(t.data) == 0 {
+		return out
+	}
+	// Strides of the input in its own layout.
+	inStride := make([]int, r)
+	s := 1
+	for i := r - 1; i >= 0; i-- {
+		inStride[i] = s
+		s *= t.shape[i]
+	}
+	// Walk the output in order, computing the corresponding input offset.
+	idx := make([]int, r)
+	for o := range out.data {
+		in := 0
+		for i := 0; i < r; i++ {
+			in += idx[i] * inStride[perm[i]]
+		}
+		out.data[o] = t.data[in]
+		for i := r - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < outShape[i] {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return out
+}
+
+// Pad2D spatially pads a NCHW tensor with the constant value, adding
+// top/bottom rows and left/right columns. It returns a new tensor of shape
+// [N, C, H+top+bottom, W+left+right].
+func (t *Tensor) Pad2D(top, bottom, left, right int, value float32) *Tensor {
+	if len(t.shape) != 4 {
+		panic(fmt.Sprintf("tensor: Pad2D requires a 4-D NCHW tensor, got shape %v", t.shape))
+	}
+	if top < 0 || bottom < 0 || left < 0 || right < 0 {
+		panic("tensor: Pad2D with negative padding")
+	}
+	n, c, h, w := t.shape[0], t.shape[1], t.shape[2], t.shape[3]
+	oh, ow := h+top+bottom, w+left+right
+	out := New(n, c, oh, ow)
+	if value != 0 {
+		out.Fill(value)
+	}
+	for i := 0; i < n*c; i++ {
+		src := t.data[i*h*w : (i+1)*h*w]
+		dst := out.data[i*oh*ow : (i+1)*oh*ow]
+		for y := 0; y < h; y++ {
+			copy(dst[(y+top)*ow+left:(y+top)*ow+left+w], src[y*w:(y+1)*w])
+		}
+	}
+	return out
+}
+
+// Concat concatenates tensors along the given axis. All inputs must agree on
+// every other dimension.
+func Concat(axis int, ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of no tensors")
+	}
+	r := len(ts[0].shape)
+	if axis < 0 {
+		axis += r
+	}
+	if axis < 0 || axis >= r {
+		panic(fmt.Sprintf("tensor: Concat axis %d out of range for rank %d", axis, r))
+	}
+	outShape := cloneInts(ts[0].shape)
+	outShape[axis] = 0
+	for _, t := range ts {
+		if len(t.shape) != r {
+			panic("tensor: Concat rank mismatch")
+		}
+		for i, d := range t.shape {
+			if i != axis && d != outShape[i] {
+				panic(fmt.Sprintf("tensor: Concat shape mismatch at dim %d: %v vs %v", i, t.shape, outShape))
+			}
+		}
+		outShape[axis] += t.shape[axis]
+	}
+	out := New(outShape...)
+	// outer = product of dims before axis; inner = product after.
+	outer, inner := 1, 1
+	for i := 0; i < axis; i++ {
+		outer *= outShape[i]
+	}
+	for i := axis + 1; i < r; i++ {
+		inner *= outShape[i]
+	}
+	outRow := outShape[axis] * inner
+	off := 0
+	for _, t := range ts {
+		rowLen := t.shape[axis] * inner
+		for o := 0; o < outer; o++ {
+			copy(out.data[o*outRow+off:o*outRow+off+rowLen], t.data[o*rowLen:(o+1)*rowLen])
+		}
+		off += rowLen
+	}
+	return out
+}
+
+// Im2Col unfolds a padded NCHW input into a column matrix for GEMM-based
+// convolution. The result has shape [C*kh*kw, N*oh*ow] where each column is
+// the receptive field of one output position. pads are (top, left); the
+// bottom/right padding is implied by the output size.
+func Im2Col(t *Tensor, kh, kw, strideH, strideW, padTop, padLeft, dilationH, dilationW, oh, ow int) *Tensor {
+	if len(t.shape) != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col requires 4-D input, got %v", t.shape))
+	}
+	n, c, h, w := t.shape[0], t.shape[1], t.shape[2], t.shape[3]
+	rows := c * kh * kw
+	cols := n * oh * ow
+	out := New(rows, cols)
+	Im2ColInto(out.data, t.data, n, c, h, w, kh, kw, strideH, strideW, padTop, padLeft, dilationH, dilationW, oh, ow)
+	return out
+}
+
+// Im2ColInto is the allocation-free core of Im2Col, writing into dst which
+// must have length c*kh*kw * n*oh*ow. It is exposed so kernels can reuse
+// scratch buffers across runs.
+func Im2ColInto(dst, src []float32, n, c, h, w, kh, kw, strideH, strideW, padTop, padLeft, dilationH, dilationW, oh, ow int) {
+	cols := n * oh * ow
+	for ch := 0; ch < c; ch++ {
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := (ch*kh+ky)*kw + kx
+				d := dst[row*cols:]
+				col := 0
+				for b := 0; b < n; b++ {
+					base := (b*c + ch) * h * w
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*strideH - padTop + ky*dilationH
+						if iy < 0 || iy >= h {
+							for ox := 0; ox < ow; ox++ {
+								d[col] = 0
+								col++
+							}
+							continue
+						}
+						rowBase := base + iy*w
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*strideW - padLeft + kx*dilationW
+							if ix < 0 || ix >= w {
+								d[col] = 0
+							} else {
+								d[col] = src[rowBase+ix]
+							}
+							col++
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// SliceDim0 returns a copy of the sub-tensor t[i] along the first dimension.
+func (t *Tensor) SliceDim0(i int) *Tensor {
+	if len(t.shape) == 0 {
+		panic("tensor: SliceDim0 of scalar")
+	}
+	if i < 0 || i >= t.shape[0] {
+		panic(fmt.Sprintf("tensor: SliceDim0 index %d out of range %d", i, t.shape[0]))
+	}
+	inner := len(t.data) / t.shape[0]
+	out := New(t.shape[1:]...)
+	copy(out.data, t.data[i*inner:(i+1)*inner])
+	return out
+}

@@ -1,0 +1,255 @@
+package tensor
+
+import "testing"
+
+func TestTranspose2D(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Transpose(1, 0)
+	if !ShapeEq(y.Shape(), []int{3, 2}) {
+		t.Fatalf("shape = %v", y.Shape())
+	}
+	if y.At(2, 0) != 3 || y.At(0, 1) != 4 {
+		t.Fatalf("transpose values wrong: %v", y.Data())
+	}
+}
+
+func TestTransposeIdentity(t *testing.T) {
+	r := NewRNG(1)
+	x := Rand(r, -1, 1, 2, 3, 4)
+	y := x.Transpose(0, 1, 2)
+	if MaxAbsDiff(x, y) != 0 {
+		t.Fatal("identity transpose changed data")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	r := NewRNG(2)
+	x := Rand(r, -1, 1, 3, 4, 5)
+	y := x.Transpose(2, 0, 1).Transpose(1, 2, 0)
+	if !AllClose(x, y, 0) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestTransposePanicsOnBadPerm(t *testing.T) {
+	x := New(2, 3)
+	for _, perm := range [][]int{{0}, {0, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("perm %v did not panic", perm)
+				}
+			}()
+			x.Transpose(perm...)
+		}()
+	}
+}
+
+func TestPad2D(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	y := x.Pad2D(1, 1, 1, 1, 0)
+	if !ShapeEq(y.Shape(), []int{1, 1, 4, 4}) {
+		t.Fatalf("shape = %v", y.Shape())
+	}
+	if y.At(0, 0, 0, 0) != 0 || y.At(0, 0, 1, 1) != 1 || y.At(0, 0, 2, 2) != 4 {
+		t.Fatalf("padding wrong: %v", y.Data())
+	}
+}
+
+func TestPad2DAsymmetricValue(t *testing.T) {
+	x := Full(1, 1, 2, 1, 1)
+	y := x.Pad2D(0, 1, 2, 0, 9)
+	if !ShapeEq(y.Shape(), []int{1, 2, 2, 3}) {
+		t.Fatalf("shape = %v", y.Shape())
+	}
+	if y.At(0, 0, 0, 0) != 9 || y.At(0, 0, 0, 2) != 1 || y.At(0, 1, 1, 0) != 9 {
+		t.Fatalf("asymmetric pad wrong: %v", y.Data())
+	}
+}
+
+func TestPad2DZeroPadIsCopy(t *testing.T) {
+	r := NewRNG(3)
+	x := Rand(r, -1, 1, 2, 3, 5, 4)
+	y := x.Pad2D(0, 0, 0, 0, 0)
+	if !AllClose(x, y, 0) {
+		t.Fatal("zero padding should copy exactly")
+	}
+}
+
+func TestConcatAxis1(t *testing.T) {
+	a := Full(1, 1, 2, 2, 2)
+	b := Full(2, 1, 3, 2, 2)
+	c := Concat(1, a, b)
+	if !ShapeEq(c.Shape(), []int{1, 5, 2, 2}) {
+		t.Fatalf("shape = %v", c.Shape())
+	}
+	if c.At(0, 1, 0, 0) != 1 || c.At(0, 2, 0, 0) != 2 || c.At(0, 4, 1, 1) != 2 {
+		t.Fatalf("concat values wrong")
+	}
+}
+
+func TestConcatAxis0AndNegative(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 1, 2)
+	b := FromSlice([]float32{3, 4}, 1, 2)
+	c := Concat(0, a, b)
+	if !ShapeEq(c.Shape(), []int{2, 2}) || c.At(1, 0) != 3 {
+		t.Fatalf("concat axis0 wrong: %v %v", c.Shape(), c.Data())
+	}
+	d := Concat(-1, a, b)
+	if !ShapeEq(d.Shape(), []int{1, 4}) {
+		t.Fatalf("concat axis -1 shape = %v", d.Shape())
+	}
+}
+
+func TestConcatPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched concat did not panic")
+		}
+	}()
+	Concat(0, New(1, 2), New(1, 3))
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	// 1x1 kernel, stride 1, no padding: im2col is just a reshape.
+	r := NewRNG(4)
+	x := Rand(r, -1, 1, 1, 3, 4, 4)
+	cols := Im2Col(x, 1, 1, 1, 1, 0, 0, 1, 1, 4, 4)
+	if !ShapeEq(cols.Shape(), []int{3, 16}) {
+		t.Fatalf("shape = %v", cols.Shape())
+	}
+	if MaxAbsDiff(cols.Reshape(1, 3, 4, 4), x) != 0 {
+		t.Fatal("1x1 im2col should equal input")
+	}
+}
+
+func TestIm2Col3x3Values(t *testing.T) {
+	// 1x1x3x3 input, 3x3 kernel, pad 1: centre column equals the input.
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8, 9}, 1, 1, 3, 3)
+	cols := Im2Col(x, 3, 3, 1, 1, 1, 1, 1, 1, 3, 3)
+	if !ShapeEq(cols.Shape(), []int{9, 9}) {
+		t.Fatalf("shape = %v", cols.Shape())
+	}
+	// Row 4 (ky=1,kx=1) is the unshifted input.
+	for i := 0; i < 9; i++ {
+		if cols.At(4, i) != float32(i+1) {
+			t.Fatalf("centre row wrong at %d: %v", i, cols.At(4, i))
+		}
+	}
+	// Row 0 (ky=0,kx=0) is input shifted down-right with zero fill.
+	if cols.At(0, 0) != 0 || cols.At(0, 4) != 1 || cols.At(0, 8) != 5 {
+		t.Fatal("corner row wrong")
+	}
+}
+
+func TestIm2ColStrideDilation(t *testing.T) {
+	x := FromSlice([]float32{
+		0, 1, 2, 3,
+		4, 5, 6, 7,
+		8, 9, 10, 11,
+		12, 13, 14, 15,
+	}, 1, 1, 4, 4)
+	// 2x2 kernel, stride 2 -> 2x2 output, no pad.
+	cols := Im2Col(x, 2, 2, 2, 2, 0, 0, 1, 1, 2, 2)
+	if !ShapeEq(cols.Shape(), []int{4, 4}) {
+		t.Fatalf("shape = %v", cols.Shape())
+	}
+	// First output (0,0) patch = [0,1,4,5]; read down the first column.
+	want := []float32{0, 1, 4, 5}
+	for r := 0; r < 4; r++ {
+		if cols.At(r, 0) != want[r] {
+			t.Fatalf("stride patch wrong: row %d = %v, want %v", r, cols.At(r, 0), want[r])
+		}
+	}
+	// Dilation 2 with 2x2 kernel samples corners of a 3x3 region.
+	cols = Im2Col(x, 2, 2, 1, 1, 0, 0, 2, 2, 2, 2)
+	want = []float32{0, 2, 8, 10}
+	for r := 0; r < 4; r++ {
+		if cols.At(r, 0) != want[r] {
+			t.Fatalf("dilated patch wrong: row %d = %v, want %v", r, cols.At(r, 0), want[r])
+		}
+	}
+}
+
+func TestSliceDim0(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 3, 2)
+	s := x.SliceDim0(1)
+	if !ShapeEq(s.Shape(), []int{2}) || s.At(0) != 3 || s.At(1) != 4 {
+		t.Fatalf("SliceDim0 = %v %v", s.Shape(), s.Data())
+	}
+	s.Set(99, 0)
+	if x.At(1, 0) == 99 {
+		t.Fatal("SliceDim0 should copy")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := Rand(NewRNG(42), -1, 1, 100)
+	b := Rand(NewRNG(42), -1, 1, 100)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Fatal("same seed should give identical streams")
+	}
+	c := Rand(NewRNG(43), -1, 1, 100)
+	if MaxAbsDiff(a, c) == 0 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Float32()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float32 out of range: %v", v)
+		}
+		u := r.Uniform(-2, 3)
+		if u < -2 || u >= 3 {
+			t.Fatalf("Uniform out of range: %v", u)
+		}
+		n := r.Intn(10)
+		if n < 0 || n >= 10 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 20000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := float64(r.Normal())
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if mean < -0.05 || mean > 0.05 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Fatalf("normal variance = %v", variance)
+	}
+}
+
+func TestHeNormalStddev(t *testing.T) {
+	w := HeNormal(NewRNG(5), 64, 32, 3, 3)
+	// fanIn = 32*9 = 288 -> stddev ~ sqrt(2/288) ~ 0.0833.
+	var sq float64
+	for _, v := range w.Data() {
+		sq += float64(v) * float64(v)
+	}
+	std := sq / float64(w.Size())
+	if std < 0.8*2.0/288 || std > 1.2*2.0/288 {
+		t.Fatalf("He variance = %v, want ~%v", std, 2.0/288)
+	}
+}
+
+func TestSeedFromStringStable(t *testing.T) {
+	if SeedFromString("conv1.weight") != SeedFromString("conv1.weight") {
+		t.Fatal("SeedFromString not deterministic")
+	}
+	if SeedFromString("a") == SeedFromString("b") {
+		t.Fatal("SeedFromString collision on trivial inputs")
+	}
+}

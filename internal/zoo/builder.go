@@ -1,0 +1,156 @@
+// Package zoo constructs the five DNN models of the paper's Figure 2 —
+// WRN-40-2, MobileNetV1, ResNet-18, Inception-v3 and ResNet-50 — as
+// Orpheus graphs with deterministic synthetic weights.
+//
+// The paper evaluates pre-trained models exported to ONNX; inference time
+// does not depend on weight values, so synthetic He-initialised weights
+// (seeded per tensor name) preserve the measured behaviour while keeping
+// the repository self-contained. The ONNX exporter/importer round-trips
+// these graphs to exercise the paper's model-loading path.
+package zoo
+
+import (
+	"fmt"
+
+	"orpheus/internal/graph"
+	_ "orpheus/internal/ops" // register operator shape functions
+	"orpheus/internal/tensor"
+)
+
+// netBuilder accumulates layers into a graph, deferring error handling so
+// model definitions read like architecture descriptions. The first error
+// sticks and surfaces from finish().
+type netBuilder struct {
+	g     *graph.Graph
+	model string
+	err   error
+}
+
+func newNet(model string) *netBuilder {
+	return &netBuilder{g: graph.New(model), model: model}
+}
+
+// rng returns a deterministic generator for the named parameter.
+func (b *netBuilder) rng(name string) *tensor.RNG {
+	return tensor.NewRNG(tensor.SeedFromString(b.model + "/" + name))
+}
+
+func (b *netBuilder) input(name string, shape []int) *graph.Value {
+	if b.err != nil {
+		return nil
+	}
+	v, err := b.g.Input(name, shape)
+	b.err = err
+	return v
+}
+
+func (b *netBuilder) weight(name string, shape ...int) *graph.Value {
+	if b.err != nil {
+		return nil
+	}
+	v, err := b.g.Const(name, tensor.HeNormal(b.rng(name), shape...))
+	b.err = err
+	return v
+}
+
+func (b *netBuilder) node(op, name string, attrs graph.Attrs, ins ...*graph.Value) *graph.Value {
+	if b.err != nil {
+		return nil
+	}
+	v, err := b.g.Add(op, name, attrs, ins...)
+	b.err = err
+	return v
+}
+
+// conv adds a Conv (no bias; models here follow the conv+BN idiom).
+// pad applies symmetrically.
+func (b *netBuilder) conv(name string, x *graph.Value, cin, cout, kh, kw, stride, padH, padW, group int) *graph.Value {
+	w := b.weight(name+".weight", cout, cin/group, kh, kw)
+	return b.node("Conv", name, graph.Attrs{
+		"strides": []int{stride, stride},
+		"pads":    []int{padH, padW, padH, padW},
+		"group":   group,
+	}, x, w)
+}
+
+// bn adds an inference BatchNorm with plausible running statistics: scale
+// near 1, small shifts, variance near 1 — keeps activations in a sane
+// range through deep stacks.
+func (b *netBuilder) bn(name string, x *graph.Value, c int) *graph.Value {
+	if b.err != nil {
+		return nil
+	}
+	r := b.rng(name)
+	mk := func(suffix string, lo, hi float32) *graph.Value {
+		if b.err != nil {
+			return nil
+		}
+		v, err := b.g.Const(name+suffix, tensor.Rand(r, lo, hi, c))
+		b.err = err
+		return v
+	}
+	scale := mk(".scale", 0.8, 1.2)
+	beta := mk(".bias", -0.1, 0.1)
+	mean := mk(".mean", -0.1, 0.1)
+	variance := mk(".var", 0.5, 1.5)
+	return b.node("BatchNorm", name, graph.Attrs{"epsilon": 1e-5}, x, scale, beta, mean, variance)
+}
+
+func (b *netBuilder) relu(name string, x *graph.Value) *graph.Value {
+	return b.node("Relu", name, nil, x)
+}
+
+// convBNRelu is the ubiquitous conv → BN → ReLU block.
+func (b *netBuilder) convBNRelu(name string, x *graph.Value, cin, cout, k, stride, pad int) *graph.Value {
+	c := b.conv(name, x, cin, cout, k, k, stride, pad, pad, 1)
+	n := b.bn(name+".bn", c, cout)
+	return b.relu(name+".relu", n)
+}
+
+func (b *netBuilder) maxPool(name string, x *graph.Value, k, stride, pad int) *graph.Value {
+	return b.node("MaxPool", name, graph.Attrs{
+		"kernel": []int{k, k}, "strides": []int{stride, stride}, "pads": []int{pad, pad, pad, pad},
+	}, x)
+}
+
+func (b *netBuilder) avgPool(name string, x *graph.Value, k, stride, pad int) *graph.Value {
+	return b.node("AveragePool", name, graph.Attrs{
+		"kernel": []int{k, k}, "strides": []int{stride, stride}, "pads": []int{pad, pad, pad, pad},
+	}, x)
+}
+
+func (b *netBuilder) add(name string, x, y *graph.Value) *graph.Value {
+	return b.node("Add", name, nil, x, y)
+}
+
+func (b *netBuilder) concat(name string, ins ...*graph.Value) *graph.Value {
+	return b.node("Concat", name, graph.Attrs{"axis": 1}, ins...)
+}
+
+// classifierHead adds GlobalAveragePool → Flatten → Dense → Softmax.
+func (b *netBuilder) classifierHead(x *graph.Value, features, classes int) *graph.Value {
+	gap := b.node("GlobalAveragePool", "gap", nil, x)
+	flat := b.node("Flatten", "flatten", graph.Attrs{"axis": 1}, gap)
+	w := b.weight("fc.weight", classes, features)
+	var bias *graph.Value
+	if b.err == nil {
+		t := tensor.Rand(b.rng("fc.bias"), -0.05, 0.05, classes)
+		bias, b.err = b.g.Const("fc.bias", t)
+	}
+	fc := b.node("Dense", "fc", nil, flat, w, bias)
+	return b.node("Softmax", "prob", nil, fc)
+}
+
+// finish marks the output and finalises the graph.
+func (b *netBuilder) finish(out *graph.Value) (*graph.Graph, error) {
+	if b.err != nil {
+		return nil, fmt.Errorf("zoo: building %s: %w", b.model, b.err)
+	}
+	if err := b.g.MarkOutput(out); err != nil {
+		return nil, err
+	}
+	if err := b.g.Finalize(); err != nil {
+		return nil, fmt.Errorf("zoo: finalising %s: %w", b.model, err)
+	}
+	return b.g, nil
+}

@@ -1,0 +1,121 @@
+package zoo
+
+import (
+	"fmt"
+
+	"orpheus/internal/graph"
+)
+
+// InceptionV3 builds Inception-v3 (Szegedy et al., torchvision layout,
+// no auxiliary head) for 299x299 inputs: stem, 3×InceptionA, InceptionB,
+// 4×InceptionC with factorised 7x1/1x7 convolutions, InceptionD,
+// 2×InceptionE, ~25M parameters. Its mix of many small/rectangular
+// convolutions makes it the structurally richest Figure 2 model.
+func InceptionV3(batch int) (*graph.Graph, error) {
+	b := newNet("inception-v3")
+	x := b.input("input", []int{batch, 3, 299, 299})
+
+	// Stem: 299 → 35x35x192.
+	cur := b.convBNRelu("stem.1a", x, 3, 32, 3, 2, 0)    // 149
+	cur = b.convBNRelu("stem.2a", cur, 32, 32, 3, 1, 0)  // 147
+	cur = b.convBNRelu("stem.2b", cur, 32, 64, 3, 1, 1)  // 147
+	cur = b.maxPool("stem.pool1", cur, 3, 2, 0)          // 73
+	cur = b.convBNRelu("stem.3b", cur, 64, 80, 1, 1, 0)  // 73
+	cur = b.convBNRelu("stem.4a", cur, 80, 192, 3, 1, 0) // 71
+	cur = b.maxPool("stem.pool2", cur, 3, 2, 0)          // 35
+
+	cin := 192
+	for i, poolFeat := range []int{32, 64, 64} {
+		cur = b.inceptionA(fmt.Sprintf("mixedA%d", i+1), cur, cin, poolFeat)
+		cin = 224 + poolFeat
+	}
+	cur = b.inceptionB("mixedB", cur, cin) // 35 → 17, 768 ch
+	cin = 768
+	for i, c7 := range []int{128, 160, 160, 192} {
+		cur = b.inceptionC(fmt.Sprintf("mixedC%d", i+1), cur, cin, c7)
+	}
+	cur = b.inceptionD("mixedD", cur, cin) // 17 → 8, 1280 ch
+	cin = 1280
+	for i := 0; i < 2; i++ {
+		cur = b.inceptionE(fmt.Sprintf("mixedE%d", i+1), cur, cin)
+		cin = 2048
+	}
+	out := b.classifierHead(cur, cin, 1000)
+	return b.finish(out)
+}
+
+// convBNReluRect is convBNRelu with a rectangular kernel and asymmetric
+// padding, used by the factorised 1x7/7x1 branches.
+func (b *netBuilder) convBNReluRect(name string, x *graph.Value, cin, cout, kh, kw, stride, padH, padW int) *graph.Value {
+	c := b.conv(name, x, cin, cout, kh, kw, stride, padH, padW, 1)
+	n := b.bn(name+".bn", c, cout)
+	return b.relu(name+".relu", n)
+}
+
+// inceptionA: 1x1(64) ‖ 5x5(48→64) ‖ double 3x3(64→96→96) ‖ pool→1x1(pf).
+func (b *netBuilder) inceptionA(name string, x *graph.Value, cin, poolFeat int) *graph.Value {
+	b1 := b.convBNRelu(name+".b1x1", x, cin, 64, 1, 1, 0)
+	b5 := b.convBNRelu(name+".b5x5.1", x, cin, 48, 1, 1, 0)
+	b5 = b.convBNRelu(name+".b5x5.2", b5, 48, 64, 5, 1, 2)
+	b3 := b.convBNRelu(name+".b3x3.1", x, cin, 64, 1, 1, 0)
+	b3 = b.convBNRelu(name+".b3x3.2", b3, 64, 96, 3, 1, 1)
+	b3 = b.convBNRelu(name+".b3x3.3", b3, 96, 96, 3, 1, 1)
+	bp := b.avgPool(name+".pool", x, 3, 1, 1)
+	bp = b.convBNRelu(name+".bpool", bp, cin, poolFeat, 1, 1, 0)
+	return b.concat(name+".cat", b1, b5, b3, bp)
+}
+
+// inceptionB: grid reduction 35→17.
+func (b *netBuilder) inceptionB(name string, x *graph.Value, cin int) *graph.Value {
+	b3 := b.convBNRelu(name+".b3x3", x, cin, 384, 3, 2, 0)
+	bd := b.convBNRelu(name+".bdbl.1", x, cin, 64, 1, 1, 0)
+	bd = b.convBNRelu(name+".bdbl.2", bd, 64, 96, 3, 1, 1)
+	bd = b.convBNRelu(name+".bdbl.3", bd, 96, 96, 3, 2, 0)
+	bp := b.maxPool(name+".pool", x, 3, 2, 0)
+	return b.concat(name+".cat", b3, bd, bp)
+}
+
+// inceptionC: factorised 7x7 branches at 17x17.
+func (b *netBuilder) inceptionC(name string, x *graph.Value, cin, c7 int) *graph.Value {
+	b1 := b.convBNRelu(name+".b1x1", x, cin, 192, 1, 1, 0)
+	b7 := b.convBNRelu(name+".b7.1", x, cin, c7, 1, 1, 0)
+	b7 = b.convBNReluRect(name+".b7.2", b7, c7, c7, 1, 7, 1, 0, 3)
+	b7 = b.convBNReluRect(name+".b7.3", b7, c7, 192, 7, 1, 1, 3, 0)
+	bd := b.convBNRelu(name+".bd.1", x, cin, c7, 1, 1, 0)
+	bd = b.convBNReluRect(name+".bd.2", bd, c7, c7, 7, 1, 1, 3, 0)
+	bd = b.convBNReluRect(name+".bd.3", bd, c7, c7, 1, 7, 1, 0, 3)
+	bd = b.convBNReluRect(name+".bd.4", bd, c7, c7, 7, 1, 1, 3, 0)
+	bd = b.convBNReluRect(name+".bd.5", bd, c7, 192, 1, 7, 1, 0, 3)
+	bp := b.avgPool(name+".pool", x, 3, 1, 1)
+	bp = b.convBNRelu(name+".bpool", bp, cin, 192, 1, 1, 0)
+	return b.concat(name+".cat", b1, b7, bd, bp)
+}
+
+// inceptionD: grid reduction 17→8.
+func (b *netBuilder) inceptionD(name string, x *graph.Value, cin int) *graph.Value {
+	b3 := b.convBNRelu(name+".b3.1", x, cin, 192, 1, 1, 0)
+	b3 = b.convBNRelu(name+".b3.2", b3, 192, 320, 3, 2, 0)
+	b7 := b.convBNRelu(name+".b7.1", x, cin, 192, 1, 1, 0)
+	b7 = b.convBNReluRect(name+".b7.2", b7, 192, 192, 1, 7, 1, 0, 3)
+	b7 = b.convBNReluRect(name+".b7.3", b7, 192, 192, 7, 1, 1, 3, 0)
+	b7 = b.convBNRelu(name+".b7.4", b7, 192, 192, 3, 2, 0)
+	bp := b.maxPool(name+".pool", x, 3, 2, 0)
+	return b.concat(name+".cat", b3, b7, bp)
+}
+
+// inceptionE: widest block, with split-and-concat 1x3/3x1 pairs at 8x8.
+func (b *netBuilder) inceptionE(name string, x *graph.Value, cin int) *graph.Value {
+	b1 := b.convBNRelu(name+".b1x1", x, cin, 320, 1, 1, 0)
+	b3 := b.convBNRelu(name+".b3.1", x, cin, 384, 1, 1, 0)
+	b3a := b.convBNReluRect(name+".b3.2a", b3, 384, 384, 1, 3, 1, 0, 1)
+	b3b := b.convBNReluRect(name+".b3.2b", b3, 384, 384, 3, 1, 1, 1, 0)
+	b3cat := b.concat(name+".b3.cat", b3a, b3b)
+	bd := b.convBNRelu(name+".bd.1", x, cin, 448, 1, 1, 0)
+	bd = b.convBNRelu(name+".bd.2", bd, 448, 384, 3, 1, 1)
+	bda := b.convBNReluRect(name+".bd.3a", bd, 384, 384, 1, 3, 1, 0, 1)
+	bdb := b.convBNReluRect(name+".bd.3b", bd, 384, 384, 3, 1, 1, 1, 0)
+	bdcat := b.concat(name+".bd.cat", bda, bdb)
+	bp := b.avgPool(name+".pool", x, 3, 1, 1)
+	bp = b.convBNRelu(name+".bpool", bp, cin, 192, 1, 1, 0)
+	return b.concat(name+".cat", b1, b3cat, bdcat, bp)
+}

@@ -1,0 +1,42 @@
+package zoo
+
+import (
+	"fmt"
+
+	"orpheus/internal/graph"
+)
+
+// MobileNetV1 builds the 1.0x MobileNet (Howard et al.) for 224x224
+// ImageNet inputs: a 3x3/2 stem then 13 depthwise-separable blocks,
+// ~4.2M parameters. Figure 2's stress test for depthwise convolution —
+// the layer the paper says PyTorch executes "inefficiently".
+func MobileNetV1(batch int) (*graph.Graph, error) {
+	b := newNet("mobilenet-v1")
+	x := b.input("input", []int{batch, 3, 224, 224})
+	cur := b.convBNRelu("stem", x, 3, 32, 3, 2, 1)
+
+	// (output channels, stride) per depthwise-separable block.
+	blocks := []struct{ cout, stride int }{
+		{64, 1},
+		{128, 2}, {128, 1},
+		{256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	cin := 32
+	for i, blk := range blocks {
+		name := fmt.Sprintf("block%d", i+1)
+		cur = b.depthwiseSeparable(name, cur, cin, blk.cout, blk.stride)
+		cin = blk.cout
+	}
+	out := b.classifierHead(cur, cin, 1000)
+	return b.finish(out)
+}
+
+// depthwiseSeparable is dw3x3 → BN → ReLU → pw1x1 → BN → ReLU.
+func (b *netBuilder) depthwiseSeparable(name string, x *graph.Value, cin, cout, stride int) *graph.Value {
+	dw := b.conv(name+".dw", x, cin, cin, 3, 3, stride, 1, 1, cin)
+	dwAct := b.relu(name+".dw.relu", b.bn(name+".dw.bn", dw, cin))
+	pw := b.conv(name+".pw", dwAct, cin, cout, 1, 1, 1, 0, 0, 1)
+	return b.relu(name+".pw.relu", b.bn(name+".pw.bn", pw, cout))
+}

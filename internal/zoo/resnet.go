@@ -1,0 +1,88 @@
+package zoo
+
+import (
+	"fmt"
+
+	"orpheus/internal/graph"
+)
+
+// ResNet18 builds ResNet-18 (He et al.) for 224x224 ImageNet inputs:
+// 7x7/2 stem, 3x3/2 max-pool, four stages of two basic blocks
+// (64/128/256/512 channels), ~11.7M parameters.
+func ResNet18(batch int) (*graph.Graph, error) {
+	return buildResNet("resnet-18", batch, []int{2, 2, 2, 2}, false)
+}
+
+// ResNet50 builds ResNet-50: four stages of [3,4,6,3] bottleneck blocks
+// with 4x channel expansion, ~25.6M parameters. The largest Figure 2
+// model.
+func ResNet50(batch int) (*graph.Graph, error) {
+	return buildResNet("resnet-50", batch, []int{3, 4, 6, 3}, true)
+}
+
+func buildResNet(name string, batch int, layers []int, bottleneck bool) (*graph.Graph, error) {
+	b := newNet(name)
+	x := b.input("input", []int{batch, 3, 224, 224})
+	cur := b.convBNRelu("stem", x, 3, 64, 7, 2, 3)
+	cur = b.maxPool("stem.pool", cur, 3, 2, 1)
+
+	widths := []int{64, 128, 256, 512}
+	expansion := 1
+	if bottleneck {
+		expansion = 4
+	}
+	cin := 64
+	for s, blocks := range layers {
+		cout := widths[s]
+		for blk := 0; blk < blocks; blk++ {
+			stride := 1
+			if s > 0 && blk == 0 {
+				stride = 2
+			}
+			bname := fmt.Sprintf("stage%d.block%d", s+1, blk)
+			if bottleneck {
+				cur = b.bottleneckBlock(bname, cur, cin, cout, stride, expansion)
+			} else {
+				cur = b.basicBlock(bname, cur, cin, cout, stride)
+			}
+			cin = cout * expansion
+		}
+	}
+	out := b.classifierHead(cur, cin, 1000)
+	return b.finish(out)
+}
+
+// basicBlock: conv3x3 → BN → ReLU → conv3x3 → BN, plus a (possibly
+// projected) shortcut, then ReLU.
+func (b *netBuilder) basicBlock(name string, x *graph.Value, cin, cout, stride int) *graph.Value {
+	c1 := b.conv(name+".conv1", x, cin, cout, 3, 3, stride, 1, 1, 1)
+	a1 := b.relu(name+".relu1", b.bn(name+".bn1", c1, cout))
+	c2 := b.conv(name+".conv2", a1, cout, cout, 3, 3, 1, 1, 1, 1)
+	n2 := b.bn(name+".bn2", c2, cout)
+	shortcut := x
+	if cin != cout || stride != 1 {
+		sc := b.conv(name+".down", x, cin, cout, 1, 1, stride, 0, 0, 1)
+		shortcut = b.bn(name+".down.bn", sc, cout)
+	}
+	sum := b.add(name+".add", n2, shortcut)
+	return b.relu(name+".relu2", sum)
+}
+
+// bottleneckBlock: conv1x1 → conv3x3 → conv1x1(×expansion) with BN+ReLU
+// between, plus shortcut.
+func (b *netBuilder) bottleneckBlock(name string, x *graph.Value, cin, cmid, stride, expansion int) *graph.Value {
+	cout := cmid * expansion
+	c1 := b.conv(name+".conv1", x, cin, cmid, 1, 1, 1, 0, 0, 1)
+	a1 := b.relu(name+".relu1", b.bn(name+".bn1", c1, cmid))
+	c2 := b.conv(name+".conv2", a1, cmid, cmid, 3, 3, stride, 1, 1, 1)
+	a2 := b.relu(name+".relu2", b.bn(name+".bn2", c2, cmid))
+	c3 := b.conv(name+".conv3", a2, cmid, cout, 1, 1, 1, 0, 0, 1)
+	n3 := b.bn(name+".bn3", c3, cout)
+	shortcut := x
+	if cin != cout || stride != 1 {
+		sc := b.conv(name+".down", x, cin, cout, 1, 1, stride, 0, 0, 1)
+		shortcut = b.bn(name+".down.bn", sc, cout)
+	}
+	sum := b.add(name+".add", n3, shortcut)
+	return b.relu(name+".relu3", sum)
+}

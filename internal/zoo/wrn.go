@@ -1,0 +1,65 @@
+package zoo
+
+import (
+	"fmt"
+
+	"orpheus/internal/graph"
+)
+
+// WRN40_2 builds a Wide Residual Network WRN-40-2 (Zagoruyko & Komodakis)
+// for 32x32 CIFAR-10 inputs: depth 40 → 6 basic blocks per stage, widen
+// factor 2 → stage widths 32/64/128, pre-activation residual blocks,
+// ~2.2M parameters. The smallest Figure 2 model, and the one where TVM's
+// spatial-pack convolution beats GEMM in the paper.
+func WRN40_2(batch int) (*graph.Graph, error) {
+	const (
+		depth  = 40
+		widen  = 2
+		stages = 3
+	)
+	n := (depth - 4) / 6 // blocks per stage
+	widths := []int{16, 16 * widen, 32 * widen, 64 * widen}
+
+	b := newNet("wrn-40-2")
+	x := b.input("input", []int{batch, 3, 32, 32})
+	cur := b.conv("conv1", x, 3, widths[0], 3, 3, 1, 1, 1, 1)
+	cin := widths[0]
+	for s := 0; s < stages; s++ {
+		stride := 1
+		if s > 0 {
+			stride = 2
+		}
+		cout := widths[s+1]
+		for blk := 0; blk < n; blk++ {
+			name := fmt.Sprintf("stage%d.block%d", s+1, blk)
+			blockStride := 1
+			if blk == 0 {
+				blockStride = stride
+			}
+			cur = b.wrnBlock(name, cur, cin, cout, blockStride)
+			cin = cout
+		}
+	}
+	bn := b.bn("bn_final", cur, cin)
+	act := b.relu("relu_final", bn)
+	out := b.classifierHead(act, cin, 10)
+	return b.finish(out)
+}
+
+// wrnBlock is a pre-activation basic block:
+//
+//	out = conv2(relu(bn2(conv1(relu(bn1(x)))))) + shortcut
+//
+// The shortcut is identity when shapes match, otherwise a 1x1 strided conv
+// applied to the pre-activated input.
+func (b *netBuilder) wrnBlock(name string, x *graph.Value, cin, cout, stride int) *graph.Value {
+	pre := b.relu(name+".relu1", b.bn(name+".bn1", x, cin))
+	conv1 := b.conv(name+".conv1", pre, cin, cout, 3, 3, stride, 1, 1, 1)
+	mid := b.relu(name+".relu2", b.bn(name+".bn2", conv1, cout))
+	conv2 := b.conv(name+".conv2", mid, cout, cout, 3, 3, 1, 1, 1, 1)
+	shortcut := x
+	if cin != cout || stride != 1 {
+		shortcut = b.conv(name+".shortcut", pre, cin, cout, 1, 1, stride, 0, 0, 1)
+	}
+	return b.add(name+".add", conv2, shortcut)
+}

@@ -1,0 +1,66 @@
+package zoo
+
+import (
+	"fmt"
+	"sort"
+
+	"orpheus/internal/graph"
+)
+
+// Model describes one zoo entry.
+type Model struct {
+	// Name is the canonical model identifier used by the CLI and the
+	// experiment harness.
+	Name string
+	// InputShape is the NCHW input shape for batch 1.
+	InputShape []int
+	// Classes is the classifier width.
+	Classes int
+	// ApproxParams is the expected parameter count (for sanity checks and
+	// reports), in millions.
+	ApproxParams float64
+	// Build constructs the graph for the given batch size.
+	Build func(batch int) (*graph.Graph, error)
+}
+
+// models is ordered as in the paper's Figure 2 (left to right).
+var models = []Model{
+	{Name: "wrn-40-2", InputShape: []int{1, 3, 32, 32}, Classes: 10, ApproxParams: 2.2, Build: WRN40_2},
+	{Name: "mobilenet-v1", InputShape: []int{1, 3, 224, 224}, Classes: 1000, ApproxParams: 4.2, Build: MobileNetV1},
+	{Name: "resnet-18", InputShape: []int{1, 3, 224, 224}, Classes: 1000, ApproxParams: 11.7, Build: ResNet18},
+	{Name: "inception-v3", InputShape: []int{1, 3, 299, 299}, Classes: 1000, ApproxParams: 25.1, Build: InceptionV3},
+	{Name: "resnet-50", InputShape: []int{1, 3, 224, 224}, Classes: 1000, ApproxParams: 25.6, Build: ResNet50},
+}
+
+// Models returns the Figure 2 model list in paper order.
+func Models() []Model { return append([]Model(nil), models...) }
+
+// Names returns the model names in paper order.
+func Names() []string {
+	out := make([]string, len(models))
+	for i, m := range models {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// ByName returns the model with the given name.
+func ByName(name string) (Model, error) {
+	for _, m := range models {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	known := Names()
+	sort.Strings(known)
+	return Model{}, fmt.Errorf("zoo: unknown model %q (known: %v)", name, known)
+}
+
+// Build constructs a named model for the given batch size.
+func Build(name string, batch int) (*graph.Graph, error) {
+	m, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return m.Build(batch)
+}

@@ -1,0 +1,225 @@
+package zoo
+
+import (
+	"math"
+	"testing"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/passes"
+	"orpheus/internal/runtime"
+	"orpheus/internal/tensor"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{"wrn-40-2", "mobilenet-v1", "resnet-18", "inception-v3", "resnet-50"}
+	if len(names) != len(want) {
+		t.Fatalf("models = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("model order %v, want %v (paper Figure 2 order)", names, want)
+		}
+	}
+	if _, err := ByName("alexnet"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := Build("nope", 1); err == nil {
+		t.Fatal("Build of unknown model accepted")
+	}
+}
+
+// TestModelStructure builds every model and checks parameter counts,
+// output shapes and structural signatures. Construction is cheap compared
+// to inference, so all five run even with -short.
+func TestModelStructure(t *testing.T) {
+	for _, m := range Models() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			g, err := m.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(g.Inputs) != 1 || !tensor.ShapeEq(g.Inputs[0].Shape, m.InputShape) {
+				t.Fatalf("input shape %v, want %v", g.Inputs[0].Shape, m.InputShape)
+			}
+			if len(g.Outputs) != 1 || !tensor.ShapeEq(g.Outputs[0].Shape, []int{1, m.Classes}) {
+				t.Fatalf("output shape %v, want [1 %d]", g.Outputs[0].Shape, m.Classes)
+			}
+			gotM := float64(g.NumParams()) / 1e6
+			if math.Abs(gotM-m.ApproxParams) > 0.35*m.ApproxParams {
+				t.Fatalf("params %.2fM, expected ~%.1fM", gotM, m.ApproxParams)
+			}
+		})
+	}
+}
+
+func TestModelOpInventory(t *testing.T) {
+	type signature struct {
+		model    string
+		convs    int
+		adds     int
+		concats  int
+		min, max int // total node count bounds
+	}
+	sigs := []signature{
+		{model: "wrn-40-2", convs: 1 + 18*2 + 3, adds: 18, concats: 0, min: 100, max: 200},
+		{model: "mobilenet-v1", convs: 1 + 13*2, adds: 0, concats: 0, min: 80, max: 130},
+		{model: "resnet-18", convs: 1 + 8*2 + 3, adds: 8, concats: 0, min: 60, max: 110},
+		{model: "resnet-50", convs: 1 + 16*3 + 4, adds: 16, concats: 0, min: 150, max: 260},
+		{model: "inception-v3", convs: 94, adds: 0, concats: 11 + 4, min: 300, max: 450},
+	}
+	for _, sig := range sigs {
+		g, err := Build(sig.model, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", sig.model, err)
+		}
+		counts := g.OpCounts()
+		if counts["Conv"] != sig.convs {
+			t.Errorf("%s: %d convs, want %d", sig.model, counts["Conv"], sig.convs)
+		}
+		if counts["Add"] != sig.adds {
+			t.Errorf("%s: %d adds, want %d", sig.model, counts["Add"], sig.adds)
+		}
+		if counts["Concat"] != sig.concats {
+			t.Errorf("%s: %d concats, want %d", sig.model, counts["Concat"], sig.concats)
+		}
+		if n := len(g.Nodes); n < sig.min || n > sig.max {
+			t.Errorf("%s: %d nodes, want %d..%d", sig.model, n, sig.min, sig.max)
+		}
+		// One BatchNorm per conv, except WRN's pre-activation design:
+		// 2 BNs per block (36) + the final BN = 37, while shortcut convs
+		// and conv1 carry none.
+		wantBN := counts["Conv"]
+		if sig.model == "wrn-40-2" {
+			wantBN = 37
+		}
+		if counts["BatchNorm"] != wantBN {
+			t.Errorf("%s: %d BNs, want %d", sig.model, counts["BatchNorm"], wantBN)
+		}
+	}
+}
+
+func TestWeightsDeterministic(t *testing.T) {
+	g1, err := WRN40_2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := WRN40_2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := g1.Value("conv1.weight")
+	v2 := g2.Value("conv1.weight")
+	if v1 == nil || v2 == nil {
+		t.Fatal("conv1.weight missing")
+	}
+	if tensor.MaxAbsDiff(v1.Const, v2.Const) != 0 {
+		t.Fatal("two builds produced different weights")
+	}
+}
+
+func TestBatchDimension(t *testing.T) {
+	g, err := WRN40_2(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(g.Outputs[0].Shape, []int{4, 10}) {
+		t.Fatalf("batch-4 output shape %v", g.Outputs[0].Shape)
+	}
+}
+
+// runModel optimises and executes a model once, returning the output.
+func runModel(t *testing.T, g *graph.Graph) *tensor.Tensor {
+	t.Helper()
+	if _, err := passes.Default().Run(g); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := runtime.Compile(g, runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := runtime.NewSession(plan)
+	x := tensor.Rand(tensor.NewRNG(99), -1, 1, g.Inputs[0].Shape...)
+	out, err := sess.Run(map[string]*tensor.Tensor{g.Inputs[0].Name: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		return v.Clone()
+	}
+	t.Fatal("no output")
+	return nil
+}
+
+func TestWRNForwardProducesDistribution(t *testing.T) {
+	g, err := WRN40_2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runModel(t, g)
+	if out.HasNaN() {
+		t.Fatal("WRN forward produced NaN")
+	}
+	var sum float64
+	for _, v := range out.Data() {
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("softmax sums to %v", sum)
+	}
+}
+
+func TestMobileNetForward(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full MobileNetV1 inference is slow; run without -short")
+	}
+	g, err := MobileNetV1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runModel(t, g)
+	if out.HasNaN() {
+		t.Fatal("MobileNetV1 forward produced NaN")
+	}
+}
+
+func TestResNet18Forward(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ResNet-18 inference is slow; run without -short")
+	}
+	g, err := ResNet18(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runModel(t, g)
+	if out.HasNaN() {
+		t.Fatal("ResNet-18 forward produced NaN")
+	}
+}
+
+func TestOptimisationFoldsBatchNorms(t *testing.T) {
+	// Post-activation nets (conv→BN) fold every BatchNorm. WRN-40-2 is
+	// pre-activation (BN→ReLU→conv), so only the 19 conv→BN pairs fold
+	// (18 block bn1 nodes follow an Add and must survive).
+	for _, tc := range []struct {
+		model   string
+		wantBNs int
+	}{
+		{"resnet-18", 0},
+		{"mobilenet-v1", 0},
+		{"wrn-40-2", 18},
+	} {
+		g, err := Build(tc.model, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := passes.Default().Run(g); err != nil {
+			t.Fatal(err)
+		}
+		counts := g.OpCounts()
+		if counts["BatchNorm"] != tc.wantBNs {
+			t.Errorf("%s: %d BatchNorms survive optimisation, want %d", tc.model, counts["BatchNorm"], tc.wantBNs)
+		}
+	}
+}

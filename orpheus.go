@@ -1,0 +1,229 @@
+// Package orpheus is the public facade of the Orpheus deep-learning
+// inference framework: a Go reproduction of "Orpheus: A New Deep Learning
+// Framework for Easy Deployment and Evaluation of Edge Inference"
+// (Gibson & Cano, ISPASS 2020).
+//
+// The facade wraps the internal subsystems behind a small API:
+//
+//	model, _ := orpheus.LoadONNX("mobilenet.onnx")     // or orpheus.BuildZooModel("mobilenet-v1")
+//	sess, _ := model.Compile(orpheus.WithBackend("orpheus"))
+//	out, _ := sess.Predict(input)                       // *orpheus.Tensor, NCHW float32
+//
+// Layers are first-class citizens with multiple registered kernels;
+// Compile selects one implementation per layer through the chosen
+// backend's policy (fixed preference, size heuristic, or empirical
+// auto-tuning), mirrors the paper's design, and plans an arena for
+// intermediate activations.
+package orpheus
+
+import (
+	"fmt"
+	"io"
+
+	"orpheus/internal/backend"
+	"orpheus/internal/graph"
+	"orpheus/internal/onnx"
+	"orpheus/internal/passes"
+	"orpheus/internal/runtime"
+	"orpheus/internal/tensor"
+	"orpheus/internal/zoo"
+)
+
+// Tensor is the dense float32 NCHW tensor type used at the API boundary.
+type Tensor = tensor.Tensor
+
+// NewTensor returns a zero tensor of the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// TensorFromSlice wraps data (not copied) in a tensor of the given shape.
+func TensorFromSlice(data []float32, shape ...int) *Tensor {
+	return tensor.FromSlice(data, shape...)
+}
+
+// RandomTensor returns a deterministic uniform[-1,1) tensor, seeded by
+// seed — handy for benchmarks and examples.
+func RandomTensor(seed uint64, shape ...int) *Tensor {
+	return tensor.Rand(tensor.NewRNG(seed), -1, 1, shape...)
+}
+
+// Model is a loaded (not yet compiled) network.
+type Model struct {
+	g *graph.Graph
+}
+
+// LoadONNX reads an ONNX file into a Model.
+func LoadONNX(path string) (*Model, error) {
+	g, err := onnx.ImportFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{g: g}, nil
+}
+
+// FromGraph wraps an already-built graph (advanced use; see internal/zoo
+// for builder examples).
+func FromGraph(g *graph.Graph) *Model { return &Model{g: g} }
+
+// BuildZooModel constructs one of the paper's five evaluation networks by
+// name: "wrn-40-2", "mobilenet-v1", "resnet-18", "inception-v3",
+// "resnet-50".
+func BuildZooModel(name string) (*Model, error) {
+	g, err := zoo.Build(name, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{g: g}, nil
+}
+
+// ZooModels lists the available built-in model names in the paper's
+// Figure 2 order.
+func ZooModels() []string { return zoo.Names() }
+
+// SaveONNX writes the model to an ONNX file.
+func (m *Model) SaveONNX(path string) error { return onnx.ExportFile(m.g, path) }
+
+// Graph exposes the underlying IR (read-mostly; Compile clones before
+// optimising).
+func (m *Model) Graph() *graph.Graph { return m.g }
+
+// InputName returns the model's (single) input value name.
+func (m *Model) InputName() string { return m.g.Inputs[0].Name }
+
+// InputShape returns the model's input shape.
+func (m *Model) InputShape() []int { return m.g.Inputs[0].Shape }
+
+// Summary returns a one-line description of the model.
+func (m *Model) Summary() string {
+	return fmt.Sprintf("%s: %d nodes, %.2fM params, input %s",
+		m.g.Name, len(m.g.Nodes), float64(m.g.NumParams())/1e6, tensor.ShapeString(m.g.Inputs[0].Shape))
+}
+
+// Optimize runs the graph-simplification pipeline in place on the model
+// (Compile does this automatically for optimising backends; call this to
+// inspect or export the optimised graph).
+func (m *Model) Optimize() error {
+	_, err := passes.Default().Run(m.g)
+	return err
+}
+
+// compileConfig collects Compile options.
+type compileConfig struct {
+	backendName string
+	workers     int
+}
+
+// CompileOption configures Compile.
+type CompileOption func(*compileConfig)
+
+// WithBackend selects the execution backend: "orpheus" (default),
+// "orpheus-heuristic", "orpheus-tuned", or the framework simulations
+// "tvm-sim", "torch-sim", "darknet-sim", "tflite-sim".
+func WithBackend(name string) CompileOption {
+	return func(c *compileConfig) { c.backendName = name }
+}
+
+// WithWorkers sets the kernel thread budget (default 1, the paper's
+// single-core configuration).
+func WithWorkers(n int) CompileOption {
+	return func(c *compileConfig) { c.workers = n }
+}
+
+// Backends lists the registered backend names.
+func Backends() []string { return backend.Names() }
+
+// Session is a compiled, executable model.
+type Session struct {
+	model *Model
+	sess  *runtime.Session
+}
+
+// Compile plans and allocates an executable session for the model.
+func (m *Model) Compile(opts ...CompileOption) (*Session, error) {
+	cfg := compileConfig{backendName: "orpheus", workers: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	be, err := backend.ByName(cfg.backendName)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := be.Prepare(m.g, cfg.workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{model: m, sess: runtime.NewSession(plan)}, nil
+}
+
+// Predict runs inference on a single input tensor and returns a copy of
+// the model's (single) output.
+func (s *Session) Predict(input *Tensor) (*Tensor, error) {
+	outs, err := s.Run(map[string]*Tensor{s.model.InputName(): input})
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range outs {
+		return v, nil
+	}
+	return nil, fmt.Errorf("orpheus: model has no outputs")
+}
+
+// Run executes the graph on named inputs and returns copies of all
+// outputs by name.
+func (s *Session) Run(inputs map[string]*Tensor) (map[string]*Tensor, error) {
+	outs, err := s.sess.Run(inputs)
+	if err != nil {
+		return nil, err
+	}
+	copied := make(map[string]*Tensor, len(outs))
+	for k, v := range outs {
+		copied[k] = v.Clone()
+	}
+	return copied, nil
+}
+
+// LayerTiming mirrors runtime.LayerTiming at the public boundary.
+type LayerTiming = runtime.LayerTiming
+
+// PredictProfiled runs inference and returns per-layer timings alongside
+// the output.
+func (s *Session) PredictProfiled(input *Tensor) (*Tensor, []LayerTiming, error) {
+	outs, timings, err := s.sess.RunProfiled(map[string]*Tensor{s.model.InputName(): input})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, v := range outs {
+		return v.Clone(), timings, nil
+	}
+	return nil, nil, fmt.Errorf("orpheus: model has no outputs")
+}
+
+// BenchStats mirrors runtime.Stats at the public boundary.
+type BenchStats = runtime.Stats
+
+// WriteTrace serialises per-layer timings from PredictProfiled as a
+// Chrome trace-event JSON document viewable in chrome://tracing.
+func WriteTrace(w io.Writer, timings []LayerTiming) error {
+	return runtime.WriteTrace(w, timings)
+}
+
+// Benchmark times repeated inference (warm-up + reps) on the given input.
+func (s *Session) Benchmark(input *Tensor, warmup, reps int) (BenchStats, error) {
+	return runtime.Measure(s.sess, map[string]*Tensor{s.model.InputName(): input}, warmup, reps)
+}
+
+// PlanSummary describes the compiled plan: one line per layer with the
+// selected kernel, for the paper's "independently altered and assayed"
+// workflow.
+func (s *Session) PlanSummary() []string {
+	steps := s.sess.Plan().Steps()
+	out := make([]string, len(steps))
+	for i, st := range steps {
+		out[i] = fmt.Sprintf("%-30s %-12s %s", st.Node.Name, st.Node.Op, st.Kernel)
+	}
+	return out
+}
+
+// MemoryFootprint reports the planned memory use in bytes.
+func (s *Session) MemoryFootprint() (weights, arena int64) {
+	return s.sess.Plan().WeightBytes(), s.sess.Plan().ArenaBytes()
+}

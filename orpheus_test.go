@@ -1,0 +1,148 @@
+package orpheus
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFacadeZooCompilePredict(t *testing.T) {
+	m, err := BuildZooModel("wrn-40-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.Summary(), "wrn-40-2") {
+		t.Fatalf("summary = %q", m.Summary())
+	}
+	sess, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandomTensor(1, m.InputShape()...)
+	out, err := sess.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Shape()) != 2 || out.Shape()[1] != 10 {
+		t.Fatalf("output shape %v", out.Shape())
+	}
+	var sum float64
+	for _, v := range out.Data() {
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestFacadeBackendsProduceSameAnswer(t *testing.T) {
+	m, err := BuildZooModel("wrn-40-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandomTensor(2, m.InputShape()...)
+	var ref *Tensor
+	for _, be := range []string{"orpheus", "tvm-sim"} {
+		sess, err := m.Compile(WithBackend(be))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := sess.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = out
+			continue
+		}
+		for i, v := range out.Data() {
+			if d := float64(v - ref.Data()[i]); d > 1e-3 || d < -1e-3 {
+				t.Fatalf("backend %s diverges at %d: %v vs %v", be, i, v, ref.Data()[i])
+			}
+		}
+	}
+}
+
+func TestFacadeONNXRoundTrip(t *testing.T) {
+	m, err := BuildZooModel("wrn-40-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wrn.onnx")
+	if err := m.SaveONNX(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadONNX(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Graph().NumParams() != m.Graph().NumParams() {
+		t.Fatal("params changed across ONNX round trip")
+	}
+}
+
+func TestFacadeProfiledAndPlan(t *testing.T) {
+	m, err := BuildZooModel("wrn-40-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := m.Compile(WithBackend("orpheus"), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandomTensor(3, m.InputShape()...)
+	_, timings, err := sess.PredictProfiled(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timings) == 0 {
+		t.Fatal("no layer timings")
+	}
+	plan := sess.PlanSummary()
+	if len(plan) != len(timings) {
+		t.Fatalf("plan %d lines vs %d timings", len(plan), len(timings))
+	}
+	joined := strings.Join(plan, "\n")
+	if !strings.Contains(joined, "conv.im2col") {
+		t.Fatalf("plan summary missing kernels:\n%s", joined)
+	}
+	w, a := sess.MemoryFootprint()
+	if w <= 0 || a <= 0 {
+		t.Fatalf("footprint %d/%d", w, a)
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	if _, err := BuildZooModel("vgg-16"); err == nil {
+		t.Fatal("unknown zoo model accepted")
+	}
+	if _, err := LoadONNX("/nonexistent/model.onnx"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	m, _ := BuildZooModel("wrn-40-2")
+	if _, err := m.Compile(WithBackend("caffe")); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if len(Backends()) < 5 || len(ZooModels()) != 5 {
+		t.Fatal("registries look wrong")
+	}
+}
+
+func TestFacadeBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark loop is slow; run without -short")
+	}
+	m, _ := BuildZooModel("wrn-40-2")
+	sess, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sess.Benchmark(RandomTensor(4, m.InputShape()...), 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != 3 || stats.Median <= 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
