@@ -1,0 +1,49 @@
+package orpheus
+
+import (
+	"testing"
+
+	"orpheus/internal/backend"
+	"orpheus/internal/runtime"
+	"orpheus/internal/tensor"
+	"orpheus/internal/zoo"
+)
+
+// TestSessionRunSteadyStateAllocFree asserts the PR's core perf invariant:
+// after warm-up (scratch grown, constant weights packed), Session.Run in
+// the planned-arena configuration performs zero heap allocations — the
+// marginal cost of an inference is kernels, not bookkeeping.
+func TestSessionRunSteadyStateAllocFree(t *testing.T) {
+	for _, model := range []string{"wrn-40-2", "mobilenet-v1"} {
+		t.Run(model, func(t *testing.T) {
+			g, err := zoo.Build(model, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			be, err := backend.ByName("orpheus")
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := be.Prepare(g, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess := runtime.NewSession(plan)
+			x := tensor.Rand(tensor.NewRNG(1), -1, 1, g.Inputs[0].Shape...)
+			in := map[string]*tensor.Tensor{g.Inputs[0].Name: x}
+			for i := 0; i < 2; i++ { // warm-up: grow scratch, pack weights
+				if _, err := sess.Run(in); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(3, func() {
+				if _, err := sess.Run(in); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("steady-state Session.Run allocates %.1f times per run, want 0", avg)
+			}
+		})
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"orpheus/internal/backend"
+	"orpheus/internal/gemm"
 	"orpheus/internal/graph"
 	"orpheus/internal/harness"
 	"orpheus/internal/ops"
@@ -187,6 +188,7 @@ func BenchmarkPassesAblation(b *testing.B) {
 			if _, err := sess.Run(in); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := sess.Run(in); err != nil {
@@ -229,6 +231,7 @@ func BenchmarkLayerwise(b *testing.B) {
 	if _, err := sess.Run(in); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := sess.RunProfiled(in); err != nil {
@@ -252,10 +255,76 @@ func BenchmarkAutotune(b *testing.B) {
 	if _, err := sess.Run(in); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sess.Run(in); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPredictConcurrent measures saturated multi-request throughput
+// through the pooled Predict path: GOMAXPROCS goroutines share one
+// compiled plan (and its packed weights) while each in-flight request
+// borrows a private session. Compare ns/op here against the matching
+// BenchmarkFig2 single-session latency to see the scaling; the seed
+// serialised requests on a single session.
+func BenchmarkPredictConcurrent(b *testing.B) {
+	for _, model := range []string{"wrn-40-2", "mobilenet-v1"} {
+		b.Run(model, func(b *testing.B) {
+			m := FromGraph(cachedModel(b, model))
+			sess, err := m.Compile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := RandomTensor(1, m.InputShape()...)
+			if _, err := sess.Predict(x); err != nil { // warm-up
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := sess.Predict(x); err != nil {
+						// Fatal must not be called from RunParallel body
+						// goroutines.
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkParallelGEMM sweeps the worker-pool GEMM over a conv-shaped
+// matrix (small M, wide N) to expose macro-tile scaling.
+func BenchmarkParallelGEMM(b *testing.B) {
+	const m, n, k = 64, 12544, 576 // resnet-ish 3x3 conv at 112x112
+	r := tensor.NewRNG(5)
+	a := make([]float32, m*k)
+	bb := make([]float32, k*n)
+	c := make([]float32, m*n)
+	for i := range a {
+		a[i] = r.Uniform(-1, 1)
+	}
+	for i := range bb {
+		bb[i] = r.Uniform(-1, 1)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var ctx gemm.Context
+			pool := gemm.Shared()
+			// Warm-up grows the packing scratch so the timed loop is
+			// steady-state.
+			pool.Run(&ctx, gemm.Call{A: a, B: bb, C: c, M: m, N: n, K: k, Store: true}, workers)
+			b.SetBytes(int64(2 * m * n * k))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.Run(&ctx, gemm.Call{A: a, B: bb, C: c, M: m, N: n, K: k, Store: true}, workers)
+			}
+		})
 	}
 }

@@ -1,0 +1,171 @@
+package orpheus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// stressCNN builds a small network that exercises the production hot
+// path: a 3x3 conv (im2col/winograd candidates), a pointwise conv (the
+// prepacked fast path), pooling, dense and softmax.
+func stressCNN(t testing.TB) *Model {
+	t.Helper()
+	r := tensor.NewRNG(42)
+	g := graph.New("stress-cnn")
+	x, err := g.Input("x", []int{1, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, _ := g.Const("w1", tensor.HeNormal(r, 8, 3, 3, 3))
+	b1, _ := g.Const("b1", tensor.Rand(r, -0.1, 0.1, 8))
+	c1, _ := g.Add("Conv", "conv1", graph.Attrs{"pads": []int{1, 1, 1, 1}, "activation": "relu"}, x, w1, b1)
+	w2, _ := g.Const("w2", tensor.HeNormal(r, 16, 8, 1, 1))
+	c2, _ := g.Add("Conv", "conv2", graph.Attrs{"activation": "relu"}, c1, w2)
+	p1, _ := g.Add("MaxPool", "pool1", graph.Attrs{"kernel": []int{2, 2}}, c2)
+	ga, _ := g.Add("GlobalAveragePool", "gap", nil, p1)
+	fl, _ := g.Add("Flatten", "flat", graph.Attrs{"axis": 1}, ga)
+	wd, _ := g.Const("wd", tensor.HeNormal(r, 10, 16))
+	bd, _ := g.Const("bd", tensor.Rand(r, -0.1, 0.1, 10))
+	d1, _ := g.Add("Dense", "fc", nil, fl, wd, bd)
+	sm, _ := g.Add("Softmax", "prob", nil, d1)
+	if err := g.MarkOutput(sm); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return FromGraph(g)
+}
+
+// TestConcurrentPredictStress hammers one compiled session from many
+// goroutines with two distinct inputs and checks every result against the
+// serial reference: pooled sessions must never bleed state across
+// requests. Run with -race.
+func TestConcurrentPredictStress(t *testing.T) {
+	m := stressCNN(t)
+	sess, err := m.Compile(WithBackend("orpheus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []*Tensor{
+		RandomTensor(1, m.InputShape()...),
+		RandomTensor(2, m.InputShape()...),
+	}
+	want := make([]*Tensor, len(inputs))
+	for i, x := range inputs {
+		out, err := sess.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+
+	const goroutines = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				which := (g + i) % len(inputs)
+				out, err := sess.Predict(inputs[which])
+				if err != nil {
+					errc <- err
+					return
+				}
+				// Identical plan and kernels: results must be bit-exact.
+				if !tensor.AllClose(out, want[which], 0) {
+					errc <- fmt.Errorf("concurrent Predict diverged from serial reference (goroutine %d, iter %d, input %d)", g, i, which)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestMultiWorkerPredictMatchesSingle checks that the pooled parallel
+// GEMM path (workers > 1) computes the same result as the single-threaded
+// path, including under concurrent callers.
+func TestMultiWorkerPredictMatchesSingle(t *testing.T) {
+	m := stressCNN(t)
+	x := RandomTensor(7, m.InputShape()...)
+	s1, err := m.Compile(WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s1.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := m.Compile(WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				got, err := s4.Predict(x)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !tensor.AllClose(got, want, 1e-6) {
+					t.Error("multi-worker Predict diverged from single-worker result")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentServeStylePredict mirrors the serve path: concurrent Run
+// calls through the same facade session with cloned outputs.
+func TestConcurrentRunStress(t *testing.T) {
+	m := stressCNN(t)
+	sess, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandomTensor(3, m.InputShape()...)
+	in := map[string]*Tensor{m.InputName(): x}
+	ref, err := sess.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				outs, err := sess.Run(in)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for name, v := range outs {
+					if !tensor.AllClose(v, ref[name], 0) {
+						t.Errorf("concurrent Run output %q diverged", name)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

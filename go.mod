@@ -1,0 +1,3 @@
+module orpheus
+
+go 1.24

@@ -1,14 +1,16 @@
-// Package gemm implements single-precision general matrix multiply,
-// C += A·B, the computational core of GEMM-based convolution and dense
-// layers in Orpheus.
+// Package gemm implements single-precision general matrix multiply, the
+// computational core of GEMM-based convolution and dense layers in
+// Orpheus.
 //
 // Three implementations are provided, mirroring the tiers an edge inference
 // framework typically carries:
 //
 //   - Naive: textbook triple loop; the correctness reference.
 //   - Blocked: cache-blocked loop nest with an ikj inner order.
-//   - Packed: panel packing plus a register-blocked 4x8 micro-kernel; the
-//     production path used by the Orpheus backend.
+//   - Packed (Context.Run): panel packing plus a register-blocked 4x8
+//     micro-kernel; the production path used by the Orpheus backend. It
+//     supports overwrite (beta=0) semantics and prepacked constant
+//     operands, and scales across a persistent worker Pool.
 //
 // All operate on row-major dense matrices described by flat []float32
 // slices. Dimensions are validated by the exported entry points; the inner
@@ -17,18 +19,22 @@ package gemm
 
 import "fmt"
 
+func panicf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}
+
 // validate panics if the slice lengths cannot hold the described matrices.
 func validate(a, b, c []float32, m, n, k int) {
 	if m < 0 || n < 0 || k < 0 {
-		panic(fmt.Sprintf("gemm: negative dimension m=%d n=%d k=%d", m, n, k))
+		panicf("gemm: negative dimension m=%d n=%d k=%d", m, n, k)
 	}
 	if m == 0 || n == 0 || k == 0 {
 		// Nothing to compute; empty buffers are fine.
 		return
 	}
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
-		panic(fmt.Sprintf("gemm: buffer too small for m=%d n=%d k=%d (lenA=%d lenB=%d lenC=%d)",
-			m, n, k, len(a), len(b), len(c)))
+		panicf("gemm: buffer too small for m=%d n=%d k=%d (lenA=%d lenB=%d lenC=%d)",
+			m, n, k, len(a), len(b), len(c))
 	}
 }
 
@@ -48,28 +54,23 @@ func Naive(a, b, c []float32, m, n, k int) {
 }
 
 // Blocked computes C += A·B using cache blocking with an i-k-j inner order,
-// which streams B rows and keeps a C row hot.
+// which streams B rows and keeps a C row hot. Block sizes match the packed
+// tier's panel constants so the two tiers see the same cache working set.
+// The inner loop is branch-free: inference matrices are dense, so skipping
+// zero A values costs more in mispredictions than it saves in arithmetic.
 func Blocked(a, b, c []float32, m, n, k int) {
 	validate(a, b, c, m, n, k)
-	const (
-		mc = 64
-		kc = 128
-		nc = 256
-	)
-	for jj := 0; jj < n; jj += nc {
-		jmax := min(jj+nc, n)
-		for pp := 0; pp < k; pp += kc {
-			pmax := min(pp+kc, k)
-			for ii := 0; ii < m; ii += mc {
-				imax := min(ii+mc, m)
+	for jj := 0; jj < n; jj += ncBlock {
+		jmax := min(jj+ncBlock, n)
+		for pp := 0; pp < k; pp += kcBlock {
+			pmax := min(pp+kcBlock, k)
+			for ii := 0; ii < m; ii += mcBlock {
+				imax := min(ii+mcBlock, m)
 				for i := ii; i < imax; i++ {
 					ci := c[i*n : i*n+n]
 					ai := a[i*k : i*k+k]
 					for p := pp; p < pmax; p++ {
 						av := ai[p]
-						if av == 0 {
-							continue
-						}
 						bp := b[p*n : p*n+n]
 						for j := jj; j < jmax; j++ {
 							ci[j] += av * bp[j]

@@ -3,6 +3,12 @@ package gemm
 // Packing + micro-kernel GEMM. This is the "production" tier: panels of A
 // and B are repacked into contiguous strips sized for the register-blocked
 // micro-kernel, which computes a 4x8 block of C per inner iteration.
+//
+// The general entry point is Call executed through Context.Run (or a Pool
+// for the parallel tiers): it supports both accumulating (C += A·B) and
+// overwriting (C = A·B) semantics, and either operand may be supplied
+// prepacked (see prepack.go) so run-invariant weights are packed once per
+// model instead of once per inference.
 
 const (
 	mr = 4 // micro-kernel rows
@@ -13,6 +19,51 @@ const (
 	ncBlock = 512 // cols of B per packed panel
 )
 
+// Call describes one GEMM invocation: C = A·B when Store is set,
+// C += A·B otherwise. A is M×K, B is K×N, C is M×N, all row-major dense.
+//
+// PackedA/PackedB, when non-nil, are panel buffers produced by
+// PrepackA/PrepackB and replace the corresponding raw operand, which may
+// then be nil. Store with K == 0 zeroes C (a BLAS beta=0 product with an
+// empty shared dimension).
+type Call struct {
+	A, B, C []float32
+	M, N, K int
+	PackedA []float32
+	PackedB []float32
+	Store   bool
+}
+
+// validate panics if the described buffers cannot hold the matrices.
+func (c *Call) validate() {
+	if c.M < 0 || c.N < 0 || c.K < 0 {
+		panicf("gemm: negative dimension m=%d n=%d k=%d", c.M, c.N, c.K)
+	}
+	if c.M == 0 || c.N == 0 {
+		return
+	}
+	if len(c.C) < c.M*c.N {
+		panicf("gemm: C buffer %d too small for %dx%d", len(c.C), c.M, c.N)
+	}
+	if c.K == 0 {
+		return
+	}
+	if c.PackedA != nil {
+		if len(c.PackedA) < PackedASize(c.M, c.K) {
+			panicf("gemm: PackedA %d too small for m=%d k=%d", len(c.PackedA), c.M, c.K)
+		}
+	} else if len(c.A) < c.M*c.K {
+		panicf("gemm: A buffer %d too small for %dx%d", len(c.A), c.M, c.K)
+	}
+	if c.PackedB != nil {
+		if len(c.PackedB) < PackedBSize(c.K, c.N) {
+			panicf("gemm: PackedB %d too small for k=%d n=%d", len(c.PackedB), c.K, c.N)
+		}
+	} else if len(c.B) < c.K*c.N {
+		panicf("gemm: B buffer %d too small for %dx%d", len(c.B), c.K, c.N)
+	}
+}
+
 // Context holds the packing scratch buffers for packed GEMM so repeated
 // calls (the common case during inference) do not reallocate. The zero
 // value is ready to use. A Context is not safe for concurrent use.
@@ -21,38 +72,82 @@ type Context struct {
 	packB []float32
 }
 
-// Packed computes C += A·B using panel packing and a 4x8 micro-kernel.
-func (ctx *Context) Packed(a, b, c []float32, m, n, k int) {
-	validate(a, b, c, m, n, k)
-	if m == 0 || n == 0 || k == 0 {
+// Run executes the call single-threaded. Hot inference paths should hold a
+// long-lived Context so the packing buffers are reused across calls.
+func (ctx *Context) Run(c Call) {
+	c.validate()
+	if c.M == 0 || c.N == 0 {
 		return
 	}
-	ctx.grow()
-	for pp := 0; pp < k; pp += kcBlock {
-		kc := min(kcBlock, k-pp)
-		for jj := 0; jj < n; jj += ncBlock {
-			nc := min(ncBlock, n-jj)
-			packB(ctx.packB, b, pp, jj, kc, nc, n)
-			for ii := 0; ii < m; ii += mcBlock {
-				mc := min(mcBlock, m-ii)
-				packA(ctx.packA, a, ii, pp, mc, kc, k)
-				macroKernel(ctx.packA, ctx.packB, c, ii, jj, mc, nc, kc, n)
+	if c.K == 0 {
+		if c.Store {
+			zeroC(c.C, c.M*c.N)
+		}
+		return
+	}
+	pm := roundUp(c.M, mr)
+	pn := roundUp(c.N, nr)
+	for pp := 0; pp < c.K; pp += kcBlock {
+		kc := min(kcBlock, c.K-pp)
+		st := c.Store && pp == 0
+		for jj := 0; jj < c.N; jj += ncBlock {
+			nc := min(ncBlock, c.N-jj)
+			var pb []float32
+			if c.PackedB != nil {
+				pb = c.PackedB[pn*pp+jj*kc:]
+			} else {
+				ctx.growB()
+				packB(ctx.packB, c.B, pp, jj, kc, nc, c.N)
+				pb = ctx.packB
+			}
+			for ii := 0; ii < c.M; ii += mcBlock {
+				mc := min(mcBlock, c.M-ii)
+				var pa []float32
+				if c.PackedA != nil {
+					pa = c.PackedA[pm*pp+ii*kc:]
+				} else {
+					ctx.growA()
+					packA(ctx.packA, c.A, ii, pp, mc, kc, c.K)
+					pa = ctx.packA
+				}
+				macroKernel(pa, pb, c.C, ii, jj, mc, nc, kc, c.N, st)
 			}
 		}
 	}
 }
 
-func (ctx *Context) grow() {
+// Packed computes C += A·B using panel packing and a 4x8 micro-kernel.
+func (ctx *Context) Packed(a, b, c []float32, m, n, k int) {
+	ctx.Run(Call{A: a, B: b, C: c, M: m, N: n, K: k})
+}
+
+// PackedStore computes C = A·B, overwriting C. Kernels that fully produce
+// their output this way spare the runtime an arena zero-fill.
+func (ctx *Context) PackedStore(a, b, c []float32, m, n, k int) {
+	ctx.Run(Call{A: a, B: b, C: c, M: m, N: n, K: k, Store: true})
+}
+
+func zeroC(c []float32, n int) {
+	c = c[:n]
+	for i := range c {
+		c[i] = 0
+	}
+}
+
+func (ctx *Context) growA() {
 	// Packed panels are padded up to full micro-tiles.
 	an := ((mcBlock+mr-1)/mr*mr + mr) * kcBlock
-	bn := ((ncBlock+nr-1)/nr*nr + nr) * kcBlock
 	if cap(ctx.packA) < an {
 		ctx.packA = make([]float32, an)
 	}
+	ctx.packA = ctx.packA[:cap(ctx.packA)]
+}
+
+func (ctx *Context) growB() {
+	bn := ((ncBlock+nr-1)/nr*nr + nr) * kcBlock
 	if cap(ctx.packB) < bn {
 		ctx.packB = make([]float32, bn)
 	}
-	ctx.packA = ctx.packA[:cap(ctx.packA)]
 	ctx.packB = ctx.packB[:cap(ctx.packB)]
 }
 
@@ -96,8 +191,9 @@ func packB(dst, b []float32, pp, jj, kc, nc, ldb int) {
 	}
 }
 
-// macroKernel multiplies the packed panels into C.
-func macroKernel(pa, pb, c []float32, ii, jj, mc, nc, kc, ldc int) {
+// macroKernel multiplies the packed panels into C. store selects overwrite
+// (C = panel product) over accumulate for this panel's contribution.
+func macroKernel(pa, pb, c []float32, ii, jj, mc, nc, kc, ldc int, store bool) {
 	var tail [mr * nr]float32
 	for i := 0; i < mc; i += mr {
 		rows := min(mr, mc-i)
@@ -106,28 +202,34 @@ func macroKernel(pa, pb, c []float32, ii, jj, mc, nc, kc, ldc int) {
 			cols := min(nr, nc-j)
 			bStrip := pb[(j/nr)*kc*nr:]
 			if rows == mr && cols == nr {
-				microKernel(aStrip, bStrip, c[(ii+i)*ldc+jj+j:], kc, ldc)
+				microKernel(aStrip, bStrip, c[(ii+i)*ldc+jj+j:], kc, ldc, store)
 				continue
 			}
-			// Edge tile: accumulate into a temporary then add the live part.
+			// Edge tile: accumulate into a temporary then merge the live part.
 			for x := range tail {
 				tail[x] = 0
 			}
-			microKernel(aStrip, bStrip, tail[:], kc, nr)
+			microKernel(aStrip, bStrip, tail[:], kc, nr, true)
 			for r := 0; r < rows; r++ {
 				cRow := c[(ii+i+r)*ldc+jj+j:]
-				for cc := 0; cc < cols; cc++ {
-					cRow[cc] += tail[r*nr+cc]
+				if store {
+					for cc := 0; cc < cols; cc++ {
+						cRow[cc] = tail[r*nr+cc]
+					}
+				} else {
+					for cc := 0; cc < cols; cc++ {
+						cRow[cc] += tail[r*nr+cc]
+					}
 				}
 			}
 		}
 	}
 }
 
-// microKernel computes a full mr×nr block: C[r][cc] += sum_p A[p][r]*B[p][cc].
+// microKernel computes a full mr×nr block: C[r][cc] (+)= sum_p A[p][r]*B[p][cc].
 // pa is packed as kc groups of mr values; pb as kc groups of nr values.
-// ldc is the row stride of c.
-func microKernel(pa, pb, c []float32, kc, ldc int) {
+// ldc is the row stride of c; store overwrites C instead of accumulating.
+func microKernel(pa, pb, c []float32, kc, ldc int, store bool) {
 	var (
 		c00, c01, c02, c03, c04, c05, c06, c07 float32
 		c10, c11, c12, c13, c14, c15, c16, c17 float32
@@ -178,6 +280,20 @@ func microKernel(pa, pb, c []float32, kc, ldc int) {
 		c37 += a3 * b7
 	}
 	r0 := c[0*ldc : 0*ldc+nr]
+	r1 := c[1*ldc : 1*ldc+nr]
+	r2 := c[2*ldc : 2*ldc+nr]
+	r3 := c[3*ldc : 3*ldc+nr]
+	if store {
+		r0[0], r0[1], r0[2], r0[3] = c00, c01, c02, c03
+		r0[4], r0[5], r0[6], r0[7] = c04, c05, c06, c07
+		r1[0], r1[1], r1[2], r1[3] = c10, c11, c12, c13
+		r1[4], r1[5], r1[6], r1[7] = c14, c15, c16, c17
+		r2[0], r2[1], r2[2], r2[3] = c20, c21, c22, c23
+		r2[4], r2[5], r2[6], r2[7] = c24, c25, c26, c27
+		r3[0], r3[1], r3[2], r3[3] = c30, c31, c32, c33
+		r3[4], r3[5], r3[6], r3[7] = c34, c35, c36, c37
+		return
+	}
 	r0[0] += c00
 	r0[1] += c01
 	r0[2] += c02
@@ -186,7 +302,6 @@ func microKernel(pa, pb, c []float32, kc, ldc int) {
 	r0[5] += c05
 	r0[6] += c06
 	r0[7] += c07
-	r1 := c[1*ldc : 1*ldc+nr]
 	r1[0] += c10
 	r1[1] += c11
 	r1[2] += c12
@@ -195,7 +310,6 @@ func microKernel(pa, pb, c []float32, kc, ldc int) {
 	r1[5] += c15
 	r1[6] += c16
 	r1[7] += c17
-	r2 := c[2*ldc : 2*ldc+nr]
 	r2[0] += c20
 	r2[1] += c21
 	r2[2] += c22
@@ -204,7 +318,6 @@ func microKernel(pa, pb, c []float32, kc, ldc int) {
 	r2[5] += c25
 	r2[6] += c26
 	r2[7] += c27
-	r3 := c[3*ldc : 3*ldc+nr]
 	r3[0] += c30
 	r3[1] += c31
 	r3[2] += c32

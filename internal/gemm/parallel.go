@@ -1,37 +1,15 @@
 package gemm
 
-import "sync"
-
-// Parallel computes C += A·B splitting rows of A across workers goroutines,
-// each using its own packing Context. workers <= 1 degenerates to the
-// single-threaded packed implementation.
+// Parallel computes C += A·B across up to workers goroutines drawn from
+// the shared persistent pool; no goroutines are spawned per call. The
+// caller participates, so workers <= 1 is exactly the single-threaded
+// packed implementation.
 //
 // Orpheus experiments default to one worker to match the paper's
 // single-core HiKey 970 evaluation, but the runtime exposes this knob.
+// Hot paths should prefer Pool.Run with a long-lived Context (as ops.Ctx
+// does) so the caller's packing scratch persists across calls.
 func Parallel(a, b, c []float32, m, n, k, workers int) {
-	validate(a, b, c, m, n, k)
-	if workers <= 1 || m < 2*mr {
-		var ctx Context
-		ctx.Packed(a, b, c, m, n, k)
-		return
-	}
-	if workers > m {
-		workers = m
-	}
-	// Split on micro-tile boundaries so no two workers share a C row.
-	rowsPer := (m/workers + mr - 1) / mr * mr
-	if rowsPer == 0 {
-		rowsPer = mr
-	}
-	var wg sync.WaitGroup
-	for lo := 0; lo < m; lo += rowsPer {
-		hi := min(lo+rowsPer, m)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			var ctx Context
-			ctx.Packed(a[lo*k:hi*k], b, c[lo*n:hi*n], hi-lo, n, k)
-		}(lo, hi)
-	}
-	wg.Wait()
+	var ctx Context
+	Shared().Run(&ctx, Call{A: a, B: b, C: c, M: m, N: n, K: k}, workers)
 }

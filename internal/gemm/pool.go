@@ -1,0 +1,172 @@
+package gemm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent set of GEMM worker goroutines. The seed spawned a
+// fresh goroutine per row split on every Parallel call; a Pool instead
+// parks its workers on a channel for the life of the process and splits
+// each GEMM into macro-tiles (mcBlock×ncBlock blocks of C) that the
+// submitting goroutine and any idle workers claim from a shared atomic
+// counter until the grid is drained. Submitting costs a few atomic
+// operations, never a goroutine spawn, and tiling over both dimensions of
+// C means small-M convolution GEMMs (few output channels, many pixels)
+// still fan out across cores.
+//
+// Each worker owns a private packing Context, so panel scratch is reused
+// across every GEMM the worker ever touches. A Pool may serve concurrent
+// Run calls from many sessions; tasks are independent.
+type Pool struct {
+	workers int
+	tasks   chan *task
+}
+
+// task is one tiled GEMM in flight. Tiles are claimed via next; wg tracks
+// the helpers that received the task so Run can return only when every
+// claimed tile has been written.
+type task struct {
+	call         Call
+	tileM, tileN int
+	next         atomic.Int64
+	wg           sync.WaitGroup
+}
+
+var taskPool = sync.Pool{New: func() any { return new(task) }}
+
+// NewPool starts a pool with the given number of persistent workers
+// (minimum 1). Workers park on an unbuffered channel when idle.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, tasks: make(chan *task)}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	var ctx Context
+	for t := range p.tasks {
+		t.drain(&ctx)
+		t.wg.Done()
+	}
+}
+
+// Workers returns the number of persistent worker goroutines.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close terminates the pool's workers. No Run may be in flight or issued
+// afterwards; the shared pool is never closed.
+func (p *Pool) Close() { close(p.tasks) }
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// Shared returns the process-wide pool, sized to GOMAXPROCS and created on
+// first use. Sessions without a dedicated pool draw their GEMM parallelism
+// from here, so the total worker-thread count stays bounded no matter how
+// many sessions serve traffic.
+func Shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = NewPool(runtime.GOMAXPROCS(0)) })
+	return sharedPool
+}
+
+// Run executes c using up to workers goroutines, the caller included. The
+// caller always participates (so progress never depends on pool
+// availability) and ctx supplies its packing scratch; helpers are
+// recruited only from workers idle at submission time. Run returns when C
+// is fully written.
+func (p *Pool) Run(ctx *Context, c Call, workers int) {
+	c.validate()
+	if c.M == 0 || c.N == 0 {
+		return
+	}
+	if c.K == 0 {
+		if c.Store {
+			zeroC(c.C, c.M*c.N)
+		}
+		return
+	}
+	tm := (c.M + mcBlock - 1) / mcBlock
+	tn := (c.N + ncBlock - 1) / ncBlock
+	tiles := tm * tn
+	if workers > tiles {
+		workers = tiles
+	}
+	if workers <= 1 {
+		ctx.Run(c)
+		return
+	}
+	t := taskPool.Get().(*task)
+	t.call = c
+	t.tileM, t.tileN = tm, tn
+	t.next.Store(0)
+	helpers := workers - 1
+	if helpers > p.workers {
+		helpers = p.workers
+	}
+	for i := 0; i < helpers; i++ {
+		t.wg.Add(1)
+		select {
+		case p.tasks <- t:
+		default:
+			// No worker idle right now; the caller keeps this share.
+			t.wg.Done()
+		}
+	}
+	t.drain(ctx)
+	t.wg.Wait()
+	t.call = Call{}
+	taskPool.Put(t)
+}
+
+// drain claims and executes tiles until the grid is exhausted.
+func (t *task) drain(ctx *Context) {
+	tiles := int64(t.tileM) * int64(t.tileN)
+	for {
+		i := t.next.Add(1) - 1
+		if i >= tiles {
+			return
+		}
+		t.runTile(ctx, int(i))
+	}
+}
+
+// runTile computes one mcBlock×ncBlock block of C across the full K
+// extent. Tiles split C on micro-tile boundaries, so no two tiles touch
+// the same element.
+func (t *task) runTile(ctx *Context, idx int) {
+	c := &t.call
+	ii := (idx / t.tileN) * mcBlock
+	jj := (idx % t.tileN) * ncBlock
+	mc := min(mcBlock, c.M-ii)
+	nc := min(ncBlock, c.N-jj)
+	pm := roundUp(c.M, mr)
+	pn := roundUp(c.N, nr)
+	for pp := 0; pp < c.K; pp += kcBlock {
+		kc := min(kcBlock, c.K-pp)
+		var pa, pb []float32
+		if c.PackedA != nil {
+			pa = c.PackedA[pm*pp+ii*kc:]
+		} else {
+			ctx.growA()
+			packA(ctx.packA, c.A, ii, pp, mc, kc, c.K)
+			pa = ctx.packA
+		}
+		if c.PackedB != nil {
+			pb = c.PackedB[pn*pp+jj*kc:]
+		} else {
+			ctx.growB()
+			packB(ctx.packB, c.B, pp, jj, kc, nc, c.N)
+			pb = ctx.packB
+		}
+		macroKernel(pa, pb, c.C, ii, jj, mc, nc, kc, c.N, c.Store && pp == 0)
+	}
+}

@@ -1,0 +1,176 @@
+package gemm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"orpheus/internal/tensor"
+)
+
+// dimsUnderTest stresses ragged shapes: rows not a multiple of mr, cols
+// not a multiple of nr, shapes smaller than one micro-tile, small-M
+// many-N conv-style GEMMs, and shapes spanning several macro-tiles.
+var dimsUnderTest = [][3]int{
+	{1, 1, 1},
+	{3, 5, 7},
+	{5, 9, 3},
+	{4, 8, 4},
+	{63, 65, 127},
+	{130, 258, 300},
+	{6, 1100, 40},  // small-M, wide-N: tiles split over columns
+	{300, 12, 500}, // tall, narrow
+	{97, 83, 61},
+}
+
+func naiveWant(a, b, c []float32, m, n, k int, store bool) []float32 {
+	want := make([]float32, m*n)
+	if !store {
+		copy(want, c)
+	}
+	Naive(a, b, want, m, n, k)
+	return want
+}
+
+func TestPoolRunMatchesNaive(t *testing.T) {
+	pool := NewPool(3)
+	defer pool.Close()
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, store := range []bool{false, true} {
+			for _, dims := range dimsUnderTest {
+				m, n, k := dims[0], dims[1], dims[2]
+				r := tensor.NewRNG(uint64(1000*workers + m + n + k))
+				a := randMat(r, m, k)
+				b := randMat(r, k, n)
+				seed := randMat(r, m, n) // pre-existing C contents
+				want := naiveWant(a, b, seed, m, n, k, store)
+				got := make([]float32, m*n)
+				copy(got, seed)
+				var ctx Context
+				pool.Run(&ctx, Call{A: a, B: b, C: got, M: m, N: n, K: k, Store: store}, workers)
+				if d := maxDiff(want, got); d > 1e-3 {
+					t.Fatalf("pool workers=%d store=%v dims=%v differs from Naive: %v", workers, store, dims, d)
+				}
+			}
+		}
+	}
+}
+
+func TestPrepackedOperandsMatchNaive(t *testing.T) {
+	for _, dims := range dimsUnderTest {
+		m, n, k := dims[0], dims[1], dims[2]
+		r := tensor.NewRNG(uint64(7000 + m + 3*n + 7*k))
+		a := randMat(r, m, k)
+		b := randMat(r, k, n)
+		want := naiveWant(a, b, nil, m, n, k, true)
+		pa := PrepackA(a, m, k)
+		pb := PrepackB(b, k, n)
+		if len(pa) != PackedASize(m, k) || len(pb) != PackedBSize(k, n) {
+			t.Fatalf("prepack sizes %d/%d, want %d/%d", len(pa), len(pb), PackedASize(m, k), PackedBSize(k, n))
+		}
+		var ctx Context
+		for name, call := range map[string]Call{
+			"packedA":  {PackedA: pa, B: b, C: make([]float32, m*n), M: m, N: n, K: k, Store: true},
+			"packedB":  {A: a, PackedB: pb, C: make([]float32, m*n), M: m, N: n, K: k, Store: true},
+			"packedAB": {PackedA: pa, PackedB: pb, C: make([]float32, m*n), M: m, N: n, K: k, Store: true},
+		} {
+			ctx.Run(call)
+			if d := maxDiff(want, call.C); d > 1e-3 {
+				t.Fatalf("%s dims=%v differs from Naive: %v", name, dims, d)
+			}
+		}
+	}
+}
+
+func TestPoolPrepackedParallel(t *testing.T) {
+	m, n, k := 130, 1100, 300
+	r := tensor.NewRNG(11)
+	a := randMat(r, m, k)
+	b := randMat(r, k, n)
+	want := naiveWant(a, b, nil, m, n, k, true)
+	got := make([]float32, m*n)
+	var ctx Context
+	Shared().Run(&ctx, Call{PackedA: PrepackA(a, m, k), B: b, C: got, M: m, N: n, K: k, Store: true}, 4)
+	if d := maxDiff(want, got); d > 1e-3 {
+		t.Fatalf("parallel prepacked GEMM differs from Naive: %v", d)
+	}
+}
+
+func TestStoreOverwritesGarbage(t *testing.T) {
+	m, n, k := 9, 17, 5
+	r := tensor.NewRNG(21)
+	a := randMat(r, m, k)
+	b := randMat(r, k, n)
+	want := naiveWant(a, b, nil, m, n, k, true)
+	got := make([]float32, m*n)
+	for i := range got {
+		got[i] = 1e9 // must be fully replaced
+	}
+	var ctx Context
+	ctx.PackedStore(a, b, got, m, n, k)
+	if d := maxDiff(want, got); d > 1e-3 {
+		t.Fatalf("store GEMM left stale C contents: %v", d)
+	}
+	// Store with K == 0 zeroes C (beta=0 with an empty product).
+	ctx.Run(Call{C: got, M: m, N: n, K: 0, Store: true})
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("store with k=0 did not zero C at %d: %v", i, v)
+		}
+	}
+}
+
+// TestPoolConcurrentCallers drives one shared pool from several goroutines
+// at once, as pooled serving sessions do. Run with -race.
+func TestPoolConcurrentCallers(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	const callers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var ctx Context
+			for trial := 0; trial < 8; trial++ {
+				m, n, k := 37+g, 530+trial, 64+3*g
+				r := tensor.NewRNG(uint64(100*g + trial))
+				a := randMat(r, m, k)
+				b := randMat(r, k, n)
+				want := naiveWant(a, b, nil, m, n, k, true)
+				got := make([]float32, m*n)
+				pool.Run(&ctx, Call{A: a, B: b, C: got, M: m, N: n, K: k, Store: true}, 3)
+				if d := maxDiff(want, got); d > 1e-3 {
+					errs <- fmt.Errorf("caller %d trial %d differs: %v", g, trial, d)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestParallelRaggedWorkerSweep(t *testing.T) {
+	// Non-multiple-of-mr row counts across a sweep of worker budgets,
+	// including budgets larger than the tile grid.
+	for _, workers := range []int{1, 2, 3, 4, 7, 16, 64} {
+		for _, m := range []int{1, 2, 3, 5, 129, 131, 258} {
+			n, k := 67, 43
+			r := tensor.NewRNG(uint64(m*workers + n))
+			a := randMat(r, m, k)
+			b := randMat(r, k, n)
+			want := make([]float32, m*n)
+			got := make([]float32, m*n)
+			Naive(a, b, want, m, n, k)
+			Parallel(a, b, got, m, n, k, workers)
+			if d := maxDiff(want, got); d > 1e-3 {
+				t.Fatalf("Parallel(workers=%d, m=%d) differs from Naive: %v", workers, m, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package gemm
+
+// Prepacking of run-invariant GEMM operands.
+//
+// Convolution and dense-layer weights are graph constants, yet the seed
+// implementation repacked their panels on every inference. PrepackA and
+// PrepackB produce, once, the exact panel layout the macro-kernel consumes;
+// Call.PackedA / Call.PackedB then skip that side's per-call packing
+// entirely. The layout mirrors the blocked loop nest: k-panels (kcBlock
+// columns) outermost, then mcBlock-row (or ncBlock-column) panels within
+// each, so panel (pp, ii) of A starts at roundUp(m,mr)*pp + ii*kc.
+
+func roundUp(x, q int) int { return (x + q - 1) / q * q }
+
+// PackedASize returns the buffer length PrepackAInto requires for an m×k
+// matrix: every row panel is padded up to a multiple of mr rows.
+func PackedASize(m, k int) int { return roundUp(m, mr) * k }
+
+// PackedBSize returns the buffer length PrepackBInto requires for a k×n
+// matrix: every column panel is padded up to a multiple of nr columns.
+func PackedBSize(k, n int) int { return roundUp(n, nr) * k }
+
+// PrepackAInto packs the whole m×k matrix a into dst, which must hold
+// PackedASize(m, k) values.
+func PrepackAInto(dst, a []float32, m, k int) {
+	pm := roundUp(m, mr)
+	for pp := 0; pp < k; pp += kcBlock {
+		kc := min(kcBlock, k-pp)
+		for ii := 0; ii < m; ii += mcBlock {
+			mc := min(mcBlock, m-ii)
+			packA(dst[pm*pp+ii*kc:], a, ii, pp, mc, kc, k)
+		}
+	}
+}
+
+// PrepackA allocates and fills the packed-panel form of the m×k matrix a.
+func PrepackA(a []float32, m, k int) []float32 {
+	dst := make([]float32, PackedASize(m, k))
+	PrepackAInto(dst, a, m, k)
+	return dst
+}
+
+// PrepackBInto packs the whole k×n matrix b into dst, which must hold
+// PackedBSize(k, n) values.
+func PrepackBInto(dst, b []float32, k, n int) {
+	pn := roundUp(n, nr)
+	for pp := 0; pp < k; pp += kcBlock {
+		kc := min(kcBlock, k-pp)
+		for jj := 0; jj < n; jj += ncBlock {
+			nc := min(ncBlock, n-jj)
+			packB(dst[pn*pp+jj*kc:], b, pp, jj, kc, nc, n)
+		}
+	}
+}
+
+// PrepackB allocates and fills the packed-panel form of the k×n matrix b.
+func PrepackB(b []float32, k, n int) []float32 {
+	dst := make([]float32, PackedBSize(k, n))
+	PrepackBInto(dst, b, k, n)
+	return dst
+}

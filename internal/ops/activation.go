@@ -11,10 +11,10 @@ import (
 // the "activation" attribute (set by the fusion pass); the standalone
 // kernels below serve unfused graphs.
 func init() {
-	Register(NewKernel("relu.direct", "Relu", nil, runRelu))
-	Register(NewKernel("relu6.direct", "Relu6", nil, runRelu6))
-	Register(NewKernel("leakyrelu.direct", "LeakyRelu", nil, runLeakyRelu))
-	Register(NewKernel("sigmoid.direct", "Sigmoid", nil, runSigmoid))
+	Register(NewOverwritingKernel("relu.direct", "Relu", nil, runRelu))
+	Register(NewOverwritingKernel("relu6.direct", "Relu6", nil, runRelu6))
+	Register(NewOverwritingKernel("leakyrelu.direct", "LeakyRelu", nil, runLeakyRelu))
+	Register(NewOverwritingKernel("sigmoid.direct", "Sigmoid", nil, runSigmoid))
 }
 
 func runRelu(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {

@@ -15,7 +15,7 @@ import (
 //     PyTorch's MobileNetV1 collapse — every group (one channel!) gets its
 //     own im2col unfold plus a 1-row GEMM, so per-call overhead dominates.
 func init() {
-	Register(NewKernel("conv.depthwise", "Conv", supportsDepthwise, runConvDepthwise))
+	Register(NewOverwritingKernel("conv.depthwise", "Conv", supportsDepthwise, runConvDepthwise))
 	Register(NewKernel("conv.group_im2col", "Conv", supportsGroupIm2col, runConvGroupIm2col))
 }
 
@@ -115,7 +115,7 @@ func convIm2colPerGroupNaive(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) 
 	for b := 0; b < p.n; b++ {
 		for g := 0; g < p.groups; g++ {
 			// A fresh unfold per (batch, group): the overhead under study.
-			colBuf := ctx.Scratch("conv.group_im2col:"+n.Name, kdim*cols)
+			colBuf := ctx.Scratch("conv.group_im2col/col", n, kdim*cols)
 			src := x[(b*p.cin+g*cinG)*p.h*p.w:]
 			tensor.Im2ColInto(colBuf, src, 1, cinG, p.h, p.w,
 				p.kh, p.kw, p.sh, p.sw, p.padT, p.padL, p.dh, p.dw, p.oh, p.ow)

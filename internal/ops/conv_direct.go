@@ -11,7 +11,7 @@ import (
 // frameworks run convolution this way, which is why the darknet-sim
 // backend selects it.
 func init() {
-	RegisterReference(NewKernel("conv.direct", "Conv", nil, runConvDirect))
+	RegisterReference(NewOverwritingKernel("conv.direct", "Conv", nil, runConvDirect))
 }
 
 func runConvDirect(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {

@@ -11,21 +11,43 @@ import (
 // packed GEMM. This is the Orpheus production path: the paper notes
 // "Orpheus uses GEMM convolution, which pays off for big matrices".
 //
+// The weight matrix is a graph constant, so its packed A-panels are built
+// once (first use, cached in the plan-shared ConstCache) and every later
+// run skips the packing pass entirely. The GEMM runs in overwrite (beta=0)
+// mode, which both lets the runtime skip the arena zero-fill for this
+// kernel and keeps repeated runs correct without it.
+//
 // Groups are handled per (batch, group) block; a pure depthwise conv is
 // better served by conv.depthwise (this kernel still computes it
 // correctly, just slowly).
 func init() {
-	Register(NewKernel("conv.im2col", "Conv", nil, runConvIm2col))
+	Register(NewOverwritingKernel("conv.im2col", "Conv", nil, runConvIm2col))
 }
 
+// packedConvWeights returns the cached prepacked per-group weight panels
+// for the node, packing them on first use: groups consecutive buffers of
+// PackedASize(coutG, kdim) values each. Returns nil (pack per call, the
+// seed behaviour) when scratch reuse is disabled.
+func packedConvWeights(ctx *Ctx, n *graph.Node, w []float32, groups, coutG, kdim int) []float32 {
+	if ctx.DisableScratchReuse {
+		return nil
+	}
+	if buf := ctx.Cache("conv.im2col/pw", n); buf != nil {
+		return buf
+	}
+	per := gemm.PackedASize(coutG, kdim)
+	buf := make([]float32, groups*per)
+	for g := 0; g < groups; g++ {
+		gemm.PrepackAInto(buf[g*per:], w[g*coutG*kdim:(g+1)*coutG*kdim], coutG, kdim)
+	}
+	ctx.PutCache("conv.im2col/pw", n, buf)
+	return buf
+}
+
+// runConvIm2col implements conv.im2col; parallelism follows ctx.Workers
+// through the shared GEMM worker pool. (The deliberately slow per-group
+// naive variant lives in conv.group_im2col.)
 func runConvIm2col(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
-	return convIm2col(ctx, n, in, out, false)
-}
-
-// convIm2col implements both conv.im2col (parallel=false honours
-// ctx.Workers through gemm.Parallel) and the per-group path reused by
-// conv.group_im2col.
-func convIm2col(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor, forceNaiveGemm bool) error {
 	p, err := resolveConv(n)
 	if err != nil {
 		return err
@@ -46,15 +68,13 @@ func convIm2col(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor, forceNaiveGem
 	// Pointwise fast path: a 1x1 stride-1 unpadded convolution is exactly
 	// C[cout×HW] = W[cout×cin] · X[cin×HW]; the unfold would be a copy.
 	if p.kh == 1 && p.kw == 1 && p.sh == 1 && p.sw == 1 && p.dh == 1 && p.dw == 1 &&
-		p.padT == 0 && p.padL == 0 && p.padB == 0 && p.padR == 0 && p.groups == 1 && !forceNaiveGemm {
+		p.padT == 0 && p.padL == 0 && p.padB == 0 && p.padR == 0 && p.groups == 1 {
+		pw := packedConvWeights(ctx, n, w, 1, p.cout, p.cin)
 		for b := 0; b < p.n; b++ {
 			src := x[b*p.cin*cols : (b+1)*p.cin*cols]
 			dst := y[b*p.cout*cols : (b+1)*p.cout*cols]
-			if ctx.Workers > 1 {
-				gemm.Parallel(w, src, dst, p.cout, cols, p.cin, ctx.Workers)
-			} else {
-				ctx.Gemm.Packed(w, src, dst, p.cout, cols, p.cin)
-			}
+			ctx.GEMM(gemm.Call{A: w, PackedA: pw, B: src, C: dst,
+				M: p.cout, N: cols, K: p.cin, Store: true})
 		}
 		if bias != nil {
 			addBiasNCHW(y, bias, p.n, p.cout, cols)
@@ -63,7 +83,12 @@ func convIm2col(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor, forceNaiveGem
 		return nil
 	}
 
-	colBuf := ctx.Scratch("conv.im2col:"+n.Name, kdim*cols)
+	// The unfold writes every element (padding included), so the scratch
+	// needs no zero-fill.
+	colBuf := ctx.ScratchUninit("conv.im2col/col", n, kdim*cols)
+
+	perGroup := gemm.PackedASize(coutG, kdim)
+	packedW := packedConvWeights(ctx, n, w, p.groups, coutG, kdim)
 
 	for b := 0; b < p.n; b++ {
 		for g := 0; g < p.groups; g++ {
@@ -75,13 +100,12 @@ func convIm2col(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor, forceNaiveGem
 			// Weight rows for this group are contiguous: [coutG, kdim].
 			wg := w[g*coutG*kdim : (g+1)*coutG*kdim]
 			dst := y[(b*p.cout+g*coutG)*cols : (b*p.cout+(g+1)*coutG)*cols]
-			if forceNaiveGemm {
-				gemm.Naive(wg, colBuf, dst, coutG, cols, kdim)
-			} else if ctx.Workers > 1 {
-				gemm.Parallel(wg, colBuf, dst, coutG, cols, kdim, ctx.Workers)
-			} else {
-				ctx.Gemm.Packed(wg, colBuf, dst, coutG, cols, kdim)
+			var pa []float32
+			if packedW != nil {
+				pa = packedW[g*perGroup : (g+1)*perGroup]
 			}
+			ctx.GEMM(gemm.Call{A: wg, PackedA: pa, B: colBuf, C: dst,
+				M: coutG, N: cols, K: kdim, Store: true})
 		}
 	}
 	if bias != nil {

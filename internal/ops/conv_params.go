@@ -31,6 +31,15 @@ type convParams struct {
 	alpha                  float32
 }
 
+// Attribute defaults are package-level so the resolvers stay
+// allocation-free on the per-run hot path (a literal default slice would
+// escape and heap-allocate on every call).
+var (
+	defaultStrides = []int{1, 1}
+	defaultPads    = []int{0, 0, 0, 0}
+	defaultDils    = []int{1, 1}
+)
+
 // resolveConv validates a Conv node's input shapes and attributes and
 // computes the output geometry.
 func resolveConv(n *graph.Node) (convParams, error) {
@@ -57,17 +66,17 @@ func resolveConv(n *graph.Node) (convParams, error) {
 	if w[1] != p.cin/p.groups {
 		return p, fmt.Errorf("Conv weight expects %d input channels per group, input has %d", w[1], p.cin/p.groups)
 	}
-	strides := n.Attrs.Ints("strides", []int{1, 1})
+	strides := n.Attrs.Ints("strides", defaultStrides)
 	if len(strides) != 2 || strides[0] < 1 || strides[1] < 1 {
 		return p, fmt.Errorf("Conv strides %v invalid", strides)
 	}
 	p.sh, p.sw = strides[0], strides[1]
-	pads := n.Attrs.Ints("pads", []int{0, 0, 0, 0})
+	pads := n.Attrs.Ints("pads", defaultPads)
 	if len(pads) != 4 || pads[0] < 0 || pads[1] < 0 || pads[2] < 0 || pads[3] < 0 {
 		return p, fmt.Errorf("Conv pads %v invalid (want [top,left,bottom,right])", pads)
 	}
 	p.padT, p.padL, p.padB, p.padR = pads[0], pads[1], pads[2], pads[3]
-	dil := n.Attrs.Ints("dilations", []int{1, 1})
+	dil := n.Attrs.Ints("dilations", defaultDils)
 	if len(dil) != 2 || dil[0] < 1 || dil[1] < 1 {
 		return p, fmt.Errorf("Conv dilations %v invalid", dil)
 	}

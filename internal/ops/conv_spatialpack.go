@@ -17,7 +17,7 @@ import (
 // repeated weight traversal per tile loses to packed GEMM. That asymmetry
 // is exactly the crossover Figure 2 of the paper shows.
 func init() {
-	Register(NewKernel("conv.spatialpack", "Conv", supportsSpatialPack, runConvSpatialPack))
+	Register(NewOverwritingKernel("conv.spatialpack", "Conv", supportsSpatialPack, runConvSpatialPack))
 }
 
 func supportsSpatialPack(n *graph.Node) bool {
@@ -46,7 +46,9 @@ func runConvSpatialPack(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error
 	y := out[0].Data()
 
 	kdim := p.cin * p.kh * p.kw
-	patch := ctx.Scratch("conv.spatialpack:"+n.Name, kdim*spTile)
+	// The gather writes every patch element (tail positions included),
+	// so the scratch needs no zero-fill.
+	patch := ctx.ScratchUninit("conv.spatialpack/patch", n, kdim*spTile)
 	spatial := p.oh * p.ow
 
 	for b := 0; b < p.n; b++ {

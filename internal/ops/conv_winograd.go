@@ -1,6 +1,7 @@
 package ops
 
 import (
+	"orpheus/internal/gemm"
 	"orpheus/internal/graph"
 	"orpheus/internal/tensor"
 )
@@ -19,7 +20,9 @@ import (
 //	      | 0 -1  1  0 |       | 1/2 -1/2  1/2|
 //	      | 0  1  0 -1 |       | 0    0    1  |
 func init() {
-	Register(NewKernel("conv.winograd", "Conv", supportsWinograd, runConvWinograd))
+	// Every output pixel is written by the output transform, so the kernel
+	// overwrites and the runtime skips the arena zero-fill.
+	Register(NewOverwritingKernel("conv.winograd", "Conv", supportsWinograd, runConvWinograd))
 }
 
 func supportsWinograd(n *graph.Node) bool {
@@ -47,17 +50,36 @@ func runConvWinograd(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 	tw := (p.ow + 1) / 2 // tile cols
 	ntiles := th * tw
 
-	// Weight transform U[pos][oc][ic], cached across runs (weights are
-	// constant during inference).
-	ukey := "conv.winograd.U:" + n.Name
-	u := ctx.Cache(ukey)
-	if u == nil {
-		u = transformWinogradWeights(in[1].Data(), p.cout, p.cin)
-		ctx.PutCache(ukey, u)
+	// Weight transform U[pos][oc][ic] (weights are constant during
+	// inference). On the production path only the 16 prepacked GEMM
+	// A-panels are cached — the raw transform is a local stepping stone —
+	// so the constant cache holds one copy of the derived weights, not
+	// two. The per-call-allocation simulation caches the raw transform
+	// instead (the seed behaviour) and repacks per run.
+	perPos := gemm.PackedASize(p.cout, p.cin)
+	var u, pu []float32
+	if ctx.DisableScratchReuse {
+		u = ctx.Cache("conv.winograd/U", n)
+		if u == nil {
+			u = transformWinogradWeights(in[1].Data(), p.cout, p.cin)
+			ctx.PutCache("conv.winograd/U", n, u)
+		}
+	} else {
+		pu = ctx.Cache("conv.winograd/pU", n)
+		if pu == nil {
+			u = transformWinogradWeights(in[1].Data(), p.cout, p.cin)
+			pu = make([]float32, 16*perPos)
+			for pos := 0; pos < 16; pos++ {
+				gemm.PrepackAInto(pu[pos*perPos:], u[pos*p.cout*p.cin:(pos+1)*p.cout*p.cin], p.cout, p.cin)
+			}
+			ctx.PutCache("conv.winograd/pU", n, pu)
+		}
 	}
 
-	v := ctx.Scratch("conv.winograd.V:"+n.Name, 16*p.cin*ntiles)
-	m := ctx.Scratch("conv.winograd.M:"+n.Name, 16*p.cout*ntiles)
+	// Both transform domains are fully written every run: V by the input
+	// transform, M by the overwriting GEMMs below.
+	v := ctx.ScratchUninit("conv.winograd/V", n, 16*p.cin*ntiles)
+	m := ctx.ScratchUninit("conv.winograd/M", n, 16*p.cout*ntiles)
 
 	for b := 0; b < p.n; b++ {
 		// Input transform: V[pos][ic][tile] = (B^T d B)[pos].
@@ -101,15 +123,20 @@ func runConvWinograd(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 				}
 			}
 		}
-		// 16 batched GEMMs: M[pos] = U[pos] (cout×cin) · V[pos] (cin×ntiles).
-		for i := range m {
-			m[i] = 0
-		}
+		// 16 batched GEMMs: M[pos] = U[pos] (cout×cin) · V[pos] (cin×ntiles),
+		// in overwrite mode so M needs no zero-fill between runs.
 		for pos := 0; pos < 16; pos++ {
-			ctx.Gemm.Packed(u[pos*p.cout*p.cin:(pos+1)*p.cout*p.cin],
-				v[pos*p.cin*ntiles:(pos+1)*p.cin*ntiles],
-				m[pos*p.cout*ntiles:(pos+1)*p.cout*ntiles],
-				p.cout, ntiles, p.cin)
+			call := gemm.Call{
+				B: v[pos*p.cin*ntiles : (pos+1)*p.cin*ntiles],
+				C: m[pos*p.cout*ntiles : (pos+1)*p.cout*ntiles],
+				M: p.cout, N: ntiles, K: p.cin, Store: true,
+			}
+			if pu != nil {
+				call.PackedA = pu[pos*perPos : (pos+1)*perPos]
+			} else {
+				call.A = u[pos*p.cout*p.cin : (pos+1)*p.cout*p.cin]
+			}
+			ctx.GEMM(call)
 		}
 		// Output transform: Y tile = A^T M A.
 		for oc := 0; oc < p.cout; oc++ {

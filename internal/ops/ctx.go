@@ -1,9 +1,67 @@
 package ops
 
-import "orpheus/internal/gemm"
+import (
+	"sync"
+
+	"orpheus/internal/gemm"
+	"orpheus/internal/graph"
+)
+
+// ctxKey scopes scratch and constant-cache entries to a (kind, node) pair.
+// Keys are composite values, not concatenated strings, so hot-path lookups
+// allocate nothing.
+type ctxKey struct {
+	kind string
+	node *graph.Node
+}
+
+// ConstCache holds run-invariant derived constants — prepacked GEMM weight
+// panels, Winograd weight transforms, transposed dense weights — keyed by
+// (kind, node). It is safe for concurrent use. Every Session compiled from
+// one Plan shares a single ConstCache, so N pooled serving sessions pack
+// each weight exactly once instead of once per session. Two sessions
+// racing on a miss both compute the (identical, deterministic) value and
+// one store wins; that is benign.
+type ConstCache struct {
+	mu sync.RWMutex
+	m  map[ctxKey][]float32
+}
+
+// NewConstCache returns an empty cache.
+func NewConstCache() *ConstCache {
+	return &ConstCache{m: make(map[ctxKey][]float32)}
+}
+
+func (cc *ConstCache) get(k ctxKey) []float32 {
+	cc.mu.RLock()
+	buf := cc.m[k]
+	cc.mu.RUnlock()
+	return buf
+}
+
+// put stores buf and reports whether the key was previously absent.
+func (cc *ConstCache) put(k ctxKey, buf []float32) bool {
+	cc.mu.Lock()
+	_, existed := cc.m[k]
+	cc.m[k] = buf
+	cc.mu.Unlock()
+	return !existed
+}
+
+// Bytes returns the total footprint of the cached constants.
+func (cc *ConstCache) Bytes() int64 {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	var total int64
+	for _, b := range cc.m {
+		total += int64(len(b)) * 4
+	}
+	return total
+}
 
 // Ctx carries per-session execution state into kernels: the worker count,
-// the GEMM packing context and a keyed scratch-buffer pool.
+// the GEMM packing context and worker pool, the shared constant cache and
+// a keyed scratch-buffer pool.
 //
 // Scratch buffers let kernels such as im2col reuse their unfold buffers
 // across inference runs instead of reallocating. The torch-sim backend sets
@@ -15,33 +73,24 @@ type Ctx struct {
 	// the paper's single-core evaluation.
 	Workers int
 
-	// DisableScratchReuse forces a fresh allocation on every Scratch call.
+	// DisableScratchReuse forces a fresh allocation on every Scratch call
+	// and disables constant-weight pack caching, reproducing the seed's
+	// per-call packing in the framework simulations.
 	DisableScratchReuse bool
 
-	// Gemm is the shared packing context for GEMM-based kernels.
+	// Gemm is this session's packing context for GEMM-based kernels; it
+	// supplies the caller's share of panel scratch on the parallel path.
 	Gemm gemm.Context
 
-	scratch map[string][]float32
-	cache   map[string][]float32
+	// Consts is the constant cache shared by every session of a plan.
+	// When nil a private cache is created on first use.
+	Consts *ConstCache
 
-	// ScratchBytes accumulates the bytes handed out by Scratch, for the
-	// memory-footprint experiments.
+	scratch map[ctxKey][]float32
+
+	// ScratchBytes accumulates the bytes handed out by Scratch and newly
+	// stored by PutCache, for the memory-footprint experiments.
 	ScratchBytes int64
-}
-
-// Cache returns the persistent buffer stored under key, or nil. Unlike
-// Scratch buffers, cached buffers keep their contents between calls;
-// kernels use them for run-invariant precomputation such as Winograd
-// weight transforms.
-func (c *Ctx) Cache(key string) []float32 { return c.cache[key] }
-
-// PutCache stores buf persistently under key.
-func (c *Ctx) PutCache(key string, buf []float32) {
-	if c.cache == nil {
-		c.cache = make(map[string][]float32)
-	}
-	c.cache[key] = buf
-	c.ScratchBytes += int64(len(buf)) * 4
 }
 
 // NewCtx returns a context with the given worker count (minimum 1).
@@ -49,30 +98,80 @@ func NewCtx(workers int) *Ctx {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Ctx{Workers: workers, scratch: make(map[string][]float32)}
+	return &Ctx{Workers: workers, scratch: make(map[ctxKey][]float32)}
 }
 
-// Scratch returns a zeroed float32 buffer of length n, reused across calls
-// with the same key unless DisableScratchReuse is set.
-func (c *Ctx) Scratch(key string, n int) []float32 {
-	if c.DisableScratchReuse {
-		c.ScratchBytes += int64(n) * 4
-		return make([]float32, n)
+// GEMM executes one GEMM call: single-threaded on the session's packing
+// context when the worker budget is 1, otherwise tiled across the
+// process-wide persistent worker pool with the caller participating.
+func (c *Ctx) GEMM(call gemm.Call) {
+	if c.Workers > 1 {
+		gemm.Shared().Run(&c.Gemm, call, c.Workers)
+		return
 	}
-	if c.scratch == nil {
-		c.scratch = make(map[string][]float32)
+	c.Gemm.Run(call)
+}
+
+func (c *Ctx) consts() *ConstCache {
+	if c.Consts == nil {
+		c.Consts = NewConstCache()
 	}
-	buf := c.scratch[key]
-	if cap(buf) < n {
-		buf = make([]float32, n)
-		c.scratch[key] = buf
-		c.ScratchBytes += int64(n) * 4
+	return c.Consts
+}
+
+// Cache returns the persistent buffer stored for (kind, n), or nil. Unlike
+// Scratch buffers, cached buffers keep their contents between calls;
+// kernels use them for run-invariant precomputation such as Winograd
+// weight transforms and prepacked GEMM weight panels.
+func (c *Ctx) Cache(kind string, n *graph.Node) []float32 {
+	if c.Consts == nil {
+		return nil
 	}
-	buf = buf[:n]
+	return c.Consts.get(ctxKey{kind, n})
+}
+
+// PutCache stores buf persistently for (kind, n). The bytes are charged to
+// ScratchBytes only when the entry is new, so sessions sharing a cache do
+// not double-count.
+func (c *Ctx) PutCache(kind string, n *graph.Node, buf []float32) {
+	if c.consts().put(ctxKey{kind, n}, buf) {
+		c.ScratchBytes += int64(len(buf)) * 4
+	}
+}
+
+// Scratch returns a zeroed float32 buffer of length size, reused across
+// calls with the same (kind, n) unless DisableScratchReuse is set.
+func (c *Ctx) Scratch(kind string, n *graph.Node, size int) []float32 {
+	buf := c.scratchBuf(kind, n, size)
 	for i := range buf {
 		buf[i] = 0
 	}
 	return buf
+}
+
+// ScratchUninit is Scratch without the zero-fill, for kernels that write
+// every element before reading any (im2col unfolds, Winograd transform
+// domains). The contents are whatever the previous use left behind.
+func (c *Ctx) ScratchUninit(kind string, n *graph.Node, size int) []float32 {
+	return c.scratchBuf(kind, n, size)
+}
+
+func (c *Ctx) scratchBuf(kind string, n *graph.Node, size int) []float32 {
+	if c.DisableScratchReuse {
+		c.ScratchBytes += int64(size) * 4
+		return make([]float32, size)
+	}
+	if c.scratch == nil {
+		c.scratch = make(map[ctxKey][]float32)
+	}
+	key := ctxKey{kind, n}
+	buf := c.scratch[key]
+	if cap(buf) < size {
+		buf = make([]float32, size)
+		c.scratch[key] = buf
+		c.ScratchBytes += int64(size) * 4
+	}
+	return buf[:size]
 }
 
 // PeakScratchBytes returns the total bytes currently retained by the

@@ -9,8 +9,8 @@ import (
 // match exactly, or the second operand may be a single-element tensor
 // (scalar broadcast).
 func init() {
-	Register(NewKernel("add.direct", "Add", nil, runAdd))
-	Register(NewKernel("mul.direct", "Mul", nil, runMul))
+	Register(NewOverwritingKernel("add.direct", "Add", nil, runAdd))
+	Register(NewOverwritingKernel("mul.direct", "Mul", nil, runMul))
 }
 
 func runAdd(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
@@ -20,11 +20,13 @@ func runAdd(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 		for i, v := range a {
 			y[i] = v + s
 		}
-		return nil
+	} else {
+		for i, v := range a {
+			y[i] = v + b[i]
+		}
 	}
-	for i, v := range a {
-		y[i] = v + b[i]
-	}
+	// The fusion pass folds a following activation into Add regardless of
+	// operand shape, so the scalar-broadcast path must apply it too.
 	applyActivation(y, n.Attrs.Str("activation", ""), float32(n.Attrs.Float("alpha", 0.01)))
 	return nil
 }

@@ -7,12 +7,14 @@ import (
 
 // Structural operators: Identity/Dropout (inference no-ops), Flatten,
 // Reshape (layout is row-major, so both are copies), Concat and Pad.
+// All overwrite their full output except Pad, which relies on the runtime
+// zero-fill for the border when the pad value is 0.
 func init() {
-	Register(NewKernel("identity.copy", "Identity", nil, runCopy))
-	Register(NewKernel("dropout.copy", "Dropout", nil, runCopy))
-	Register(NewKernel("flatten.copy", "Flatten", nil, runCopy))
-	Register(NewKernel("reshape.copy", "Reshape", nil, runCopy))
-	Register(NewKernel("concat.copy", "Concat", nil, runConcat))
+	Register(NewOverwritingKernel("identity.copy", "Identity", nil, runCopy))
+	Register(NewOverwritingKernel("dropout.copy", "Dropout", nil, runCopy))
+	Register(NewOverwritingKernel("flatten.copy", "Flatten", nil, runCopy))
+	Register(NewOverwritingKernel("reshape.copy", "Reshape", nil, runCopy))
+	Register(NewOverwritingKernel("concat.copy", "Concat", nil, runConcat))
 	Register(NewKernel("pad.copy", "Pad", nil, runPad))
 }
 

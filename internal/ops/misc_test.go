@@ -121,9 +121,9 @@ func TestDuplicateKernelPanics(t *testing.T) {
 
 func TestCtxScratchReuse(t *testing.T) {
 	ctx := NewCtx(1)
-	a := ctx.Scratch("k", 100)
+	a := ctx.Scratch("k", nil, 100)
 	a[0] = 42
-	b := ctx.Scratch("k", 50)
+	b := ctx.Scratch("k", nil, 50)
 	if b[0] != 0 {
 		t.Fatal("scratch not zeroed on reuse")
 	}
@@ -135,8 +135,8 @@ func TestCtxScratchReuse(t *testing.T) {
 		t.Fatal("workers should clamp to 1")
 	}
 	ctx2.DisableScratchReuse = true
-	_ = ctx2.Scratch("k", 10)
-	_ = ctx2.Scratch("k", 10)
+	_ = ctx2.Scratch("k", nil, 10)
+	_ = ctx2.Scratch("k", nil, 10)
 	if ctx2.ScratchBytes != 80 {
 		t.Fatalf("no-reuse scratch bytes = %d, want 80", ctx2.ScratchBytes)
 	}
@@ -144,11 +144,11 @@ func TestCtxScratchReuse(t *testing.T) {
 
 func TestCtxCache(t *testing.T) {
 	ctx := NewCtx(1)
-	if ctx.Cache("missing") != nil {
+	if ctx.Cache("missing", nil) != nil {
 		t.Fatal("missing cache key should be nil")
 	}
-	ctx.PutCache("u", []float32{1, 2})
-	got := ctx.Cache("u")
+	ctx.PutCache("u", nil, []float32{1, 2})
+	got := ctx.Cache("u", nil)
 	if len(got) != 2 || got[0] != 1 {
 		t.Fatal("cache round-trip failed")
 	}

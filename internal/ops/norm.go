@@ -15,7 +15,7 @@ import (
 //	inputs: X [N,C,...], scale [C], bias [C], mean [C], var [C]
 //	attr:   "epsilon" float64 (default 1e-5)
 func init() {
-	Register(NewKernel("batchnorm.direct", "BatchNorm", nil, runBatchNorm))
+	Register(NewOverwritingKernel("batchnorm.direct", "BatchNorm", nil, runBatchNorm))
 }
 
 func runBatchNorm(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {

@@ -31,16 +31,37 @@ type Kernel interface {
 	// algorithms only handle a subset of attribute combinations).
 	Supports(n *graph.Node) bool
 	// Run executes the node. in and out are the node's input and output
-	// tensors; out tensors are pre-allocated with the inferred shapes and
-	// zero-filled.
+	// tensors, pre-allocated with the inferred shapes. Out tensors are
+	// zero-filled by the runtime unless the kernel declares that it fully
+	// overwrites them (see KernelOverwrites).
 	Run(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error
+}
+
+// Overwriter is optionally implemented by kernels that report whether they
+// write every element of every output tensor before Run returns. The
+// runtime skips the per-run arena zero-fill for such kernels; accumulating
+// kernels (anything built on C += A·B, or Pad relying on a zeroed border)
+// must not claim it.
+type Overwriter interface {
+	Overwrites(n *graph.Node) bool
+}
+
+// KernelOverwrites reports whether k fully overwrites its outputs when
+// executing n. Kernels that do not implement Overwriter are conservatively
+// assumed to need zero-filled outputs.
+func KernelOverwrites(k Kernel, n *graph.Node) bool {
+	if o, ok := k.(Overwriter); ok {
+		return o.Overwrites(n)
+	}
+	return false
 }
 
 // kernelFunc adapts plain functions to the Kernel interface.
 type kernelFunc struct {
-	name, op string
-	supports func(n *graph.Node) bool
-	run      func(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error
+	name, op   string
+	supports   func(n *graph.Node) bool
+	overwrites bool
+	run        func(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error
 }
 
 func (k *kernelFunc) Name() string { return k.name }
@@ -51,16 +72,26 @@ func (k *kernelFunc) Supports(n *graph.Node) bool {
 	}
 	return k.supports(n)
 }
+func (k *kernelFunc) Overwrites(n *graph.Node) bool { return k.overwrites }
 func (k *kernelFunc) Run(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 	return k.run(ctx, n, in, out)
 }
 
 // NewKernel builds a Kernel from functions. supports may be nil (always
-// supported).
+// supported). The kernel is assumed to need zero-filled outputs; use
+// NewOverwritingKernel when it writes every output element itself.
 func NewKernel(name, op string,
 	supports func(n *graph.Node) bool,
 	run func(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error) Kernel {
 	return &kernelFunc{name: name, op: op, supports: supports, run: run}
+}
+
+// NewOverwritingKernel is NewKernel for kernels that write every element of
+// every output tensor, letting the runtime skip the arena zero-fill.
+func NewOverwritingKernel(name, op string,
+	supports func(n *graph.Node) bool,
+	run func(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error) Kernel {
+	return &kernelFunc{name: name, op: op, supports: supports, overwrites: true, run: run}
 }
 
 var (

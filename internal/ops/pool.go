@@ -10,9 +10,9 @@ import (
 // Pooling kernels: MaxPool, AveragePool (with optional count_include_pad)
 // and GlobalAveragePool.
 func init() {
-	Register(NewKernel("maxpool.direct", "MaxPool", nil, runMaxPool))
-	Register(NewKernel("avgpool.direct", "AveragePool", nil, runAvgPool))
-	Register(NewKernel("globalavgpool.direct", "GlobalAveragePool", nil, runGlobalAvgPool))
+	Register(NewOverwritingKernel("maxpool.direct", "MaxPool", nil, runMaxPool))
+	Register(NewOverwritingKernel("avgpool.direct", "AveragePool", nil, runAvgPool))
+	Register(NewOverwritingKernel("globalavgpool.direct", "GlobalAveragePool", nil, runGlobalAvgPool))
 }
 
 func runMaxPool(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {

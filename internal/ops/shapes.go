@@ -89,7 +89,7 @@ func resolvePool(n *graph.Node) (poolParams, error) {
 		return p, fmt.Errorf("%s strides %v invalid", n.Op, strides)
 	}
 	p.sh, p.sw = strides[0], strides[1]
-	pads := n.Attrs.Ints("pads", []int{0, 0, 0, 0})
+	pads := n.Attrs.Ints("pads", defaultPads)
 	if len(pads) != 4 {
 		return p, fmt.Errorf("%s pads %v invalid", n.Op, pads)
 	}

@@ -11,7 +11,7 @@ import (
 // Softmax over the given axis (default 1, the class dimension of [N, C]
 // logits). Numerically stabilised by subtracting the row maximum.
 func init() {
-	Register(NewKernel("softmax.direct", "Softmax", nil, runSoftmax))
+	Register(NewOverwritingKernel("softmax.direct", "Softmax", nil, runSoftmax))
 }
 
 func runSoftmax(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {

@@ -24,14 +24,20 @@ type Options struct {
 	DisableScratchReuse bool
 }
 
-// step is one planned node execution.
+// step is one planned node execution. overwrites records, at compile time,
+// whether the selected kernel writes every output element itself; only
+// steps that do not are zero-filled before running.
 type step struct {
-	node   *graph.Node
-	kernel ops.Kernel
+	node       *graph.Node
+	kernel     ops.Kernel
+	overwrites bool
 }
 
 // Plan is a compiled execution plan: topologically ordered steps with
-// kernels chosen and buffer slots assigned.
+// kernels chosen and buffer slots assigned. A Plan is immutable after
+// Compile and may back any number of concurrent Sessions; they share its
+// constant cache, so derived weights (packed GEMM panels, Winograd
+// transforms) are computed once per plan, not once per session.
 type Plan struct {
 	g     *graph.Graph
 	opts  Options
@@ -41,6 +47,10 @@ type Plan struct {
 	// arena slot; slotSize is each slot's element capacity.
 	slotOf   map[*graph.Value]int
 	slotSize []int
+
+	// consts caches run-invariant kernel precomputation, shared by every
+	// session executing this plan.
+	consts *ops.ConstCache
 
 	// arenaBytes is the planned arena footprint; noReuseBytes is what the
 	// same graph needs without reuse (for the memory experiments).
@@ -60,7 +70,7 @@ func Compile(g *graph.Graph, opts Options) (*Plan, error) {
 	if err := g.TopoSort(); err != nil {
 		return nil, err
 	}
-	p := &Plan{g: g, opts: opts, slotOf: make(map[*graph.Value]int)}
+	p := &Plan{g: g, opts: opts, slotOf: make(map[*graph.Value]int), consts: ops.NewConstCache()}
 	for _, n := range g.Nodes {
 		k, err := opts.Policy.Select(n)
 		if err != nil {
@@ -74,10 +84,48 @@ func Compile(g *graph.Graph, opts Options) (*Plan, error) {
 			return nil, fmt.Errorf("runtime: policy %q selected kernel %q which does not support node %q",
 				opts.Policy.Name(), k.Name(), n.Name)
 		}
-		p.steps = append(p.steps, step{node: n, kernel: k})
+		p.steps = append(p.steps, step{node: n, kernel: k, overwrites: ops.KernelOverwrites(k, n)})
 	}
 	p.planBuffers()
+	if err := p.validateBindings(); err != nil {
+		return nil, err
+	}
 	return p, nil
+}
+
+// validateBindings checks, once at compile time, that every value a step
+// reads (and every graph output) is a constant, a graph input, or a
+// planned intermediate. Sessions rely on this to prebind all step tensors
+// without per-run existence checks.
+func (p *Plan) validateBindings() error {
+	isInput := func(v *graph.Value) bool {
+		for _, in := range p.g.Inputs {
+			if in == v {
+				return true
+			}
+		}
+		return false
+	}
+	resolvable := func(v *graph.Value) bool {
+		if v.IsConst() || isInput(v) {
+			return true
+		}
+		_, ok := p.slotOf[v]
+		return ok
+	}
+	for _, st := range p.steps {
+		for _, in := range st.node.Inputs {
+			if !resolvable(in) {
+				return fmt.Errorf("runtime: node %q reads value %q which is never produced", st.node.Name, in.Name)
+			}
+		}
+	}
+	for _, o := range p.g.Outputs {
+		if !resolvable(o) {
+			return fmt.Errorf("runtime: graph output %q is never produced", o.Name)
+		}
+	}
+	return nil
 }
 
 // planBuffers assigns arena slots to intermediate values using a greedy

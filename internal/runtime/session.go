@@ -10,29 +10,134 @@ import (
 )
 
 // Session executes a compiled Plan. It owns the buffer arena and the
-// kernel context (scratch pools, GEMM packing buffers), so repeated Run
-// calls are allocation-free on the planned path. A Session is not safe for
-// concurrent use; create one per goroutine.
+// kernel context (scratch pools, GEMM packing buffers), and shares the
+// plan's constant cache with every other session of the same plan.
+//
+// Binding resolution happens once, at construction: every step's input and
+// output tensors are resolved to constant tensors or arena views up front,
+// and output regions are zero-filled per run only for kernels that do not
+// overwrite them. The steady-state Run loop is therefore a straight walk
+// over prebound steps with zero heap allocations.
+//
+// A Session is not safe for concurrent use; create one per goroutine or
+// use a SessionPool.
 type Session struct {
 	plan *Plan
 	ctx  *ops.Ctx
 
-	// slots are the arena buffers (nil when NoBufferReuse).
+	// slots are the arena buffers (nil when NoBufferReuse, which selects
+	// the allocating dynamic path).
 	slots [][]float32
+
+	steps     []boundStep
+	inPatches []inputPatch
+	inTensors []*tensor.Tensor
+	outBinds  []outputBind
+	// results is reused across runs; see Run.
+	results map[string]*tensor.Tensor
+}
+
+// boundStep is one prebound node execution.
+type boundStep struct {
+	node   *graph.Node
+	kernel ops.Kernel
+	in     []*tensor.Tensor
+	out    []*tensor.Tensor
+	// zero lists the arena regions to clear before the kernel runs; empty
+	// for kernels that overwrite every output element.
+	zero [][]float32
+}
+
+// inputPatch rebinds one kernel argument to a caller-provided input tensor
+// at the start of every Run.
+type inputPatch struct{ step, arg, input int }
+
+// outputBind resolves one graph output: a prebound tensor, or (when
+// input >= 0) a passthrough of a caller-provided input.
+type outputBind struct {
+	name  string
+	t     *tensor.Tensor
+	input int
 }
 
 // NewSession prepares an executable session from a plan, allocating the
-// arena up front.
+// arena and resolving every step binding up front.
 func NewSession(plan *Plan) *Session {
 	s := &Session{plan: plan, ctx: ops.NewCtx(plan.opts.Workers)}
 	s.ctx.DisableScratchReuse = plan.opts.DisableScratchReuse
-	if !plan.opts.NoBufferReuse {
-		s.slots = make([][]float32, len(plan.slotSize))
-		for i, size := range plan.slotSize {
-			s.slots[i] = make([]float32, size)
+	s.ctx.Consts = plan.consts
+	if plan.opts.NoBufferReuse {
+		return s
+	}
+	s.slots = make([][]float32, len(plan.slotSize))
+	for i, size := range plan.slotSize {
+		s.slots[i] = make([]float32, size)
+	}
+	s.bind()
+	return s
+}
+
+// bind precomputes the per-step tensor bindings. Arena views are created
+// once per value; values sharing a slot get distinct views over the same
+// storage, exactly as the liveness planner intends.
+func (s *Session) bind() {
+	inputIdx := make(map[*graph.Value]int, len(s.plan.g.Inputs))
+	for i, in := range s.plan.g.Inputs {
+		inputIdx[in] = i
+	}
+	views := make(map[*graph.Value]*tensor.Tensor)
+	view := func(v *graph.Value) *tensor.Tensor {
+		if t := views[v]; t != nil {
+			return t
+		}
+		buf := s.slots[s.plan.slotOf[v]][:tensor.Volume(v.Shape)]
+		t := tensor.FromSlice(buf, v.Shape...)
+		views[v] = t
+		return t
+	}
+	s.steps = make([]boundStep, len(s.plan.steps))
+	for si, st := range s.plan.steps {
+		bs := &s.steps[si]
+		bs.node, bs.kernel = st.node, st.kernel
+		bs.in = make([]*tensor.Tensor, len(st.node.Inputs))
+		for ai, v := range st.node.Inputs {
+			switch {
+			case v.IsConst():
+				bs.in[ai] = v.Const
+			default:
+				if idx, ok := inputIdx[v]; ok {
+					s.inPatches = append(s.inPatches, inputPatch{step: si, arg: ai, input: idx})
+				} else {
+					bs.in[ai] = view(v)
+				}
+			}
+		}
+		bs.out = make([]*tensor.Tensor, len(st.node.Outputs))
+		for oi, v := range st.node.Outputs {
+			t := view(v)
+			bs.out[oi] = t
+			if !st.overwrites {
+				bs.zero = append(bs.zero, t.Data())
+			}
 		}
 	}
-	return s
+	s.inTensors = make([]*tensor.Tensor, len(s.plan.g.Inputs))
+	s.outBinds = make([]outputBind, 0, len(s.plan.g.Outputs))
+	for _, o := range s.plan.g.Outputs {
+		ob := outputBind{name: o.Name, input: -1}
+		switch {
+		case o.IsConst():
+			ob.t = o.Const
+		default:
+			if idx, ok := inputIdx[o]; ok {
+				ob.input = idx
+			} else {
+				ob.t = view(o)
+			}
+		}
+		s.outBinds = append(s.outBinds, ob)
+	}
+	s.results = make(map[string]*tensor.Tensor, len(s.outBinds))
 }
 
 // LayerTiming records one node execution during a profiled run.
@@ -44,8 +149,9 @@ type LayerTiming struct {
 }
 
 // Run executes the graph on the given named inputs and returns the graph
-// outputs keyed by value name. Output tensors alias arena storage and are
-// only valid until the next Run; Clone them to keep results.
+// outputs keyed by value name. Both the returned map and the output
+// tensors (which alias arena storage) are reused by the next Run on this
+// session; Clone tensors to keep results across runs.
 func (s *Session) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
 	outs, _, err := s.run(inputs, false)
 	return outs, err
@@ -57,6 +163,63 @@ func (s *Session) RunProfiled(inputs map[string]*tensor.Tensor) (map[string]*ten
 }
 
 func (s *Session) run(inputs map[string]*tensor.Tensor, profile bool) (map[string]*tensor.Tensor, []LayerTiming, error) {
+	if s.slots == nil {
+		return s.runDynamic(inputs, profile)
+	}
+	for i, in := range s.plan.g.Inputs {
+		t, ok := inputs[in.Name]
+		if !ok {
+			return nil, nil, fmt.Errorf("runtime: missing input %q", in.Name)
+		}
+		if !tensor.ShapeEq(t.Shape(), in.Shape) {
+			return nil, nil, fmt.Errorf("runtime: input %q has shape %v, want %v", in.Name, t.Shape(), in.Shape)
+		}
+		s.inTensors[i] = t
+	}
+	for _, pt := range s.inPatches {
+		s.steps[pt.step].in[pt.arg] = s.inTensors[pt.input]
+	}
+	var timings []LayerTiming
+	if profile {
+		timings = make([]LayerTiming, 0, len(s.steps))
+	}
+	for i := range s.steps {
+		st := &s.steps[i]
+		for _, z := range st.zero {
+			for j := range z {
+				z[j] = 0
+			}
+		}
+		start := time.Time{}
+		if profile {
+			start = time.Now()
+		}
+		if err := st.kernel.Run(s.ctx, st.node, st.in, st.out); err != nil {
+			return nil, nil, fmt.Errorf("runtime: node %q (%s, kernel %s): %w", st.node.Name, st.node.Op, st.kernel.Name(), err)
+		}
+		if profile {
+			timings = append(timings, LayerTiming{
+				Node:     st.node,
+				Kernel:   st.kernel.Name(),
+				Duration: time.Since(start),
+				Flops:    ops.NodeFlops(st.node),
+			})
+		}
+	}
+	for _, ob := range s.outBinds {
+		t := ob.t
+		if ob.input >= 0 {
+			t = s.inTensors[ob.input]
+		}
+		s.results[ob.name] = t
+	}
+	return s.results, timings, nil
+}
+
+// runDynamic is the NoBufferReuse path: every value gets a fresh buffer on
+// every run, emulating frameworks that allocate per operator call
+// (torch-sim; ablation A3).
+func (s *Session) runDynamic(inputs map[string]*tensor.Tensor, profile bool) (map[string]*tensor.Tensor, []LayerTiming, error) {
 	bound := make(map[*graph.Value]*tensor.Tensor, len(s.plan.slotOf)+len(inputs))
 	for _, in := range s.plan.g.Inputs {
 		t, ok := inputs[in.Name]
@@ -76,7 +239,7 @@ func (s *Session) run(inputs map[string]*tensor.Tensor, profile bool) (map[strin
 	for _, st := range s.plan.steps {
 		in := make([]*tensor.Tensor, len(st.node.Inputs))
 		for i, v := range st.node.Inputs {
-			t, err := s.tensorFor(bound, v)
+			t, err := tensorFor(bound, v)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -84,7 +247,9 @@ func (s *Session) run(inputs map[string]*tensor.Tensor, profile bool) (map[strin
 		}
 		out := make([]*tensor.Tensor, len(st.node.Outputs))
 		for i, v := range st.node.Outputs {
-			out[i] = s.allocOutput(bound, v)
+			t := tensor.New(v.Shape...)
+			bound[v] = t
+			out[i] = t
 		}
 		start := time.Time{}
 		if profile {
@@ -105,7 +270,7 @@ func (s *Session) run(inputs map[string]*tensor.Tensor, profile bool) (map[strin
 
 	results := make(map[string]*tensor.Tensor, len(s.plan.g.Outputs))
 	for _, o := range s.plan.g.Outputs {
-		t, err := s.tensorFor(bound, o)
+		t, err := tensorFor(bound, o)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -114,8 +279,8 @@ func (s *Session) run(inputs map[string]*tensor.Tensor, profile bool) (map[strin
 	return results, timings, nil
 }
 
-// tensorFor resolves the tensor currently bound to v.
-func (s *Session) tensorFor(bound map[*graph.Value]*tensor.Tensor, v *graph.Value) (*tensor.Tensor, error) {
+// tensorFor resolves the tensor currently bound to v on the dynamic path.
+func tensorFor(bound map[*graph.Value]*tensor.Tensor, v *graph.Value) (*tensor.Tensor, error) {
 	if t := bound[v]; t != nil {
 		return t, nil
 	}
@@ -123,24 +288,6 @@ func (s *Session) tensorFor(bound map[*graph.Value]*tensor.Tensor, v *graph.Valu
 		return v.Const, nil
 	}
 	return nil, fmt.Errorf("runtime: value %q read before being produced", v.Name)
-}
-
-// allocOutput binds v to storage: an arena slot view under the planner, or
-// a fresh tensor when buffer reuse is disabled.
-func (s *Session) allocOutput(bound map[*graph.Value]*tensor.Tensor, v *graph.Value) *tensor.Tensor {
-	size := tensor.Volume(v.Shape)
-	var t *tensor.Tensor
-	if s.slots != nil {
-		buf := s.slots[s.plan.slotOf[v]][:size]
-		for i := range buf {
-			buf[i] = 0
-		}
-		t = tensor.FromSlice(buf, v.Shape...)
-	} else {
-		t = tensor.New(v.Shape...)
-	}
-	bound[v] = t
-	return t
 }
 
 // Plan returns the session's compiled plan.

@@ -1,0 +1,56 @@
+package runtime
+
+import (
+	"sync"
+
+	"orpheus/internal/tensor"
+)
+
+// SessionPool serves concurrent inference over one compiled Plan. Sessions
+// are not safe for concurrent use — each owns a mutable arena and kernel
+// scratch — so the pool hands every in-flight request its own session via
+// sync.Pool: N concurrent callers get N sessions, idle sessions are
+// reclaimed by the GC under memory pressure, and all sessions share the
+// plan's constant cache, so weights are packed once per plan rather than
+// once per request or per session.
+type SessionPool struct {
+	plan *Plan
+	pool sync.Pool
+}
+
+// NewSessionPool returns a pool over the plan. Sessions are created
+// lazily, on first concurrent demand.
+func NewSessionPool(plan *Plan) *SessionPool {
+	sp := &SessionPool{plan: plan}
+	sp.pool.New = func() any { return NewSession(plan) }
+	return sp
+}
+
+// Plan returns the compiled plan the pool serves.
+func (sp *SessionPool) Plan() *Plan { return sp.plan }
+
+// Get borrows a session. The caller must return it with Put, and must
+// finish reading any Run results (which alias the session's arena) before
+// doing so.
+func (sp *SessionPool) Get() *Session { return sp.pool.Get().(*Session) }
+
+// Put returns a borrowed session to the pool.
+func (sp *SessionPool) Put(s *Session) { sp.pool.Put(s) }
+
+// Run borrows a session, executes the graph and returns cloned outputs
+// that remain valid after the session goes back to the pool. It is safe
+// for any number of concurrent callers.
+func (sp *SessionPool) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	s := sp.Get()
+	outs, err := s.Run(inputs)
+	if err != nil {
+		sp.Put(s)
+		return nil, err
+	}
+	copied := make(map[string]*tensor.Tensor, len(outs))
+	for k, v := range outs {
+		copied[k] = v.Clone()
+	}
+	sp.Put(s)
+	return copied, nil
+}

@@ -28,13 +28,15 @@ import (
 	"orpheus/internal/tensor"
 )
 
-// Entry is one hosted model.
+// Entry is one hosted model. Requests are served concurrently: each
+// in-flight request borrows a session from the entry's pool, so N clients
+// hitting one model get N private arenas over one shared plan (and one
+// shared set of packed weights) instead of queueing on a mutex.
 type Entry struct {
-	Name    string
-	Backend string
-	graph   *graph.Graph
-	session *runtime.Session
-	mu      sync.Mutex // sessions are single-threaded; serialise requests
+	Name     string
+	Backend  string
+	graph    *graph.Graph
+	sessions *runtime.SessionPool
 }
 
 // Server hosts compiled models behind an http.Handler.
@@ -64,10 +66,10 @@ func (s *Server) AddModel(name string, g *graph.Graph, backendName string, worke
 		return fmt.Errorf("serve: model %q already hosted", name)
 	}
 	s.entries[name] = &Entry{
-		Name:    name,
-		Backend: backendName,
-		graph:   g,
-		session: runtime.NewSession(plan),
+		Name:     name,
+		Backend:  backendName,
+		graph:    g,
+		sessions: runtime.NewSessionPool(plan),
 	}
 	return nil
 }
@@ -104,8 +106,8 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			Backend:    e.Backend,
 			InputShape: e.graph.Inputs[0].Shape,
 			Nodes:      len(e.graph.Nodes),
-			ParamBytes: e.session.Plan().WeightBytes(),
-			ArenaBytes: e.session.Plan().ArenaBytes(),
+			ParamBytes: e.sessions.Plan().WeightBytes(),
+			ArenaBytes: e.sessions.Plan().ArenaBytes(),
 		})
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
@@ -169,15 +171,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	e.mu.Lock()
+	sess := e.sessions.Get()
 	start := time.Now()
-	outs, err := e.session.Run(map[string]*tensor.Tensor{e.graph.Inputs[0].Name: in})
+	outs, err := sess.Run(map[string]*tensor.Tensor{e.graph.Inputs[0].Name: in})
 	elapsed := time.Since(start)
 	var out *tensor.Tensor
 	for _, v := range outs {
 		out = v.Clone()
 	}
-	e.mu.Unlock()
+	e.sessions.Put(sess)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -204,9 +206,9 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	e.mu.Lock()
-	_, timings, err := e.session.RunProfiled(map[string]*tensor.Tensor{e.graph.Inputs[0].Name: in})
-	e.mu.Unlock()
+	sess := e.sessions.Get()
+	_, timings, err := sess.RunProfiled(map[string]*tensor.Tensor{e.graph.Inputs[0].Name: in})
+	e.sessions.Put(sess)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return

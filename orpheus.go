@@ -131,10 +131,14 @@ func WithWorkers(n int) CompileOption {
 // Backends lists the registered backend names.
 func Backends() []string { return backend.Names() }
 
-// Session is a compiled, executable model.
+// Session is a compiled, executable model. It is safe for concurrent use:
+// any number of goroutines may call Predict/Run at once. Each in-flight
+// call borrows a runtime session (private arena and scratch) from an
+// internal sync.Pool, so concurrent requests share the compiled plan and
+// its packed weights but never share mutable state.
 type Session struct {
-	model *Model
-	sess  *runtime.Session
+	model    *Model
+	sessions *runtime.SessionPool
 }
 
 // Compile plans and allocates an executable session for the model.
@@ -151,34 +155,33 @@ func (m *Model) Compile(opts ...CompileOption) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{model: m, sess: runtime.NewSession(plan)}, nil
+	return &Session{model: m, sessions: runtime.NewSessionPool(plan)}, nil
 }
 
 // Predict runs inference on a single input tensor and returns a copy of
 // the model's (single) output.
 func (s *Session) Predict(input *Tensor) (*Tensor, error) {
-	outs, err := s.Run(map[string]*Tensor{s.model.InputName(): input})
+	rs := s.sessions.Get()
+	outs, err := rs.Run(map[string]*Tensor{s.model.InputName(): input})
 	if err != nil {
+		s.sessions.Put(rs)
 		return nil, err
 	}
+	var out *Tensor
 	for _, v := range outs {
-		return v, nil
+		out = v.Clone()
 	}
-	return nil, fmt.Errorf("orpheus: model has no outputs")
+	s.sessions.Put(rs)
+	if out == nil {
+		return nil, fmt.Errorf("orpheus: model has no outputs")
+	}
+	return out, nil
 }
 
 // Run executes the graph on named inputs and returns copies of all
 // outputs by name.
 func (s *Session) Run(inputs map[string]*Tensor) (map[string]*Tensor, error) {
-	outs, err := s.sess.Run(inputs)
-	if err != nil {
-		return nil, err
-	}
-	copied := make(map[string]*Tensor, len(outs))
-	for k, v := range outs {
-		copied[k] = v.Clone()
-	}
-	return copied, nil
+	return s.sessions.Run(inputs)
 }
 
 // LayerTiming mirrors runtime.LayerTiming at the public boundary.
@@ -187,7 +190,9 @@ type LayerTiming = runtime.LayerTiming
 // PredictProfiled runs inference and returns per-layer timings alongside
 // the output.
 func (s *Session) PredictProfiled(input *Tensor) (*Tensor, []LayerTiming, error) {
-	outs, timings, err := s.sess.RunProfiled(map[string]*Tensor{s.model.InputName(): input})
+	rs := s.sessions.Get()
+	defer s.sessions.Put(rs)
+	outs, timings, err := rs.RunProfiled(map[string]*Tensor{s.model.InputName(): input})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -206,16 +211,19 @@ func WriteTrace(w io.Writer, timings []LayerTiming) error {
 	return runtime.WriteTrace(w, timings)
 }
 
-// Benchmark times repeated inference (warm-up + reps) on the given input.
+// Benchmark times repeated inference (warm-up + reps) on the given input,
+// holding one pooled session for the whole measurement.
 func (s *Session) Benchmark(input *Tensor, warmup, reps int) (BenchStats, error) {
-	return runtime.Measure(s.sess, map[string]*Tensor{s.model.InputName(): input}, warmup, reps)
+	rs := s.sessions.Get()
+	defer s.sessions.Put(rs)
+	return runtime.Measure(rs, map[string]*Tensor{s.model.InputName(): input}, warmup, reps)
 }
 
 // PlanSummary describes the compiled plan: one line per layer with the
 // selected kernel, for the paper's "independently altered and assayed"
 // workflow.
 func (s *Session) PlanSummary() []string {
-	steps := s.sess.Plan().Steps()
+	steps := s.sessions.Plan().Steps()
 	out := make([]string, len(steps))
 	for i, st := range steps {
 		out[i] = fmt.Sprintf("%-30s %-12s %s", st.Node.Name, st.Node.Op, st.Kernel)
@@ -225,5 +233,5 @@ func (s *Session) PlanSummary() []string {
 
 // MemoryFootprint reports the planned memory use in bytes.
 func (s *Session) MemoryFootprint() (weights, arena int64) {
-	return s.sess.Plan().WeightBytes(), s.sess.Plan().ArenaBytes()
+	return s.sessions.Plan().WeightBytes(), s.sessions.Plan().ArenaBytes()
 }
