@@ -47,3 +47,89 @@ func TestSessionRunSteadyStateAllocFree(t *testing.T) {
 		})
 	}
 }
+
+// TestBatchedSessionRunAllocFree extends the invariant to batch-native
+// plans: once a batch size's bindings exist (first run at that n), every
+// later Session.Run at that n — including at the full MaxBatch — does zero
+// heap allocations.
+func TestBatchedSessionRunAllocFree(t *testing.T) {
+	const maxBatch = 8
+	g, err := zoo.Build("wrn-40-2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := backend.ByName("orpheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := be.PrepareBatched(g, 1, maxBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := runtime.NewSession(plan)
+	for _, n := range []int{maxBatch, 3} {
+		x := tensor.Rand(tensor.NewRNG(uint64(n)), -1, 1, n, 3, 32, 32)
+		in := map[string]*tensor.Tensor{g.Inputs[0].Name: x}
+		for i := 0; i < 2; i++ { // warm-up: bind batch n, grow scratch, pack weights
+			if _, err := sess.Run(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		avg := testing.AllocsPerRun(3, func() {
+			if _, err := sess.Run(in); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("steady-state batched Session.Run (n=%d) allocates %.1f times per run, want 0", n, avg)
+		}
+	}
+}
+
+// TestPredictIntoAllocFree asserts the facade fix rides the same
+// invariant: PredictInto and PredictBatchInto with reused destinations do
+// zero steady-state heap allocations (the seed facade paid 4 allocs/op
+// copying in and out of the pooled session).
+func TestPredictIntoAllocFree(t *testing.T) {
+	m, err := BuildZooModel("wrn-40-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := m.Compile(WithMaxBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandomTensor(1, m.InputShape()...)
+	dst, err := sess.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.PredictInto(dst, x); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(3, func() {
+		if _, err := sess.PredictInto(dst, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state PredictInto allocates %.1f times per run, want 0", avg)
+	}
+
+	inputs := []*Tensor{x, RandomTensor(2, m.InputShape()...)}
+	dsts, err := sess.PredictBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.PredictBatchInto(dsts, inputs); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	avg = testing.AllocsPerRun(3, func() {
+		if _, err := sess.PredictBatchInto(dsts, inputs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state PredictBatchInto allocates %.1f times per run, want 0", avg)
+	}
+}

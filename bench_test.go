@@ -18,6 +18,7 @@ package orpheus
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"sync"
 	"testing"
 
@@ -295,6 +296,69 @@ func BenchmarkPredictConcurrent(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// BenchmarkBatch measures batch-native execution: one Session.Run over a
+// batch of n samples on a MaxBatch-8 plan. ns/op is the whole batch;
+// inf/s is the derived per-sample throughput — the number that shows the
+// amortisation win as n grows (packed weight panels are read once per
+// batch instead of once per sample). The CI bench-smoke step records this
+// family into BENCH_pr2.json via cmd/orpheus-benchjson.
+func BenchmarkBatch(b *testing.B) {
+	benchBatch(b, 1, []int{1, 4, 8})
+}
+
+// BenchmarkBatchParallel is BenchmarkBatch at the full core budget
+// (workers = GOMAXPROCS): the regime where batch-native execution pays on
+// multi-core hosts. At n=1 the late small-spatial GEMMs offer only one or
+// two macro-tiles, so extra cores idle; at n=8 the pool schedules
+// batch×tile, keeping every core fed. On a single-core host this
+// degenerates to BenchmarkBatch.
+func BenchmarkBatchParallel(b *testing.B) {
+	benchBatch(b, goruntime.GOMAXPROCS(0), []int{1, 8})
+}
+
+// benchBatch is the shared measurement protocol of the batch families:
+// one MaxBatch-8 plan per model, one warm-up Run per batch size (binds n,
+// grows scratch, packs weights), then timed whole-batch runs with derived
+// per-sample throughput.
+func benchBatch(b *testing.B, workers int, ns []int) {
+	const maxBatch = 8
+	for _, model := range []string{"wrn-40-2", "mobilenet-v1"} {
+		g := cachedModel(b, model)
+		be, err := backend.ByName("orpheus")
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := be.PrepareBatched(g, workers, maxBatch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess := runtime.NewSession(plan)
+		for _, n := range ns {
+			b.Run(fmt.Sprintf("%s/n%d", model, n), func(b *testing.B) {
+				shape := plan.InputShapeAt(0, n)
+				x := tensor.Rand(tensor.NewRNG(uint64(n)), -1, 1, shape...)
+				in := map[string]*tensor.Tensor{g.Inputs[0].Name: x}
+				if _, err := sess.Run(in); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sess.Run(in); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				b.ReportMetric(float64(n)*1e9/perOp, "inf/s")
+				if workers > 1 {
+					b.ReportMetric(float64(workers), "workers")
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,135 @@
+// orpheus-benchjson converts `go test -bench` text output into a JSON
+// benchmark artifact, so the perf trajectory of the repository is
+// machine-readable across PRs. CI pipes the bench-smoke step through it:
+//
+//	go test -run '^$' -bench BenchmarkBatch -benchmem -benchtime 3x . \
+//	    | orpheus-benchjson -out BENCH_pr2.json
+//
+// Every benchmark line becomes one record with ns/op, allocs/op, B/op and
+// any custom metrics (e.g. inf/s) keyed by unit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// record is one parsed benchmark result.
+type record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op"`
+	AllocsPer  float64            `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// artifact is the emitted document.
+type artifact struct {
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Cores      int      `json:"cores"`
+	Note       string   `json:"note,omitempty"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default stdout)")
+	note := flag.String("note", "", "free-form environment note embedded in the artifact")
+	flag.Parse()
+
+	art, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orpheus-benchjson:", err)
+		os.Exit(1)
+	}
+	art.Cores = runtime.NumCPU()
+	art.Note = *note
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orpheus-benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "orpheus-benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d benchmark records to %s\n", len(art.Benchmarks), *out)
+}
+
+// parse reads `go test -bench` text and collects benchmark lines. Input is
+// echoed to stderr so the tool can sit in a pipeline without hiding the
+// human-readable output.
+func parse(r io.Reader) (*artifact, error) {
+	art := &artifact{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			art.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			art.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			art.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		rec, ok := parseLine(line)
+		if ok {
+			art.Benchmarks = append(art.Benchmarks, rec)
+		}
+	}
+	return art, sc.Err()
+}
+
+// parseLine parses one "BenchmarkName-P  N  v unit  v unit ..." line.
+func parseLine(line string) (record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	rec := record{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			rec.NsPerOp = v
+		case "B/op":
+			rec.BytesPerOp = v
+		case "allocs/op":
+			rec.AllocsPer = v
+		default:
+			if rec.Metrics == nil {
+				rec.Metrics = make(map[string]float64)
+			}
+			rec.Metrics[unit] = v
+		}
+	}
+	return rec, true
+}

@@ -5,6 +5,7 @@
 //
 //	orpheus-serve -zoo wrn-40-2 -addr :8080
 //	orpheus-serve -model mobilenet.onnx -backend tvm-sim
+//	orpheus-serve -zoo mobilenet-v1 -max-batch 8 -flush-ms 2   # dynamic batching
 //
 //	curl localhost:8080/models
 //	curl -X POST localhost:8080/predict/wrn-40-2 \
@@ -18,6 +19,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"orpheus/internal/onnx"
 	"orpheus/internal/serve"
@@ -31,10 +33,15 @@ func main() {
 		modelPath = flag.String("model", "", "path to an .onnx model to host")
 		backendN  = flag.String("backend", "orpheus", "execution backend")
 		workers   = flag.Int("workers", 1, "kernel thread budget")
+		maxBatch  = flag.Int("max-batch", 1, "dynamic batching width: coalesce up to N concurrent /predict requests into one batched run (1 disables)")
+		flushMs   = flag.Float64("flush-ms", 2, "batching flush deadline in milliseconds (how long a lone request waits for peers)")
 	)
 	flag.Parse()
 
-	s := serve.New()
+	s := serve.New(
+		serve.WithMaxBatch(*maxBatch),
+		serve.WithFlushDeadline(time.Duration(*flushMs*float64(time.Millisecond))),
+	)
 	hosted := 0
 	if *zooNames != "" {
 		for _, name := range strings.Split(*zooNames, ",") {

@@ -51,6 +51,13 @@ type Backend struct {
 // compiles it. workers <= 0 means 1. Returns an error if the backend
 // cannot honour the requested thread count.
 func (b *Backend) Prepare(g *graph.Graph, workers int) (*runtime.Plan, error) {
+	return b.PrepareBatched(g, workers, 1)
+}
+
+// PrepareBatched is Prepare with the plan parameterised by a maximum
+// runtime batch size: arena slots are sized for maxBatch and sessions
+// accept any batch 1 ≤ n ≤ maxBatch per Run. maxBatch <= 0 means 1.
+func (b *Backend) PrepareBatched(g *graph.Graph, workers, maxBatch int) (*runtime.Plan, error) {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -69,6 +76,7 @@ func (b *Backend) Prepare(g *graph.Graph, workers int) (*runtime.Plan, error) {
 	return runtime.Compile(work, runtime.Options{
 		Policy:              b.NewPolicy(),
 		Workers:             workers,
+		MaxBatch:            maxBatch,
 		NoBufferReuse:       b.NoBufferReuse,
 		DisableScratchReuse: b.DisableScratchReuse,
 	})

@@ -1,0 +1,81 @@
+package gemm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refStridedBatch computes the batched call the obvious way: one naive
+// GEMM per image over the strided windows.
+func refStridedBatch(a, b, c []float32, m, n, k, batch, strideB, strideC int) {
+	for img := 0; img < batch; img++ {
+		Naive(a, b[img*strideB:], c[img*strideC:], m, n, k)
+	}
+}
+
+// TestStridedBatchMatchesLooped checks Call{Batch, StrideB, StrideC}
+// against per-image GEMMs for single-threaded, prepacked-A and pooled
+// multi-worker execution, across shapes that cover single-tile and
+// multi-tile grids.
+func TestStridedBatchMatchesLooped(t *testing.T) {
+	shapes := []struct{ m, n, k, batch int }{
+		{4, 8, 4, 1},
+		{16, 49, 32, 3},   // sub-tile N with edge strips
+		{64, 196, 128, 8}, // pointwise-conv shaped
+		{130, 520, 70, 2}, // crosses macro-tile boundaries in both dims
+	}
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(fmt.Sprintf("m%dn%dk%db%d", sh.m, sh.n, sh.k, sh.batch), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(sh.m*1000 + sh.n)))
+			// Strides with slack beyond the dense matrix size.
+			strideB := sh.k*sh.n + 3
+			strideC := sh.m*sh.n + 5
+			a := make([]float32, sh.m*sh.k)
+			b := make([]float32, (sh.batch-1)*strideB+sh.k*sh.n)
+			for i := range a {
+				a[i] = r.Float32() - 0.5
+			}
+			for i := range b {
+				b[i] = r.Float32() - 0.5
+			}
+			want := make([]float32, (sh.batch-1)*strideC+sh.m*sh.n)
+			refStridedBatch(a, b, want, sh.m, sh.n, sh.k, sh.batch, strideB, strideC)
+
+			check := func(label string, got []float32) {
+				t.Helper()
+				for i := range want {
+					d := got[i] - want[i]
+					if d < -1e-3 || d > 1e-3 {
+						t.Fatalf("%s: C[%d] = %g, want %g", label, i, got[i], want[i])
+					}
+				}
+			}
+			call := Call{A: a, B: b, M: sh.m, N: sh.n, K: sh.k, Store: true,
+				Batch: sh.batch, StrideB: strideB, StrideC: strideC}
+
+			var ctx Context
+			got := make([]float32, len(want))
+			c1 := call
+			c1.C = got
+			ctx.Run(c1)
+			check("context", got)
+
+			pa := PrepackA(a, sh.m, sh.k)
+			got2 := make([]float32, len(want))
+			c2 := call
+			c2.A, c2.PackedA, c2.C = nil, pa, got2
+			ctx.Run(c2)
+			check("prepacked", got2)
+
+			for _, workers := range []int{2, 4} {
+				got3 := make([]float32, len(want))
+				c3 := call
+				c3.C = got3
+				Shared().Run(&ctx, c3, workers)
+				check(fmt.Sprintf("pool-%d", workers), got3)
+			}
+		})
+	}
+}

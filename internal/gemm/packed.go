@@ -26,12 +26,30 @@ const (
 // PrepackA/PrepackB and replace the corresponding raw operand, which may
 // then be nil. Store with K == 0 zeroes C (a BLAS beta=0 product with an
 // empty shared dimension).
+//
+// Batch > 1 describes a strided batch of GEMMs sharing one A (or PackedA)
+// operand: image i multiplies B[i*StrideB:] into C[i*StrideC:]. This is
+// the shape of batched inference through a constant weight matrix — the
+// packed weight panels are loaded once and reused across the whole batch,
+// and a worker Pool spreads its macro-tiles across batch×tile. PackedB is
+// unsupported for batched calls (each image would need its own panels).
 type Call struct {
 	A, B, C []float32
 	M, N, K int
 	PackedA []float32
 	PackedB []float32
 	Store   bool
+
+	Batch            int // number of strided images; 0 and 1 mean a single GEMM
+	StrideB, StrideC int // element offsets between consecutive images
+}
+
+// images returns the batch count, treating the zero value as 1.
+func (c *Call) images() int {
+	if c.Batch < 2 {
+		return 1
+	}
+	return c.Batch
 }
 
 // validate panics if the described buffers cannot hold the matrices.
@@ -42,8 +60,24 @@ func (c *Call) validate() {
 	if c.M == 0 || c.N == 0 {
 		return
 	}
-	if len(c.C) < c.M*c.N {
-		panicf("gemm: C buffer %d too small for %dx%d", len(c.C), c.M, c.N)
+	images := c.images()
+	if images > 1 {
+		if c.PackedB != nil {
+			panicf("gemm: batched call cannot use PackedB")
+		}
+		// Image windows must not overlap: tiles of different images are
+		// scheduled concurrently and assume disjoint C regions.
+		if c.StrideC < c.M*c.N {
+			panicf("gemm: batch C stride %d overlaps %dx%d images", c.StrideC, c.M, c.N)
+		}
+		if c.K > 0 && c.StrideB < c.K*c.N {
+			panicf("gemm: batch B stride %d overlaps %dx%d images", c.StrideB, c.K, c.N)
+		}
+	}
+	lastB := (images - 1) * c.StrideB
+	lastC := (images - 1) * c.StrideC
+	if len(c.C) < lastC+c.M*c.N {
+		panicf("gemm: C buffer %d too small for %dx%d × %d images", len(c.C), c.M, c.N, images)
 	}
 	if c.K == 0 {
 		return
@@ -59,8 +93,8 @@ func (c *Call) validate() {
 		if len(c.PackedB) < PackedBSize(c.K, c.N) {
 			panicf("gemm: PackedB %d too small for k=%d n=%d", len(c.PackedB), c.K, c.N)
 		}
-	} else if len(c.B) < c.K*c.N {
-		panicf("gemm: B buffer %d too small for %dx%d", len(c.B), c.K, c.N)
+	} else if len(c.B) < lastB+c.K*c.N {
+		panicf("gemm: B buffer %d too small for %dx%d × %d images", len(c.B), c.K, c.N, images)
 	}
 }
 
@@ -74,6 +108,7 @@ type Context struct {
 
 // Run executes the call single-threaded. Hot inference paths should hold a
 // long-lived Context so the packing buffers are reused across calls.
+// Batched calls run image by image over the shared A operand.
 func (ctx *Context) Run(c Call) {
 	c.validate()
 	if c.M == 0 || c.N == 0 {
@@ -81,10 +116,27 @@ func (ctx *Context) Run(c Call) {
 	}
 	if c.K == 0 {
 		if c.Store {
-			zeroC(c.C, c.M*c.N)
+			for img := 0; img < c.images(); img++ {
+				zeroC(c.C[img*c.StrideC:], c.M*c.N)
+			}
 		}
 		return
 	}
+	if c.images() > 1 {
+		sub := c
+		sub.Batch, sub.StrideB, sub.StrideC = 0, 0, 0
+		for img := 0; img < c.images(); img++ {
+			sub.B = c.B[img*c.StrideB:]
+			sub.C = c.C[img*c.StrideC:]
+			ctx.run(sub)
+		}
+		return
+	}
+	ctx.run(c)
+}
+
+// run executes one validated, unbatched call.
+func (ctx *Context) run(c Call) {
 	pm := roundUp(c.M, mr)
 	pn := roundUp(c.N, nr)
 	for pp := 0; pp < c.K; pp += kcBlock {

@@ -83,6 +83,11 @@ func Shared() *Pool {
 // availability) and ctx supplies its packing scratch; helpers are
 // recruited only from workers idle at submission time. Run returns when C
 // is fully written.
+//
+// Batched calls (c.Batch > 1) tile across batch×tile: every (image,
+// macro-tile) pair is an independent unit of work claimed from the shared
+// counter, so small per-image GEMMs still fan out across cores when the
+// batch is deep.
 func (p *Pool) Run(ctx *Context, c Call, workers int) {
 	c.validate()
 	if c.M == 0 || c.N == 0 {
@@ -90,13 +95,15 @@ func (p *Pool) Run(ctx *Context, c Call, workers int) {
 	}
 	if c.K == 0 {
 		if c.Store {
-			zeroC(c.C, c.M*c.N)
+			for img := 0; img < c.images(); img++ {
+				zeroC(c.C[img*c.StrideC:], c.M*c.N)
+			}
 		}
 		return
 	}
 	tm := (c.M + mcBlock - 1) / mcBlock
 	tn := (c.N + ncBlock - 1) / ncBlock
-	tiles := tm * tn
+	tiles := tm * tn * c.images()
 	if workers > tiles {
 		workers = tiles
 	}
@@ -129,7 +136,7 @@ func (p *Pool) Run(ctx *Context, c Call, workers int) {
 
 // drain claims and executes tiles until the grid is exhausted.
 func (t *task) drain(ctx *Context) {
-	tiles := int64(t.tileM) * int64(t.tileN)
+	tiles := int64(t.tileM) * int64(t.tileN) * int64(t.call.images())
 	for {
 		i := t.next.Add(1) - 1
 		if i >= tiles {
@@ -139,11 +146,17 @@ func (t *task) drain(ctx *Context) {
 	}
 }
 
-// runTile computes one mcBlock×ncBlock block of C across the full K
-// extent. Tiles split C on micro-tile boundaries, so no two tiles touch
-// the same element.
+// runTile computes one mcBlock×ncBlock block of one image's C across the
+// full K extent. Tiles split C on micro-tile boundaries, so no two tiles
+// touch the same element; batched calls lay images out as consecutive
+// tile grids over their strided B/C windows.
 func (t *task) runTile(ctx *Context, idx int) {
 	c := &t.call
+	grid := t.tileM * t.tileN
+	img := idx / grid
+	idx %= grid
+	cb := c.B[img*c.StrideB:]
+	cc := c.C[img*c.StrideC:]
 	ii := (idx / t.tileN) * mcBlock
 	jj := (idx % t.tileN) * ncBlock
 	mc := min(mcBlock, c.M-ii)
@@ -164,9 +177,9 @@ func (t *task) runTile(ctx *Context, idx int) {
 			pb = c.PackedB[pn*pp+jj*kc:]
 		} else {
 			ctx.growB()
-			packB(ctx.packB, c.B, pp, jj, kc, nc, c.N)
+			packB(ctx.packB, cb, pp, jj, kc, nc, c.N)
 			pb = ctx.packB
 		}
-		macroKernel(pa, pb, c.C, ii, jj, mc, nc, kc, c.N, c.Store && pp == 0)
+		macroKernel(pa, pb, cc, ii, jj, mc, nc, kc, c.N, c.Store && pp == 0)
 	}
 }

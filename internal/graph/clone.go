@@ -9,7 +9,7 @@ func (g *Graph) Clone() *Graph {
 	c := New(g.Name)
 	vmap := make(map[*Value]*Value, len(g.values))
 	for name, v := range g.values {
-		nv := &Value{Name: name, Shape: append([]int(nil), v.Shape...), Const: v.Const}
+		nv := &Value{Name: name, Shape: append([]int(nil), v.Shape...), Const: v.Const, Batched: v.Batched}
 		c.values[name] = nv
 		vmap[v] = nv
 	}

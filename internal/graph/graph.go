@@ -24,6 +24,15 @@ type Value struct {
 	Shape []int          // inferred or declared shape; nil until inference
 	Const *tensor.Tensor // non-nil for weights/initialisers
 
+	// Batched marks a graph input whose leading dimension is a batch of
+	// independent samples (the NCHW/[N,K] convention used throughout
+	// Orpheus). Rebatch rewrites that dimension; shape inference then
+	// propagates the new batch through the graph. Input sets it for every
+	// input of rank ≥ 2 (rank-1 inputs are treated as per-model vectors,
+	// not batches of scalars); override it for inputs that deviate from
+	// the convention.
+	Batched bool
+
 	// Producer is the node that outputs this value, nil for graph inputs
 	// and constants.
 	Producer *Node
@@ -64,8 +73,29 @@ func (g *Graph) Input(name string, shape []int) (*Value, error) {
 		return nil, err
 	}
 	v.Shape = copyShape(shape)
+	v.Batched = len(shape) >= 2
 	g.Inputs = append(g.Inputs, v)
 	return v, nil
+}
+
+// Rebatch sets the leading (batch) dimension of every batched graph input
+// to n and re-runs shape inference, so every downstream value shape carries
+// the new batch. The graph's shape functions treat the leading dimension
+// symbolically — they propagate whatever N the inputs declare — which is
+// what makes one graph definition serve any runtime batch size.
+func (g *Graph) Rebatch(n int) error {
+	if n < 1 {
+		return fmt.Errorf("graph %q: batch %d < 1", g.Name, n)
+	}
+	for _, in := range g.Inputs {
+		if in.Batched && len(in.Shape) > 0 {
+			in.Shape[0] = n
+		}
+	}
+	if err := g.TopoSort(); err != nil {
+		return err
+	}
+	return g.InferShapes()
 }
 
 // copyShape copies a shape, returning a non-nil (possibly empty) slice so

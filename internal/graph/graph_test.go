@@ -57,6 +57,48 @@ func TestBuildAndFinalize(t *testing.T) {
 	}
 }
 
+func TestRebatchPropagatesLeadingDim(t *testing.T) {
+	g, out := buildDiamond(t)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Inputs[0].Batched {
+		t.Fatal("non-scalar input not marked Batched")
+	}
+	if err := g.Rebatch(5); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(g.Inputs[0].Shape, []int{5, 4}) || !tensor.ShapeEq(out.Shape, []int{5, 4}) {
+		t.Fatalf("shapes after Rebatch(5): in %v out %v", g.Inputs[0].Shape, out.Shape)
+	}
+	// Back down: the batch is symbolic, not sticky.
+	if err := g.Rebatch(1); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(out.Shape, []int{1, 4}) {
+		t.Fatalf("shapes after Rebatch(1): out %v", out.Shape)
+	}
+	if err := g.Rebatch(0); err == nil {
+		t.Fatal("Rebatch(0) accepted")
+	}
+	// Unbatched inputs are left alone.
+	g.Inputs[0].Batched = false
+	if err := g.Rebatch(3); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(g.Inputs[0].Shape, []int{1, 4}) {
+		t.Fatalf("unbatched input rescaled: %v", g.Inputs[0].Shape)
+	}
+}
+
+func TestCloneKeepsBatchedMark(t *testing.T) {
+	g, _ := buildDiamond(t)
+	c := g.Clone()
+	if !c.Inputs[0].Batched {
+		t.Fatal("Clone dropped the Batched mark")
+	}
+}
+
 func TestDuplicateValueName(t *testing.T) {
 	g := New("dup")
 	if _, err := g.Input("x", []int{1}); err != nil {

@@ -1,0 +1,31 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBatchSweepSim runs the batch experiment on the cost model: one row
+// per model, throughput columns for every sweep batch size, and a
+// parseable speedup column.
+func TestBatchSweepSim(t *testing.T) {
+	e, err := ByID("batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(simCfg("wrn-40-2", "mobilenet-v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if len(row) != len(rep.Header) {
+			t.Fatalf("row %v does not match header %v", row, rep.Header)
+		}
+		if !strings.HasSuffix(row[len(row)-1], "x") {
+			t.Errorf("speedup cell %q not a ratio", row[len(row)-1])
+		}
+	}
+}

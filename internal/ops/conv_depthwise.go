@@ -28,7 +28,7 @@ func supportsDepthwise(n *graph.Node) bool {
 }
 
 func runConvDepthwise(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
-	p, err := resolveConv(n)
+	p, err := resolveConvRT(n, in)
 	if err != nil {
 		return err
 	}
@@ -96,7 +96,7 @@ func runConvGroupIm2col(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error
 }
 
 func convIm2colPerGroupNaive(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
-	p, err := resolveConv(n)
+	p, err := resolveConvRT(n, in)
 	if err != nil {
 		return err
 	}

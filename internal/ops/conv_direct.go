@@ -15,7 +15,7 @@ func init() {
 }
 
 func runConvDirect(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
-	p, err := resolveConv(n)
+	p, err := resolveConvRT(n, in)
 	if err != nil {
 		return err
 	}

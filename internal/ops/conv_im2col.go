@@ -48,7 +48,7 @@ func packedConvWeights(ctx *Ctx, n *graph.Node, w []float32, groups, coutG, kdim
 // through the shared GEMM worker pool. (The deliberately slow per-group
 // naive variant lives in conv.group_im2col.)
 func runConvIm2col(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
-	p, err := resolveConv(n)
+	p, err := resolveConvRT(n, in)
 	if err != nil {
 		return err
 	}
@@ -67,15 +67,15 @@ func runConvIm2col(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 
 	// Pointwise fast path: a 1x1 stride-1 unpadded convolution is exactly
 	// C[cout×HW] = W[cout×cin] · X[cin×HW]; the unfold would be a copy.
+	// The whole batch goes down as one strided GEMM call, so the packed
+	// weight panels are loaded once per batch and the worker pool spreads
+	// macro-tiles across batch×tile.
 	if p.kh == 1 && p.kw == 1 && p.sh == 1 && p.sw == 1 && p.dh == 1 && p.dw == 1 &&
 		p.padT == 0 && p.padL == 0 && p.padB == 0 && p.padR == 0 && p.groups == 1 {
 		pw := packedConvWeights(ctx, n, w, 1, p.cout, p.cin)
-		for b := 0; b < p.n; b++ {
-			src := x[b*p.cin*cols : (b+1)*p.cin*cols]
-			dst := y[b*p.cout*cols : (b+1)*p.cout*cols]
-			ctx.GEMM(gemm.Call{A: w, PackedA: pw, B: src, C: dst,
-				M: p.cout, N: cols, K: p.cin, Store: true})
-		}
+		ctx.GEMM(gemm.Call{A: w, PackedA: pw, B: x, C: y,
+			M: p.cout, N: cols, K: p.cin, Store: true,
+			Batch: p.n, StrideB: p.cin * cols, StrideC: p.cout * cols})
 		if bias != nil {
 			addBiasNCHW(y, bias, p.n, p.cout, cols)
 		}

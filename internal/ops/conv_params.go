@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
 )
 
 // convParams collects the resolved geometry of a Conv node.
@@ -105,6 +106,29 @@ func resolveConv(n *graph.Node) (convParams, error) {
 	}
 	p.activation = n.Attrs.Str("activation", "")
 	p.alpha = float32(n.Attrs.Float("alpha", 0.01))
+	return p, nil
+}
+
+// resolveConvRT is resolveConv plus runtime-batch adoption: the node's
+// declared shapes carry the plan's maximum batch, while the tensors a run
+// actually binds may be sliced to any smaller batch. Kernels therefore
+// loop over the batch the input tensor declares, not the static one.
+func resolveConvRT(n *graph.Node, in []*tensor.Tensor) (convParams, error) {
+	p, err := resolveConv(n)
+	if err != nil {
+		return p, err
+	}
+	p.n = in[0].Dim(0)
+	return p, nil
+}
+
+// resolvePoolRT mirrors resolveConvRT for pooling windows.
+func resolvePoolRT(n *graph.Node, in []*tensor.Tensor) (poolParams, error) {
+	p, err := resolvePool(n)
+	if err != nil {
+		return p, err
+	}
+	p.n = in[0].Dim(0)
 	return p, nil
 }
 

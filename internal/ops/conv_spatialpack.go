@@ -33,7 +33,7 @@ func supportsSpatialPack(n *graph.Node) bool {
 const spTile = 32
 
 func runConvSpatialPack(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
-	p, err := resolveConv(n)
+	p, err := resolveConvRT(n, in)
 	if err != nil {
 		return err
 	}

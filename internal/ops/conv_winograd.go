@@ -35,7 +35,7 @@ func supportsWinograd(n *graph.Node) bool {
 }
 
 func runConvWinograd(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
-	p, err := resolveConv(n)
+	p, err := resolveConvRT(n, in)
 	if err != nil {
 		return err
 	}

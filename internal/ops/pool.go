@@ -16,7 +16,7 @@ func init() {
 }
 
 func runMaxPool(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
-	p, err := resolvePool(n)
+	p, err := resolvePoolRT(n, in)
 	if err != nil {
 		return err
 	}
@@ -52,7 +52,7 @@ func runMaxPool(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 }
 
 func runAvgPool(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
-	p, err := resolvePool(n)
+	p, err := resolvePoolRT(n, in)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,12 @@ import (
 )
 
 // Shape inference for every operator, registered with internal/graph.
+//
+// Every rule treats the leading batch dimension N symbolically: it is read
+// from the (already inferred) input shapes and propagated, never assumed to
+// be 1. graph.Rebatch relies on this to re-derive the whole graph's shapes
+// for a new batch size from the inputs alone; the runtime compiles plans at
+// a maximum batch and executes any 1 ≤ n ≤ Nmax against them.
 
 func init() {
 	graph.RegisterShapeFn("Conv", convShape)
@@ -248,6 +254,21 @@ func reshapeShape(n *graph.Node) ([][]int, error) {
 		prod *= out[infer]
 	}
 	if prod != vol {
+		// Batch fallback: exporters bake the graph's build-time batch into
+		// the leading target dim, so after graph.Rebatch the declared
+		// volume no longer matches. Read the leading dim as batch-relative
+		// only when the corrected dim equals the input's actual leading
+		// dim — the signature of a batch resize. Mistyped targets keep
+		// failing with the volume error (their corrected dim does not
+		// match the input batch), and graphs whose shapes satisfy the
+		// declared target never reach here.
+		if infer < 0 && len(out) > 0 && out[0] >= 1 && len(n.Inputs[0].Shape) > 0 {
+			rest := prod / out[0]
+			if rest > 0 && vol%rest == 0 && vol/rest == n.Inputs[0].Shape[0] {
+				out[0] = vol / rest
+				return [][]int{out}, nil
+			}
+		}
 		return nil, fmt.Errorf("Reshape volume mismatch: %v (%d) vs input %v (%d)", out, prod, n.Inputs[0].Shape, vol)
 	}
 	return [][]int{out}, nil

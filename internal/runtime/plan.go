@@ -15,6 +15,11 @@ type Options struct {
 	// Workers is the goroutine budget handed to kernels (default 1, the
 	// paper's single-core setting).
 	Workers int
+	// MaxBatch parameterises the plan by a maximum runtime batch size
+	// (default 1). Compile rebatches the graph to MaxBatch, so arena slots
+	// are sized for it; sessions then accept any batch 1 ≤ n ≤ MaxBatch per
+	// Run, executing over views sliced to n.
+	MaxBatch int
 	// NoBufferReuse disables the liveness-based memory planner: every
 	// value gets a private buffer allocated at run time, emulating
 	// frameworks that allocate per operator call (torch-sim; ablation A3).
@@ -52,14 +57,35 @@ type Plan struct {
 	// session executing this plan.
 	consts *ops.ConstCache
 
+	// maxBatch is Options.MaxBatch (≥ 1); vmeta records, for every
+	// non-const value, how its shape scales with the runtime batch. nil
+	// when maxBatch == 1 (every value is static).
+	maxBatch int
+	vmeta    map[*graph.Value]batchMeta
+
 	// arenaBytes is the planned arena footprint; noReuseBytes is what the
 	// same graph needs without reuse (for the memory experiments).
 	arenaBytes   int64
 	noReuseBytes int64
 }
 
+// batchMeta describes how one value's shape scales with the runtime batch
+// n: its shape is base with dimension dim multiplied by n. dim < 0 marks a
+// static value (shape independent of batch).
+type batchMeta struct {
+	dim  int
+	base []int
+}
+
+// shapeStatic reports whether the value does not scale with batch.
+func (m batchMeta) static() bool { return m.dim < 0 }
+
 // Compile plans execution of g: validates it, selects kernels and lays out
 // the buffer arena. The graph must have been Finalize()d.
+//
+// With Options.MaxBatch > 1 the graph is rebatched to MaxBatch before
+// planning (so the arena holds the largest batch) and per-value batch
+// scaling is recorded so sessions can slice bindings to any smaller batch.
 func Compile(g *graph.Graph, opts Options) (*Plan, error) {
 	if opts.Policy == nil {
 		opts.Policy = ReferencePolicy{}
@@ -67,10 +93,23 @@ func Compile(g *graph.Graph, opts Options) (*Plan, error) {
 	if opts.Workers < 1 {
 		opts.Workers = 1
 	}
+	if opts.MaxBatch < 1 {
+		opts.MaxBatch = 1
+	}
+	if opts.MaxBatch > 1 {
+		if err := g.Rebatch(opts.MaxBatch); err != nil {
+			return nil, fmt.Errorf("runtime: rebatching to %d: %w", opts.MaxBatch, err)
+		}
+	}
 	if err := g.TopoSort(); err != nil {
 		return nil, err
 	}
-	p := &Plan{g: g, opts: opts, slotOf: make(map[*graph.Value]int), consts: ops.NewConstCache()}
+	p := &Plan{g: g, opts: opts, slotOf: make(map[*graph.Value]int), consts: ops.NewConstCache(), maxBatch: opts.MaxBatch}
+	if opts.MaxBatch > 1 {
+		if err := p.inferBatchMeta(); err != nil {
+			return nil, err
+		}
+	}
 	for _, n := range g.Nodes {
 		k, err := opts.Policy.Select(n)
 		if err != nil {
@@ -92,6 +131,105 @@ func Compile(g *graph.Graph, opts Options) (*Plan, error) {
 	}
 	return p, nil
 }
+
+// inferBatchMeta derives how every non-const value's shape scales with the
+// runtime batch by re-inferring a clone of the graph at batch 1 and diffing
+// against the planned (MaxBatch) shapes. This keeps the batch dimension
+// symbolic without teaching every shape rule about it explicitly: whatever
+// a rule propagates is what the diff observes.
+func (p *Plan) inferBatchMeta() error {
+	c := p.g.Clone()
+	if err := c.Rebatch(1); err != nil {
+		return fmt.Errorf("runtime: inferring batch scaling: %w", err)
+	}
+	p.vmeta = make(map[*graph.Value]batchMeta)
+	for _, name := range p.g.ValueNames() {
+		v := p.g.Value(name)
+		if v.IsConst() {
+			continue
+		}
+		base := c.Value(name)
+		if base == nil {
+			return fmt.Errorf("runtime: value %q missing from batch-1 shape inference", name)
+		}
+		m, err := diffBatchShapes(name, base.Shape, v.Shape, p.maxBatch)
+		if err != nil {
+			return err
+		}
+		p.vmeta[v] = m
+	}
+	return nil
+}
+
+// diffBatchShapes classifies one value given its shape at batch 1 (base)
+// and at MaxBatch (full). Supported scalings: static (shapes equal) or a
+// single dimension multiplied by the batch with only size-1 dims before it,
+// so a batch-n slice is a prefix of the full buffer.
+func diffBatchShapes(name string, base, full []int, maxBatch int) (batchMeta, error) {
+	if len(base) != len(full) {
+		return batchMeta{}, fmt.Errorf("runtime: value %q changes rank with batch (%v vs %v)", name, base, full)
+	}
+	dim := -1
+	for d := range base {
+		if base[d] == full[d] {
+			continue
+		}
+		if dim >= 0 {
+			return batchMeta{}, fmt.Errorf("runtime: value %q scales with batch in more than one dimension (%v vs %v)", name, base, full)
+		}
+		if full[d] != maxBatch*base[d] {
+			return batchMeta{}, fmt.Errorf("runtime: value %q does not scale linearly with batch (%v vs %v at max batch %d)", name, base, full, maxBatch)
+		}
+		dim = d
+	}
+	if dim < 0 {
+		return batchMeta{dim: -1, base: base}, nil
+	}
+	for d := 0; d < dim; d++ {
+		if base[d] != 1 {
+			return batchMeta{}, fmt.Errorf("runtime: value %q has batch on non-leading dim %d of %v; prefix slicing unsupported", name, dim, full)
+		}
+	}
+	return batchMeta{dim: dim, base: base}, nil
+}
+
+// metaFor returns the batch scaling of v; plans compiled at MaxBatch 1
+// (and constants) report every value as static.
+func (p *Plan) metaFor(v *graph.Value) batchMeta {
+	if p.vmeta != nil {
+		if m, ok := p.vmeta[v]; ok {
+			return m
+		}
+	}
+	return batchMeta{dim: -1, base: v.Shape}
+}
+
+// batchShape returns v's shape at batch n as a fresh slice.
+func (p *Plan) batchShape(v *graph.Value, n int) []int {
+	m := p.metaFor(v)
+	shape := append([]int(nil), m.base...)
+	if m.dim >= 0 {
+		shape[m.dim] *= n
+	}
+	return shape
+}
+
+// batchVolume returns v's element count at batch n.
+func (p *Plan) batchVolume(v *graph.Value, n int) int {
+	m := p.metaFor(v)
+	vol := tensor.Volume(m.base)
+	if m.dim >= 0 {
+		vol *= n
+	}
+	return vol
+}
+
+// MaxBatch returns the largest runtime batch the plan's sessions accept.
+func (p *Plan) MaxBatch() int { return p.maxBatch }
+
+// InputShapeAt returns the shape of graph input i at batch n (for
+// MaxBatch-1 plans this is simply the input's planned shape).
+func (p *Plan) InputShapeAt(i, n int) []int { return p.batchShape(p.g.Inputs[i], n) }
 
 // validateBindings checks, once at compile time, that every value a step
 // reads (and every graph output) is a constant, a graph input, or a

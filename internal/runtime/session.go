@@ -13,11 +13,13 @@ import (
 // kernel context (scratch pools, GEMM packing buffers), and shares the
 // plan's constant cache with every other session of the same plan.
 //
-// Binding resolution happens once, at construction: every step's input and
-// output tensors are resolved to constant tensors or arena views up front,
-// and output regions are zero-filled per run only for kernels that do not
-// overwrite them. The steady-state Run loop is therefore a straight walk
-// over prebound steps with zero heap allocations.
+// Binding resolution happens per batch size, not per run: the first Run at
+// batch n resolves every step's input and output tensors to constant
+// tensors or arena views sliced to n (arena slots are sized for the plan's
+// MaxBatch), and the binding is kept for the session's lifetime. The
+// steady-state Run loop at any batch size is therefore a straight walk
+// over prebound steps with zero heap allocations; output regions are
+// zero-filled per run only for kernels that do not overwrite them.
 //
 // A Session is not safe for concurrent use; create one per goroutine or
 // use a SessionPool.
@@ -25,15 +27,27 @@ type Session struct {
 	plan *Plan
 	ctx  *ops.Ctx
 
-	// slots are the arena buffers (nil when NoBufferReuse, which selects
-	// the allocating dynamic path).
+	// slots are the arena buffers, sized for MaxBatch (nil when
+	// NoBufferReuse, which selects the allocating dynamic path).
 	slots [][]float32
 
-	steps     []boundStep
+	// inPatches is structural (step, arg) → input wiring, identical for
+	// every batch size; inTensors carries the caller's tensors of the
+	// current run; inputIdx maps graph-input values to their position.
 	inPatches []inputPatch
 	inTensors []*tensor.Tensor
-	outBinds  []outputBind
-	// results is reused across runs; see Run.
+	inputIdx  map[*graph.Value]int
+
+	// binds[n] holds the prebound steps for batch n (1 ≤ n ≤ MaxBatch),
+	// built lazily on the first run at that batch size.
+	binds []*batchBind
+}
+
+// batchBind is the prebound execution state for one batch size.
+type batchBind struct {
+	steps    []boundStep
+	outBinds []outputBind
+	// results is reused across runs at this batch size; see Run.
 	results map[string]*tensor.Tensor
 }
 
@@ -61,11 +75,13 @@ type outputBind struct {
 }
 
 // NewSession prepares an executable session from a plan, allocating the
-// arena and resolving every step binding up front.
+// arena (sized for the plan's MaxBatch) and resolving the full-batch step
+// bindings up front.
 func NewSession(plan *Plan) *Session {
 	s := &Session{plan: plan, ctx: ops.NewCtx(plan.opts.Workers)}
 	s.ctx.DisableScratchReuse = plan.opts.DisableScratchReuse
 	s.ctx.Consts = plan.consts
+	s.inTensors = make([]*tensor.Tensor, len(plan.g.Inputs))
 	if plan.opts.NoBufferReuse {
 		return s
 	}
@@ -73,31 +89,44 @@ func NewSession(plan *Plan) *Session {
 	for i, size := range plan.slotSize {
 		s.slots[i] = make([]float32, size)
 	}
-	s.bind()
+	s.inputIdx = make(map[*graph.Value]int, len(plan.g.Inputs))
+	for i, in := range plan.g.Inputs {
+		s.inputIdx[in] = i
+	}
+	for si, st := range plan.steps {
+		for ai, v := range st.node.Inputs {
+			if v.IsConst() {
+				continue
+			}
+			if idx, ok := s.inputIdx[v]; ok {
+				s.inPatches = append(s.inPatches, inputPatch{step: si, arg: ai, input: idx})
+			}
+		}
+	}
+	s.binds = make([]*batchBind, plan.maxBatch+1)
+	s.binds[plan.maxBatch] = s.bindFor(plan.maxBatch)
 	return s
 }
 
-// bind precomputes the per-step tensor bindings. Arena views are created
-// once per value; values sharing a slot get distinct views over the same
-// storage, exactly as the liveness planner intends.
-func (s *Session) bind() {
-	inputIdx := make(map[*graph.Value]int, len(s.plan.g.Inputs))
-	for i, in := range s.plan.g.Inputs {
-		inputIdx[in] = i
-	}
+// bindFor precomputes the per-step tensor bindings for batch n. Arena
+// views are created once per value; values sharing a slot get distinct
+// views over the same storage, exactly as the liveness planner intends.
+// Batch-scaled values get views over the leading n/MaxBatch fraction of
+// their slot.
+func (s *Session) bindFor(n int) *batchBind {
 	views := make(map[*graph.Value]*tensor.Tensor)
 	view := func(v *graph.Value) *tensor.Tensor {
 		if t := views[v]; t != nil {
 			return t
 		}
-		buf := s.slots[s.plan.slotOf[v]][:tensor.Volume(v.Shape)]
-		t := tensor.FromSlice(buf, v.Shape...)
+		buf := s.slots[s.plan.slotOf[v]][:s.plan.batchVolume(v, n)]
+		t := tensor.FromSlice(buf, s.plan.batchShape(v, n)...)
 		views[v] = t
 		return t
 	}
-	s.steps = make([]boundStep, len(s.plan.steps))
+	b := &batchBind{steps: make([]boundStep, len(s.plan.steps))}
 	for si, st := range s.plan.steps {
-		bs := &s.steps[si]
+		bs := &b.steps[si]
 		bs.node, bs.kernel = st.node, st.kernel
 		bs.in = make([]*tensor.Tensor, len(st.node.Inputs))
 		for ai, v := range st.node.Inputs {
@@ -105,11 +134,11 @@ func (s *Session) bind() {
 			case v.IsConst():
 				bs.in[ai] = v.Const
 			default:
-				if idx, ok := inputIdx[v]; ok {
-					s.inPatches = append(s.inPatches, inputPatch{step: si, arg: ai, input: idx})
-				} else {
-					bs.in[ai] = view(v)
+				if _, ok := s.inputIdx[v]; ok {
+					// Patched per run from the caller's tensors.
+					continue
 				}
+				bs.in[ai] = view(v)
 			}
 		}
 		bs.out = make([]*tensor.Tensor, len(st.node.Outputs))
@@ -121,23 +150,72 @@ func (s *Session) bind() {
 			}
 		}
 	}
-	s.inTensors = make([]*tensor.Tensor, len(s.plan.g.Inputs))
-	s.outBinds = make([]outputBind, 0, len(s.plan.g.Outputs))
+	b.outBinds = make([]outputBind, 0, len(s.plan.g.Outputs))
 	for _, o := range s.plan.g.Outputs {
 		ob := outputBind{name: o.Name, input: -1}
 		switch {
 		case o.IsConst():
 			ob.t = o.Const
 		default:
-			if idx, ok := inputIdx[o]; ok {
+			if idx, ok := s.inputIdx[o]; ok {
 				ob.input = idx
 			} else {
 				ob.t = view(o)
 			}
 		}
-		s.outBinds = append(s.outBinds, ob)
+		b.outBinds = append(b.outBinds, ob)
 	}
-	s.results = make(map[string]*tensor.Tensor, len(s.outBinds))
+	b.results = make(map[string]*tensor.Tensor, len(b.outBinds))
+	return b
+}
+
+// resolveBatch validates the caller's inputs, fills s.inTensors and
+// returns the runtime batch size n. Batched inputs must agree on n and
+// stay within the plan's MaxBatch; static inputs must match their planned
+// shape exactly. The checks are comparison-only so the hot path does not
+// allocate.
+func (s *Session) resolveBatch(inputs map[string]*tensor.Tensor) (int, error) {
+	n := 0
+	for i, in := range s.plan.g.Inputs {
+		t, ok := inputs[in.Name]
+		if !ok {
+			return 0, fmt.Errorf("runtime: missing input %q", in.Name)
+		}
+		m := s.plan.metaFor(in)
+		if m.static() {
+			if !tensor.ShapeEq(t.Shape(), in.Shape) {
+				return 0, fmt.Errorf("runtime: input %q has shape %v, want %v", in.Name, t.Shape(), in.Shape)
+			}
+			s.inTensors[i] = t
+			continue
+		}
+		got := t.Shape()
+		if len(got) != len(m.base) || got[m.dim]%m.base[m.dim] != 0 {
+			return 0, fmt.Errorf("runtime: input %q has shape %v, want %v with a batched dim %d", in.Name, got, m.base, m.dim)
+		}
+		bn := got[m.dim] / m.base[m.dim]
+		for d := range got {
+			want := m.base[d]
+			if d == m.dim {
+				want *= bn
+			}
+			if got[d] != want {
+				return 0, fmt.Errorf("runtime: input %q has shape %v, want %v with dim %d scaled by the batch", in.Name, got, m.base, m.dim)
+			}
+		}
+		if bn < 1 || bn > s.plan.maxBatch {
+			return 0, fmt.Errorf("runtime: input %q batch %d outside 1..%d (plan MaxBatch)", in.Name, bn, s.plan.maxBatch)
+		}
+		if n != 0 && bn != n {
+			return 0, fmt.Errorf("runtime: inputs disagree on batch size (%d vs %d)", bn, n)
+		}
+		n = bn
+		s.inTensors[i] = t
+	}
+	if n == 0 {
+		n = s.plan.maxBatch // no batched inputs: run at the planned shapes
+	}
+	return n, nil
 }
 
 // LayerTiming records one node execution during a profiled run.
@@ -149,9 +227,11 @@ type LayerTiming struct {
 }
 
 // Run executes the graph on the given named inputs and returns the graph
-// outputs keyed by value name. Both the returned map and the output
-// tensors (which alias arena storage) are reused by the next Run on this
-// session; Clone tensors to keep results across runs.
+// outputs keyed by value name. The runtime batch size is taken from the
+// inputs' leading dimension (any 1 ≤ n ≤ the plan's MaxBatch). Both the
+// returned map and the output tensors (which alias arena storage) are
+// reused by the next Run at the same batch size on this session; Clone
+// tensors to keep results across runs.
 func (s *Session) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
 	outs, _, err := s.run(inputs, false)
 	return outs, err
@@ -166,25 +246,24 @@ func (s *Session) run(inputs map[string]*tensor.Tensor, profile bool) (map[strin
 	if s.slots == nil {
 		return s.runDynamic(inputs, profile)
 	}
-	for i, in := range s.plan.g.Inputs {
-		t, ok := inputs[in.Name]
-		if !ok {
-			return nil, nil, fmt.Errorf("runtime: missing input %q", in.Name)
-		}
-		if !tensor.ShapeEq(t.Shape(), in.Shape) {
-			return nil, nil, fmt.Errorf("runtime: input %q has shape %v, want %v", in.Name, t.Shape(), in.Shape)
-		}
-		s.inTensors[i] = t
+	n, err := s.resolveBatch(inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	b := s.binds[n]
+	if b == nil {
+		b = s.bindFor(n)
+		s.binds[n] = b
 	}
 	for _, pt := range s.inPatches {
-		s.steps[pt.step].in[pt.arg] = s.inTensors[pt.input]
+		b.steps[pt.step].in[pt.arg] = s.inTensors[pt.input]
 	}
 	var timings []LayerTiming
 	if profile {
-		timings = make([]LayerTiming, 0, len(s.steps))
+		timings = make([]LayerTiming, 0, len(b.steps))
 	}
-	for i := range s.steps {
-		st := &s.steps[i]
+	for i := range b.steps {
+		st := &b.steps[i]
 		for _, z := range st.zero {
 			for j := range z {
 				z[j] = 0
@@ -202,34 +281,32 @@ func (s *Session) run(inputs map[string]*tensor.Tensor, profile bool) (map[strin
 				Node:     st.node,
 				Kernel:   st.kernel.Name(),
 				Duration: time.Since(start),
-				Flops:    ops.NodeFlops(st.node),
+				Flops:    scaledFlops(st.node, n, s.plan.maxBatch),
 			})
 		}
 	}
-	for _, ob := range s.outBinds {
+	for _, ob := range b.outBinds {
 		t := ob.t
 		if ob.input >= 0 {
 			t = s.inTensors[ob.input]
 		}
-		s.results[ob.name] = t
+		b.results[ob.name] = t
 	}
-	return s.results, timings, nil
+	return b.results, timings, nil
 }
 
 // runDynamic is the NoBufferReuse path: every value gets a fresh buffer on
 // every run, emulating frameworks that allocate per operator call
-// (torch-sim; ablation A3).
+// (torch-sim; ablation A3). It honours the runtime batch the same way the
+// arena path does, allocating values at their batch-n shapes.
 func (s *Session) runDynamic(inputs map[string]*tensor.Tensor, profile bool) (map[string]*tensor.Tensor, []LayerTiming, error) {
+	n, err := s.resolveBatch(inputs)
+	if err != nil {
+		return nil, nil, err
+	}
 	bound := make(map[*graph.Value]*tensor.Tensor, len(s.plan.slotOf)+len(inputs))
-	for _, in := range s.plan.g.Inputs {
-		t, ok := inputs[in.Name]
-		if !ok {
-			return nil, nil, fmt.Errorf("runtime: missing input %q", in.Name)
-		}
-		if !tensor.ShapeEq(t.Shape(), in.Shape) {
-			return nil, nil, fmt.Errorf("runtime: input %q has shape %v, want %v", in.Name, t.Shape(), in.Shape)
-		}
-		bound[in] = t
+	for i, in := range s.plan.g.Inputs {
+		bound[in] = s.inTensors[i]
 	}
 
 	var timings []LayerTiming
@@ -247,7 +324,7 @@ func (s *Session) runDynamic(inputs map[string]*tensor.Tensor, profile bool) (ma
 		}
 		out := make([]*tensor.Tensor, len(st.node.Outputs))
 		for i, v := range st.node.Outputs {
-			t := tensor.New(v.Shape...)
+			t := tensor.New(s.plan.batchShape(v, n)...)
 			bound[v] = t
 			out[i] = t
 		}
@@ -263,7 +340,7 @@ func (s *Session) runDynamic(inputs map[string]*tensor.Tensor, profile bool) (ma
 				Node:     st.node,
 				Kernel:   st.kernel.Name(),
 				Duration: time.Since(start),
-				Flops:    ops.NodeFlops(st.node),
+				Flops:    scaledFlops(st.node, n, s.plan.maxBatch),
 			})
 		}
 	}
@@ -277,6 +354,17 @@ func (s *Session) runDynamic(inputs map[string]*tensor.Tensor, profile bool) (ma
 		results[o.Name] = t
 	}
 	return results, timings, nil
+}
+
+// scaledFlops rescales a node's static flop estimate (taken at the plan's
+// MaxBatch shapes) to the runtime batch n. Every op's flop count is linear
+// in the batch, so the ratio is exact.
+func scaledFlops(node *graph.Node, n, maxBatch int) int64 {
+	fl := ops.NodeFlops(node)
+	if maxBatch > 1 && n != maxBatch {
+		fl = fl * int64(n) / int64(maxBatch)
+	}
+	return fl
 }
 
 // tensorFor resolves the tensor currently bound to v on the dynamic path.

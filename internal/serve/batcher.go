@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"orpheus/internal/tensor"
+)
+
+// batcher coalesces concurrent single-sample predict requests for one
+// hosted model into batched Session.Run calls — the serving-side half of
+// batch-native execution. The collector goroutine gathers requests until
+// the batch is full (the plan's MaxBatch) or the earliest pending
+// request's deadline expires, then hands the batch to a fresh goroutine
+// that borrows a pooled session, stages the inputs into one [n, ...]
+// tensor, runs once, and fans the output rows back out. Collection
+// continues while batches execute, and every executing batch holds its
+// own pooled session, so the batcher adds batching on top of — not
+// instead of — the session pool's request concurrency.
+type batcher struct {
+	entry    *Entry
+	max      int           // plan MaxBatch
+	defWait  time.Duration // default flush deadline per request
+	reqs     chan *pendingPredict
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// pendingPredict is one request in flight through the batcher.
+type pendingPredict struct {
+	input   []float32 // one sample, entry.perVol values
+	flushBy time.Time // latest time this request is willing to wait for peers
+	done    chan predictOutcome
+}
+
+// predictOutcome carries one request's slice of the batched output (data
+// is private to the request) or the batch's error.
+type predictOutcome struct {
+	data  []float32
+	shape []int
+	batch int // batch size the request was served in
+	err   error
+}
+
+func newBatcher(e *Entry, maxBatch int, defWait time.Duration) *batcher {
+	b := &batcher{
+		entry:   e,
+		max:     maxBatch,
+		defWait: defWait,
+		reqs:    make(chan *pendingPredict),
+		stop:    make(chan struct{}),
+	}
+	go b.collect()
+	return b
+}
+
+// submit enqueues one sample and blocks until its outcome. wait caps how
+// long the request lingers waiting for batch peers (0 means the server
+// default); cancel aborts the wait (the request's work may still be
+// performed and discarded).
+func (b *batcher) submit(input []float32, wait time.Duration, cancel <-chan struct{}) predictOutcome {
+	if wait <= 0 {
+		wait = b.defWait
+	}
+	p := &pendingPredict{
+		input:   input,
+		flushBy: time.Now().Add(wait),
+		done:    make(chan predictOutcome, 1),
+	}
+	select {
+	case b.reqs <- p:
+	case <-b.stop:
+		return predictOutcome{err: fmt.Errorf("server shutting down")}
+	case <-cancel:
+		return predictOutcome{err: fmt.Errorf("request cancelled")}
+	}
+	select {
+	case out := <-p.done:
+		return out
+	case <-cancel:
+		return predictOutcome{err: fmt.Errorf("request cancelled")}
+	}
+}
+
+// collect is the batching loop: one batch at a time is gathered, then
+// executed asynchronously while the next gathers.
+func (b *batcher) collect() {
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		var first *pendingPredict
+		select {
+		case first = <-b.reqs:
+		case <-b.stop:
+			return
+		}
+		batch := make([]*pendingPredict, 1, b.max)
+		batch[0] = first
+		flushBy := first.flushBy
+		timer.Reset(time.Until(flushBy))
+	gather:
+		for len(batch) < b.max {
+			select {
+			case p := <-b.reqs:
+				batch = append(batch, p)
+				// The batch flushes at the earliest deadline any member
+				// carries, so one impatient request caps everyone's wait.
+				if p.flushBy.Before(flushBy) {
+					flushBy = p.flushBy
+					timer.Reset(time.Until(flushBy))
+				}
+			case <-timer.C:
+				break gather
+			case <-b.stop:
+				for _, p := range batch {
+					p.done <- predictOutcome{err: fmt.Errorf("server shutting down")}
+				}
+				return
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		go b.run(batch)
+	}
+}
+
+// run executes one gathered batch on a pooled session and fans results
+// out. Staging and per-request row copies are allocated per batch: each
+// HTTP request already allocates its decoded JSON input (orders of
+// magnitude more garbage than the staging), and the rows must outlive the
+// session borrow, so pooling here would complicate ownership for noise-
+// level savings. The allocation-free batched path is the library facade
+// (PredictBatchInto).
+func (b *batcher) run(batch []*pendingPredict) {
+	e := b.entry
+	n := len(batch)
+	stage := make([]float32, n*e.perVol)
+	for i, p := range batch {
+		copy(stage[i*e.perVol:(i+1)*e.perVol], p.input)
+	}
+	shape := append([]int(nil), e.inShape1...)
+	shape[0] *= n
+	in := tensor.FromSlice(stage, shape...)
+
+	sess := e.sessions.Get()
+	outs, err := sess.Run(map[string]*tensor.Tensor{e.inName: in})
+	var out *tensor.Tensor
+	if err == nil {
+		out = firstOutput(outs)
+		if out == nil {
+			err = fmt.Errorf("model %q produced no output", e.Name)
+		}
+	}
+	if err == nil && (out.Rank() == 0 || out.Dim(0)%n != 0) {
+		err = fmt.Errorf("model %q output %v does not split across batch %d", e.Name, out.Shape(), n)
+	}
+	if err != nil {
+		e.sessions.Put(sess)
+		for _, p := range batch {
+			p.done <- predictOutcome{err: err}
+		}
+		return
+	}
+	rowVol := out.Size() / n
+	rowShape := append([]int(nil), out.Shape()...)
+	rowShape[0] /= n
+	od := out.Data()
+	for i, p := range batch {
+		row := make([]float32, rowVol)
+		copy(row, od[i*rowVol:(i+1)*rowVol])
+		p.done <- predictOutcome{data: row, shape: rowShape, batch: n}
+	}
+	// Results are copied out above, so the session (whose arena the output
+	// aliases) can go back to the pool only now.
+	e.sessions.Put(sess)
+}
+
+// close stops the collector; queued and future submits fail fast. Safe to
+// call more than once.
+func (b *batcher) close() { b.stopOnce.Do(func() { close(b.stop) }) }
+
+// firstOutput returns the single output tensor of a run (models served
+// here have exactly one output; the map form is the runtime's API).
+func firstOutput(outs map[string]*tensor.Tensor) *tensor.Tensor {
+	for _, v := range outs {
+		return v
+	}
+	return nil
+}

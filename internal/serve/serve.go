@@ -8,9 +8,19 @@
 //	POST /predict/{model}  {"input": [...]} → {"output": [...], "topk": ...}
 //	POST /profile/{model}  same input → per-layer timing breakdown
 //
-// Inputs are flat row-major float32 arrays matching the model's input
-// shape; the handler validates length so malformed clients get a 400, not
-// a panic.
+// Inputs are flat row-major float32 arrays matching one sample of the
+// model's input shape; the handler validates length so malformed clients
+// get a 400, not a panic. Error statuses are uniform across endpoints:
+// unknown model → 404, malformed body or input → 400, execution failure →
+// 500.
+//
+// Servers created with WithMaxBatch(n > 1) batch dynamically: concurrent
+// /predict requests to one model are coalesced into a single batched
+// Session.Run (flushing when the batch is full or after a small deadline,
+// default 2ms), so under load every packed weight panel is read once per
+// batch instead of once per request. Requests can cap their own wait with
+// "wait_ms"; /profile always runs solo, since its per-layer timings
+// describe a single inference.
 package serve
 
 import (
@@ -28,26 +38,65 @@ import (
 	"orpheus/internal/tensor"
 )
 
+// DefaultFlushDeadline is how long a lone request waits for batch peers
+// before the batcher flushes it through on its own.
+const DefaultFlushDeadline = 2 * time.Millisecond
+
 // Entry is one hosted model. Requests are served concurrently: each
-// in-flight request borrows a session from the entry's pool, so N clients
-// hitting one model get N private arenas over one shared plan (and one
-// shared set of packed weights) instead of queueing on a mutex.
+// in-flight request (or batch of requests) borrows a session from the
+// entry's pool, so N clients hitting one model get private arenas over one
+// shared plan (and one shared set of packed weights) instead of queueing
+// on a mutex.
 type Entry struct {
 	Name     string
 	Backend  string
 	graph    *graph.Graph
 	sessions *runtime.SessionPool
+
+	inName   string
+	inShape1 []int // input shape of a single sample
+	perVol   int   // values per sample
+	batcher  *batcher
 }
 
 // Server hosts compiled models behind an http.Handler.
 type Server struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
+
+	maxBatch int
+	flush    time.Duration
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMaxBatch sets the dynamic-batching width: models are compiled for up
+// to n samples per run and concurrent /predict requests are coalesced into
+// batches of up to n. n <= 1 disables batching (the default).
+func WithMaxBatch(n int) Option {
+	return func(s *Server) { s.maxBatch = n }
+}
+
+// WithFlushDeadline sets how long a pending request waits for batch peers
+// before being flushed (default DefaultFlushDeadline).
+func WithFlushDeadline(d time.Duration) Option {
+	return func(s *Server) { s.flush = d }
 }
 
 // New returns an empty server.
-func New() *Server {
-	return &Server{entries: make(map[string]*Entry)}
+func New(opts ...Option) *Server {
+	s := &Server{entries: make(map[string]*Entry), maxBatch: 1, flush: DefaultFlushDeadline}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.maxBatch < 1 {
+		s.maxBatch = 1
+	}
+	if s.flush <= 0 {
+		s.flush = DefaultFlushDeadline
+	}
+	return s
 }
 
 // AddModel compiles g under the named backend and hosts it as name.
@@ -56,22 +105,43 @@ func (s *Server) AddModel(name string, g *graph.Graph, backendName string, worke
 	if err != nil {
 		return err
 	}
-	plan, err := be.Prepare(g, workers)
+	plan, err := be.PrepareBatched(g, workers, s.maxBatch)
 	if err != nil {
 		return fmt.Errorf("serve: compiling %s: %w", name, err)
 	}
+	e := &Entry{
+		Name:     name,
+		Backend:  backendName,
+		graph:    g,
+		sessions: runtime.NewSessionPool(plan),
+		inName:   g.Inputs[0].Name,
+		inShape1: plan.InputShapeAt(0, 1),
+	}
+	e.perVol = tensor.Volume(e.inShape1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.entries[name]; dup {
 		return fmt.Errorf("serve: model %q already hosted", name)
 	}
-	s.entries[name] = &Entry{
-		Name:     name,
-		Backend:  backendName,
-		graph:    g,
-		sessions: runtime.NewSessionPool(plan),
+	if s.maxBatch > 1 {
+		e.batcher = newBatcher(e, plan.MaxBatch(), s.flush)
 	}
+	s.entries[name] = e
 	return nil
+}
+
+// Close stops the server's batchers. In-flight batched requests fail
+// fast; the plain per-request path keeps working. The batcher pointers
+// themselves are immutable after AddModel (handlers read them without the
+// lock), so Close only signals the stop channels.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.entries {
+		if e.batcher != nil {
+			e.batcher.close()
+		}
+	}
 }
 
 // Handler returns the HTTP routing for the server.
@@ -91,6 +161,7 @@ type modelInfo struct {
 	Name       string `json:"name"`
 	Backend    string `json:"backend"`
 	InputShape []int  `json:"input_shape"`
+	MaxBatch   int    `json:"max_batch"`
 	Nodes      int    `json:"nodes"`
 	ParamBytes int64  `json:"param_bytes"`
 	ArenaBytes int64  `json:"arena_bytes"`
@@ -104,7 +175,8 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		infos = append(infos, modelInfo{
 			Name:       e.Name,
 			Backend:    e.Backend,
-			InputShape: e.graph.Inputs[0].Shape,
+			InputShape: e.inShape1,
+			MaxBatch:   e.sessions.Plan().MaxBatch(),
 			Nodes:      len(e.graph.Nodes),
 			ParamBytes: e.sessions.Plan().WeightBytes(),
 			ArenaBytes: e.sessions.Plan().ArenaBytes(),
@@ -114,17 +186,24 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, infos)
 }
 
-// predictRequest is the /predict and /profile request body.
+// predictRequest is the /predict and /profile request body. WaitMs caps
+// how long the request waits to be batched with peers (0 means the server
+// default flush deadline); it is ignored on unbatched servers and by
+// /profile.
 type predictRequest struct {
-	Input []float32 `json:"input"`
-	TopK  int       `json:"topk,omitempty"`
+	Input  []float32 `json:"input"`
+	TopK   int       `json:"topk,omitempty"`
+	WaitMs float64   `json:"wait_ms,omitempty"`
 }
 
-// predictResponse is the /predict response body.
+// predictResponse is the /predict response body. BatchSize reports how
+// many requests shared the run that produced this output (1 when
+// unbatched).
 type predictResponse struct {
 	Output    []float32 `json:"output"`
 	Shape     []int     `json:"shape"`
 	TopK      []int     `json:"topk,omitempty"`
+	BatchSize int       `json:"batch_size,omitempty"`
 	LatencyMs float64   `json:"latency_ms"`
 }
 
@@ -144,70 +223,82 @@ func (s *Server) entry(name string) (*Entry, bool) {
 	return e, ok
 }
 
-// decodeInput parses and validates the request body against the model's
-// input shape.
-func (e *Entry) decodeInput(r *http.Request) (*tensor.Tensor, int, error) {
-	var req predictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return nil, 0, fmt.Errorf("invalid JSON: %w", err)
-	}
-	shape := e.graph.Inputs[0].Shape
-	want := tensor.Volume(shape)
-	if len(req.Input) != want {
-		return nil, 0, fmt.Errorf("input has %d values, model %s wants %d (%s)",
-			len(req.Input), e.Name, want, tensor.ShapeString(shape))
-	}
-	return tensor.FromSlice(req.Input, shape...), req.TopK, nil
-}
-
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+// lookupAndDecode resolves the request's model and body with the uniform
+// status mapping: unknown model → 404, malformed body → 400. It writes the
+// error response itself and returns ok=false when the request is done.
+func (s *Server) lookupAndDecode(w http.ResponseWriter, r *http.Request) (*Entry, predictRequest, bool) {
 	e, ok := s.entry(r.PathValue("model"))
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("model %q not hosted", r.PathValue("model")))
+		return nil, predictRequest{}, false
+	}
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+		return nil, predictRequest{}, false
+	}
+	if len(req.Input) != e.perVol {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("input has %d values, model %s wants %d (%s)",
+			len(req.Input), e.Name, e.perVol, tensor.ShapeString(e.inShape1)))
+		return nil, predictRequest{}, false
+	}
+	return e, req, true
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	e, req, ok := s.lookupAndDecode(w, r)
+	if !ok {
 		return
 	}
-	in, topK, err := e.decodeInput(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	sess := e.sessions.Get()
 	start := time.Now()
-	outs, err := sess.Run(map[string]*tensor.Tensor{e.graph.Inputs[0].Name: in})
-	elapsed := time.Since(start)
-	var out *tensor.Tensor
-	for _, v := range outs {
-		out = v.Clone()
-	}
-	e.sessions.Put(sess)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+	var (
+		data  []float32
+		shape []int
+		batch = 1
+	)
+	if e.batcher != nil {
+		out := e.batcher.submit(req.Input, time.Duration(req.WaitMs*float64(time.Millisecond)), r.Context().Done())
+		if out.err != nil {
+			writeError(w, http.StatusInternalServerError, out.err)
+			return
+		}
+		data, shape, batch = out.data, out.shape, out.batch
+	} else {
+		sess := e.sessions.Get()
+		outs, err := sess.Run(map[string]*tensor.Tensor{e.inName: tensor.FromSlice(req.Input, e.inShape1...)})
+		if err == nil {
+			if out := firstOutput(outs); out != nil {
+				data = append([]float32(nil), out.Data()...)
+				shape = out.Shape()
+			} else {
+				err = fmt.Errorf("model %q produced no output", e.Name)
+			}
+		}
+		e.sessions.Put(sess)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
 	}
 	resp := predictResponse{
-		Output:    out.Data(),
-		Shape:     out.Shape(),
-		LatencyMs: float64(elapsed) / 1e6,
+		Output:    data,
+		Shape:     shape,
+		BatchSize: batch,
+		LatencyMs: float64(time.Since(start)) / 1e6,
 	}
-	if topK > 0 {
-		resp.TopK = out.TopK(topK)
+	if req.TopK > 0 {
+		resp.TopK = tensor.FromSlice(data, shape...).TopK(req.TopK)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.entry(r.PathValue("model"))
+	e, req, ok := s.lookupAndDecode(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("model %q not hosted", r.PathValue("model")))
-		return
-	}
-	in, _, err := e.decodeInput(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	sess := e.sessions.Get()
-	_, timings, err := sess.RunProfiled(map[string]*tensor.Tensor{e.graph.Inputs[0].Name: in})
+	_, timings, err := sess.RunProfiled(map[string]*tensor.Tensor{e.inName: tensor.FromSlice(req.Input, e.inShape1...)})
 	e.sessions.Put(sess)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"orpheus/internal/graph"
 	"orpheus/internal/tensor"
@@ -34,14 +35,15 @@ func tinyModel(t testing.TB) *graph.Graph {
 	return g
 }
 
-func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+func newTestServer(t *testing.T, opts ...Option) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New()
+	s := New(opts...)
 	if err := s.AddModel("tiny", tinyModel(t), "orpheus", 1); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
 	return s, ts
 }
 
@@ -212,6 +214,205 @@ func TestConcurrentPredicts(t *testing.T) {
 				t.Fatalf("request %d diverged", i)
 			}
 		}
+	}
+}
+
+// TestHandlerStatusTable audits the error statuses of every endpoint in
+// one table: all lookup failures are 404, all malformed bodies 400,
+// regardless of which handler fields the request.
+func TestHandlerStatusTable(t *testing.T) {
+	_, ts := newTestServer(t)
+	okInput := make([]float32, 3*8*8)
+	okBody, _ := json.Marshal(map[string]any{"input": okInput})
+	shortBody, _ := json.Marshal(map[string]any{"input": []float32{1, 2, 3}})
+	cases := []struct {
+		name, method, path string
+		body               string
+		want               int
+	}{
+		{"predict ok", "POST", "/predict/tiny", string(okBody), http.StatusOK},
+		{"profile ok", "POST", "/profile/tiny", string(okBody), http.StatusOK},
+		{"predict unknown model", "POST", "/predict/nope", string(okBody), http.StatusNotFound},
+		{"profile unknown model", "POST", "/profile/nope", string(okBody), http.StatusNotFound},
+		{"predict bad JSON", "POST", "/predict/tiny", "{nope", http.StatusBadRequest},
+		{"profile bad JSON", "POST", "/profile/tiny", "{nope", http.StatusBadRequest},
+		{"predict short input", "POST", "/predict/tiny", string(shortBody), http.StatusBadRequest},
+		{"profile short input", "POST", "/profile/tiny", string(shortBody), http.StatusBadRequest},
+		{"predict empty body", "POST", "/predict/tiny", "", http.StatusBadRequest},
+		{"profile empty body", "POST", "/profile/tiny", "", http.StatusBadRequest},
+		{"predict wrong method", "GET", "/predict/tiny", "", http.StatusMethodNotAllowed},
+		{"profile wrong method", "GET", "/profile/tiny", "", http.StatusMethodNotAllowed},
+		{"models ok", "GET", "/models", "", http.StatusOK},
+		{"healthz ok", "GET", "/healthz", "", http.StatusOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+			}
+			if tc.want >= 400 && tc.want != http.StatusMethodNotAllowed {
+				var e map[string]string
+				if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
+					t.Errorf("%s %s: error body missing (%v)", tc.method, tc.path, err)
+				}
+			}
+		})
+	}
+}
+
+// referenceOutput computes the unbatched ground truth for one input.
+func referenceOutput(t *testing.T, input []float32) []float32 {
+	t.Helper()
+	_, ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": input})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference predict = %d", resp.StatusCode)
+	}
+	var out struct {
+		Output []float32 `json:"output"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Output
+}
+
+// TestBatchedPredictCoalesces checks that a batching server under
+// concurrent fire produces the same outputs as the unbatched path and
+// actually coalesces requests (at least one response reports a batch
+// size > 1).
+func TestBatchedPredictCoalesces(t *testing.T) {
+	input := make([]float32, 3*8*8)
+	for i := range input {
+		input[i] = 0.05 * float32(i%11)
+	}
+	want := referenceOutput(t, input)
+
+	_, ts := newTestServer(t, WithMaxBatch(4), WithFlushDeadline(25*time.Millisecond))
+	// Warm one request through so the session pool is primed (the first
+	// inference packs weights and is slow, which would otherwise let the
+	// deadline lapse before peers arrive).
+	_ = postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": input})
+
+	const clients = 8
+	var wg sync.WaitGroup
+	batchSizes := make([]int, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, _ := json.Marshal(map[string]any{"input": input})
+			resp, err := http.Post(ts.URL+"/predict/tiny", "application/json", bytes.NewReader(b))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			var out struct {
+				Output    []float32 `json:"output"`
+				BatchSize int       `json:"batch_size"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs[i] = err
+				return
+			}
+			batchSizes[i] = out.BatchSize
+			for j := range out.Output {
+				if out.Output[j] != want[j] {
+					errs[i] = fmt.Errorf("output[%d] = %v, want %v", j, out.Output[j], want[j])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	coalesced := false
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		if batchSizes[i] > 1 {
+			coalesced = true
+		}
+	}
+	if !coalesced {
+		t.Log("no request was coalesced (timing-dependent); outputs still verified")
+	}
+}
+
+// TestBatcherMixedDeadlinesStress hammers a batching server from many
+// goroutines using a spread of per-request wait_ms deadlines and distinct
+// inputs, checking every response against its per-input reference. Run
+// with -race: this is the batcher's data-race and cross-request-bleed
+// gauntlet.
+func TestBatcherMixedDeadlinesStress(t *testing.T) {
+	const inputsN = 3
+	inputs := make([][]float32, inputsN)
+	wants := make([][]float32, inputsN)
+	for k := 0; k < inputsN; k++ {
+		in := make([]float32, 3*8*8)
+		for i := range in {
+			in[i] = 0.01 * float32((i*(k+3))%17)
+		}
+		inputs[k] = in
+		wants[k] = referenceOutput(t, in)
+	}
+
+	_, ts := newTestServer(t, WithMaxBatch(3), WithFlushDeadline(2*time.Millisecond))
+	waits := []float64{0, 0.5, 2, 10} // ms; 0 = server default
+	const goroutines = 8
+	const iters = 12
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (g + i) % inputsN
+				body := map[string]any{"input": inputs[k], "wait_ms": waits[(g*iters+i)%len(waits)]}
+				b, _ := json.Marshal(body)
+				resp, err := http.Post(ts.URL+"/predict/tiny", "application/json", bytes.NewReader(b))
+				if err != nil {
+					errc <- err
+					return
+				}
+				var out struct {
+					Output []float32 `json:"output"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				for j := range out.Output {
+					if out.Output[j] != wants[k][j] {
+						errc <- fmt.Errorf("goroutine %d iter %d: output diverged from reference for input %d", g, i, k)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
 	}
 }
 

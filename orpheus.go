@@ -19,6 +19,7 @@ package orpheus
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"orpheus/internal/backend"
 	"orpheus/internal/graph"
@@ -110,6 +111,7 @@ func (m *Model) Optimize() error {
 type compileConfig struct {
 	backendName string
 	workers     int
+	maxBatch    int
 }
 
 // CompileOption configures Compile.
@@ -128,22 +130,48 @@ func WithWorkers(n int) CompileOption {
 	return func(c *compileConfig) { c.workers = n }
 }
 
+// WithMaxBatch compiles the session for runtime batching: arena slots are
+// sized for up to n samples, and Predict/PredictBatch/Run accept any batch
+// 1 ≤ b ≤ n per call. Larger n trades arena memory (see MemoryFootprint)
+// for amortised weight traffic per sample. Default 1.
+func WithMaxBatch(n int) CompileOption {
+	return func(c *compileConfig) { c.maxBatch = n }
+}
+
 // Backends lists the registered backend names.
 func Backends() []string { return backend.Names() }
 
 // Session is a compiled, executable model. It is safe for concurrent use:
-// any number of goroutines may call Predict/Run at once. Each in-flight
-// call borrows a runtime session (private arena and scratch) from an
-// internal sync.Pool, so concurrent requests share the compiled plan and
-// its packed weights but never share mutable state.
+// any number of goroutines may call Predict/PredictBatch/Run at once. Each
+// in-flight call borrows a runtime session (private arena, scratch and
+// staging buffers) from an internal sync.Pool, so concurrent requests
+// share the compiled plan and its packed weights but never share mutable
+// state.
 type Session struct {
 	model    *Model
 	sessions *runtime.SessionPool
+	maxBatch int
+	inName   string
+	inShape1 []int // model input shape at batch 1
+	perVol   int   // elements per sample
+	states   sync.Pool
+}
+
+// predictState is the reusable staging of the Predict paths: the
+// input-binding map, the batch staging buffer and its per-batch-size
+// views. Runtime sessions come from the session pool shared with Run;
+// pooling the staging alongside keeps steady-state PredictInto /
+// PredictBatchInto at zero heap allocations without a second set of
+// arenas.
+type predictState struct {
+	in    map[string]*Tensor
+	stage []float32
+	views []*Tensor // views[n] = [n, ...] tensor over stage
 }
 
 // Compile plans and allocates an executable session for the model.
 func (m *Model) Compile(opts ...CompileOption) (*Session, error) {
-	cfg := compileConfig{backendName: "orpheus", workers: 1}
+	cfg := compileConfig{backendName: "orpheus", workers: 1, maxBatch: 1}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -151,35 +179,158 @@ func (m *Model) Compile(opts ...CompileOption) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := be.Prepare(m.g, cfg.workers)
+	plan, err := be.PrepareBatched(m.g, cfg.workers, cfg.maxBatch)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{model: m, sessions: runtime.NewSessionPool(plan)}, nil
+	s := &Session{
+		model:    m,
+		sessions: runtime.NewSessionPool(plan),
+		maxBatch: plan.MaxBatch(),
+		inName:   m.InputName(),
+		inShape1: plan.InputShapeAt(0, 1),
+	}
+	s.perVol = tensor.Volume(s.inShape1)
+	s.states.New = func() any {
+		return &predictState{in: make(map[string]*Tensor, 1)}
+	}
+	return s, nil
+}
+
+// MaxBatch returns the largest batch a single Predict/Run call accepts
+// (set by WithMaxBatch; default 1).
+func (s *Session) MaxBatch() int { return s.maxBatch }
+
+// stageView returns the state's staging view for batch n, growing the
+// staging buffer on first use.
+func (st *predictState) stageView(s *Session, n int) *Tensor {
+	if st.stage == nil {
+		st.stage = make([]float32, s.maxBatch*s.perVol)
+		st.views = make([]*Tensor, s.maxBatch+1)
+	}
+	if st.views[n] == nil {
+		shape := append([]int(nil), s.inShape1...)
+		shape[0] *= n
+		st.views[n] = tensor.FromSlice(st.stage[:n*s.perVol], shape...)
+	}
+	return st.views[n]
 }
 
 // Predict runs inference on a single input tensor and returns a copy of
-// the model's (single) output.
+// the model's (single) output. The copy is freshly allocated; latency-
+// critical callers should reuse an output tensor via PredictInto.
 func (s *Session) Predict(input *Tensor) (*Tensor, error) {
+	return s.PredictInto(nil, input)
+}
+
+// PredictInto is Predict with a caller-owned destination: the output is
+// copied into dst (which must hold exactly the model's output volume) and
+// dst is returned. A nil dst allocates a fresh output tensor. With a
+// reused dst the whole facade path — staging, session run, output copy —
+// performs zero steady-state heap allocations.
+func (s *Session) PredictInto(dst, input *Tensor) (*Tensor, error) {
+	st := s.states.Get().(*predictState)
+	st.in[s.inName] = input
+	dst, err := s.runState(st, dst)
+	s.states.Put(st)
+	return dst, err
+}
+
+// runState executes the state's bound inputs on a pooled runtime session
+// and copies the single output into dst (allocating when dst is nil).
+func (s *Session) runState(st *predictState, dst *Tensor) (*Tensor, error) {
 	rs := s.sessions.Get()
-	outs, err := rs.Run(map[string]*Tensor{s.model.InputName(): input})
+	defer s.sessions.Put(rs)
+	outs, err := rs.Run(st.in)
 	if err != nil {
-		s.sessions.Put(rs)
 		return nil, err
 	}
 	var out *Tensor
 	for _, v := range outs {
-		out = v.Clone()
+		out = v
 	}
-	s.sessions.Put(rs)
 	if out == nil {
 		return nil, fmt.Errorf("orpheus: model has no outputs")
 	}
-	return out, nil
+	if dst == nil {
+		return out.Clone(), nil
+	}
+	if dst.Size() != out.Size() {
+		return nil, fmt.Errorf("orpheus: destination holds %d values, output needs %d", dst.Size(), out.Size())
+	}
+	copy(dst.Data(), out.Data())
+	return dst, nil
+}
+
+// PredictBatch runs one batched inference over up to MaxBatch independent
+// single-sample inputs and returns one output copy per input. The whole
+// batch flows through the graph as a single leading-dimension-n execution,
+// so constant weights (and their packed GEMM panels) are read once per
+// batch instead of once per sample.
+func (s *Session) PredictBatch(inputs []*Tensor) ([]*Tensor, error) {
+	return s.PredictBatchInto(make([]*Tensor, len(inputs)), inputs)
+}
+
+// PredictBatchInto is PredictBatch with caller-owned destinations: dsts
+// must have one (possibly nil, then allocated) tensor per input, each
+// holding exactly one sample's output volume. With reused destinations the
+// batched facade path performs zero steady-state heap allocations.
+func (s *Session) PredictBatchInto(dsts, inputs []*Tensor) ([]*Tensor, error) {
+	n := len(inputs)
+	if n == 0 {
+		return nil, fmt.Errorf("orpheus: PredictBatch needs at least one input")
+	}
+	if n > s.maxBatch {
+		return nil, fmt.Errorf("orpheus: batch %d exceeds the session's max batch %d (compile with WithMaxBatch)", n, s.maxBatch)
+	}
+	if len(dsts) != n {
+		return nil, fmt.Errorf("orpheus: %d destinations for %d inputs", len(dsts), n)
+	}
+	st := s.states.Get().(*predictState)
+	defer s.states.Put(st)
+	view := st.stageView(s, n)
+	buf := view.Data()
+	for i, in := range inputs {
+		if in.Size() != s.perVol {
+			return nil, fmt.Errorf("orpheus: input %d has %d values, model wants %d (%s)", i, in.Size(), s.perVol, tensor.ShapeString(s.inShape1))
+		}
+		copy(buf[i*s.perVol:(i+1)*s.perVol], in.Data())
+	}
+	st.in[s.inName] = view
+	rs := s.sessions.Get()
+	defer s.sessions.Put(rs)
+	outs, err := rs.Run(st.in)
+	if err != nil {
+		return nil, err
+	}
+	var out *Tensor
+	for _, v := range outs {
+		out = v
+	}
+	if out == nil {
+		return nil, fmt.Errorf("orpheus: model has no outputs")
+	}
+	if out.Size()%n != 0 || out.Rank() == 0 || out.Dim(0)%n != 0 {
+		return nil, fmt.Errorf("orpheus: output %s does not split across batch %d", tensor.ShapeString(out.Shape()), n)
+	}
+	rowVol := out.Size() / n
+	od := out.Data()
+	for i := range dsts {
+		if dsts[i] == nil {
+			shape := append([]int(nil), out.Shape()...)
+			shape[0] /= n
+			dsts[i] = tensor.New(shape...)
+		} else if dsts[i].Size() != rowVol {
+			return nil, fmt.Errorf("orpheus: destination %d holds %d values, output row needs %d", i, dsts[i].Size(), rowVol)
+		}
+		copy(dsts[i].Data(), od[i*rowVol:(i+1)*rowVol])
+	}
+	return dsts, nil
 }
 
 // Run executes the graph on named inputs and returns copies of all
-// outputs by name.
+// outputs by name. Run is batch-aware: inputs whose leading dimension
+// carries 1 ≤ n ≤ MaxBatch samples execute as one batched pass.
 func (s *Session) Run(inputs map[string]*Tensor) (map[string]*Tensor, error) {
 	return s.sessions.Run(inputs)
 }
