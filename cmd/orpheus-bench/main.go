@@ -1,17 +1,21 @@
-// orpheus-bench regenerates the paper's evaluation: Figure 2, Table I and
-// the ablation experiments A1–A5.
+// orpheus-bench regenerates the paper's evaluation — Figure 2, Table I and
+// the ablation experiments A1–A5 — plus the repo's own experiments:
+// "batch" (batched throughput at n = 1, 4, 8) and "simd" (GEMM
+// micro-kernel ablation on the same Call stream).
 //
 // Usage:
 //
 //	orpheus-bench                                  # every experiment, simulated A73
 //	orpheus-bench -experiment fig2 -mode both      # fig2, simulated + measured
 //	orpheus-bench -experiment fig2 -mode measure -reps 5 -models wrn-40-2,resnet-18
+//	orpheus-bench -experiment simd -mode measure   # pure-Go vs SIMD kernels, this host
 //	orpheus-bench -list                            # list experiment ids
 //	orpheus-bench -csv results.csv -experiment fig2
 //
 // Modes: "sim" evaluates the Cortex-A73 (HiKey 970) cost model and is
 // instant; "measure" times real single-thread inference on this machine;
-// "both" reports the two side by side.
+// "both" reports the two side by side. See docs/CLI.md for worked
+// examples of every tool.
 package main
 
 import (

@@ -8,6 +8,10 @@
 //	orpheus-run -model mobilenet.onnx
 //	orpheus-run -zoo resnet-18 -backend tvm-sim -reps 5
 //	orpheus-run -zoo wrn-40-2 -profile          # per-layer breakdown
+//
+// ORPHEUS_GEMM_KERNEL=go forces the portable GEMM micro-kernel (the
+// SIMD kernel the CPU supports is the default); comparing the two runs
+// is the quickest way to see the SIMD dispatch working.
 package main
 
 import (

@@ -10,6 +10,9 @@
 //	curl localhost:8080/models
 //	curl -X POST localhost:8080/predict/wrn-40-2 \
 //	     -d '{"input": [ ...3072 floats... ], "topk": 5}'
+//
+// The wire contract — endpoints, status codes, wait_ms, batch_size and
+// flush-deadline semantics — is documented in docs/SERVE.md.
 package main
 
 import (
@@ -34,7 +37,7 @@ func main() {
 		backendN  = flag.String("backend", "orpheus", "execution backend")
 		workers   = flag.Int("workers", 1, "kernel thread budget")
 		maxBatch  = flag.Int("max-batch", 1, "dynamic batching width: coalesce up to N concurrent /predict requests into one batched run (1 disables)")
-		flushMs   = flag.Float64("flush-ms", 2, "batching flush deadline in milliseconds (how long a lone request waits for peers)")
+		flushMs   = flag.Float64("flush-ms", 2, "batching flush deadline in milliseconds (how long a lone request waits for peers; <= 0 selects the 2ms default)")
 	)
 	flag.Parse()
 

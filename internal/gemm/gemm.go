@@ -7,10 +7,16 @@
 //
 //   - Naive: textbook triple loop; the correctness reference.
 //   - Blocked: cache-blocked loop nest with an ikj inner order.
-//   - Packed (Context.Run): panel packing plus a register-blocked 4x8
+//   - Packed (Context.Run): panel packing plus a register-blocked
 //     micro-kernel; the production path used by the Orpheus backend. It
 //     supports overwrite (beta=0) semantics and prepacked constant
 //     operands, and scales across a persistent worker Pool.
+//
+// The packed tier's micro-kernel is chosen at runtime by CPU-feature
+// dispatch (see kernel.go): AVX2/FMA 8x8 assembly on amd64, NEON 8x8 on
+// arm64, and a portable pure-Go 4x8 kernel as the fallback — also
+// selectable via the noasm build tag or ORPHEUS_GEMM_KERNEL=go.
+// KernelName, KernelNames and SetKernel expose the selection.
 //
 // All operate on row-major dense matrices described by flat []float32
 // slices. Dimensions are validated by the exported entry points; the inner

@@ -1,0 +1,57 @@
+//go:build amd64 && !noasm
+
+package gemm
+
+// AVX2/FMA dispatch for amd64. The 8x8 assembly micro-kernel holds the
+// full micro-tile in eight YMM accumulators (one row of eight float32s
+// each) and issues eight fused multiply-adds per packed k step — four
+// 8-wide FMAs per pure-Go scalar's worth of work. Feature detection is a
+// hand-rolled CPUID/XGETBV probe (no external dependency): the kernel
+// registers only when the CPU reports AVX2 and FMA and the OS saves the
+// YMM state, so the portable kernel remains the default everywhere else.
+
+func init() {
+	if hasAVX2FMA() {
+		registerKernel(&kernel{name: "avx2", mr: 8, nr: 8,
+			micro: adaptAsmKernel(microKernel8x8AVX2, 8, 8)})
+	}
+}
+
+// microKernel8x8AVX2 computes one 8x8 block: C[r][cc] (+)= sum_p
+// pa[p*8+r]*pb[p*8+cc], with ldc the row stride of c in elements and kc
+// ≥ 1. Implemented in kernel_amd64.s.
+//
+//go:noescape
+func microKernel8x8AVX2(pa, pb, c *float32, kc, ldc int64, store bool)
+
+// cpuid executes the CPUID instruction for (eaxIn, ecxIn).
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (the OS-enabled XSAVE state).
+func xgetbv() (eax, edx uint32)
+
+// hasAVX2FMA reports whether this CPU and OS support the AVX2 kernel:
+// CPUID must advertise OSXSAVE+AVX+FMA and AVX2, and XCR0 must show the
+// OS saving both XMM and YMM register state across context switches.
+func hasAVX2FMA() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&(fma|osxsave|avx) != fma|osxsave|avx {
+		return false
+	}
+	const xmmYmm = 1<<1 | 1<<2
+	if xlo, _ := xgetbv(); xlo&xmmYmm != xmmYmm {
+		return false
+	}
+	const avx2 = 1 << 5
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&avx2 != 0
+}

@@ -1,0 +1,118 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// func microKernel8x8AVX2(pa, pb, c *float32, kc, ldc int64, store bool)
+//
+// One 8x8 fp32 micro-tile of C in eight YMM accumulators (Y0..Y7, one row
+// each). Per packed k step: one 8-wide load of the B strip, then eight
+// VBROADCASTSS/VFMADD231PS pairs, one per A row. pa advances 8 floats
+// (one packed A group), pb advances 8 floats (one packed B group).
+TEXT ·microKernel8x8AVX2(SB), NOSPLIT, $0-41
+	MOVQ pa+0(FP), SI
+	MOVQ pb+8(FP), DX
+	MOVQ c+16(FP), DI
+	MOVQ kc+24(FP), CX
+	MOVQ ldc+32(FP), R8
+	SHLQ $2, R8              // C row stride in bytes
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+kloop:
+	VMOVUPS (DX), Y9         // B strip row: 8 columns
+	VBROADCASTSS 0(SI), Y8
+	VFMADD231PS Y9, Y8, Y0
+	VBROADCASTSS 4(SI), Y8
+	VFMADD231PS Y9, Y8, Y1
+	VBROADCASTSS 8(SI), Y8
+	VFMADD231PS Y9, Y8, Y2
+	VBROADCASTSS 12(SI), Y8
+	VFMADD231PS Y9, Y8, Y3
+	VBROADCASTSS 16(SI), Y8
+	VFMADD231PS Y9, Y8, Y4
+	VBROADCASTSS 20(SI), Y8
+	VFMADD231PS Y9, Y8, Y5
+	VBROADCASTSS 24(SI), Y8
+	VFMADD231PS Y9, Y8, Y6
+	VBROADCASTSS 28(SI), Y8
+	VFMADD231PS Y9, Y8, Y7
+	ADDQ $32, SI
+	ADDQ $32, DX
+	DECQ CX
+	JNZ  kloop
+
+	MOVBLZX store+40(FP), AX
+	TESTL AX, AX
+	JNZ   overwrite
+
+	// Accumulate: C row += accumulator, row by row.
+	VADDPS (DI), Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ R8, DI
+	VADDPS (DI), Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ R8, DI
+	VADDPS (DI), Y2, Y2
+	VMOVUPS Y2, (DI)
+	ADDQ R8, DI
+	VADDPS (DI), Y3, Y3
+	VMOVUPS Y3, (DI)
+	ADDQ R8, DI
+	VADDPS (DI), Y4, Y4
+	VMOVUPS Y4, (DI)
+	ADDQ R8, DI
+	VADDPS (DI), Y5, Y5
+	VMOVUPS Y5, (DI)
+	ADDQ R8, DI
+	VADDPS (DI), Y6, Y6
+	VMOVUPS Y6, (DI)
+	ADDQ R8, DI
+	VADDPS (DI), Y7, Y7
+	VMOVUPS Y7, (DI)
+	VZEROUPPER
+	RET
+
+overwrite:
+	VMOVUPS Y0, (DI)
+	ADDQ R8, DI
+	VMOVUPS Y1, (DI)
+	ADDQ R8, DI
+	VMOVUPS Y2, (DI)
+	ADDQ R8, DI
+	VMOVUPS Y3, (DI)
+	ADDQ R8, DI
+	VMOVUPS Y4, (DI)
+	ADDQ R8, DI
+	VMOVUPS Y5, (DI)
+	ADDQ R8, DI
+	VMOVUPS Y6, (DI)
+	ADDQ R8, DI
+	VMOVUPS Y7, (DI)
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,105 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// func microKernel8x8NEON(pa, pb, c *float32, kc, ldc int64, store bool)
+//
+// One 8x8 fp32 micro-tile of C in V0..V15 (row r in V(2r)/V(2r+1), four
+// columns each). The accumulate path preloads C into the accumulators
+// instead of adding at the end, so both modes share one store epilogue
+// (the Go arm64 assembler has FMLA but no vector FADD). Per packed k
+// step: one 8-wide B strip load (V16/V17), one 8-wide A group load
+// (V18/V19), then eight VDUP lane broadcasts feeding sixteen FMLAs.
+TEXT ·microKernel8x8NEON(SB), NOSPLIT, $0-41
+	MOVD pa+0(FP), R1
+	MOVD pb+8(FP), R2
+	MOVD c+16(FP), R3
+	MOVD kc+24(FP), R4
+	MOVD ldc+32(FP), R5
+	MOVBU store+40(FP), R6
+	LSL  $2, R5, R5          // C row stride in bytes
+
+	CBZ R6, preload
+
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	VEOR V4.B16, V4.B16, V4.B16
+	VEOR V5.B16, V5.B16, V5.B16
+	VEOR V6.B16, V6.B16, V6.B16
+	VEOR V7.B16, V7.B16, V7.B16
+	VEOR V8.B16, V8.B16, V8.B16
+	VEOR V9.B16, V9.B16, V9.B16
+	VEOR V10.B16, V10.B16, V10.B16
+	VEOR V11.B16, V11.B16, V11.B16
+	VEOR V12.B16, V12.B16, V12.B16
+	VEOR V13.B16, V13.B16, V13.B16
+	VEOR V14.B16, V14.B16, V14.B16
+	VEOR V15.B16, V15.B16, V15.B16
+	B kloop
+
+preload:
+	MOVD R3, R7
+	VLD1 (R7), [V0.S4, V1.S4]
+	ADD  R5, R7, R7
+	VLD1 (R7), [V2.S4, V3.S4]
+	ADD  R5, R7, R7
+	VLD1 (R7), [V4.S4, V5.S4]
+	ADD  R5, R7, R7
+	VLD1 (R7), [V6.S4, V7.S4]
+	ADD  R5, R7, R7
+	VLD1 (R7), [V8.S4, V9.S4]
+	ADD  R5, R7, R7
+	VLD1 (R7), [V10.S4, V11.S4]
+	ADD  R5, R7, R7
+	VLD1 (R7), [V12.S4, V13.S4]
+	ADD  R5, R7, R7
+	VLD1 (R7), [V14.S4, V15.S4]
+
+kloop:
+	VLD1.P 32(R2), [V16.S4, V17.S4]  // B strip row: 8 columns
+	VLD1.P 32(R1), [V18.S4, V19.S4]  // A group: 8 rows
+	VDUP  V18.S[0], V20.S4
+	VFMLA V16.S4, V20.S4, V0.S4
+	VFMLA V17.S4, V20.S4, V1.S4
+	VDUP  V18.S[1], V20.S4
+	VFMLA V16.S4, V20.S4, V2.S4
+	VFMLA V17.S4, V20.S4, V3.S4
+	VDUP  V18.S[2], V20.S4
+	VFMLA V16.S4, V20.S4, V4.S4
+	VFMLA V17.S4, V20.S4, V5.S4
+	VDUP  V18.S[3], V20.S4
+	VFMLA V16.S4, V20.S4, V6.S4
+	VFMLA V17.S4, V20.S4, V7.S4
+	VDUP  V19.S[0], V20.S4
+	VFMLA V16.S4, V20.S4, V8.S4
+	VFMLA V17.S4, V20.S4, V9.S4
+	VDUP  V19.S[1], V20.S4
+	VFMLA V16.S4, V20.S4, V10.S4
+	VFMLA V17.S4, V20.S4, V11.S4
+	VDUP  V19.S[2], V20.S4
+	VFMLA V16.S4, V20.S4, V12.S4
+	VFMLA V17.S4, V20.S4, V13.S4
+	VDUP  V19.S[3], V20.S4
+	VFMLA V16.S4, V20.S4, V14.S4
+	VFMLA V17.S4, V20.S4, V15.S4
+	SUBS  $1, R4, R4
+	BNE   kloop
+
+	VST1 [V0.S4, V1.S4], (R3)
+	ADD  R5, R3, R3
+	VST1 [V2.S4, V3.S4], (R3)
+	ADD  R5, R3, R3
+	VST1 [V4.S4, V5.S4], (R3)
+	ADD  R5, R3, R3
+	VST1 [V6.S4, V7.S4], (R3)
+	ADD  R5, R3, R3
+	VST1 [V8.S4, V9.S4], (R3)
+	ADD  R5, R3, R3
+	VST1 [V10.S4, V11.S4], (R3)
+	ADD  R5, R3, R3
+	VST1 [V12.S4, V13.S4], (R3)
+	ADD  R5, R3, R3
+	VST1 [V14.S4, V15.S4], (R3)
+	RET

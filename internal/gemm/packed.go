@@ -2,7 +2,10 @@ package gemm
 
 // Packing + micro-kernel GEMM. This is the "production" tier: panels of A
 // and B are repacked into contiguous strips sized for the register-blocked
-// micro-kernel, which computes a 4x8 block of C per inner iteration.
+// micro-kernel, which computes one mr×nr block of C per inner iteration.
+// The micro-kernel (and with it the mr×nr geometry) is selected at runtime
+// by CPU-feature dispatch — see kernel.go; the pure-Go 4x8 kernel below is
+// the portable fallback and the correctness reference for the SIMD ones.
 //
 // The general entry point is Call executed through Context.Run (or a Pool
 // for the parallel tiers): it supports both accumulating (C += A·B) and
@@ -11,9 +14,6 @@ package gemm
 // model instead of once per inference.
 
 const (
-	mr = 4 // micro-kernel rows
-	nr = 8 // micro-kernel cols
-
 	mcBlock = 128 // rows of A per packed panel
 	kcBlock = 256 // shared dimension per panel
 	ncBlock = 512 // cols of B per packed panel
@@ -53,6 +53,8 @@ func (c *Call) images() int {
 }
 
 // validate panics if the described buffers cannot hold the matrices.
+// Packed-operand sizes are checked against the active kernel's geometry,
+// which must match the geometry the panels were packed under.
 func (c *Call) validate() {
 	if c.M < 0 || c.N < 0 || c.K < 0 {
 		panicf("gemm: negative dimension m=%d n=%d k=%d", c.M, c.N, c.K)
@@ -104,6 +106,12 @@ func (c *Call) validate() {
 type Context struct {
 	packA []float32
 	packB []float32
+	// tail is the edge-tile staging buffer. It lives here rather than on
+	// the macro-kernel's stack because the micro-kernel is dispatched
+	// through a function pointer, which would force a per-call heap
+	// escape of a stack buffer — and the steady-state Run path must not
+	// allocate.
+	tail [maxMR * maxNR]float32
 }
 
 // Run executes the call single-threaded. Hot inference paths should hold a
@@ -122,23 +130,24 @@ func (ctx *Context) Run(c Call) {
 		}
 		return
 	}
+	kern := activeKernel()
 	if c.images() > 1 {
 		sub := c
 		sub.Batch, sub.StrideB, sub.StrideC = 0, 0, 0
 		for img := 0; img < c.images(); img++ {
 			sub.B = c.B[img*c.StrideB:]
 			sub.C = c.C[img*c.StrideC:]
-			ctx.run(sub)
+			ctx.run(kern, sub)
 		}
 		return
 	}
-	ctx.run(c)
+	ctx.run(kern, c)
 }
 
-// run executes one validated, unbatched call.
-func (ctx *Context) run(c Call) {
-	pm := roundUp(c.M, mr)
-	pn := roundUp(c.N, nr)
+// run executes one validated, unbatched call with the given kernel.
+func (ctx *Context) run(kern *kernel, c Call) {
+	pm := roundUp(c.M, kern.mr)
+	pn := roundUp(c.N, kern.nr)
 	for pp := 0; pp < c.K; pp += kcBlock {
 		kc := min(kcBlock, c.K-pp)
 		st := c.Store && pp == 0
@@ -149,7 +158,7 @@ func (ctx *Context) run(c Call) {
 				pb = c.PackedB[pn*pp+jj*kc:]
 			} else {
 				ctx.growB()
-				packB(ctx.packB, c.B, pp, jj, kc, nc, c.N)
+				packB(ctx.packB, c.B, pp, jj, kc, nc, c.N, kern.nr)
 				pb = ctx.packB
 			}
 			for ii := 0; ii < c.M; ii += mcBlock {
@@ -159,16 +168,16 @@ func (ctx *Context) run(c Call) {
 					pa = c.PackedA[pm*pp+ii*kc:]
 				} else {
 					ctx.growA()
-					packA(ctx.packA, c.A, ii, pp, mc, kc, c.K)
+					packA(ctx.packA, c.A, ii, pp, mc, kc, c.K, kern.mr)
 					pa = ctx.packA
 				}
-				macroKernel(pa, pb, c.C, ii, jj, mc, nc, kc, c.N, st)
+				ctx.macroKernel(kern, pa, pb, c.C, ii, jj, mc, nc, kc, c.N, st)
 			}
 		}
 	}
 }
 
-// Packed computes C += A·B using panel packing and a 4x8 micro-kernel.
+// Packed computes C += A·B using panel packing and the active micro-kernel.
 func (ctx *Context) Packed(a, b, c []float32, m, n, k int) {
 	ctx.Run(Call{A: a, B: b, C: c, M: m, N: n, K: k})
 }
@@ -187,8 +196,9 @@ func zeroC(c []float32, n int) {
 }
 
 func (ctx *Context) growA() {
-	// Packed panels are padded up to full micro-tiles.
-	an := ((mcBlock+mr-1)/mr*mr + mr) * kcBlock
+	// Packed panels are padded up to full micro-tiles; scratch is sized for
+	// the widest registered kernel so it never depends on dispatch.
+	const an = (mcBlock + maxMR) * kcBlock
 	if cap(ctx.packA) < an {
 		ctx.packA = make([]float32, an)
 	}
@@ -196,7 +206,7 @@ func (ctx *Context) growA() {
 }
 
 func (ctx *Context) growB() {
-	bn := ((ncBlock+nr-1)/nr*nr + nr) * kcBlock
+	const bn = (ncBlock + maxNR) * kcBlock
 	if cap(ctx.packB) < bn {
 		ctx.packB = make([]float32, bn)
 	}
@@ -206,7 +216,7 @@ func (ctx *Context) growB() {
 // packA copies an mc×kc panel of A (row ii, col pp) into strips of mr rows,
 // stored column-major within each strip so the micro-kernel reads
 // contiguously. Rows beyond mc are zero-padded.
-func packA(dst, a []float32, ii, pp, mc, kc, lda int) {
+func packA(dst, a []float32, ii, pp, mc, kc, lda, mr int) {
 	di := 0
 	for i := 0; i < mc; i += mr {
 		rows := min(mr, mc-i)
@@ -225,7 +235,7 @@ func packA(dst, a []float32, ii, pp, mc, kc, lda int) {
 
 // packB copies a kc×nc panel of B (row pp, col jj) into strips of nr
 // columns, row-major within each strip. Columns beyond nc are zero-padded.
-func packB(dst, b []float32, pp, jj, kc, nc, ldb int) {
+func packB(dst, b []float32, pp, jj, kc, nc, ldb, nr int) {
 	di := 0
 	for j := 0; j < nc; j += nr {
 		cols := min(nr, nc-j)
@@ -243,10 +253,11 @@ func packB(dst, b []float32, pp, jj, kc, nc, ldb int) {
 	}
 }
 
-// macroKernel multiplies the packed panels into C. store selects overwrite
-// (C = panel product) over accumulate for this panel's contribution.
-func macroKernel(pa, pb, c []float32, ii, jj, mc, nc, kc, ldc int, store bool) {
-	var tail [mr * nr]float32
+// macroKernel multiplies the packed panels into C with kern's micro-kernel.
+// store selects overwrite (C = panel product) over accumulate for this
+// panel's contribution. The receiver supplies the edge-tile staging buffer.
+func (ctx *Context) macroKernel(kern *kernel, pa, pb, c []float32, ii, jj, mc, nc, kc, ldc int, store bool) {
+	mr, nr := kern.mr, kern.nr
 	for i := 0; i < mc; i += mr {
 		rows := min(mr, mc-i)
 		aStrip := pa[(i/mr)*kc*mr:]
@@ -254,23 +265,24 @@ func macroKernel(pa, pb, c []float32, ii, jj, mc, nc, kc, ldc int, store bool) {
 			cols := min(nr, nc-j)
 			bStrip := pb[(j/nr)*kc*nr:]
 			if rows == mr && cols == nr {
-				microKernel(aStrip, bStrip, c[(ii+i)*ldc+jj+j:], kc, ldc, store)
+				kern.micro(aStrip, bStrip, c[(ii+i)*ldc+jj+j:], kc, ldc, store)
 				continue
 			}
 			// Edge tile: accumulate into a temporary then merge the live part.
-			for x := range tail {
-				tail[x] = 0
+			t := ctx.tail[:mr*nr]
+			for x := range t {
+				t[x] = 0
 			}
-			microKernel(aStrip, bStrip, tail[:], kc, nr, true)
+			kern.micro(aStrip, bStrip, t, kc, nr, true)
 			for r := 0; r < rows; r++ {
 				cRow := c[(ii+i+r)*ldc+jj+j:]
 				if store {
 					for cc := 0; cc < cols; cc++ {
-						cRow[cc] = tail[r*nr+cc]
+						cRow[cc] = t[r*nr+cc]
 					}
 				} else {
 					for cc := 0; cc < cols; cc++ {
-						cRow[cc] += tail[r*nr+cc]
+						cRow[cc] += t[r*nr+cc]
 					}
 				}
 			}
@@ -278,10 +290,12 @@ func macroKernel(pa, pb, c []float32, ii, jj, mc, nc, kc, ldc int, store bool) {
 	}
 }
 
-// microKernel computes a full mr×nr block: C[r][cc] (+)= sum_p A[p][r]*B[p][cc].
-// pa is packed as kc groups of mr values; pb as kc groups of nr values.
-// ldc is the row stride of c; store overwrites C instead of accumulating.
-func microKernel(pa, pb, c []float32, kc, ldc int, store bool) {
+// microKernelGo is the portable 4x8 micro-kernel: C[r][cc] (+)= sum_p
+// A[p][r]*B[p][cc] with the mr×nr block held in scalar registers. pa is
+// packed as kc groups of 4 values; pb as kc groups of 8 values. ldc is the
+// row stride of c; store overwrites C instead of accumulating.
+func microKernelGo(pa, pb, c []float32, kc, ldc int, store bool) {
+	const mr, nr = 4, 8
 	var (
 		c00, c01, c02, c03, c04, c05, c06, c07 float32
 		c10, c11, c12, c13, c14, c15, c16, c17 float32

@@ -26,9 +26,12 @@ type Pool struct {
 
 // task is one tiled GEMM in flight. Tiles are claimed via next; wg tracks
 // the helpers that received the task so Run can return only when every
-// claimed tile has been written.
+// claimed tile has been written. kern is the micro-kernel resolved at
+// submission, so every tile of one call — caller- and helper-executed —
+// packs and computes with the same geometry.
 type task struct {
 	call         Call
+	kern         *kernel
 	tileM, tileN int
 	next         atomic.Int64
 	wg           sync.WaitGroup
@@ -113,6 +116,7 @@ func (p *Pool) Run(ctx *Context, c Call, workers int) {
 	}
 	t := taskPool.Get().(*task)
 	t.call = c
+	t.kern = activeKernel()
 	t.tileM, t.tileN = tm, tn
 	t.next.Store(0)
 	helpers := workers - 1
@@ -131,6 +135,7 @@ func (p *Pool) Run(ctx *Context, c Call, workers int) {
 	t.drain(ctx)
 	t.wg.Wait()
 	t.call = Call{}
+	t.kern = nil
 	taskPool.Put(t)
 }
 
@@ -152,6 +157,7 @@ func (t *task) drain(ctx *Context) {
 // tile grids over their strided B/C windows.
 func (t *task) runTile(ctx *Context, idx int) {
 	c := &t.call
+	kern := t.kern
 	grid := t.tileM * t.tileN
 	img := idx / grid
 	idx %= grid
@@ -161,8 +167,8 @@ func (t *task) runTile(ctx *Context, idx int) {
 	jj := (idx % t.tileN) * ncBlock
 	mc := min(mcBlock, c.M-ii)
 	nc := min(ncBlock, c.N-jj)
-	pm := roundUp(c.M, mr)
-	pn := roundUp(c.N, nr)
+	pm := roundUp(c.M, kern.mr)
+	pn := roundUp(c.N, kern.nr)
 	for pp := 0; pp < c.K; pp += kcBlock {
 		kc := min(kcBlock, c.K-pp)
 		var pa, pb []float32
@@ -170,16 +176,16 @@ func (t *task) runTile(ctx *Context, idx int) {
 			pa = c.PackedA[pm*pp+ii*kc:]
 		} else {
 			ctx.growA()
-			packA(ctx.packA, c.A, ii, pp, mc, kc, c.K)
+			packA(ctx.packA, c.A, ii, pp, mc, kc, c.K, kern.mr)
 			pa = ctx.packA
 		}
 		if c.PackedB != nil {
 			pb = c.PackedB[pn*pp+jj*kc:]
 		} else {
 			ctx.growB()
-			packB(ctx.packB, cb, pp, jj, kc, nc, c.N)
+			packB(ctx.packB, cb, pp, jj, kc, nc, c.N, kern.nr)
 			pb = ctx.packB
 		}
-		macroKernel(pa, pb, cc, ii, jj, mc, nc, kc, c.N, c.Store && pp == 0)
+		ctx.macroKernel(kern, pa, pb, cc, ii, jj, mc, nc, kc, c.N, c.Store && pp == 0)
 	}
 }

@@ -9,26 +9,35 @@ package gemm
 // entirely. The layout mirrors the blocked loop nest: k-panels (kcBlock
 // columns) outermost, then mcBlock-row (or ncBlock-column) panels within
 // each, so panel (pp, ii) of A starts at roundUp(m,mr)*pp + ii*kc.
+//
+// The panel layout bakes in the active micro-kernel's mr×nr geometry
+// (kernel.go): buffers prepacked under one kernel are invalid after
+// SetKernel switches to a kernel with a different tile shape, and the
+// Size functions must be consulted under the same kernel that will run
+// the Call.
 
 func roundUp(x, q int) int { return (x + q - 1) / q * q }
 
 // PackedASize returns the buffer length PrepackAInto requires for an m×k
-// matrix: every row panel is padded up to a multiple of mr rows.
-func PackedASize(m, k int) int { return roundUp(m, mr) * k }
+// matrix under the active kernel: every row panel is padded up to a
+// multiple of mr rows.
+func PackedASize(m, k int) int { return roundUp(m, activeKernel().mr) * k }
 
 // PackedBSize returns the buffer length PrepackBInto requires for a k×n
-// matrix: every column panel is padded up to a multiple of nr columns.
-func PackedBSize(k, n int) int { return roundUp(n, nr) * k }
+// matrix under the active kernel: every column panel is padded up to a
+// multiple of nr columns.
+func PackedBSize(k, n int) int { return roundUp(n, activeKernel().nr) * k }
 
 // PrepackAInto packs the whole m×k matrix a into dst, which must hold
 // PackedASize(m, k) values.
 func PrepackAInto(dst, a []float32, m, k int) {
+	mr := activeKernel().mr
 	pm := roundUp(m, mr)
 	for pp := 0; pp < k; pp += kcBlock {
 		kc := min(kcBlock, k-pp)
 		for ii := 0; ii < m; ii += mcBlock {
 			mc := min(mcBlock, m-ii)
-			packA(dst[pm*pp+ii*kc:], a, ii, pp, mc, kc, k)
+			packA(dst[pm*pp+ii*kc:], a, ii, pp, mc, kc, k, mr)
 		}
 	}
 }
@@ -43,12 +52,13 @@ func PrepackA(a []float32, m, k int) []float32 {
 // PrepackBInto packs the whole k×n matrix b into dst, which must hold
 // PackedBSize(k, n) values.
 func PrepackBInto(dst, b []float32, k, n int) {
+	nr := activeKernel().nr
 	pn := roundUp(n, nr)
 	for pp := 0; pp < k; pp += kcBlock {
 		kc := min(kcBlock, k-pp)
 		for jj := 0; jj < n; jj += ncBlock {
 			nc := min(ncBlock, n-jj)
-			packB(dst[pn*pp+jj*kc:], b, pp, jj, kc, nc, n)
+			packB(dst[pn*pp+jj*kc:], b, pp, jj, kc, nc, n, nr)
 		}
 	}
 }

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"orpheus/internal/gemm"
+)
+
+// TestSIMDAblationSim pins sim-mode behavior: the kernel ablation is host
+// measurement, so the default (instant) sim run must produce no measured
+// rows, only the pointer note — and must not leave a different kernel
+// selected.
+func TestSIMDAblationSim(t *testing.T) {
+	before := gemm.KernelName()
+	e, err := ByID("simd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(simCfg("wrn-40-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gemm.KernelName(); got != before {
+		t.Fatalf("experiment left kernel %q selected, want %q restored", got, before)
+	}
+	if len(rep.Rows) != 0 {
+		t.Fatalf("sim mode produced %d measured rows, want 0 (host-only experiment)", len(rep.Rows))
+	}
+	if len(rep.Notes) == 0 || !strings.Contains(rep.Notes[0], "-mode measure") {
+		t.Fatalf("sim mode notes %v should point at -mode measure", rep.Notes)
+	}
+}
+
+// TestSIMDAblationMeasured runs the experiment for real on one model: one
+// GEMM-rate row per Call-stream shape plus one model row, one column per
+// selectable kernel, parseable ratio cells, kernel selection restored.
+func TestSIMDAblationMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("host measurement")
+	}
+	before := gemm.KernelName()
+	e, err := ByID("simd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{Mode: ModeMeasure, Models: []string{"wrn-40-2"}, Reps: 1, Warmup: 1}
+	rep, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gemm.KernelName(); got != before {
+		t.Fatalf("experiment left kernel %q selected, want %q restored", got, before)
+	}
+	wantCols := 1 + len(gemm.KernelNames()) + 1
+	if len(rep.Header) != wantCols {
+		t.Fatalf("header %v has %d columns, want %d (workload + kernels + ratio)", rep.Header, len(rep.Header), wantCols)
+	}
+	if want := len(simdGEMMShapes) + 1; len(rep.Rows) != want {
+		t.Fatalf("rows = %d, want %d (gemm shapes + 1 model)", len(rep.Rows), want)
+	}
+	for _, row := range rep.Rows {
+		if len(row) != len(rep.Header) {
+			t.Fatalf("row %v does not match header %v", row, rep.Header)
+		}
+		last := row[len(row)-1]
+		if !strings.HasSuffix(last, "x") && last != "n/a" {
+			t.Errorf("ratio cell %q not a ratio", last)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// doclint fails when exported identifiers lack doc comments. It is the
+// CI godoc gate for the packages whose API surface the architecture docs
+// promise is fully documented:
+//
+//	go run ./internal/tools/doclint . ./internal/gemm ./internal/runtime ./internal/serve
+//
+// Each argument is one package directory (non-recursive). For every
+// exported func, method (on an exported receiver), type, const and var,
+// the declaration — or, for grouped const/var/type blocks, the enclosing
+// block — must carry a doc comment. Each package must also have a package
+// comment. Violations are listed as file:line and the exit status is 1.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <package-dir> [package-dir...]")
+		os.Exit(2)
+	}
+	var bad int
+	for _, dir := range dirs {
+		missing, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Println(m)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifier(s) without doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory and returns "file:line: message"
+// entries for every undocumented exported identifier.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			missing = append(missing, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		for name, f := range pkg.Files {
+			missing = append(missing, lintFile(fset, name, f)...)
+		}
+	}
+	return missing, nil
+}
+
+// lintFile reports undocumented exported declarations in one file.
+func lintFile(fset *token.FileSet, filename string, f *ast.File) []string {
+	var missing []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue
+			}
+			kind := "function"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			report(d.Pos(), kind, d.Name.Name)
+		case *ast.GenDecl:
+			lintGenDecl(d, report)
+		}
+	}
+	return missing
+}
+
+// lintGenDecl checks a const/var/type block: a doc comment on the block
+// covers every spec in it; otherwise each exported spec needs its own.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Doc != nil || d.Tok == token.IMPORT {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), strings.ToLower(d.Tok.String()), n.Name)
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method receiver names an exported
+// type (methods on unexported types are internal API).
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package orpheus
+
+// Kernel-vs-kernel benchmarks behind BENCH_pr3.json: the same GEMM Call
+// and the same models executed under every selectable micro-kernel
+// (gemm.KernelNames: the pure-Go fallback plus the SIMD kernels this CPU
+// dispatches to). Everything above the micro-kernel is identical across
+// sub-benchmarks, so ns/op ratios isolate the kernel itself. CI records
+// both families, plus BenchmarkBatch, into BENCH_pr3.json via
+// cmd/orpheus-benchjson.
+//
+//	go test -run '^$' -bench 'BenchmarkKernel' -benchmem .
+
+import (
+	"fmt"
+	"testing"
+
+	"orpheus/internal/backend"
+	"orpheus/internal/gemm"
+	"orpheus/internal/runtime"
+	"orpheus/internal/tensor"
+)
+
+// restoreKernel returns a cleanup restoring the current kernel selection.
+func restoreKernel(b *testing.B) func() {
+	prev := gemm.KernelName()
+	return func() {
+		if err := gemm.SetKernel(prev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelGEMM times one production-shaped GEMM (prepacked constant
+// A, overwrite semantics, single worker) per micro-kernel. SetBytes
+// reports 2·M·N·K "bytes" so the MB/s column reads as FLOP/s.
+func BenchmarkKernelGEMM(b *testing.B) {
+	defer restoreKernel(b)()
+	shapes := []struct{ m, n, k int }{
+		{64, 256, 576},   // wrn-40-2 mid 3x3 conv GEMM
+		{128, 784, 64},   // mobilenet pointwise
+		{256, 256, 256},  // square reference
+		{64, 12544, 576}, // resnet-ish wide conv
+	}
+	for _, sh := range shapes {
+		r := tensor.NewRNG(tensor.SeedFromString(fmt.Sprintf("kb-%d-%d-%d", sh.m, sh.n, sh.k)))
+		a := make([]float32, sh.m*sh.k)
+		for i := range a {
+			a[i] = r.Uniform(-1, 1)
+		}
+		bb := make([]float32, sh.k*sh.n)
+		for i := range bb {
+			bb[i] = r.Uniform(-1, 1)
+		}
+		c := make([]float32, sh.m*sh.n)
+		for _, kn := range gemm.KernelNames() {
+			b.Run(fmt.Sprintf("%dx%dx%d/%s", sh.m, sh.n, sh.k, kn), func(b *testing.B) {
+				if err := gemm.SetKernel(kn); err != nil {
+					b.Fatal(err)
+				}
+				// Prepack under the kernel that will consume the panels.
+				pa := gemm.PrepackA(a, sh.m, sh.k)
+				call := gemm.Call{PackedA: pa, B: bb, C: c, M: sh.m, N: sh.n, K: sh.k, Store: true}
+				var ctx gemm.Context
+				ctx.Run(call) // warm-up grows packing scratch
+				b.SetBytes(2 * int64(sh.m) * int64(sh.n) * int64(sh.k))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ctx.Run(call)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKernelModel times one full single-sample inference per
+// micro-kernel for the two PR-trajectory models. The plan is rebuilt under
+// each kernel so the constant-weight prepack cache carries that kernel's
+// panel geometry — exactly what a process restart under
+// ORPHEUS_GEMM_KERNEL would produce.
+func BenchmarkKernelModel(b *testing.B) {
+	defer restoreKernel(b)()
+	for _, model := range []string{"wrn-40-2", "mobilenet-v1"} {
+		g := cachedModel(b, model)
+		for _, kn := range gemm.KernelNames() {
+			b.Run(model+"/"+kn, func(b *testing.B) {
+				if err := gemm.SetKernel(kn); err != nil {
+					b.Fatal(err)
+				}
+				be, err := backend.ByName("orpheus")
+				if err != nil {
+					b.Fatal(err)
+				}
+				plan, err := be.Prepare(g, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sess := runtime.NewSession(plan)
+				x := tensor.Rand(tensor.NewRNG(1), -1, 1, g.Inputs[0].Shape...)
+				in := map[string]*tensor.Tensor{g.Inputs[0].Name: x}
+				if _, err := sess.Run(in); err != nil { // warm-up packs weights
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sess.Run(in); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
