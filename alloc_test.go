@@ -1,6 +1,7 @@
 package orpheus
 
 import (
+	"context"
 	"testing"
 
 	"orpheus/internal/backend"
@@ -32,12 +33,12 @@ func TestSessionRunSteadyStateAllocFree(t *testing.T) {
 			x := tensor.Rand(tensor.NewRNG(1), -1, 1, g.Inputs[0].Shape...)
 			in := map[string]*tensor.Tensor{g.Inputs[0].Name: x}
 			for i := 0; i < 2; i++ { // warm-up: grow scratch, pack weights
-				if _, err := sess.Run(in); err != nil {
+				if _, err := sess.Run(context.Background(), in); err != nil {
 					t.Fatal(err)
 				}
 			}
 			avg := testing.AllocsPerRun(3, func() {
-				if _, err := sess.Run(in); err != nil {
+				if _, err := sess.Run(context.Background(), in); err != nil {
 					t.Fatal(err)
 				}
 			})
@@ -71,12 +72,12 @@ func TestBatchedSessionRunAllocFree(t *testing.T) {
 		x := tensor.Rand(tensor.NewRNG(uint64(n)), -1, 1, n, 3, 32, 32)
 		in := map[string]*tensor.Tensor{g.Inputs[0].Name: x}
 		for i := 0; i < 2; i++ { // warm-up: bind batch n, grow scratch, pack weights
-			if _, err := sess.Run(in); err != nil {
+			if _, err := sess.Run(context.Background(), in); err != nil {
 				t.Fatal(err)
 			}
 		}
 		avg := testing.AllocsPerRun(3, func() {
-			if _, err := sess.Run(in); err != nil {
+			if _, err := sess.Run(context.Background(), in); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -91,6 +92,9 @@ func TestBatchedSessionRunAllocFree(t *testing.T) {
 // zero steady-state heap allocations (the seed facade paid 4 allocs/op
 // copying in and out of the pooled session).
 func TestPredictIntoAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; pool-backed alloc counts are not meaningful")
+	}
 	m, err := BuildZooModel("wrn-40-2")
 	if err != nil {
 		t.Fatal(err)
@@ -100,15 +104,15 @@ func TestPredictIntoAllocFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := RandomTensor(1, m.InputShape()...)
-	dst, err := sess.Predict(x)
+	dst, err := sess.Predict(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.PredictInto(dst, x); err != nil { // warm-up
+	if _, err := sess.PredictInto(context.Background(), dst, x); err != nil { // warm-up
 		t.Fatal(err)
 	}
 	avg := testing.AllocsPerRun(3, func() {
-		if _, err := sess.PredictInto(dst, x); err != nil {
+		if _, err := sess.PredictInto(context.Background(), dst, x); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -117,15 +121,15 @@ func TestPredictIntoAllocFree(t *testing.T) {
 	}
 
 	inputs := []*Tensor{x, RandomTensor(2, m.InputShape()...)}
-	dsts, err := sess.PredictBatch(inputs)
+	dsts, err := sess.PredictBatch(context.Background(), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.PredictBatchInto(dsts, inputs); err != nil { // warm-up
+	if _, err := sess.PredictBatchInto(context.Background(), dsts, inputs); err != nil { // warm-up
 		t.Fatal(err)
 	}
 	avg = testing.AllocsPerRun(3, func() {
-		if _, err := sess.PredictBatchInto(dsts, inputs); err != nil {
+		if _, err := sess.PredictBatchInto(context.Background(), dsts, inputs); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -1,0 +1,413 @@
+package orpheus
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// multiIOModel builds a two-input two-output graph: sum = relu(a + b) and
+// prod = a * b, the shape the single-tensor Predict path cannot express.
+func multiIOModel(t testing.TB) *Model {
+	t.Helper()
+	g := graph.New("multi-io")
+	a, err := g.Input("a", []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := g.Input("b", []int{1, 8})
+	sum, _ := g.Add("Add", "add", nil, a, b)
+	rl, _ := g.Add("Relu", "relu", nil, sum)
+	prod, _ := g.Add("Mul", "mul", nil, a, b)
+	if err := g.MarkOutput(rl); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.MarkOutput(prod); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return FromGraph(g)
+}
+
+// TestMultiIORunEndToEnd round-trips a two-input two-output graph through
+// the named-tensor facade path: descriptors, named Run, per-output
+// numerics, and batched execution — none of it touching Inputs[0]-style
+// assumptions.
+func TestMultiIORunEndToEnd(t *testing.T) {
+	sess, err := multiIOModel(t).Compile(WithMaxBatch(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	ins, outs := sess.Inputs(), sess.Outputs()
+	if len(ins) != 2 || ins[0].Name != "a" || ins[1].Name != "b" {
+		t.Fatalf("input descriptors = %+v", ins)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("output descriptors = %+v", outs)
+	}
+	for _, d := range ins {
+		if d.DType != "float32" || !d.Batched || len(d.Shape) != 2 || d.Shape[0] != 1 || d.Shape[1] != 8 {
+			t.Fatalf("input descriptor %+v", d)
+		}
+	}
+
+	a := TensorFromSlice([]float32{1, -2, 3, -4, 5, -6, 7, -8}, 1, 8)
+	b := TensorFromSlice([]float32{1, 1, -1, -1, 2, 2, -2, -2}, 1, 8)
+	res, err := sess.Run(context.Background(), map[string]*Tensor{"a": a, "b": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relu := res[outs[0].Name]
+	mul := res[outs[1].Name]
+	if relu == nil || mul == nil {
+		t.Fatalf("outputs missing from Run result: %v", res)
+	}
+	for i := 0; i < 8; i++ {
+		s := a.Data()[i] + b.Data()[i]
+		if s < 0 {
+			s = 0
+		}
+		if relu.Data()[i] != s {
+			t.Fatalf("relu output [%d] = %v, want %v", i, relu.Data()[i], s)
+		}
+		if mul.Data()[i] != a.Data()[i]*b.Data()[i] {
+			t.Fatalf("mul output [%d] = %v, want %v", i, mul.Data()[i], a.Data()[i]*b.Data()[i])
+		}
+	}
+
+	// Batched: both inputs at n=2 must match two independent runs.
+	a2 := TensorFromSlice(append(append([]float32(nil), a.Data()...), b.Data()...), 2, 8)
+	b2 := TensorFromSlice(append(append([]float32(nil), b.Data()...), a.Data()...), 2, 8)
+	res2, err := sess.Run(context.Background(), map[string]*Tensor{"a": a2, "b": b2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{outs[0].Name, outs[1].Name} {
+		got := res2[name]
+		if got.Dim(0) != 2 {
+			t.Fatalf("batched output %q shape %v", name, got.Shape())
+		}
+		// Row 0 of the batch is the same (a, b) pair as the single run.
+		for i := 0; i < 8; i++ {
+			if got.Data()[i] != res[name].Data()[i] {
+				t.Fatalf("batched row 0 of %q diverged at %d", name, i)
+			}
+		}
+	}
+
+	// The single-tensor conveniences refuse multi-I/O models with the
+	// typed sentinel.
+	if _, err := sess.Predict(context.Background(), a); !errors.Is(err, ErrMultiIO) {
+		t.Fatalf("Predict on multi-I/O model returned %v, want ErrMultiIO", err)
+	}
+	if _, err := sess.PredictBatch(context.Background(), []*Tensor{a}); !errors.Is(err, ErrMultiIO) {
+		t.Fatalf("PredictBatch on multi-I/O model returned %v, want ErrMultiIO", err)
+	}
+	if _, err := sess.NewBatcher(); !errors.Is(err, ErrMultiIO) {
+		t.Fatalf("NewBatcher on multi-I/O model returned %v, want ErrMultiIO", err)
+	}
+}
+
+// TestSingleIODescriptors pins the descriptor metadata of an ordinary
+// model.
+func TestSingleIODescriptors(t *testing.T) {
+	m, err := BuildZooModel("wrn-40-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := m.Compile(WithMaxBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ins, outs := sess.Inputs(), sess.Outputs()
+	if len(ins) != 1 || len(outs) != 1 {
+		t.Fatalf("descriptors: %d inputs, %d outputs", len(ins), len(outs))
+	}
+	if !tensor.ShapeEq(ins[0].Shape, []int{1, 3, 32, 32}) || !ins[0].Batched {
+		t.Fatalf("input descriptor %+v", ins[0])
+	}
+	if !tensor.ShapeEq(outs[0].Shape, []int{1, 10}) || !outs[0].Batched {
+		t.Fatalf("output descriptor %+v", outs[0])
+	}
+}
+
+// TestPredictCancelledBeforeRun asserts a context cancelled before the
+// call returns context.Canceled without executing any plan step.
+func TestPredictCancelledBeforeRun(t *testing.T) {
+	m := stressCNN(t)
+	sess, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.Predict(ctx, RandomTensor(1, m.InputShape()...)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Predict with cancelled ctx returned %v, want context.Canceled", err)
+	}
+}
+
+// TestPredictCancelMidRun asserts cancellation interrupts a running plan
+// at the next step boundary: a cancel fired while wrn-40-2 executes makes
+// Predict return context.Canceled well before a full inference completes.
+func TestPredictCancelMidRun(t *testing.T) {
+	m, err := BuildZooModel("wrn-40-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	x := RandomTensor(1, m.InputShape()...)
+	if _, err := sess.Predict(context.Background(), x); err != nil { // warm-up: pack weights
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := sess.Predict(ctx, x)
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond) // into the plan walk
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Skip("inference finished before the cancel landed; host too fast to assert")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-run cancel returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled Predict did not return")
+	}
+}
+
+// TestSessionCloseDrains asserts the facade lifecycle: Close waits for
+// in-flight predicts, then every later request fails with ErrClosed.
+func TestSessionCloseDrains(t *testing.T) {
+	m := stressCNN(t)
+	sess, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandomTensor(3, m.InputShape()...)
+	want, err := sess.Predict(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	outs := make([]*Tensor, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			outs[c], errs[c] = sess.Predict(context.Background(), x)
+		}(c)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for c := 0; c < clients; c++ {
+		switch {
+		case errs[c] == nil:
+			// In flight at Close: must have completed correctly.
+			if !tensor.AllClose(outs[c], want, 0) {
+				t.Errorf("client %d: drained predict diverged", c)
+			}
+		case errors.Is(errs[c], ErrClosed):
+			// Arrived after Close: typed rejection.
+		default:
+			t.Errorf("client %d: %v, want nil or ErrClosed", c, errs[c])
+		}
+	}
+
+	if _, err := sess.Predict(context.Background(), x); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Predict after Close returned %v, want ErrClosed", err)
+	}
+	if _, err := sess.Run(context.Background(), map[string]*Tensor{m.InputName(): x}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after Close returned %v, want ErrClosed", err)
+	}
+	if _, err := sess.NewBatcher(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("NewBatcher after Close returned %v, want ErrClosed", err)
+	}
+	if err := sess.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestSessionCloseDrainsBatcher asserts Session.Close also drains
+// batchers created from the session.
+func TestSessionCloseDrainsBatcher(t *testing.T) {
+	m := stressCNN(t)
+	sess, err := m.Compile(WithMaxBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sess.NewBatcher(WithFlushDeadline(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandomTensor(5, m.InputShape()...)
+	if _, err := b.Predict(context.Background(), x); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Predict(context.Background(), x); !errors.Is(err, ErrClosed) {
+		t.Fatalf("batcher Predict after session Close returned %v, want ErrClosed", err)
+	}
+}
+
+// TestFacadeBatcher covers the embeddable batcher facade: results match
+// the plain predict path, per-request waits work, and Close is local to
+// the batcher.
+func TestFacadeBatcher(t *testing.T) {
+	m := stressCNN(t)
+	sess, err := m.Compile(WithMaxBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	b, err := sess.NewBatcher(WithFlushDeadline(2 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inputs := []*Tensor{
+		RandomTensor(1, m.InputShape()...),
+		RandomTensor(2, m.InputShape()...),
+	}
+	wants := make([]*Tensor, len(inputs))
+	for i, x := range inputs {
+		if wants[i], err = sess.Predict(context.Background(), x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			k := c % len(inputs)
+			out, err := b.PredictWait(context.Background(), inputs[k], time.Duration(c)*time.Millisecond)
+			if err != nil {
+				t.Errorf("client %d: %v", c, err)
+				return
+			}
+			if !tensor.AllClose(out, wants[k], 0) {
+				t.Errorf("client %d: batched result diverged from Predict", c)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	b.Close()
+	if _, err := b.Predict(context.Background(), inputs[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Predict on closed batcher returned %v, want ErrClosed", err)
+	}
+	// The owning session is still open, and the closed batcher has been
+	// unregistered (no accumulation across NewBatcher/Close churn).
+	if _, err := sess.Predict(context.Background(), inputs[0]); err != nil {
+		t.Fatalf("session broken after batcher close: %v", err)
+	}
+	sess.mu.RLock()
+	remaining := len(sess.batchers)
+	sess.mu.RUnlock()
+	if remaining != 0 {
+		t.Fatalf("%d batchers still registered after Close, want 0", remaining)
+	}
+}
+
+// TestTypedErrorTaxonomy asserts the facade's errors are errors.Is-able
+// against the exported sentinels.
+func TestTypedErrorTaxonomy(t *testing.T) {
+	m := stressCNN(t)
+	sess, err := m.Compile(WithMaxBatch(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	x := RandomTensor(1, m.InputShape()...)
+
+	if _, err := sess.Predict(context.Background(), NewTensor(2, 2)); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("bad input shape: %v, want ErrShapeMismatch", err)
+	}
+	if _, err := sess.PredictBatch(context.Background(), []*Tensor{x, x, x}); !errors.Is(err, ErrBatchTooLarge) {
+		t.Errorf("oversized batch: %v, want ErrBatchTooLarge", err)
+	}
+	if _, err := sess.Run(context.Background(), map[string]*Tensor{}); !errors.Is(err, ErrUnknownInput) {
+		t.Errorf("missing input: %v, want ErrUnknownInput", err)
+	}
+	if _, err := sess.Run(context.Background(), map[string]*Tensor{m.InputName(): x, "ghost": x}); !errors.Is(err, ErrUnknownInput) {
+		t.Errorf("undeclared input name: %v, want ErrUnknownInput", err)
+	}
+	big := RandomTensor(2, 3, m.InputShape()[1], m.InputShape()[2], m.InputShape()[3])
+	if _, err := sess.Run(context.Background(), map[string]*Tensor{m.InputName(): big}); !errors.Is(err, ErrBatchTooLarge) {
+		t.Errorf("Run above MaxBatch: %v, want ErrBatchTooLarge", err)
+	}
+}
+
+// TestConcurrentPredictCancelCloseStress is the facade's -race gauntlet:
+// concurrent predicts with random cancellation racing a Close.
+func TestConcurrentPredictCancelCloseStress(t *testing.T) {
+	m := stressCNN(t)
+	sess, err := m.Compile(WithMaxBatch(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandomTensor(9, m.InputShape()...)
+	want, err := sess.Predict(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				if (g+i)%3 == 0 {
+					cancel() // cancelled before the call
+				}
+				out, err := sess.Predict(ctx, x)
+				cancel()
+				switch {
+				case err == nil:
+					if !tensor.AllClose(out, want, 0) {
+						t.Errorf("goroutine %d iter %d: result diverged", g, i)
+						return
+					}
+				case errors.Is(err, context.Canceled), errors.Is(err, ErrClosed):
+				default:
+					t.Errorf("goroutine %d iter %d: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(5 * time.Millisecond)
+	_ = sess.Close()
+	wg.Wait()
+}

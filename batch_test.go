@@ -1,6 +1,7 @@
 package orpheus
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -66,14 +67,14 @@ func TestBatchedMatchesLooped(t *testing.T) {
 			want := make([]*Tensor, maxN)
 			for i := range inputs {
 				inputs[i] = RandomTensor(uint64(100+i), m.InputShape()...)
-				out, err := sess.Predict(inputs[i])
+				out, err := sess.Predict(context.Background(), inputs[i])
 				if err != nil {
 					t.Fatal(err)
 				}
 				want[i] = out
 			}
 			for _, n := range cell.batches {
-				got, err := sess.PredictBatch(inputs[:n])
+				got, err := sess.PredictBatch(context.Background(), inputs[:n])
 				if err != nil {
 					t.Fatalf("n=%d: %v", n, err)
 				}
@@ -104,14 +105,14 @@ func TestBatchSizeInterleaving(t *testing.T) {
 	want := make([]*Tensor, 4)
 	for i := range inputs {
 		inputs[i] = RandomTensor(uint64(7+i), m.InputShape()...)
-		out, err := sess.Predict(inputs[i])
+		out, err := sess.Predict(context.Background(), inputs[i])
 		if err != nil {
 			t.Fatal(err)
 		}
 		want[i] = out
 	}
 	for _, n := range []int{4, 1, 3, 4, 2, 1, 4} {
-		got, err := sess.PredictBatch(inputs[:n])
+		got, err := sess.PredictBatch(context.Background(), inputs[:n])
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -154,19 +155,72 @@ func TestRebatchWithBakedReshape(t *testing.T) {
 	want := make([]*Tensor, 3)
 	for i := range inputs {
 		inputs[i] = RandomTensor(uint64(50+i), 1, 3, 8, 8)
-		out, err := sess.Predict(inputs[i])
+		out, err := sess.Predict(context.Background(), inputs[i])
 		if err != nil {
 			t.Fatal(err)
 		}
 		want[i] = out
 	}
-	got, err := sess.PredictBatch(inputs)
+	got, err := sess.PredictBatch(context.Background(), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range got {
 		if !tensor.AllClose(got[i], want[i], 0) {
 			t.Errorf("sample %d diverged through the rebatched Reshape", i)
+		}
+	}
+}
+
+// TestRebatchWithInferredFlatten covers the other exporter idiom: a
+// flatten written as Reshape [1, -1]. A strict inference would silently
+// fold the runtime batch into the inferred dim ([1, n·C·H·W] instead of
+// [n, C·H·W]) under WithMaxBatch, producing wrong per-sample outputs; the
+// inferred-dim batch fallback must keep the leading dim on the batch. The
+// dense layer after the flatten makes the failure structural (its shape
+// check rejects the folded form), and the numeric sweep pins per-sample
+// equality.
+func TestRebatchWithInferredFlatten(t *testing.T) {
+	r := tensor.NewRNG(23)
+	g := graph.New("inferred-flatten")
+	x, err := g.Input("x", []int{1, 3, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := g.Const("w", tensor.HeNormal(r, 6, 3, 3, 3))
+	c, _ := g.Add("Conv", "conv", graph.Attrs{"pads": []int{1, 1, 1, 1}, "activation": "relu"}, x, w)
+	rs, _ := g.Add("Reshape", "reshape", graph.Attrs{"shape": []int{1, -1}}, c)
+	wd, _ := g.Const("wd", tensor.HeNormal(r, 5, 6*8*8))
+	d, _ := g.Add("Dense", "fc", nil, rs, wd)
+	if err := g.MarkOutput(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := FromGraph(g).Compile(WithMaxBatch(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]*Tensor, 3)
+	want := make([]*Tensor, 3)
+	for i := range inputs {
+		inputs[i] = RandomTensor(uint64(80+i), 1, 3, 8, 8)
+		out, err := sess.Predict(context.Background(), inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+	for _, n := range []int{3, 2} {
+		got, err := sess.PredictBatch(context.Background(), inputs[:n])
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			if !tensor.AllClose(got[i], want[i], 0) {
+				t.Errorf("n=%d sample %d diverged through the inferred-dim Reshape", n, i)
+			}
 		}
 	}
 }
@@ -198,24 +252,24 @@ func TestPredictBatchValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := RandomTensor(1, m.InputShape()...)
-	if _, err := sess.PredictBatch(nil); err == nil {
+	if _, err := sess.PredictBatch(context.Background(), nil); err == nil {
 		t.Error("empty batch accepted")
 	}
-	if _, err := sess.PredictBatch([]*Tensor{x, x, x}); err == nil {
+	if _, err := sess.PredictBatch(context.Background(), []*Tensor{x, x, x}); err == nil {
 		t.Error("batch above MaxBatch accepted")
 	}
-	if _, err := sess.PredictBatch([]*Tensor{NewTensor(2, 2)}); err == nil {
+	if _, err := sess.PredictBatch(context.Background(), []*Tensor{NewTensor(2, 2)}); err == nil {
 		t.Error("wrong-volume input accepted")
 	}
-	if _, err := sess.PredictBatchInto([]*Tensor{nil}, []*Tensor{x, x}); err == nil {
+	if _, err := sess.PredictBatchInto(context.Background(), []*Tensor{nil}, []*Tensor{x, x}); err == nil {
 		t.Error("mismatched destination count accepted")
 	}
-	if _, err := sess.PredictBatchInto([]*Tensor{NewTensor(3)}, []*Tensor{x}); err == nil {
+	if _, err := sess.PredictBatchInto(context.Background(), []*Tensor{NewTensor(3)}, []*Tensor{x}); err == nil {
 		t.Error("wrong-volume destination accepted")
 	}
 	// Runtime-level: a raw Run above MaxBatch must be rejected too.
 	big := RandomTensor(2, 3, m.InputShape()[1], m.InputShape()[2], m.InputShape()[3])
-	if _, err := sess.Run(map[string]*Tensor{m.InputName(): big}); err == nil {
+	if _, err := sess.Run(context.Background(), map[string]*Tensor{m.InputName(): big}); err == nil {
 		t.Error("Run with batch above MaxBatch accepted")
 	}
 }

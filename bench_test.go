@@ -17,6 +17,7 @@
 package orpheus
 
 import (
+	"context"
 	"fmt"
 	goruntime "runtime"
 	"sync"
@@ -88,13 +89,13 @@ func BenchmarkFig2(b *testing.B) {
 			sess := runtime.NewSession(plan)
 			x := tensor.Rand(tensor.NewRNG(1), -1, 1, g.Inputs[0].Shape...)
 			in := map[string]*tensor.Tensor{g.Inputs[0].Name: x}
-			if _, err := sess.Run(in); err != nil { // warm-up
+			if _, err := sess.Run(context.Background(), in); err != nil { // warm-up
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := sess.Run(in); err != nil {
+				if _, err := sess.Run(context.Background(), in); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -186,13 +187,13 @@ func BenchmarkPassesAblation(b *testing.B) {
 			sess := runtime.NewSession(plan)
 			x := tensor.Rand(tensor.NewRNG(2), -1, 1, g.Inputs[0].Shape...)
 			in := map[string]*tensor.Tensor{g.Inputs[0].Name: x}
-			if _, err := sess.Run(in); err != nil {
+			if _, err := sess.Run(context.Background(), in); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := sess.Run(in); err != nil {
+				if _, err := sess.Run(context.Background(), in); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -229,13 +230,13 @@ func BenchmarkLayerwise(b *testing.B) {
 	sess := runtime.NewSession(plan)
 	x := tensor.Rand(tensor.NewRNG(3), -1, 1, g.Inputs[0].Shape...)
 	in := map[string]*tensor.Tensor{g.Inputs[0].Name: x}
-	if _, err := sess.Run(in); err != nil {
+	if _, err := sess.Run(context.Background(), in); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := sess.RunProfiled(in); err != nil {
+		if _, _, err := sess.RunProfiled(context.Background(), in); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -253,13 +254,13 @@ func BenchmarkAutotune(b *testing.B) {
 	sess := runtime.NewSession(plan)
 	x := tensor.Rand(tensor.NewRNG(4), -1, 1, g.Inputs[0].Shape...)
 	in := map[string]*tensor.Tensor{g.Inputs[0].Name: x}
-	if _, err := sess.Run(in); err != nil {
+	if _, err := sess.Run(context.Background(), in); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sess.Run(in); err != nil {
+		if _, err := sess.Run(context.Background(), in); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -280,14 +281,14 @@ func BenchmarkPredictConcurrent(b *testing.B) {
 				b.Fatal(err)
 			}
 			x := RandomTensor(1, m.InputShape()...)
-			if _, err := sess.Predict(x); err != nil { // warm-up
+			if _, err := sess.Predict(context.Background(), x); err != nil { // warm-up
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
-					if _, err := sess.Predict(x); err != nil {
+					if _, err := sess.Predict(context.Background(), x); err != nil {
 						// Fatal must not be called from RunParallel body
 						// goroutines.
 						b.Error(err)
@@ -341,13 +342,13 @@ func benchBatch(b *testing.B, workers int, ns []int) {
 				shape := plan.InputShapeAt(0, n)
 				x := tensor.Rand(tensor.NewRNG(uint64(n)), -1, 1, shape...)
 				in := map[string]*tensor.Tensor{g.Inputs[0].Name: x}
-				if _, err := sess.Run(in); err != nil {
+				if _, err := sess.Run(context.Background(), in); err != nil {
 					b.Fatal(err)
 				}
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := sess.Run(in); err != nil {
+					if _, err := sess.Run(context.Background(), in); err != nil {
 						b.Fatal(err)
 					}
 				}

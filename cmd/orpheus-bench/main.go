@@ -19,9 +19,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"orpheus/internal/harness"
@@ -47,7 +50,13 @@ func main() {
 		return
 	}
 
+	// Ctrl-C aborts a measured sweep between plan steps instead of
+	// killing the process mid-experiment.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	cfg := &harness.Config{
+		Ctx:     ctx,
 		Mode:    harness.Mode(*mode),
 		Reps:    *reps,
 		Warmup:  *warmup,
@@ -89,6 +98,10 @@ func main() {
 }
 
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "orpheus-bench: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "orpheus-bench:", err)
 	os.Exit(1)
 }

@@ -7,15 +7,19 @@
 //
 //	orpheus-export -dir models/                 # all five models
 //	orpheus-export -dir models/ -models wrn-40-2,resnet-18
+//	orpheus-export -dir models/ -models wrn-40-2 -verify   # re-import and compare outputs
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
+	"orpheus"
 	"orpheus/internal/onnx"
 	"orpheus/internal/zoo"
 )
@@ -24,8 +28,12 @@ func main() {
 	var (
 		dir    = flag.String("dir", ".", "output directory")
 		models = flag.String("models", "", "comma-separated subset (default: all)")
+		verify = flag.Bool("verify", false, "re-import each exported file, run one inference and compare against the in-memory graph")
 	)
 	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 
 	names := zoo.Names()
 	if *models != "" {
@@ -49,7 +57,48 @@ func main() {
 		}
 		fmt.Printf("wrote %-28s %7.2f MB  (%d nodes, %.2fM params)\n",
 			path, float64(info.Size())/(1<<20), len(g.Nodes), float64(g.NumParams())/1e6)
+		if *verify {
+			if err := verifyRoundTrip(ctx, path, name); err != nil {
+				fatal(fmt.Errorf("verify %s: %w", name, err))
+			}
+			fmt.Printf("  verified: re-imported file matches in-memory graph\n")
+		}
 	}
+}
+
+// verifyRoundTrip re-imports an exported file and checks one inference
+// against the same zoo model built in memory, using the ctx-based facade
+// so Ctrl-C interrupts the (potentially large) model cleanly.
+func verifyRoundTrip(ctx context.Context, path, name string) error {
+	orig, err := orpheus.BuildZooModel(name)
+	if err != nil {
+		return err
+	}
+	imported, err := orpheus.LoadONNX(path)
+	if err != nil {
+		return err
+	}
+	x := orpheus.RandomTensor(1, orig.InputShape()...)
+	var outs [2]*orpheus.Tensor
+	for i, m := range []*orpheus.Model{orig, imported} {
+		sess, err := m.Compile()
+		if err != nil {
+			return err
+		}
+		out, err := sess.Predict(ctx, x)
+		if err != nil {
+			return err
+		}
+		outs[i] = out
+		_ = sess.Close()
+	}
+	for i := range outs[0].Data() {
+		d := outs[0].Data()[i] - outs[1].Data()[i]
+		if d > 1e-5 || d < -1e-5 {
+			return fmt.Errorf("outputs diverge at %d: %v vs %v", i, outs[0].Data()[i], outs[1].Data()[i])
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

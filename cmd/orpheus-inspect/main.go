@@ -53,11 +53,17 @@ func main() {
 		}
 	}
 	fmt.Printf("graph: %s\n", g)
+	// Mirrors the facade's Session.Inputs()/Outputs() descriptors: name,
+	// shape, dtype, and whether the leading dim is a runtime batch.
 	for _, in := range g.Inputs {
-		fmt.Printf("input:  %-20s %s\n", in.Name, tensor.ShapeString(in.Shape))
+		batched := ""
+		if in.Batched {
+			batched = "  (leading dim batches)"
+		}
+		fmt.Printf("input:  %-20s %-16s float32%s\n", in.Name, tensor.ShapeString(in.Shape), batched)
 	}
 	for _, out := range g.Outputs {
-		fmt.Printf("output: %-20s %s\n", out.Name, tensor.ShapeString(out.Shape))
+		fmt.Printf("output: %-20s %-16s float32\n", out.Name, tensor.ShapeString(out.Shape))
 	}
 
 	counts := g.OpCounts()

@@ -15,9 +15,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 
 	"orpheus"
@@ -37,6 +40,11 @@ func main() {
 		topK      = flag.Int("top", 5, "print the top-K output classes")
 	)
 	flag.Parse()
+
+	// Ctrl-C aborts the inference at the next plan-step boundary instead
+	// of killing the process mid-kernel.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 
 	var (
 		model *orpheus.Model
@@ -65,7 +73,7 @@ func main() {
 
 	x := orpheus.RandomTensor(*seed, model.InputShape()...)
 	if *profile || *tracePath != "" {
-		out, timings, err := sess.PredictProfiled(x)
+		out, timings, err := sess.PredictProfiled(ctx, x)
 		if err != nil {
 			fatal(err)
 		}
@@ -95,12 +103,12 @@ func main() {
 		return
 	}
 
-	stats, err := sess.Benchmark(x, *warmup, *reps)
+	stats, err := sess.Benchmark(ctx, x, *warmup, *reps)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("inference time: %s\n", stats)
-	out, err := sess.Predict(x)
+	out, err := sess.Predict(ctx, x)
 	if err != nil {
 		fatal(err)
 	}
@@ -115,6 +123,10 @@ func printTop(out *orpheus.Tensor, k int) {
 }
 
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "orpheus-run: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "orpheus-run:", err)
 	os.Exit(1)
 }

@@ -6,22 +6,32 @@
 //	orpheus-serve -zoo wrn-40-2 -addr :8080
 //	orpheus-serve -model mobilenet.onnx -backend tvm-sim
 //	orpheus-serve -zoo mobilenet-v1 -max-batch 8 -flush-ms 2   # dynamic batching
+//	orpheus-serve -zoo mobilenet-v1 -max-batch 8 -flush-ms 0   # immediate flush
 //
 //	curl localhost:8080/models
 //	curl -X POST localhost:8080/predict/wrn-40-2 \
 //	     -d '{"input": [ ...3072 floats... ], "topk": 5}'
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: the batchers drain
+// their in-flight batches and the HTTP server finishes open requests
+// before the process exits.
 //
 // The wire contract — endpoints, status codes, wait_ms, batch_size and
 // flush-deadline semantics — is documented in docs/SERVE.md.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"orpheus/internal/onnx"
@@ -37,7 +47,7 @@ func main() {
 		backendN  = flag.String("backend", "orpheus", "execution backend")
 		workers   = flag.Int("workers", 1, "kernel thread budget")
 		maxBatch  = flag.Int("max-batch", 1, "dynamic batching width: coalesce up to N concurrent /predict requests into one batched run (1 disables)")
-		flushMs   = flag.Float64("flush-ms", 2, "batching flush deadline in milliseconds (how long a lone request waits for peers; <= 0 selects the 2ms default)")
+		flushMs   = flag.Float64("flush-ms", 2, "batching flush deadline in milliseconds (how long a lone request waits for peers); 0 selects immediate flush, < 0 the 2ms default")
 	)
 	flag.Parse()
 
@@ -74,6 +84,32 @@ func main() {
 	if hosted == 0 {
 		log.Fatal(fmt.Errorf("nothing to host: pass -zoo and/or -model (zoo models: %v)", zoo.Names()))
 	}
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Printf("shutting down: draining open requests, then batchers")
+		// Order matters: Shutdown first stops accepting and waits for open
+		// handlers — which flow through the still-open batchers, so queued
+		// batched requests complete normally instead of getting 500s. Only
+		// then are the batchers themselves drained.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		s.Close()
+	}()
 	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// ListenAndServe returns as soon as the listeners close; the drain
+	// goroutine signals when open requests and batchers have finished.
+	<-drained
+	log.Printf("bye")
 }

@@ -1,6 +1,7 @@
 package orpheus
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -57,7 +58,7 @@ func TestConcurrentPredictStress(t *testing.T) {
 	}
 	want := make([]*Tensor, len(inputs))
 	for i, x := range inputs {
-		out, err := sess.Predict(x)
+		out, err := sess.Predict(context.Background(), x)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -74,7 +75,7 @@ func TestConcurrentPredictStress(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
 				which := (g + i) % len(inputs)
-				out, err := sess.Predict(inputs[which])
+				out, err := sess.Predict(context.Background(), inputs[which])
 				if err != nil {
 					errc <- err
 					return
@@ -104,7 +105,7 @@ func TestMultiWorkerPredictMatchesSingle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := s1.Predict(x)
+	want, err := s1.Predict(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestMultiWorkerPredictMatchesSingle(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
-				got, err := s4.Predict(x)
+				got, err := s4.Predict(context.Background(), x)
 				if err != nil {
 					t.Error(err)
 					return
@@ -143,7 +144,7 @@ func TestConcurrentRunStress(t *testing.T) {
 	}
 	x := RandomTensor(3, m.InputShape()...)
 	in := map[string]*Tensor{m.InputName(): x}
-	ref, err := sess.Run(in)
+	ref, err := sess.Run(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestConcurrentRunStress(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				outs, err := sess.Run(in)
+				outs, err := sess.Run(context.Background(), in)
 				if err != nil {
 					t.Error(err)
 					return

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -20,6 +21,7 @@ func main() {
 		log.Fatal(err)
 	}
 	input := orpheus.RandomTensor(11, model.InputShape()...)
+	ctx := context.Background()
 
 	fmt.Printf("%s\n\n", model.Summary())
 	fmt.Printf("%-18s %-14s %s\n", "backend", "median", "conv kernels selected")
@@ -33,7 +35,7 @@ func main() {
 			fmt.Printf("%-18s %v\n", name, err)
 			continue
 		}
-		stats, err := sess.Benchmark(input, 1, 3)
+		stats, err := sess.Benchmark(ctx, input, 1, 3)
 		if err != nil {
 			log.Fatal(err)
 		}

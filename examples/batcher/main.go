@@ -1,0 +1,90 @@
+// Batcher: the embeddable dynamic batcher — the same request coalescing
+// the HTTP server uses, driven directly from Go. Concurrent goroutines
+// submit single samples; the batcher packs whatever arrives within a
+// small flush window into one batched run, so under load every packed
+// weight panel is read once per batch instead of once per request. The
+// example also demonstrates the request lifecycle: a per-request
+// deadline, a cancelled request that never executes, and a graceful
+// close that drains in-flight work.
+//
+//	go run ./examples/batcher
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"orpheus"
+)
+
+func main() {
+	model, err := orpheus.BuildZooModel("wrn-40-2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// WithMaxBatch sizes the arena for up to 8 samples per run; the
+	// batcher coalesces up to that many concurrent requests.
+	sess, err := model.Compile(orpheus.WithMaxBatch(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	batcher, err := sess.NewBatcher(orpheus.WithFlushDeadline(5 * time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(model.Summary())
+
+	// Warm one request through so weight packing does not distort the
+	// batch sizes below.
+	if _, err := batcher.Predict(context.Background(), orpheus.RandomTensor(0, model.InputShape()...)); err != nil {
+		log.Fatal(err)
+	}
+
+	// 16 concurrent clients, 8-wide batcher: requests coalesce into a
+	// handful of batched runs instead of 16 solo inferences.
+	const clients = 16
+	var wg sync.WaitGroup
+	results := make([]string, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			input := orpheus.RandomTensor(uint64(c), model.InputShape()...)
+			// Each request carries its own deadline; the batch flushes at
+			// the earliest deadline any member carries.
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			out, err := batcher.Predict(ctx, input)
+			if err != nil {
+				results[c] = fmt.Sprintf("client %2d: %v", c, err)
+				return
+			}
+			results[c] = fmt.Sprintf("client %2d: top class %d", c, out.TopK(1)[0])
+		}(c)
+	}
+	wg.Wait()
+	for _, r := range results {
+		fmt.Println(r)
+	}
+
+	// Lifecycle: a context cancelled while the request is queued aborts
+	// it before the plan ever runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := batcher.Predict(ctx, orpheus.RandomTensor(99, model.InputShape()...)); errors.Is(err, context.Canceled) {
+		fmt.Println("\ncancelled-while-queued request aborted without executing ✓")
+	}
+
+	// Graceful drain: Close stops the batcher, finishes in-flight
+	// batches, and later submissions fail fast with a typed error.
+	batcher.Close()
+	if _, err := batcher.Predict(context.Background(), orpheus.RandomTensor(7, model.InputShape()...)); errors.Is(err, orpheus.ErrClosed) {
+		fmt.Println("closed batcher rejects new work with orpheus.ErrClosed ✓")
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -71,13 +72,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sess.Close()
 	fmt.Println(model.Summary())
+
+	// A camera pipeline has a frame budget: give each frame a deadline,
+	// and a frame that cannot make it is dropped at the next layer
+	// boundary instead of blocking the pipeline.
+	const frameBudget = 10 * time.Second
 
 	for frame := uint64(0); frame < 3; frame++ {
 		img := capture(frame)
 		input := preprocess(img)
 		start := time.Now()
-		probs, err := sess.Predict(input)
+		ctx, cancel := context.WithTimeout(context.Background(), frameBudget)
+		probs, err := sess.Predict(ctx, input)
+		cancel()
 		if err != nil {
 			log.Fatal(err)
 		}

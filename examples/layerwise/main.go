@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -24,12 +25,13 @@ func main() {
 		log.Fatal(err)
 	}
 	input := orpheus.RandomTensor(3, model.InputShape()...)
+	ctx := context.Background()
 
 	// Warm-up, then profile.
-	if _, err := sess.Predict(input); err != nil {
+	if _, err := sess.Predict(ctx, input); err != nil {
 		log.Fatal(err)
 	}
-	_, timings, err := sess.PredictProfiled(input)
+	_, timings, err := sess.PredictProfiled(ctx, input)
 	if err != nil {
 		log.Fatal(err)
 	}

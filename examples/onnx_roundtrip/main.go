@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -41,6 +42,7 @@ func main() {
 	fmt.Printf("re-imported: %s\n", imported.Summary())
 
 	// Same input through both graphs.
+	ctx := context.Background()
 	input := orpheus.RandomTensor(5, model.InputShape()...)
 	s1, err := model.Compile()
 	if err != nil {
@@ -50,11 +52,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	out1, err := s1.Predict(input)
+	out1, err := s1.Predict(ctx, input)
 	if err != nil {
 		log.Fatal(err)
 	}
-	out2, err := s2.Predict(input)
+	out2, err := s2.Predict(ctx, input)
 	if err != nil {
 		log.Fatal(err)
 	}

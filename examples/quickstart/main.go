@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,13 +28,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sess.Close() // graceful drain: waits for in-flight requests
 	weights, arena := sess.MemoryFootprint()
 	fmt.Printf("compiled: %.2f MB weights, %.2f MB activation arena\n",
 		float64(weights)/(1<<20), float64(arena)/(1<<20))
 
-	// 3. Run inference on a deterministic synthetic image.
+	// 3. Run inference on a deterministic synthetic image. Every predict
+	//    path takes a context: cancellation aborts the run at the next
+	//    layer boundary (use context.WithTimeout for a latency budget).
+	ctx := context.Background()
 	input := orpheus.RandomTensor(7, model.InputShape()...)
-	probs, err := sess.Predict(input)
+	probs, err := sess.Predict(ctx, input)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +48,7 @@ func main() {
 	}
 
 	// 4. Time it the way the paper's experiments do (warm-up + repeats).
-	stats, err := sess.Benchmark(input, 1, 3)
+	stats, err := sess.Benchmark(ctx, input, 1, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -46,7 +47,7 @@ func runBackend(t testing.TB, b *Backend, g *graph.Graph, x *tensor.Tensor) *ten
 		t.Fatal(err)
 	}
 	sess := runtime.NewSession(plan)
-	out, err := sess.Run(map[string]*tensor.Tensor{"input": x})
+	out, err := sess.Run(context.Background(), map[string]*tensor.Tensor{"input": x})
 	if err != nil {
 		t.Fatal(err)
 	}

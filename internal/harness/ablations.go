@@ -198,10 +198,10 @@ func runLayerwise(cfg *Config) (*Report, error) {
 		sess := runtime.NewSession(plan)
 		x := tensor.Rand(tensor.NewRNG(1), -1, 1, g.Inputs[0].Shape...)
 		in := map[string]*tensor.Tensor{g.Inputs[0].Name: x}
-		if _, err := sess.Run(in); err != nil { // warm-up
+		if _, err := sess.Run(cfg.Ctx, in); err != nil { // warm-up
 			return nil, err
 		}
-		_, timings, err := sess.RunProfiled(in)
+		_, timings, err := sess.RunProfiled(cfg.Ctx, in)
 		if err != nil {
 			return nil, err
 		}

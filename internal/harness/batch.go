@@ -78,7 +78,7 @@ func batchThroughput(cfg *Config, be *backend.Backend, g *graph.Graph, n int) (f
 		sess := runtime.NewSession(plan)
 		x := tensor.Rand(tensor.NewRNG(tensor.SeedFromString(fmt.Sprintf("batch-%s-%d", g.Name, n))),
 			-1, 1, plan.InputShapeAt(0, n)...)
-		stats, err := runtime.Measure(sess, map[string]*tensor.Tensor{g.Inputs[0].Name: x}, cfg.Warmup, cfg.Reps)
+		stats, err := runtime.Measure(cfg.Ctx, sess, map[string]*tensor.Tensor{g.Inputs[0].Name: x}, cfg.Warmup, cfg.Reps)
 		if err != nil {
 			return 0, err
 		}

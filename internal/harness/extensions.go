@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"orpheus/internal/backend"
@@ -60,7 +61,7 @@ func runThreads(cfg *Config) (*Report, error) {
 				}
 				sess := runtime.NewSession(plan)
 				x := tensor.Rand(tensor.NewRNG(1), -1, 1, g.Inputs[0].Shape...)
-				stats, err := runtime.Measure(sess, map[string]*tensor.Tensor{g.Inputs[0].Name: x}, cfg.Warmup, cfg.Reps)
+				stats, err := runtime.Measure(cfg.Ctx, sess, map[string]*tensor.Tensor{g.Inputs[0].Name: x}, cfg.Warmup, cfg.Reps)
 				if err != nil {
 					return nil, err
 				}
@@ -119,7 +120,7 @@ func runOnce(g *graph.Graph, x *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, err
 	}
 	sess := runtime.NewSession(plan)
-	outs, err := sess.Run(map[string]*tensor.Tensor{g.Inputs[0].Name: x})
+	outs, err := sess.Run(context.Background(), map[string]*tensor.Tensor{g.Inputs[0].Name: x})
 	if err != nil {
 		return nil, err
 	}

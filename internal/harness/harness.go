@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -27,6 +28,10 @@ const (
 
 // Config controls an experiment run.
 type Config struct {
+	// Ctx cancels measured runs between plan steps (default
+	// context.Background()); cancellation surfaces as the experiment's
+	// error.
+	Ctx context.Context
 	// Mode selects simulated, measured, or both (default sim).
 	Mode Mode
 	// Warmup and Reps control measured timing (defaults 1 and 3).
@@ -41,6 +46,9 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
 	if c.Mode == "" {
 		c.Mode = ModeSim
 	}
@@ -133,7 +141,7 @@ func runModelBackend(cfg *Config, g *graph.Graph, modelName string, b *backend.B
 	if cfg.Mode == ModeMeasure || cfg.Mode == ModeBoth {
 		sess := runtime.NewSession(plan)
 		x := tensor.Rand(tensor.NewRNG(tensor.SeedFromString(modelName)), -1, 1, g.Inputs[0].Shape...)
-		stats, err := runtime.Measure(sess, map[string]*tensor.Tensor{g.Inputs[0].Name: x}, cfg.Warmup, cfg.Reps)
+		stats, err := runtime.Measure(cfg.Ctx, sess, map[string]*tensor.Tensor{g.Inputs[0].Name: x}, cfg.Warmup, cfg.Reps)
 		if err != nil {
 			res.excluded = err.Error()
 			return res

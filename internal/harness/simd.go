@@ -175,7 +175,7 @@ func modelLatencyMs(cfg *Config, be *backend.Backend, g *graph.Graph, modelName 
 	}
 	sess := runtime.NewSession(plan)
 	x := tensor.Rand(tensor.NewRNG(tensor.SeedFromString("simd-"+modelName)), -1, 1, g.Inputs[0].Shape...)
-	stats, err := runtime.Measure(sess, map[string]*tensor.Tensor{g.Inputs[0].Name: x}, cfg.Warmup, cfg.Reps)
+	stats, err := runtime.Measure(cfg.Ctx, sess, map[string]*tensor.Tensor{g.Inputs[0].Name: x}, cfg.Warmup, cfg.Reps)
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package onnx
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -55,7 +56,7 @@ func evalGraph(t testing.TB, g *graph.Graph, x *tensor.Tensor) *tensor.Tensor {
 		t.Fatal(err)
 	}
 	sess := runtime.NewSession(plan)
-	out, err := sess.Run(map[string]*tensor.Tensor{g.Inputs[0].Name: x})
+	out, err := sess.Run(context.Background(), map[string]*tensor.Tensor{g.Inputs[0].Name: x})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -153,3 +153,48 @@ func TestCtxCache(t *testing.T) {
 		t.Fatal("cache round-trip failed")
 	}
 }
+
+// TestReshapeShapeInference pins reshapeShape's semantics, in particular
+// the boundary between strict ONNX inference and the batch-relative
+// fallback for baked flatten targets: only a literal leading 1 over a
+// batched (leading dim > 1) input is reinterpreted; ordinary regrouping
+// targets keep their strict meaning.
+func TestReshapeShapeInference(t *testing.T) {
+	fn := graph.ShapeFnFor("Reshape")
+	if fn == nil {
+		t.Fatal("Reshape shape fn not registered")
+	}
+	cases := []struct {
+		name   string
+		in     []int
+		target []int
+		want   []int
+	}{
+		// Strict ONNX semantics must survive the batch fallback.
+		{"regroup on unit batch", []int{1, 24}, []int{2, -1}, []int{2, 12}},
+		{"regroup on multi-row input", []int{4, 6}, []int{2, -1}, []int{2, 12}},
+		{"inferred leading dim", []int{4, 6}, []int{-1, 8}, []int{3, 8}},
+		{"exact literal", []int{2, 3, 4}, []int{6, 4}, []int{6, 4}},
+		// The fallback: a baked [1, -1] flatten over a batched input keeps
+		// the batch on the leading dim instead of folding it into -1.
+		{"baked flatten batch 3", []int{3, 6, 8, 8}, []int{1, -1}, []int{3, 384}},
+		{"baked flatten batch 1", []int{1, 6, 8, 8}, []int{1, -1}, []int{1, 384}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := graph.New("reshape-infer")
+			x, err := g.Input("x", tc.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := &graph.Node{Op: "Reshape", Attrs: graph.Attrs{"shape": tc.target}, Inputs: []*graph.Value{x}}
+			got, err := fn(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 1 || !tensor.ShapeEq(got[0], tc.want) {
+				t.Fatalf("Reshape %v with target %v inferred %v, want %v", tc.in, tc.target, got, tc.want)
+			}
+		})
+	}
+}

@@ -247,6 +247,23 @@ func reshapeShape(n *graph.Node) ([][]int, error) {
 		}
 	}
 	if infer >= 0 {
+		// Batch fallback for inferred targets: exporters bake the build-time
+		// batch (1, by convention) into the leading target dim of
+		// flatten-style reshapes ([1, -1]), and a strict inference would
+		// silently fold the runtime batch into the inferred dim after
+		// graph.Rebatch ([1, n·C·H·W] — wrong per-sample outputs). Read a
+		// literal leading 1 batch-relatively when the input actually carries
+		// a batch: the leading dim follows the input's batch and -1 infers
+		// the per-sample remainder. The gate is deliberately tight — only a
+		// baked batch of exactly 1 qualifies, so ordinary regrouping targets
+		// like [2, -1] over an unbatched input keep their strict ONNX
+		// semantics, and a mistyped target still fails the volume check.
+		if infer > 0 && len(n.Inputs[0].Shape) > 0 && out[0] == 1 {
+			if in0 := n.Inputs[0].Shape[0]; in0 > 1 && prod > 0 && vol%(prod*in0) == 0 {
+				prod *= in0
+				out[0] = in0
+			}
+		}
 		if prod == 0 || vol%prod != 0 {
 			return nil, fmt.Errorf("Reshape cannot infer -1: volume %d vs partial %d", vol, prod)
 		}

@@ -1,6 +1,7 @@
 package passes
 
 import (
+	"context"
 	"testing"
 
 	"orpheus/internal/graph"
@@ -54,7 +55,7 @@ func evaluate(t testing.TB, g *graph.Graph, x *tensor.Tensor) *tensor.Tensor {
 		t.Fatal(err)
 	}
 	sess := runtime.NewSession(plan)
-	out, err := sess.Run(map[string]*tensor.Tensor{g.Inputs[0].Name: x})
+	out, err := sess.Run(context.Background(), map[string]*tensor.Tensor{g.Inputs[0].Name: x})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestFuseActivationOnAdd(t *testing.T) {
 	}
 	plan, _ := runtime.Compile(g, runtime.Options{})
 	sess := runtime.NewSession(plan)
-	out, err := sess.Run(map[string]*tensor.Tensor{
+	out, err := sess.Run(context.Background(), map[string]*tensor.Tensor{
 		"a": tensor.FromSlice([]float32{-1, 2, -3, 4}, 1, 4),
 		"b": tensor.FromSlice([]float32{0, -5, 1, 1}, 1, 4),
 	})

@@ -1,6 +1,7 @@
 package quant
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -91,7 +92,7 @@ func TestQuantizeGraphOnWRN(t *testing.T) {
 			t.Fatal(err)
 		}
 		sess := runtime.NewSession(plan)
-		out, err := sess.Run(map[string]*tensor.Tensor{"input": x})
+		out, err := sess.Run(context.Background(), map[string]*tensor.Tensor{"input": x})
 		if err != nil {
 			t.Fatal(err)
 		}

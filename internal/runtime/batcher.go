@@ -1,0 +1,347 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"orpheus/internal/tensor"
+)
+
+// Batcher coalesces concurrent single-sample predict requests over one
+// SessionPool into batched Session.Run calls — dynamic batching as a
+// library primitive any Go embedder can use, not an HTTP-server internal.
+//
+// A collector goroutine gathers requests until the batch is full (the
+// plan's MaxBatch) or the earliest pending request's deadline expires,
+// then hands the batch to a fresh goroutine that borrows a pooled
+// session, stages the samples into one [n, ...] tensor, runs once, and
+// fans the output rows back out. Collection continues while batches
+// execute, and every executing batch holds its own pooled session, so
+// batching stacks on top of — not instead of — the session pool's
+// request concurrency.
+//
+// The request lifecycle is context-first:
+//
+//   - A context cancelled while the request is queued aborts it before it
+//     is staged: Submit returns ctx.Err() and the sample never reaches a
+//     Session.Run.
+//   - Once a batch has claimed the request, completed work is not
+//     discarded: Submit delivers the result even if the context expires
+//     while the batch executes.
+//   - Close drains gracefully: requests already handed to the collector
+//     run to completion; later Submits fail with ErrClosed.
+type Batcher struct {
+	pool     *SessionPool
+	inName   string
+	outName  string
+	inShape1 []int
+	perVol   int
+	max      int
+	defWait  time.Duration
+	immed    bool
+
+	reqs      chan *batchReq
+	flushNow  chan struct{}
+	stop      chan struct{}
+	collected chan struct{}
+	batches   sync.WaitGroup
+	closeOnce sync.Once
+	runs      atomic.Int64
+}
+
+// BatcherOptions configures NewBatcher.
+type BatcherOptions struct {
+	// FlushDeadline is how long a lone request waits for batch peers
+	// before the batcher flushes it through on its own (each Submit may
+	// shorten it per request). Zero or negative selects DefaultFlushDeadline.
+	FlushDeadline time.Duration
+
+	// Immediate selects immediate-flush mode: every request executes as
+	// soon as the collector sees it, batched only with requests that are
+	// already queued at that instant. FlushDeadline is ignored.
+	Immediate bool
+}
+
+// DefaultFlushDeadline is the default per-request wait for batch peers.
+const DefaultFlushDeadline = 2 * time.Millisecond
+
+// batchReq states: a request is pending until either an executing batch
+// claims (stages) it or a cancelled submitter abandons it; the CAS
+// decides races between the two.
+const (
+	reqPending int32 = iota
+	reqStaged
+	reqAbandoned
+)
+
+// batchReq is one request in flight through the batcher.
+type batchReq struct {
+	ctx     context.Context
+	input   []float32
+	flushBy time.Time
+	state   atomic.Int32
+	done    chan batchOutcome
+}
+
+// batchOutcome carries one request's result or the batch's error.
+type batchOutcome struct {
+	res BatchResult
+	err error
+}
+
+// BatchResult is one request's slice of a batched run.
+type BatchResult struct {
+	// Output holds one sample's output values (private to the request).
+	Output []float32
+	// Shape is the single-sample output shape.
+	Shape []int
+	// BatchSize reports how many requests shared the Session.Run that
+	// produced this output.
+	BatchSize int
+}
+
+// NewBatcher builds a dynamic batcher over the pool's plan. The plan must
+// have exactly one input and one output (the flat-sample staging contract;
+// multi-I/O graphs run through Session.Run directly) and is used at its
+// compiled MaxBatch.
+func NewBatcher(pool *SessionPool, opts BatcherOptions) (*Batcher, error) {
+	ins, outs := pool.Plan().InputDescs(), pool.Plan().OutputDescs()
+	if len(ins) != 1 || len(outs) != 1 {
+		return nil, fmt.Errorf("runtime: batcher needs a single-input single-output plan, got %d inputs and %d outputs", len(ins), len(outs))
+	}
+	if opts.FlushDeadline <= 0 {
+		opts.FlushDeadline = DefaultFlushDeadline
+	}
+	b := &Batcher{
+		pool:      pool,
+		inName:    ins[0].Name,
+		outName:   outs[0].Name,
+		inShape1:  ins[0].Shape,
+		perVol:    tensor.Volume(ins[0].Shape),
+		max:       pool.Plan().MaxBatch(),
+		defWait:   opts.FlushDeadline,
+		immed:     opts.Immediate,
+		reqs:      make(chan *batchReq),
+		flushNow:  make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		collected: make(chan struct{}),
+	}
+	go b.collect()
+	return b, nil
+}
+
+// MaxBatch returns the largest batch one run coalesces (the plan's
+// MaxBatch).
+func (b *Batcher) MaxBatch() int { return b.max }
+
+// Runs reports how many batched Session.Run executions the batcher has
+// launched — observability for tests and load diagnostics.
+func (b *Batcher) Runs() int64 { return b.runs.Load() }
+
+// Submit enqueues one flat row-major sample (exactly the plan's
+// single-sample input volume) and blocks until its outcome. wait caps how
+// long the request lingers waiting for batch peers (≤ 0 means the
+// batcher's FlushDeadline); ctx cancellation aborts the request while it
+// is queued, but a request already claimed by an executing batch delivers
+// its completed result regardless.
+func (b *Batcher) Submit(ctx context.Context, sample []float32, wait time.Duration) (BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(sample) != b.perVol {
+		return BatchResult{}, fmt.Errorf("runtime: batcher sample has %d values, plan input %q wants %d: %w",
+			len(sample), b.inName, b.perVol, ErrShapeMismatch)
+	}
+	if wait <= 0 {
+		wait = b.defWait
+	}
+	r := &batchReq{
+		ctx:     ctx,
+		input:   sample,
+		flushBy: time.Now().Add(wait),
+		done:    make(chan batchOutcome, 1),
+	}
+	select {
+	case b.reqs <- r:
+	case <-b.stop:
+		return BatchResult{}, fmt.Errorf("runtime: batcher: %w", ErrClosed)
+	case <-ctx.Done():
+		return BatchResult{}, ctx.Err()
+	}
+	select {
+	case o := <-r.done:
+		return o.res, o.err
+	case <-ctx.Done():
+		// Queued requests abandon cleanly; the CAS loses only against a
+		// batch that already claimed the request, and claimed work is
+		// delivered, not discarded.
+		if r.state.CompareAndSwap(reqPending, reqAbandoned) {
+			return BatchResult{}, ctx.Err()
+		}
+		o := <-r.done
+		return o.res, o.err
+	}
+}
+
+// Flush asks the collector to execute whatever is queued right now
+// instead of waiting out the flush deadline. When nothing is gathering,
+// the signal applies to the next batch. Flush never blocks.
+func (b *Batcher) Flush() {
+	select {
+	case b.flushNow <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the batcher and drains it: requests already handed to the
+// collector execute to completion, queued-but-unreceived and future
+// Submits fail with ErrClosed, and Close returns only after every
+// in-flight batch has delivered its results. Safe to call more than once
+// and from multiple goroutines.
+func (b *Batcher) Close() {
+	b.closeOnce.Do(func() { close(b.stop) })
+	<-b.collected
+	b.batches.Wait()
+}
+
+// collect is the batching loop: one batch at a time is gathered, then
+// executed asynchronously while the next gathers.
+func (b *Batcher) collect() {
+	defer close(b.collected)
+	timer := time.NewTimer(time.Hour)
+	stopTimer(timer)
+	for {
+		var first *batchReq
+		select {
+		case first = <-b.reqs:
+		case <-b.stop:
+			return
+		}
+		batch := append(make([]*batchReq, 0, b.max), first)
+		if b.immed {
+			// Immediate mode: batch only what is already queued, without
+			// waiting for anyone.
+		drain:
+			for len(batch) < b.max {
+				select {
+				case r := <-b.reqs:
+					batch = append(batch, r)
+				default:
+					break drain
+				}
+			}
+		} else {
+			flushBy := first.flushBy
+			timer.Reset(time.Until(flushBy))
+		gather:
+			for len(batch) < b.max {
+				select {
+				case r := <-b.reqs:
+					batch = append(batch, r)
+					// The batch flushes at the earliest deadline any member
+					// carries, so one impatient request caps everyone's wait.
+					if r.flushBy.Before(flushBy) {
+						flushBy = r.flushBy
+						timer.Reset(time.Until(flushBy))
+					}
+				case <-timer.C:
+					break gather
+				case <-b.flushNow:
+					break gather
+				case <-b.stop:
+					// Graceful drain: run what is already gathered.
+					stopTimer(timer)
+					b.launch(batch)
+					return
+				}
+			}
+			stopTimer(timer)
+		}
+		b.launch(batch)
+	}
+}
+
+// stopTimer stops t and clears any pending expiry, leaving it ready for
+// Reset.
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+// launch hands a gathered batch to its own goroutine, tracked so Close
+// can wait for in-flight work.
+func (b *Batcher) launch(batch []*batchReq) {
+	b.batches.Add(1)
+	go func() {
+		defer b.batches.Done()
+		b.runBatch(batch)
+	}()
+}
+
+// runBatch claims the batch's live requests, executes them as one
+// Session.Run and fans results out. Staging and per-request row copies
+// are allocated per batch: the rows must outlive the session borrow, so
+// pooling here would complicate ownership for noise-level savings — the
+// allocation-free batched path is PredictBatchInto at the facade.
+func (b *Batcher) runBatch(batch []*batchReq) {
+	// Claim phase: requests cancelled while queued are dropped before
+	// staging, so their plans never run.
+	claimed := batch[:0]
+	for _, r := range batch {
+		if r.ctx.Err() == nil && r.state.CompareAndSwap(reqPending, reqStaged) {
+			claimed = append(claimed, r)
+		}
+	}
+	n := len(claimed)
+	if n == 0 {
+		return
+	}
+	b.runs.Add(1)
+	stage := make([]float32, n*b.perVol)
+	for i, r := range claimed {
+		copy(stage[i*b.perVol:(i+1)*b.perVol], r.input)
+	}
+	shape := append([]int(nil), b.inShape1...)
+	shape[0] *= n
+	in := tensor.FromSlice(stage, shape...)
+
+	// The batch itself runs uncancellable: it serves every claimed
+	// request, and one caller's deadline must not discard peers' work.
+	sess := b.pool.Get()
+	outs, err := sess.Run(context.Background(), map[string]*tensor.Tensor{b.inName: in})
+	var out *tensor.Tensor
+	if err == nil {
+		if out = outs[b.outName]; out == nil {
+			err = fmt.Errorf("runtime: batcher output %q missing: %w", b.outName, ErrNoOutput)
+		}
+	}
+	if err == nil && (out.Rank() == 0 || out.Dim(0)%n != 0) {
+		err = fmt.Errorf("runtime: batcher output %v does not split across batch %d: %w", out.Shape(), n, ErrShapeMismatch)
+	}
+	if err != nil {
+		b.pool.Put(sess)
+		for _, r := range claimed {
+			r.done <- batchOutcome{err: err}
+		}
+		return
+	}
+	rowVol := out.Size() / n
+	rowShape := append([]int(nil), out.Shape()...)
+	rowShape[0] /= n
+	od := out.Data()
+	for i, r := range claimed {
+		row := make([]float32, rowVol)
+		copy(row, od[i*rowVol:(i+1)*rowVol])
+		r.done <- batchOutcome{res: BatchResult{Output: row, Shape: rowShape, BatchSize: n}}
+	}
+	// Results are copied out above, so the session (whose arena the output
+	// aliases) can go back to the pool only now.
+	b.pool.Put(sess)
+}

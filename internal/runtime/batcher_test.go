@@ -1,0 +1,316 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/ops"
+	"orpheus/internal/tensor"
+)
+
+// slowKernel delays a wrapped kernel so tests can observe a plan that is
+// still executing when deadlines expire.
+type slowKernel struct {
+	ops.Kernel
+	delay time.Duration
+}
+
+func (k slowKernel) Run(ctx *ops.Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	time.Sleep(k.delay)
+	return k.Kernel.Run(ctx, n, in, out)
+}
+
+// slowPolicy wraps every selected kernel in a slowKernel.
+type slowPolicy struct{ delay time.Duration }
+
+func (p slowPolicy) Name() string { return "test-slow" }
+func (p slowPolicy) Select(n *graph.Node) (ops.Kernel, error) {
+	k, err := ReferencePolicy{}.Select(n)
+	if err != nil {
+		return nil, err
+	}
+	return slowKernel{Kernel: k, delay: p.delay}, nil
+}
+
+// newTestBatcher compiles smallCNN at the given MaxBatch and wraps a pool
+// and batcher around it.
+func newTestBatcher(t *testing.T, maxBatch int, opts BatcherOptions, policy Policy) (*Batcher, *SessionPool) {
+	t.Helper()
+	plan, err := Compile(smallCNN(t), Options{MaxBatch: maxBatch, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewSessionPool(plan)
+	b, err := NewBatcher(pool, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	return b, pool
+}
+
+// sampleFor builds a deterministic input sample.
+func sampleFor(seed int) []float32 {
+	s := make([]float32, 3*8*8)
+	for i := range s {
+		s[i] = 0.01 * float32((i*(seed+3))%17)
+	}
+	return s
+}
+
+// referenceRow runs one sample through the pool directly (batch 1).
+func referenceRow(t *testing.T, pool *SessionPool, sample []float32) []float32 {
+	t.Helper()
+	in := tensor.FromSlice(append([]float32(nil), sample...), 1, 3, 8, 8)
+	outs, err := pool.Run(context.Background(), map[string]*tensor.Tensor{"x": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range outs {
+		return v.Data()
+	}
+	t.Fatal("no output")
+	return nil
+}
+
+func TestBatcherServesAndMatchesReference(t *testing.T) {
+	b, pool := newTestBatcher(t, 4, BatcherOptions{FlushDeadline: 2 * time.Millisecond}, nil)
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sample := sampleFor(c % 3)
+			res, err := b.Submit(context.Background(), sample, 0)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			if res.BatchSize < 1 || res.BatchSize > 4 {
+				errs[c] = fmt.Errorf("batch size %d outside 1..4", res.BatchSize)
+				return
+			}
+			want := referenceRow(t, pool, sample)
+			for i := range res.Output {
+				if res.Output[i] != want[i] {
+					errs[c] = fmt.Errorf("output[%d] = %v, want %v", i, res.Output[i], want[i])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", c, err)
+		}
+	}
+	if b.Runs() < 1 {
+		t.Error("batcher reports no runs after serving requests")
+	}
+}
+
+// TestBatcherCancelWhileQueuedSkipsPlan asserts the core lifecycle
+// guarantee: a context cancelled while the request is queued returns
+// context.Canceled and the plan never executes for it.
+func TestBatcherCancelWhileQueuedSkipsPlan(t *testing.T) {
+	b, _ := newTestBatcher(t, 4, BatcherOptions{FlushDeadline: 150 * time.Millisecond}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(ctx, sampleFor(1), 0)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the collector receive the request
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled queued Submit returned %v, want context.Canceled", err)
+		}
+	case <-time.After(100 * time.Millisecond):
+		t.Fatal("cancelled Submit did not return before the flush deadline")
+	}
+	// Flush deadline passes; the abandoned request must not have run.
+	time.Sleep(200 * time.Millisecond)
+	if got := b.Runs(); got != 0 {
+		t.Fatalf("plan ran %d times for a request cancelled while queued, want 0", got)
+	}
+}
+
+// TestBatcherDeadlineDuringExecutionStillDelivers asserts the other half
+// of the lifecycle: once a batch has claimed a request, its completed
+// result is delivered even if the submitter's deadline expires while the
+// batch executes.
+func TestBatcherDeadlineDuringExecutionStillDelivers(t *testing.T) {
+	// ~7 nodes × 10ms ≈ 70ms per run; the 30ms context deadline expires
+	// mid-execution.
+	b, pool := newTestBatcher(t, 2, BatcherOptions{FlushDeadline: time.Millisecond}, slowPolicy{delay: 10 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	sample := sampleFor(2)
+	res, err := b.Submit(ctx, sample, 0)
+	if err != nil {
+		t.Fatalf("Submit returned %v; a claimed request must deliver its completed result", err)
+	}
+	if ctx.Err() == nil {
+		t.Skip("run finished before the deadline; timing too coarse to assert")
+	}
+	want := referenceRow(t, pool, sample)
+	for i := range res.Output {
+		if res.Output[i] != want[i] {
+			t.Fatalf("delivered result diverged from reference at %d", i)
+		}
+	}
+}
+
+// TestBatcherCloseDrains asserts graceful drain: requests in flight at
+// Close complete (or fail fast with ErrClosed if never handed over), and
+// every Submit after Close fails with ErrClosed without executing.
+func TestBatcherCloseDrains(t *testing.T) {
+	b, _ := newTestBatcher(t, 4, BatcherOptions{FlushDeadline: 50 * time.Millisecond}, slowPolicy{delay: 2 * time.Millisecond})
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			_, errs[c] = b.Submit(context.Background(), sampleFor(c), 0)
+		}(c)
+	}
+	time.Sleep(10 * time.Millisecond) // in-flight: some gathered, some queued
+	b.Close()
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil && !errors.Is(err, ErrClosed) {
+			t.Errorf("client %d: %v, want nil or ErrClosed", c, err)
+		}
+	}
+	runsAtClose := b.Runs()
+	if _, err := b.Submit(context.Background(), sampleFor(0), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close returned %v, want ErrClosed", err)
+	}
+	if b.Runs() != runsAtClose {
+		t.Fatal("Submit after Close executed a plan")
+	}
+}
+
+func TestBatcherImmediateMode(t *testing.T) {
+	b, pool := newTestBatcher(t, 4, BatcherOptions{Immediate: true}, nil)
+	// A lone request must be served without waiting for peers.
+	sample := sampleFor(5)
+	start := time.Now()
+	res, err := b.Submit(context.Background(), sample, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("immediate-mode lone request took %v", elapsed)
+	}
+	want := referenceRow(t, pool, sample)
+	for i := range res.Output {
+		if res.Output[i] != want[i] {
+			t.Fatalf("immediate-mode output diverged at %d", i)
+		}
+	}
+	// Concurrent fire still coalesces only what is queued; all served.
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if _, err := b.Submit(context.Background(), sampleFor(c), 0); err != nil {
+				t.Errorf("client %d: %v", c, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestBatcherTypedErrors(t *testing.T) {
+	b, _ := newTestBatcher(t, 2, BatcherOptions{}, nil)
+	if _, err := b.Submit(context.Background(), []float32{1, 2, 3}, 0); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("short sample returned %v, want ErrShapeMismatch", err)
+	}
+
+	// Multi-input plans are rejected at construction.
+	g := graph.New("two-in")
+	a, _ := g.Input("a", []int{1, 8})
+	c, _ := g.Input("b", []int{1, 8})
+	s, _ := g.Add("Add", "sum", nil, a, c)
+	_ = g.MarkOutput(s)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBatcher(NewSessionPool(plan), BatcherOptions{}); err == nil {
+		t.Fatal("NewBatcher accepted a two-input plan")
+	}
+}
+
+// TestBatcherSubmitCancelCloseStress is the -race gauntlet over the full
+// lifecycle: concurrent submitters, random cancellation, a flusher, and a
+// final Close racing in-flight work.
+func TestBatcherSubmitCancelCloseStress(t *testing.T) {
+	b, pool := newTestBatcher(t, 3, BatcherOptions{FlushDeadline: time.Millisecond}, nil)
+	wants := make([][]float32, 3)
+	for k := range wants {
+		wants[k] = referenceRow(t, pool, sampleFor(k))
+	}
+	const goroutines = 8
+	const iters = 15
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(gi)))
+			for i := 0; i < iters; i++ {
+				k := (gi + i) % len(wants)
+				ctx, cancel := context.WithCancel(context.Background())
+				if rng.Intn(3) == 0 {
+					delay := time.Duration(rng.Intn(300)) * time.Microsecond
+					go func() {
+						time.Sleep(delay)
+						cancel()
+					}()
+				}
+				res, err := b.Submit(ctx, sampleFor(k), time.Duration(rng.Intn(3))*time.Millisecond)
+				cancel()
+				if err != nil {
+					if !errors.Is(err, context.Canceled) && !errors.Is(err, ErrClosed) {
+						t.Errorf("goroutine %d iter %d: %v", gi, i, err)
+						return
+					}
+					continue
+				}
+				for j := range res.Output {
+					if res.Output[j] != wants[k][j] {
+						t.Errorf("goroutine %d iter %d: output bled across requests", gi, i)
+						return
+					}
+				}
+				if i%5 == 0 {
+					b.Flush()
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	b.Close()
+	if _, err := b.Submit(context.Background(), sampleFor(0), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-stress Submit after Close returned %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,39 @@
+package runtime
+
+import "errors"
+
+// Typed sentinel errors of the inference request lifecycle. Every error the
+// runtime (and the facade above it) returns for these conditions wraps one
+// of the sentinels with %w, so callers branch with errors.Is instead of
+// matching message strings:
+//
+//	if errors.Is(err, runtime.ErrShapeMismatch) { /* 400, not 500 */ }
+//
+// The sentinels deliberately carry no request detail themselves — the
+// wrapping error holds the shapes, names and limits — so they stay stable
+// comparison anchors across releases.
+var (
+	// ErrShapeMismatch marks an input (or destination) tensor whose shape
+	// or volume does not match what the compiled plan expects.
+	ErrShapeMismatch = errors.New("shape mismatch")
+
+	// ErrUnknownInput marks a named input that the graph does not declare,
+	// or a declared graph input missing from the request.
+	ErrUnknownInput = errors.New("unknown input")
+
+	// ErrUnknownOutput marks a request for an output name the graph does
+	// not produce.
+	ErrUnknownOutput = errors.New("unknown output")
+
+	// ErrBatchTooLarge marks a request whose batch exceeds the MaxBatch the
+	// plan was compiled for.
+	ErrBatchTooLarge = errors.New("batch exceeds plan MaxBatch")
+
+	// ErrClosed marks a request submitted after Close: the session,
+	// batcher or server has drained and no longer accepts work.
+	ErrClosed = errors.New("closed")
+
+	// ErrNoOutput marks a graph that produced no output tensor (a model
+	// hosting error, not a request error).
+	ErrNoOutput = errors.New("model has no outputs")
+)

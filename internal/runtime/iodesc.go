@@ -1,0 +1,56 @@
+package runtime
+
+import "orpheus/internal/graph"
+
+// IODesc describes one graph input or output at the API boundary: its
+// name, its single-sample shape, its element type and whether its leading
+// dimension carries the runtime batch. It is the metadata callers need to
+// drive the named-tensor Run path — including multi-input/multi-output
+// graphs — without reaching into the IR.
+type IODesc struct {
+	// Name is the value name the Run input/output maps are keyed by.
+	Name string
+	// Shape is the value's shape at batch 1 (one sample). For batched
+	// values the leading dimension scales with the runtime batch n, up to
+	// the plan's MaxBatch.
+	Shape []int
+	// DType is the element type; every Orpheus tensor is "float32" today,
+	// but the descriptor carries it so mixed-precision plans stay
+	// representable.
+	DType string
+	// Batched reports whether one of Shape's dimensions scales with the
+	// runtime batch under this plan: the caller may multiply it by any
+	// 1 ≤ n ≤ MaxBatch. Always false on plans compiled at MaxBatch 1,
+	// which accept exactly the planned shapes.
+	Batched bool
+}
+
+// InputDescs describes the plan's graph inputs in declaration order.
+func (p *Plan) InputDescs() []IODesc {
+	descs := make([]IODesc, len(p.g.Inputs))
+	for i, v := range p.g.Inputs {
+		descs[i] = p.descFor(v)
+	}
+	return descs
+}
+
+// OutputDescs describes the plan's graph outputs in declaration order.
+func (p *Plan) OutputDescs() []IODesc {
+	descs := make([]IODesc, len(p.g.Outputs))
+	for i, v := range p.g.Outputs {
+		descs[i] = p.descFor(v)
+	}
+	return descs
+}
+
+// descFor builds the descriptor of one graph value, reporting its shape
+// at batch 1 regardless of the plan's MaxBatch.
+func (p *Plan) descFor(v *graph.Value) IODesc {
+	m := p.metaFor(v)
+	return IODesc{
+		Name:    v.Name,
+		Shape:   append([]int(nil), m.base...),
+		DType:   "float32",
+		Batched: m.dim >= 0,
+	}
+}

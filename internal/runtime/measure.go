@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -27,20 +28,22 @@ func (s Stats) String() string {
 
 // Measure runs warm-up iterations followed by timed repetitions of the
 // whole graph and returns the distribution. This mirrors the paper's
-// experiment infrastructure for "evaluating full networks".
-func Measure(s *Session, inputs map[string]*tensor.Tensor, warmup, reps int) (Stats, error) {
+// experiment infrastructure for "evaluating full networks". A cancelled
+// ctx aborts the measurement at the next plan-step boundary, so long
+// sweeps stay interruptible.
+func Measure(ctx context.Context, s *Session, inputs map[string]*tensor.Tensor, warmup, reps int) (Stats, error) {
 	if reps < 1 {
 		return Stats{}, fmt.Errorf("runtime: Measure needs at least 1 rep, got %d", reps)
 	}
 	for i := 0; i < warmup; i++ {
-		if _, err := s.Run(inputs); err != nil {
+		if _, err := s.Run(ctx, inputs); err != nil {
 			return Stats{}, err
 		}
 	}
 	durations := make([]time.Duration, reps)
 	for i := range durations {
 		start := time.Now()
-		if _, err := s.Run(inputs); err != nil {
+		if _, err := s.Run(ctx, inputs); err != nil {
 			return Stats{}, err
 		}
 		durations[i] = time.Since(start)

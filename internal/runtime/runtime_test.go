@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -45,7 +46,7 @@ func runGraph(t testing.TB, g *graph.Graph, opts Options, x *tensor.Tensor) *ten
 		t.Fatal(err)
 	}
 	sess := NewSession(plan)
-	out, err := sess.Run(map[string]*tensor.Tensor{g.Inputs[0].Name: x})
+	out, err := sess.Run(context.Background(), map[string]*tensor.Tensor{g.Inputs[0].Name: x})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,13 +94,13 @@ func TestRepeatedRunsAreDeterministic(t *testing.T) {
 	sess := NewSession(plan)
 	x := tensor.Rand(tensor.NewRNG(4), -1, 1, 1, 3, 8, 8)
 	in := map[string]*tensor.Tensor{"x": x}
-	out1, err := sess.Run(in)
+	out1, err := sess.Run(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
 	first := out1["prob_out"].Clone()
 	for i := 0; i < 3; i++ {
-		out, err := sess.Run(in)
+		out, err := sess.Run(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,11 +129,11 @@ func TestMissingAndMisshapenInputs(t *testing.T) {
 	g := smallCNN(t)
 	plan, _ := Compile(g, Options{})
 	sess := NewSession(plan)
-	if _, err := sess.Run(map[string]*tensor.Tensor{}); err == nil || !strings.Contains(err.Error(), "missing input") {
+	if _, err := sess.Run(context.Background(), map[string]*tensor.Tensor{}); err == nil || !strings.Contains(err.Error(), "missing input") {
 		t.Fatalf("missing input not reported: %v", err)
 	}
 	bad := tensor.New(1, 3, 4, 4)
-	if _, err := sess.Run(map[string]*tensor.Tensor{"x": bad}); err == nil || !strings.Contains(err.Error(), "shape") {
+	if _, err := sess.Run(context.Background(), map[string]*tensor.Tensor{"x": bad}); err == nil || !strings.Contains(err.Error(), "shape") {
 		t.Fatalf("shape mismatch not reported: %v", err)
 	}
 }
@@ -142,7 +143,7 @@ func TestRunProfiledCoversAllNodes(t *testing.T) {
 	plan, _ := Compile(g, Options{})
 	sess := NewSession(plan)
 	x := tensor.Rand(tensor.NewRNG(5), -1, 1, 1, 3, 8, 8)
-	_, timings, err := sess.RunProfiled(map[string]*tensor.Tensor{"x": x})
+	_, timings, err := sess.RunProfiled(context.Background(), map[string]*tensor.Tensor{"x": x})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,14 +232,14 @@ func TestMeasureStats(t *testing.T) {
 	plan, _ := Compile(g, Options{})
 	sess := NewSession(plan)
 	x := tensor.Rand(tensor.NewRNG(7), -1, 1, 1, 3, 8, 8)
-	stats, err := Measure(sess, map[string]*tensor.Tensor{"x": x}, 1, 5)
+	stats, err := Measure(context.Background(), sess, map[string]*tensor.Tensor{"x": x}, 1, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.Runs != 5 || stats.Min <= 0 || stats.Median < stats.Min || stats.Max < stats.Median {
 		t.Fatalf("implausible stats: %+v", stats)
 	}
-	if _, err := Measure(sess, map[string]*tensor.Tensor{"x": x}, 0, 0); err == nil {
+	if _, err := Measure(context.Background(), sess, map[string]*tensor.Tensor{"x": x}, 0, 0); err == nil {
 		t.Fatal("Measure with 0 reps should error")
 	}
 }

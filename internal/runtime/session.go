@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -179,19 +180,19 @@ func (s *Session) resolveBatch(inputs map[string]*tensor.Tensor) (int, error) {
 	for i, in := range s.plan.g.Inputs {
 		t, ok := inputs[in.Name]
 		if !ok {
-			return 0, fmt.Errorf("runtime: missing input %q", in.Name)
+			return 0, fmt.Errorf("runtime: missing input %q: %w", in.Name, ErrUnknownInput)
 		}
 		m := s.plan.metaFor(in)
 		if m.static() {
 			if !tensor.ShapeEq(t.Shape(), in.Shape) {
-				return 0, fmt.Errorf("runtime: input %q has shape %v, want %v", in.Name, t.Shape(), in.Shape)
+				return 0, fmt.Errorf("runtime: input %q has shape %v, want %v: %w", in.Name, t.Shape(), in.Shape, ErrShapeMismatch)
 			}
 			s.inTensors[i] = t
 			continue
 		}
 		got := t.Shape()
 		if len(got) != len(m.base) || got[m.dim]%m.base[m.dim] != 0 {
-			return 0, fmt.Errorf("runtime: input %q has shape %v, want %v with a batched dim %d", in.Name, got, m.base, m.dim)
+			return 0, fmt.Errorf("runtime: input %q has shape %v, want %v with a batched dim %d: %w", in.Name, got, m.base, m.dim, ErrShapeMismatch)
 		}
 		bn := got[m.dim] / m.base[m.dim]
 		for d := range got {
@@ -200,22 +201,44 @@ func (s *Session) resolveBatch(inputs map[string]*tensor.Tensor) (int, error) {
 				want *= bn
 			}
 			if got[d] != want {
-				return 0, fmt.Errorf("runtime: input %q has shape %v, want %v with dim %d scaled by the batch", in.Name, got, m.base, m.dim)
+				return 0, fmt.Errorf("runtime: input %q has shape %v, want %v with dim %d scaled by the batch: %w", in.Name, got, m.base, m.dim, ErrShapeMismatch)
 			}
 		}
-		if bn < 1 || bn > s.plan.maxBatch {
-			return 0, fmt.Errorf("runtime: input %q batch %d outside 1..%d (plan MaxBatch)", in.Name, bn, s.plan.maxBatch)
+		if bn > s.plan.maxBatch {
+			return 0, fmt.Errorf("runtime: input %q batch %d outside 1..%d (plan MaxBatch): %w", in.Name, bn, s.plan.maxBatch, ErrBatchTooLarge)
+		}
+		if bn < 1 {
+			return 0, fmt.Errorf("runtime: input %q batch %d outside 1..%d (plan MaxBatch): %w", in.Name, bn, s.plan.maxBatch, ErrShapeMismatch)
 		}
 		if n != 0 && bn != n {
-			return 0, fmt.Errorf("runtime: inputs disagree on batch size (%d vs %d)", bn, n)
+			return 0, fmt.Errorf("runtime: inputs disagree on batch size (%d vs %d): %w", bn, n, ErrShapeMismatch)
 		}
 		n = bn
 		s.inTensors[i] = t
+	}
+	// Every declared input resolved; a larger request map must carry names
+	// the graph does not declare (the error path may allocate freely).
+	if len(inputs) > len(s.plan.g.Inputs) {
+		for name := range inputs {
+			if v := s.plan.g.Value(name); v == nil || !isGraphInput(s.plan.g, v) {
+				return 0, fmt.Errorf("runtime: graph %q declares no input %q: %w", s.plan.g.Name, name, ErrUnknownInput)
+			}
+		}
 	}
 	if n == 0 {
 		n = s.plan.maxBatch // no batched inputs: run at the planned shapes
 	}
 	return n, nil
+}
+
+// isGraphInput reports whether v is one of g's declared inputs.
+func isGraphInput(g *graph.Graph, v *graph.Value) bool {
+	for _, in := range g.Inputs {
+		if in == v {
+			return true
+		}
+	}
+	return false
 }
 
 // LayerTiming records one node execution during a profiled run.
@@ -232,24 +255,55 @@ type LayerTiming struct {
 // returned map and the output tensors (which alias arena storage) are
 // reused by the next Run at the same batch size on this session; Clone
 // tensors to keep results across runs.
-func (s *Session) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
-	outs, _, err := s.run(inputs, false)
+//
+// Cancellation is checked between plan steps: when ctx is cancelled (or
+// its deadline passes) Run returns ctx.Err() at the next step boundary,
+// leaving the arena in an undefined but reusable state. The check is a
+// non-blocking channel poll, so an inert context (context.Background)
+// costs one nil comparison per step and the steady-state path stays
+// allocation-free.
+func (s *Session) Run(ctx context.Context, inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	outs, _, err := s.run(ctx, inputs, false)
 	return outs, err
 }
 
 // RunProfiled is Run plus per-layer wall-clock timings.
-func (s *Session) RunProfiled(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, []LayerTiming, error) {
-	return s.run(inputs, true)
+func (s *Session) RunProfiled(ctx context.Context, inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, []LayerTiming, error) {
+	return s.run(ctx, inputs, true)
 }
 
-func (s *Session) run(inputs map[string]*tensor.Tensor, profile bool) (map[string]*tensor.Tensor, []LayerTiming, error) {
+// cancelCheck returns the context's done channel, observed once per run;
+// a nil channel (context.Background and friends) disables the per-step
+// poll entirely.
+func cancelCheck(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// cancelled performs the non-blocking per-step poll of done.
+func cancelled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Session) run(ctx context.Context, inputs map[string]*tensor.Tensor, profile bool) (map[string]*tensor.Tensor, []LayerTiming, error) {
 	if s.slots == nil {
-		return s.runDynamic(inputs, profile)
+		return s.runDynamic(ctx, inputs, profile)
 	}
 	n, err := s.resolveBatch(inputs)
 	if err != nil {
 		return nil, nil, err
 	}
+	done := cancelCheck(ctx)
 	b := s.binds[n]
 	if b == nil {
 		b = s.bindFor(n)
@@ -263,6 +317,9 @@ func (s *Session) run(inputs map[string]*tensor.Tensor, profile bool) (map[strin
 		timings = make([]LayerTiming, 0, len(b.steps))
 	}
 	for i := range b.steps {
+		if cancelled(done) {
+			return nil, timings, ctx.Err()
+		}
 		st := &b.steps[i]
 		for _, z := range st.zero {
 			for j := range z {
@@ -299,11 +356,12 @@ func (s *Session) run(inputs map[string]*tensor.Tensor, profile bool) (map[strin
 // every run, emulating frameworks that allocate per operator call
 // (torch-sim; ablation A3). It honours the runtime batch the same way the
 // arena path does, allocating values at their batch-n shapes.
-func (s *Session) runDynamic(inputs map[string]*tensor.Tensor, profile bool) (map[string]*tensor.Tensor, []LayerTiming, error) {
+func (s *Session) runDynamic(ctx context.Context, inputs map[string]*tensor.Tensor, profile bool) (map[string]*tensor.Tensor, []LayerTiming, error) {
 	n, err := s.resolveBatch(inputs)
 	if err != nil {
 		return nil, nil, err
 	}
+	done := cancelCheck(ctx)
 	bound := make(map[*graph.Value]*tensor.Tensor, len(s.plan.slotOf)+len(inputs))
 	for i, in := range s.plan.g.Inputs {
 		bound[in] = s.inTensors[i]
@@ -314,6 +372,9 @@ func (s *Session) runDynamic(inputs map[string]*tensor.Tensor, profile bool) (ma
 		timings = make([]LayerTiming, 0, len(s.plan.steps))
 	}
 	for _, st := range s.plan.steps {
+		if cancelled(done) {
+			return nil, timings, ctx.Err()
+		}
 		in := make([]*tensor.Tensor, len(st.node.Inputs))
 		for i, v := range st.node.Inputs {
 			t, err := tensorFor(bound, v)

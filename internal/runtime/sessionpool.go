@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"sync"
 
 	"orpheus/internal/tensor"
@@ -39,10 +40,11 @@ func (sp *SessionPool) Put(s *Session) { sp.pool.Put(s) }
 
 // Run borrows a session, executes the graph and returns cloned outputs
 // that remain valid after the session goes back to the pool. It is safe
-// for any number of concurrent callers.
-func (sp *SessionPool) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+// for any number of concurrent callers. Cancellation via ctx is honoured
+// at plan-step boundaries, exactly as in Session.Run.
+func (sp *SessionPool) Run(ctx context.Context, inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
 	s := sp.Get()
-	outs, err := s.Run(inputs)
+	outs, err := s.Run(ctx, inputs)
 	if err != nil {
 		sp.Put(s)
 		return nil, err

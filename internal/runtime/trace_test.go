@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestWriteTrace(t *testing.T) {
 	}
 	sess := NewSession(plan)
 	x := tensor.Rand(tensor.NewRNG(8), -1, 1, 1, 3, 8, 8)
-	_, timings, err := sess.RunProfiled(map[string]*tensor.Tensor{"x": x})
+	_, timings, err := sess.RunProfiled(context.Background(), map[string]*tensor.Tensor{"x": x})
 	if err != nil {
 		t.Fatal(err)
 	}

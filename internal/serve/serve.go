@@ -10,21 +10,25 @@
 //
 // Inputs are flat row-major float32 arrays matching one sample of the
 // model's input shape; the handler validates length so malformed clients
-// get a 400, not a panic. Error statuses are uniform across endpoints:
-// unknown model → 404, malformed body or input → 400, execution failure →
-// 500.
+// get a 400, not a panic. Error statuses are uniform across endpoints and
+// derived from the runtime's typed error set with errors.Is (see
+// statusFor): unknown model → 404, malformed body or input → 400,
+// execution failure or shutdown → 500.
 //
 // Servers created with WithMaxBatch(n > 1) batch dynamically: concurrent
 // /predict requests to one model are coalesced into a single batched
-// Session.Run (flushing when the batch is full or after a small deadline,
-// default 2ms), so under load every packed weight panel is read once per
-// batch instead of once per request. Requests can cap their own wait with
-// "wait_ms"; /profile always runs solo, since its per-layer timings
-// describe a single inference.
+// Session.Run by a runtime.Batcher (flushing when the batch is full or
+// after a small deadline, default 2ms), so under load every packed weight
+// panel is read once per batch instead of once per request. Requests can
+// cap their own wait with "wait_ms"; each request's queue slot is tied to
+// its http.Request context, so a disconnected client is dropped before
+// its sample is ever staged. /profile always runs solo, since its
+// per-layer timings describe a single inference.
 package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -40,7 +44,7 @@ import (
 
 // DefaultFlushDeadline is how long a lone request waits for batch peers
 // before the batcher flushes it through on its own.
-const DefaultFlushDeadline = 2 * time.Millisecond
+const DefaultFlushDeadline = runtime.DefaultFlushDeadline
 
 // Entry is one hosted model. Requests are served concurrently: each
 // in-flight request (or batch of requests) borrows a session from the
@@ -54,9 +58,10 @@ type Entry struct {
 	sessions *runtime.SessionPool
 
 	inName   string
+	outName  string
 	inShape1 []int // input shape of a single sample
 	perVol   int   // values per sample
-	batcher  *batcher
+	batcher  *runtime.Batcher
 }
 
 // Server hosts compiled models behind an http.Handler.
@@ -66,6 +71,7 @@ type Server struct {
 
 	maxBatch int
 	flush    time.Duration
+	flushSet bool
 }
 
 // Option configures a Server.
@@ -79,9 +85,12 @@ func WithMaxBatch(n int) Option {
 }
 
 // WithFlushDeadline sets how long a pending request waits for batch peers
-// before being flushed (default DefaultFlushDeadline).
+// before being flushed. Exactly 0 selects immediate-flush mode: every
+// request executes as soon as the collector sees it, batched only with
+// requests already queued at that instant. Negative values select the
+// default (DefaultFlushDeadline).
 func WithFlushDeadline(d time.Duration) Option {
-	return func(s *Server) { s.flush = d }
+	return func(s *Server) { s.flush, s.flushSet = d, true }
 }
 
 // New returns an empty server.
@@ -93,13 +102,15 @@ func New(opts ...Option) *Server {
 	if s.maxBatch < 1 {
 		s.maxBatch = 1
 	}
-	if s.flush <= 0 {
+	if !s.flushSet || s.flush < 0 {
 		s.flush = DefaultFlushDeadline
 	}
 	return s
 }
 
-// AddModel compiles g under the named backend and hosts it as name.
+// AddModel compiles g under the named backend and hosts it as name. The
+// HTTP wire contract is single-I/O (one flat input array, one output
+// array), so multi-input/multi-output graphs are rejected.
 func (s *Server) AddModel(name string, g *graph.Graph, backendName string, workers int) error {
 	be, err := backend.ByName(backendName)
 	if err != nil {
@@ -109,12 +120,17 @@ func (s *Server) AddModel(name string, g *graph.Graph, backendName string, worke
 	if err != nil {
 		return fmt.Errorf("serve: compiling %s: %w", name, err)
 	}
+	ins, outs := plan.InputDescs(), plan.OutputDescs()
+	if len(ins) != 1 || len(outs) != 1 {
+		return fmt.Errorf("serve: model %q has %d inputs and %d outputs; the HTTP contract serves single-input single-output models", name, len(ins), len(outs))
+	}
 	e := &Entry{
 		Name:     name,
 		Backend:  backendName,
 		graph:    g,
 		sessions: runtime.NewSessionPool(plan),
-		inName:   g.Inputs[0].Name,
+		inName:   ins[0].Name,
+		outName:  outs[0].Name,
 		inShape1: plan.InputShapeAt(0, 1),
 	}
 	e.perVol = tensor.Volume(e.inShape1)
@@ -124,22 +140,30 @@ func (s *Server) AddModel(name string, g *graph.Graph, backendName string, worke
 		return fmt.Errorf("serve: model %q already hosted", name)
 	}
 	if s.maxBatch > 1 {
-		e.batcher = newBatcher(e, plan.MaxBatch(), s.flush)
+		e.batcher, err = runtime.NewBatcher(e.sessions, runtime.BatcherOptions{
+			FlushDeadline: s.flush,
+			Immediate:     s.flush == 0,
+		})
+		if err != nil {
+			return fmt.Errorf("serve: batching %s: %w", name, err)
+		}
 	}
 	s.entries[name] = e
 	return nil
 }
 
-// Close stops the server's batchers. In-flight batched requests fail
-// fast; the plain per-request path keeps working. The batcher pointers
-// themselves are immutable after AddModel (handlers read them without the
-// lock), so Close only signals the stop channels.
+// Close drains the server's batchers gracefully: requests already handed
+// to a collector execute to completion, queued and future batched
+// requests fail with runtime.ErrClosed, and Close returns once in-flight
+// batches have delivered. The plain per-request path keeps working. The
+// batcher pointers themselves are immutable after AddModel (handlers read
+// them without the lock), so Close only drains the batchers.
 func (s *Server) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, e := range s.entries {
 		if e.batcher != nil {
-			e.batcher.close()
+			e.batcher.Close()
 		}
 	}
 }
@@ -223,6 +247,26 @@ func (s *Server) entry(name string) (*Entry, bool) {
 	return e, ok
 }
 
+// statusFor maps an execution error onto the wire contract with
+// errors.Is over the runtime's typed error set: request-shaped failures
+// are the client's fault (400), everything else — including shutdown and
+// a cancelled request context — is a 500 the same way any aborted
+// execution is. Unknown models are mapped to 404 before execution, in
+// lookupAndDecode.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, runtime.ErrShapeMismatch),
+		errors.Is(err, runtime.ErrBatchTooLarge),
+		errors.Is(err, runtime.ErrUnknownInput),
+		errors.Is(err, runtime.ErrUnknownOutput):
+		return http.StatusBadRequest
+	default:
+		// runtime.ErrClosed, runtime.ErrNoOutput, context.Canceled (the
+		// client is gone and never reads the status) and kernel failures.
+		return http.StatusInternalServerError
+	}
+}
+
 // lookupAndDecode resolves the request's model and body with the uniform
 // status mapping: unknown model → 404, malformed body → 400. It writes the
 // error response itself and returns ok=false when the request is done.
@@ -238,8 +282,8 @@ func (s *Server) lookupAndDecode(w http.ResponseWriter, r *http.Request) (*Entry
 		return nil, predictRequest{}, false
 	}
 	if len(req.Input) != e.perVol {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("input has %d values, model %s wants %d (%s)",
-			len(req.Input), e.Name, e.perVol, tensor.ShapeString(e.inShape1)))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("input has %d values, model %s wants %d (%s): %w",
+			len(req.Input), e.Name, e.perVol, tensor.ShapeString(e.inShape1), runtime.ErrShapeMismatch))
 		return nil, predictRequest{}, false
 	}
 	return e, req, true
@@ -257,26 +301,26 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		batch = 1
 	)
 	if e.batcher != nil {
-		out := e.batcher.submit(req.Input, time.Duration(req.WaitMs*float64(time.Millisecond)), r.Context().Done())
-		if out.err != nil {
-			writeError(w, http.StatusInternalServerError, out.err)
+		res, err := e.batcher.Submit(r.Context(), req.Input, time.Duration(req.WaitMs*float64(time.Millisecond)))
+		if err != nil {
+			writeError(w, statusFor(err), err)
 			return
 		}
-		data, shape, batch = out.data, out.shape, out.batch
+		data, shape, batch = res.Output, res.Shape, res.BatchSize
 	} else {
 		sess := e.sessions.Get()
-		outs, err := sess.Run(map[string]*tensor.Tensor{e.inName: tensor.FromSlice(req.Input, e.inShape1...)})
+		outs, err := sess.Run(r.Context(), map[string]*tensor.Tensor{e.inName: tensor.FromSlice(req.Input, e.inShape1...)})
 		if err == nil {
-			if out := firstOutput(outs); out != nil {
+			if out := outs[e.outName]; out != nil {
 				data = append([]float32(nil), out.Data()...)
 				shape = out.Shape()
 			} else {
-				err = fmt.Errorf("model %q produced no output", e.Name)
+				err = fmt.Errorf("model %q produced no output: %w", e.Name, runtime.ErrNoOutput)
 			}
 		}
 		e.sessions.Put(sess)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, statusFor(err), err)
 			return
 		}
 	}
@@ -298,10 +342,10 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := e.sessions.Get()
-	_, timings, err := sess.RunProfiled(map[string]*tensor.Tensor{e.inName: tensor.FromSlice(req.Input, e.inShape1...)})
+	_, timings, err := sess.RunProfiled(r.Context(), map[string]*tensor.Tensor{e.inName: tensor.FromSlice(req.Input, e.inShape1...)})
 	e.sessions.Put(sess)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	rows := make([]layerTimingJSON, len(timings))

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"orpheus/internal/graph"
+	"orpheus/internal/runtime"
 	"orpheus/internal/tensor"
 )
 
@@ -432,4 +434,171 @@ func TestAddModelErrors(t *testing.T) {
 		t.Fatal("tflite-sim single-thread should fail compile")
 	}
 	_ = fmt.Sprint() // keep fmt for future expansion
+}
+
+// TestStatusForTypedErrors pins the errors.Is-based status derivation:
+// request-shaped failures map to 400, everything else to 500, regardless
+// of how deeply the sentinel is wrapped.
+func TestStatusForTypedErrors(t *testing.T) {
+	wrap := func(err error) error { return fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", err)) }
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{wrap(runtime.ErrShapeMismatch), http.StatusBadRequest},
+		{wrap(runtime.ErrBatchTooLarge), http.StatusBadRequest},
+		{wrap(runtime.ErrUnknownInput), http.StatusBadRequest},
+		{wrap(runtime.ErrUnknownOutput), http.StatusBadRequest},
+		{wrap(runtime.ErrClosed), http.StatusInternalServerError},
+		{wrap(runtime.ErrNoOutput), http.StatusInternalServerError},
+		{context.Canceled, http.StatusInternalServerError},
+		{fmt.Errorf("kernel exploded"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := statusFor(tc.err); got != tc.want {
+			t.Errorf("statusFor(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestImmediateFlushMode checks WithFlushDeadline(0): the server batches
+// opportunistically (only what is already queued) and still produces
+// reference-identical outputs under concurrent fire.
+func TestImmediateFlushMode(t *testing.T) {
+	input := make([]float32, 3*8*8)
+	for i := range input {
+		input[i] = 0.03 * float32(i%7)
+	}
+	want := referenceOutput(t, input)
+
+	_, ts := newTestServer(t, WithMaxBatch(4), WithFlushDeadline(0))
+	// A lone request must not wait for peers that never come.
+	start := time.Now()
+	resp := postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": input})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lone immediate predict = %d", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("lone immediate predict took %v", elapsed)
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, _ := json.Marshal(map[string]any{"input": input})
+			r, err := http.Post(ts.URL+"/predict/tiny", "application/json", bytes.NewReader(b))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer r.Body.Close()
+			var out struct {
+				Output    []float32 `json:"output"`
+				BatchSize int       `json:"batch_size"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&out); err != nil {
+				errs[i] = err
+				return
+			}
+			if out.BatchSize < 1 || out.BatchSize > 4 {
+				errs[i] = fmt.Errorf("batch_size %d outside 1..4", out.BatchSize)
+				return
+			}
+			for j := range out.Output {
+				if out.Output[j] != want[j] {
+					errs[i] = fmt.Errorf("output diverged at %d", j)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+}
+
+// TestCloseDrainsBatchedRequests asserts the graceful-drain contract of
+// Server.Close over the runtime batcher: requests racing the shutdown
+// either complete with correct outputs or fail with the 500 the contract
+// maps shutdown to — never hang, never return garbage.
+func TestCloseDrainsBatchedRequests(t *testing.T) {
+	input := make([]float32, 3*8*8)
+	for i := range input {
+		input[i] = 0.02 * float32(i%5)
+	}
+	want := referenceOutput(t, input)
+
+	s, ts := newTestServer(t, WithMaxBatch(4), WithFlushDeadline(5*time.Millisecond))
+	const clients = 8
+	var wg sync.WaitGroup
+	type result struct {
+		status int
+		out    []float32
+	}
+	results := make([]result, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, _ := json.Marshal(map[string]any{"input": input})
+			r, err := http.Post(ts.URL+"/predict/tiny", "application/json", bytes.NewReader(b))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer r.Body.Close()
+			results[i].status = r.StatusCode
+			var out struct {
+				Output []float32 `json:"output"`
+			}
+			_ = json.NewDecoder(r.Body).Decode(&out)
+			results[i].out = out.Output
+		}(i)
+	}
+	time.Sleep(2 * time.Millisecond)
+	s.Close()
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: transport error %v", i, errs[i])
+		}
+		switch results[i].status {
+		case http.StatusOK:
+			for j := range results[i].out {
+				if results[i].out[j] != want[j] {
+					t.Errorf("client %d: drained output diverged at %d", i, j)
+				}
+			}
+		case http.StatusInternalServerError:
+			// Arrived after the drain: typed ErrClosed → 500 per contract.
+		default:
+			t.Errorf("client %d: status %d, want 200 or 500", i, results[i].status)
+		}
+	}
+}
+
+// TestAddModelRejectsMultiIO pins the single-I/O contract of the HTTP
+// wire format.
+func TestAddModelRejectsMultiIO(t *testing.T) {
+	g := graph.New("two-out")
+	x, _ := g.Input("input", []int{1, 4})
+	a, _ := g.Add("Relu", "a", nil, x)
+	m, _ := g.Add("Softmax", "b", nil, x)
+	_ = g.MarkOutput(a)
+	_ = g.MarkOutput(m)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	if err := s.AddModel("two-out", g, "orpheus", 1); err == nil {
+		t.Fatal("multi-output model accepted by the single-I/O HTTP contract")
+	}
 }

@@ -1,6 +1,7 @@
 package zoo
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -141,7 +142,7 @@ func runModel(t *testing.T, g *graph.Graph) *tensor.Tensor {
 	}
 	sess := runtime.NewSession(plan)
 	x := tensor.Rand(tensor.NewRNG(99), -1, 1, g.Inputs[0].Shape...)
-	out, err := sess.Run(map[string]*tensor.Tensor{g.Inputs[0].Name: x})
+	out, err := sess.Run(context.Background(), map[string]*tensor.Tensor{g.Inputs[0].Name: x})
 	if err != nil {
 		t.Fatal(err)
 	}

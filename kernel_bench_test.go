@@ -11,6 +11,7 @@ package orpheus
 //	go test -run '^$' -bench 'BenchmarkKernel' -benchmem .
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -98,13 +99,13 @@ func BenchmarkKernelModel(b *testing.B) {
 				sess := runtime.NewSession(plan)
 				x := tensor.Rand(tensor.NewRNG(1), -1, 1, g.Inputs[0].Shape...)
 				in := map[string]*tensor.Tensor{g.Inputs[0].Name: x}
-				if _, err := sess.Run(in); err != nil { // warm-up packs weights
+				if _, err := sess.Run(context.Background(), in); err != nil { // warm-up packs weights
 					b.Fatal(err)
 				}
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := sess.Run(in); err != nil {
+					if _, err := sess.Run(context.Background(), in); err != nil {
 						b.Fatal(err)
 					}
 				}

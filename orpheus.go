@@ -3,11 +3,21 @@
 // Framework for Easy Deployment and Evaluation of Edge Inference"
 // (Gibson & Cano, ISPASS 2020).
 //
-// The facade wraps the internal subsystems behind a small API:
+// The facade wraps the internal subsystems behind a small, context-first
+// API designed for the serving path:
 //
 //	model, _ := orpheus.LoadONNX("mobilenet.onnx")     // or orpheus.BuildZooModel("mobilenet-v1")
 //	sess, _ := model.Compile(orpheus.WithBackend("orpheus"))
-//	out, _ := sess.Predict(input)                       // *orpheus.Tensor, NCHW float32
+//	defer sess.Close()                                  // graceful drain
+//	out, _ := sess.Predict(ctx, input)                  // *orpheus.Tensor, NCHW float32
+//
+// Every predict path takes a context.Context: cancellation aborts a
+// request while it waits in a batcher queue and interrupts a running plan
+// at the next step boundary. Errors wrap the typed sentinels
+// (ErrShapeMismatch, ErrClosed, ...) so callers branch with errors.Is.
+// Multi-input/multi-output graphs run through the named-tensor Run path,
+// described by the Inputs and Outputs descriptors. See docs/API.md for
+// the full request lifecycle.
 //
 // Layers are first-class citizens with multiple registered kernels;
 // Compile selects one implementation per layer through the chosen
@@ -17,9 +27,12 @@
 package orpheus
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"orpheus/internal/backend"
 	"orpheus/internal/graph"
@@ -32,6 +45,38 @@ import (
 
 // Tensor is the dense float32 NCHW tensor type used at the API boundary.
 type Tensor = tensor.Tensor
+
+// IODesc describes one model input or output at the API boundary: name,
+// single-sample shape, element type and whether the shape scales with the
+// runtime batch. It is the metadata needed to drive Run on
+// multi-input/multi-output graphs without reaching into the IR.
+type IODesc = runtime.IODesc
+
+// Typed sentinel errors of the request lifecycle, re-exported from the
+// runtime so embedders switch on errors.Is without importing internals.
+// Context cancellation surfaces as context.Canceled /
+// context.DeadlineExceeded, not as a package sentinel.
+var (
+	// ErrShapeMismatch marks an input or destination tensor whose shape or
+	// volume does not match the compiled plan.
+	ErrShapeMismatch = runtime.ErrShapeMismatch
+	// ErrUnknownInput marks a named input the graph does not declare, or a
+	// declared input missing from a Run request.
+	ErrUnknownInput = runtime.ErrUnknownInput
+	// ErrUnknownOutput marks a request for an output name the graph does
+	// not produce.
+	ErrUnknownOutput = runtime.ErrUnknownOutput
+	// ErrBatchTooLarge marks a batch larger than the session's MaxBatch.
+	ErrBatchTooLarge = runtime.ErrBatchTooLarge
+	// ErrClosed marks a request submitted after Close.
+	ErrClosed = runtime.ErrClosed
+	// ErrNoOutput marks a graph that produced no output tensor.
+	ErrNoOutput = runtime.ErrNoOutput
+	// ErrMultiIO marks a single-tensor convenience call (Predict,
+	// PredictBatch, Benchmark, ...) on a model with more than one input or
+	// output; use Run with named tensors instead.
+	ErrMultiIO = errors.New("model has multiple inputs/outputs; use Run with named tensors")
+)
 
 // NewTensor returns a zero tensor of the given shape.
 func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
@@ -87,10 +132,11 @@ func (m *Model) SaveONNX(path string) error { return onnx.ExportFile(m.g, path) 
 // optimising).
 func (m *Model) Graph() *graph.Graph { return m.g }
 
-// InputName returns the model's (single) input value name.
+// InputName returns the model's first input value name (models with more
+// than one input are described by Session.Inputs).
 func (m *Model) InputName() string { return m.g.Inputs[0].Name }
 
-// InputShape returns the model's input shape.
+// InputShape returns the model's first input shape.
 func (m *Model) InputShape() []int { return m.g.Inputs[0].Shape }
 
 // Summary returns a one-line description of the model.
@@ -147,14 +193,32 @@ func Backends() []string { return backend.Names() }
 // staging buffers) from an internal sync.Pool, so concurrent requests
 // share the compiled plan and its packed weights but never share mutable
 // state.
+//
+// Close drains the session: it waits for in-flight requests, shuts down
+// any batchers created with NewBatcher, and makes subsequent requests
+// fail with ErrClosed.
 type Session struct {
 	model    *Model
 	sessions *runtime.SessionPool
 	maxBatch int
+	singleIO bool
 	inName   string
-	inShape1 []int // model input shape at batch 1
-	perVol   int   // elements per sample
+	outName  string // single output name when singleIO
+	inShape1 []int  // model input shape at batch 1
+	perVol   int    // elements per sample
 	states   sync.Pool
+
+	// mu gates the request lifecycle: every request holds it shared for
+	// its duration, Close takes it exclusively — so Close both drains
+	// in-flight work and flips closed atomically with respect to new
+	// requests. batchers lists the NewBatcher children Close must drain;
+	// closeOnce/closeDone make every Close caller block until the full
+	// drain (requests and batchers) has finished.
+	mu        sync.RWMutex
+	closed    bool
+	batchers  []*Batcher
+	closeOnce sync.Once
+	closeDone chan struct{}
 }
 
 // predictState is the reusable staging of the Predict paths: the
@@ -184,11 +248,16 @@ func (m *Model) Compile(opts ...CompileOption) (*Session, error) {
 		return nil, err
 	}
 	s := &Session{
-		model:    m,
-		sessions: runtime.NewSessionPool(plan),
-		maxBatch: plan.MaxBatch(),
-		inName:   m.InputName(),
-		inShape1: plan.InputShapeAt(0, 1),
+		model:     m,
+		sessions:  runtime.NewSessionPool(plan),
+		maxBatch:  plan.MaxBatch(),
+		singleIO:  len(m.g.Inputs) == 1 && len(plan.OutputDescs()) == 1,
+		inName:    m.InputName(),
+		inShape1:  plan.InputShapeAt(0, 1),
+		closeDone: make(chan struct{}),
+	}
+	if outs := plan.OutputDescs(); len(outs) == 1 {
+		s.outName = outs[0].Name
 	}
 	s.perVol = tensor.Volume(s.inShape1)
 	s.states.New = func() any {
@@ -200,6 +269,56 @@ func (m *Model) Compile(opts ...CompileOption) (*Session, error) {
 // MaxBatch returns the largest batch a single Predict/Run call accepts
 // (set by WithMaxBatch; default 1).
 func (s *Session) MaxBatch() int { return s.maxBatch }
+
+// Inputs describes the model's inputs: one descriptor per graph input,
+// in declaration order, with single-sample shapes. Together with Outputs
+// it is the contract for driving Run on any graph, including
+// multi-input/multi-output ones.
+func (s *Session) Inputs() []IODesc { return s.sessions.Plan().InputDescs() }
+
+// Outputs describes the model's outputs, mirroring Inputs.
+func (s *Session) Outputs() []IODesc { return s.sessions.Plan().OutputDescs() }
+
+// acquire registers one in-flight request; it fails once the session is
+// closed. The shared lock costs two atomic operations per request and no
+// allocations on the steady-state path.
+func (s *Session) acquire() error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return fmt.Errorf("orpheus: session: %w", ErrClosed)
+	}
+	return nil
+}
+
+// release ends an in-flight request.
+func (s *Session) release() { s.mu.RUnlock() }
+
+// Close drains the session gracefully: batchers created with NewBatcher
+// stop accepting work and finish their in-flight batches, every predict
+// already past its ErrClosed check completes, and only then does Close
+// return. Subsequent predicts fail with ErrClosed. Close is idempotent
+// and safe to call concurrently with requests.
+func (s *Session) Close() error {
+	s.closeOnce.Do(func() {
+		// Acquiring the write side waits out every in-flight request (they
+		// hold the read side); setting closed under it makes the rejection
+		// of new requests atomic with the drain.
+		s.mu.Lock()
+		s.closed = true
+		batchers := s.batchers
+		s.batchers = nil
+		s.mu.Unlock()
+		for _, b := range batchers {
+			b.rb.Close() // blocks until the batcher's in-flight batches deliver
+		}
+		close(s.closeDone)
+	})
+	// Every caller — not just the first — returns only after the full
+	// drain has finished.
+	<-s.closeDone
+	return nil
+}
 
 // stageView returns the state's staging view for batch n, growing the
 // staging buffer on first use.
@@ -218,9 +337,10 @@ func (st *predictState) stageView(s *Session, n int) *Tensor {
 
 // Predict runs inference on a single input tensor and returns a copy of
 // the model's (single) output. The copy is freshly allocated; latency-
-// critical callers should reuse an output tensor via PredictInto.
-func (s *Session) Predict(input *Tensor) (*Tensor, error) {
-	return s.PredictInto(nil, input)
+// critical callers should reuse an output tensor via PredictInto. A
+// cancelled ctx interrupts the running plan at the next step boundary.
+func (s *Session) Predict(ctx context.Context, input *Tensor) (*Tensor, error) {
+	return s.PredictInto(ctx, nil, input)
 }
 
 // PredictInto is Predict with a caller-owned destination: the output is
@@ -228,35 +348,39 @@ func (s *Session) Predict(input *Tensor) (*Tensor, error) {
 // dst is returned. A nil dst allocates a fresh output tensor. With a
 // reused dst the whole facade path — staging, session run, output copy —
 // performs zero steady-state heap allocations.
-func (s *Session) PredictInto(dst, input *Tensor) (*Tensor, error) {
+func (s *Session) PredictInto(ctx context.Context, dst, input *Tensor) (*Tensor, error) {
+	if err := s.acquire(); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	if !s.singleIO {
+		return nil, fmt.Errorf("orpheus: Predict: %w", ErrMultiIO)
+	}
 	st := s.states.Get().(*predictState)
 	st.in[s.inName] = input
-	dst, err := s.runState(st, dst)
+	dst, err := s.runState(ctx, st, dst)
 	s.states.Put(st)
 	return dst, err
 }
 
 // runState executes the state's bound inputs on a pooled runtime session
 // and copies the single output into dst (allocating when dst is nil).
-func (s *Session) runState(st *predictState, dst *Tensor) (*Tensor, error) {
+func (s *Session) runState(ctx context.Context, st *predictState, dst *Tensor) (*Tensor, error) {
 	rs := s.sessions.Get()
 	defer s.sessions.Put(rs)
-	outs, err := rs.Run(st.in)
+	outs, err := rs.Run(ctx, st.in)
 	if err != nil {
 		return nil, err
 	}
-	var out *Tensor
-	for _, v := range outs {
-		out = v
-	}
+	out := outs[s.outName]
 	if out == nil {
-		return nil, fmt.Errorf("orpheus: model has no outputs")
+		return nil, fmt.Errorf("orpheus: %w", ErrNoOutput)
 	}
 	if dst == nil {
 		return out.Clone(), nil
 	}
 	if dst.Size() != out.Size() {
-		return nil, fmt.Errorf("orpheus: destination holds %d values, output needs %d", dst.Size(), out.Size())
+		return nil, fmt.Errorf("orpheus: destination holds %d values, output needs %d: %w", dst.Size(), out.Size(), ErrShapeMismatch)
 	}
 	copy(dst.Data(), out.Data())
 	return dst, nil
@@ -267,24 +391,31 @@ func (s *Session) runState(st *predictState, dst *Tensor) (*Tensor, error) {
 // batch flows through the graph as a single leading-dimension-n execution,
 // so constant weights (and their packed GEMM panels) are read once per
 // batch instead of once per sample.
-func (s *Session) PredictBatch(inputs []*Tensor) ([]*Tensor, error) {
-	return s.PredictBatchInto(make([]*Tensor, len(inputs)), inputs)
+func (s *Session) PredictBatch(ctx context.Context, inputs []*Tensor) ([]*Tensor, error) {
+	return s.PredictBatchInto(ctx, make([]*Tensor, len(inputs)), inputs)
 }
 
 // PredictBatchInto is PredictBatch with caller-owned destinations: dsts
 // must have one (possibly nil, then allocated) tensor per input, each
 // holding exactly one sample's output volume. With reused destinations the
 // batched facade path performs zero steady-state heap allocations.
-func (s *Session) PredictBatchInto(dsts, inputs []*Tensor) ([]*Tensor, error) {
+func (s *Session) PredictBatchInto(ctx context.Context, dsts, inputs []*Tensor) ([]*Tensor, error) {
+	if err := s.acquire(); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	if !s.singleIO {
+		return nil, fmt.Errorf("orpheus: PredictBatch: %w", ErrMultiIO)
+	}
 	n := len(inputs)
 	if n == 0 {
-		return nil, fmt.Errorf("orpheus: PredictBatch needs at least one input")
+		return nil, fmt.Errorf("orpheus: PredictBatch needs at least one input: %w", ErrShapeMismatch)
 	}
 	if n > s.maxBatch {
-		return nil, fmt.Errorf("orpheus: batch %d exceeds the session's max batch %d (compile with WithMaxBatch)", n, s.maxBatch)
+		return nil, fmt.Errorf("orpheus: batch %d exceeds the session's max batch %d (compile with WithMaxBatch): %w", n, s.maxBatch, ErrBatchTooLarge)
 	}
 	if len(dsts) != n {
-		return nil, fmt.Errorf("orpheus: %d destinations for %d inputs", len(dsts), n)
+		return nil, fmt.Errorf("orpheus: %d destinations for %d inputs: %w", len(dsts), n, ErrShapeMismatch)
 	}
 	st := s.states.Get().(*predictState)
 	defer s.states.Put(st)
@@ -292,26 +423,23 @@ func (s *Session) PredictBatchInto(dsts, inputs []*Tensor) ([]*Tensor, error) {
 	buf := view.Data()
 	for i, in := range inputs {
 		if in.Size() != s.perVol {
-			return nil, fmt.Errorf("orpheus: input %d has %d values, model wants %d (%s)", i, in.Size(), s.perVol, tensor.ShapeString(s.inShape1))
+			return nil, fmt.Errorf("orpheus: input %d has %d values, model wants %d (%s): %w", i, in.Size(), s.perVol, tensor.ShapeString(s.inShape1), ErrShapeMismatch)
 		}
 		copy(buf[i*s.perVol:(i+1)*s.perVol], in.Data())
 	}
 	st.in[s.inName] = view
 	rs := s.sessions.Get()
 	defer s.sessions.Put(rs)
-	outs, err := rs.Run(st.in)
+	outs, err := rs.Run(ctx, st.in)
 	if err != nil {
 		return nil, err
 	}
-	var out *Tensor
-	for _, v := range outs {
-		out = v
-	}
+	out := outs[s.outName]
 	if out == nil {
-		return nil, fmt.Errorf("orpheus: model has no outputs")
+		return nil, fmt.Errorf("orpheus: %w", ErrNoOutput)
 	}
 	if out.Size()%n != 0 || out.Rank() == 0 || out.Dim(0)%n != 0 {
-		return nil, fmt.Errorf("orpheus: output %s does not split across batch %d", tensor.ShapeString(out.Shape()), n)
+		return nil, fmt.Errorf("orpheus: output %s does not split across batch %d: %w", tensor.ShapeString(out.Shape()), n, ErrShapeMismatch)
 	}
 	rowVol := out.Size() / n
 	od := out.Data()
@@ -321,7 +449,7 @@ func (s *Session) PredictBatchInto(dsts, inputs []*Tensor) ([]*Tensor, error) {
 			shape[0] /= n
 			dsts[i] = tensor.New(shape...)
 		} else if dsts[i].Size() != rowVol {
-			return nil, fmt.Errorf("orpheus: destination %d holds %d values, output row needs %d", i, dsts[i].Size(), rowVol)
+			return nil, fmt.Errorf("orpheus: destination %d holds %d values, output row needs %d: %w", i, dsts[i].Size(), rowVol, ErrShapeMismatch)
 		}
 		copy(dsts[i].Data(), od[i*rowVol:(i+1)*rowVol])
 	}
@@ -329,10 +457,17 @@ func (s *Session) PredictBatchInto(dsts, inputs []*Tensor) ([]*Tensor, error) {
 }
 
 // Run executes the graph on named inputs and returns copies of all
-// outputs by name. Run is batch-aware: inputs whose leading dimension
-// carries 1 ≤ n ≤ MaxBatch samples execute as one batched pass.
-func (s *Session) Run(inputs map[string]*Tensor) (map[string]*Tensor, error) {
-	return s.sessions.Run(inputs)
+// outputs by name — the general path for multi-input/multi-output graphs
+// (see Inputs/Outputs for the contract). Run is batch-aware: inputs whose
+// leading dimension carries 1 ≤ n ≤ MaxBatch samples execute as one
+// batched pass. A cancelled ctx interrupts the plan at the next step
+// boundary.
+func (s *Session) Run(ctx context.Context, inputs map[string]*Tensor) (map[string]*Tensor, error) {
+	if err := s.acquire(); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	return s.sessions.Run(ctx, inputs)
 }
 
 // LayerTiming mirrors runtime.LayerTiming at the public boundary.
@@ -340,17 +475,25 @@ type LayerTiming = runtime.LayerTiming
 
 // PredictProfiled runs inference and returns per-layer timings alongside
 // the output.
-func (s *Session) PredictProfiled(input *Tensor) (*Tensor, []LayerTiming, error) {
+func (s *Session) PredictProfiled(ctx context.Context, input *Tensor) (*Tensor, []LayerTiming, error) {
+	if err := s.acquire(); err != nil {
+		return nil, nil, err
+	}
+	defer s.release()
+	if !s.singleIO {
+		return nil, nil, fmt.Errorf("orpheus: PredictProfiled: %w", ErrMultiIO)
+	}
 	rs := s.sessions.Get()
 	defer s.sessions.Put(rs)
-	outs, timings, err := rs.RunProfiled(map[string]*Tensor{s.model.InputName(): input})
+	outs, timings, err := rs.RunProfiled(ctx, map[string]*Tensor{s.inName: input})
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, v := range outs {
-		return v.Clone(), timings, nil
+	out := outs[s.outName]
+	if out == nil {
+		return nil, nil, fmt.Errorf("orpheus: %w", ErrNoOutput)
 	}
-	return nil, nil, fmt.Errorf("orpheus: model has no outputs")
+	return out.Clone(), timings, nil
 }
 
 // BenchStats mirrors runtime.Stats at the public boundary.
@@ -363,11 +506,19 @@ func WriteTrace(w io.Writer, timings []LayerTiming) error {
 }
 
 // Benchmark times repeated inference (warm-up + reps) on the given input,
-// holding one pooled session for the whole measurement.
-func (s *Session) Benchmark(input *Tensor, warmup, reps int) (BenchStats, error) {
+// holding one pooled session for the whole measurement. A cancelled ctx
+// aborts the sweep at the next plan-step boundary.
+func (s *Session) Benchmark(ctx context.Context, input *Tensor, warmup, reps int) (BenchStats, error) {
+	if err := s.acquire(); err != nil {
+		return BenchStats{}, err
+	}
+	defer s.release()
+	if !s.singleIO {
+		return BenchStats{}, fmt.Errorf("orpheus: Benchmark: %w", ErrMultiIO)
+	}
 	rs := s.sessions.Get()
 	defer s.sessions.Put(rs)
-	return runtime.Measure(rs, map[string]*Tensor{s.model.InputName(): input}, warmup, reps)
+	return runtime.Measure(ctx, rs, map[string]*Tensor{s.inName: input}, warmup, reps)
 }
 
 // PlanSummary describes the compiled plan: one line per layer with the
@@ -385,4 +536,101 @@ func (s *Session) PlanSummary() []string {
 // MemoryFootprint reports the planned memory use in bytes.
 func (s *Session) MemoryFootprint() (weights, arena int64) {
 	return s.sessions.Plan().WeightBytes(), s.sessions.Plan().ArenaBytes()
+}
+
+// Batcher coalesces concurrent single-sample Predict calls into batched
+// runs — the dynamic batching the HTTP server uses, as an embeddable
+// library primitive. Create one per Session with NewBatcher; see
+// runtime.Batcher for the collection semantics.
+type Batcher struct {
+	s  *Session
+	rb *runtime.Batcher
+}
+
+// BatcherOption configures NewBatcher.
+type BatcherOption func(*runtime.BatcherOptions)
+
+// WithFlushDeadline sets how long a lone queued request waits for batch
+// peers before executing anyway (default 2 ms).
+func WithFlushDeadline(d time.Duration) BatcherOption {
+	return func(o *runtime.BatcherOptions) { o.FlushDeadline = d }
+}
+
+// WithImmediateFlush makes every request execute as soon as the batcher
+// sees it, coalescing only requests already queued at that instant —
+// lowest latency, opportunistic batching.
+func WithImmediateFlush() BatcherOption {
+	return func(o *runtime.BatcherOptions) { o.Immediate = true }
+}
+
+// NewBatcher creates a dynamic batcher over the session. Up to MaxBatch
+// concurrent Predict calls coalesce into one batched run (compile with
+// WithMaxBatch to widen it). The session must be single-input
+// single-output. Session.Close drains the batcher; closing the batcher
+// alone leaves the session usable.
+func (s *Session) NewBatcher(opts ...BatcherOption) (*Batcher, error) {
+	if !s.singleIO {
+		return nil, fmt.Errorf("orpheus: NewBatcher: %w", ErrMultiIO)
+	}
+	var o runtime.BatcherOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	// Setup-time call: take the write side outright, so registration
+	// cannot race Close's drain of the batcher list.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("orpheus: session: %w", ErrClosed)
+	}
+	rb, err := runtime.NewBatcher(s.sessions, o)
+	if err != nil {
+		return nil, err
+	}
+	b := &Batcher{s: s, rb: rb}
+	s.batchers = append(s.batchers, b)
+	return b, nil
+}
+
+// Predict submits one input to the batcher and blocks until its batch
+// executes (or ctx is cancelled while the request is queued; once a batch
+// has claimed the request, its completed result is delivered even if ctx
+// expires mid-run). The input must stay unmodified until Predict returns.
+func (b *Batcher) Predict(ctx context.Context, input *Tensor) (*Tensor, error) {
+	res, err := b.rb.Submit(ctx, input.Data(), 0)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.FromSlice(res.Output, res.Shape...), nil
+}
+
+// PredictWait is Predict with a per-request cap on how long the request
+// waits for batch peers (≤ 0 means the batcher's flush deadline).
+func (b *Batcher) PredictWait(ctx context.Context, input *Tensor, wait time.Duration) (*Tensor, error) {
+	res, err := b.rb.Submit(ctx, input.Data(), wait)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.FromSlice(res.Output, res.Shape...), nil
+}
+
+// Flush executes whatever is queued right now instead of waiting out the
+// flush deadline.
+func (b *Batcher) Flush() { b.rb.Flush() }
+
+// Close stops the batcher and drains its in-flight batches; subsequent
+// Predicts on the batcher fail with ErrClosed. The owning Session stays
+// usable, and the batcher is unregistered from it so long-lived sessions
+// that churn batchers do not accumulate dead ones.
+func (b *Batcher) Close() {
+	s := b.s
+	s.mu.Lock()
+	for i, x := range s.batchers {
+		if x == b {
+			s.batchers = append(s.batchers[:i], s.batchers[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	b.rb.Close()
 }

@@ -1,6 +1,7 @@
 package orpheus
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"strings"
@@ -20,7 +21,7 @@ func TestFacadeZooCompilePredict(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := RandomTensor(1, m.InputShape()...)
-	out, err := sess.Predict(x)
+	out, err := sess.Predict(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestFacadeBackendsProduceSameAnswer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := sess.Predict(x)
+		out, err := sess.Predict(context.Background(), x)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,7 +93,7 @@ func TestFacadeProfiledAndPlan(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := RandomTensor(3, m.InputShape()...)
-	_, timings, err := sess.PredictProfiled(x)
+	_, timings, err := sess.PredictProfiled(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestFacadeBenchmark(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := sess.Benchmark(RandomTensor(4, m.InputShape()...), 1, 3)
+	stats, err := sess.Benchmark(context.Background(), RandomTensor(4, m.InputShape()...), 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

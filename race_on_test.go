@@ -1,0 +1,9 @@
+//go:build race
+
+package orpheus
+
+// raceEnabled reports that the race detector is active. Under it,
+// sync.Pool intentionally drops a fraction of pooled items to widen the
+// interleavings it can observe, so tests asserting pool-backed
+// allocation counts must skip — the counts are meaningless there.
+const raceEnabled = true
