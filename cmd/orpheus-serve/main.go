@@ -103,6 +103,20 @@ func main() {
 			log.Printf("shutdown: %v", err)
 		}
 		s.Close()
+		// Final batching report: flush causes and queueing latency tell
+		// the operator whether max-batch / flush-ms were sized right.
+		for _, name := range s.ModelNames() {
+			st, ok := s.BatcherStats(name)
+			if !ok {
+				continue
+			}
+			avgWaitMs := 0.0
+			if st.Requests > 0 {
+				avgWaitMs = float64(st.QueuedWait) / float64(st.Requests) / 1e6
+			}
+			log.Printf("batcher %s: %d requests in %d runs (flushes: %d full, %d deadline, %d immediate, %d explicit, %d close), avg queued wait %.3f ms",
+				name, st.Requests, st.Runs, st.FlushFull, st.FlushDeadline, st.FlushImmediate, st.FlushExplicit, st.FlushClose, avgWaitMs)
+		}
 	}()
 	log.Printf("listening on %s", *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -1,0 +1,148 @@
+package gemm
+
+// Virtual B operands and fused epilogues for the packed tier.
+//
+// A PackSrc lets a Call describe its B operand *implicitly*: instead of
+// reading a materialised row-major matrix, the packed tier asks the source
+// to write each kc×nc panel directly into pack strips. Convolution uses
+// this to pack straight from the NCHW input image ("implicit GEMM"),
+// skipping the kdim×cols im2col scratch matrix and the extra read/write
+// sweep over it.
+//
+// The epilogue fields of Call (BiasRow, BiasCol, Act, Alpha) fuse the
+// bias-add and elementwise activation into the tile store: they are
+// applied to each macro-tile right after its final k-panel is written to
+// C, while the tile is still cache-resident, instead of as separate
+// full-tensor sweeps after the GEMM returns. (Micro-tile granularity was
+// measured slower: a call per 8×8 tile costs more in call/branch overhead
+// than the cache win returns; one pass per mc×nc macro-tile amortises it.)
+
+// PackSrc supplies a virtual B operand panel by panel. Implementations
+// must be safe for concurrent PackPanel calls: the worker pool packs
+// panels of one Call from several goroutines at once, and the source is
+// treated as read-only for the duration of the Call.
+type PackSrc interface {
+	// PackPanel writes the packed form of the kc×nc panel of image img's
+	// B matrix starting at row pp, column jj into dst, using the layout
+	// packB produces: strips of nr columns, row-major within each strip,
+	// strip s spanning columns [s*nr, s*nr+nr). Columns beyond nc must be
+	// zero-padded so edge strips are full. dst holds at least
+	// roundUp(nc, nr)*kc values.
+	PackPanel(dst []float32, img, pp, jj, kc, nc, nr int)
+}
+
+// Activation selects the elementwise activation a Call's epilogue applies
+// after the bias add.
+type Activation uint8
+
+// Epilogue activations. ActLeakyReLU multiplies negative values by
+// Call.Alpha.
+const (
+	ActNone Activation = iota
+	ActReLU
+	ActReLU6
+	ActLeakyReLU
+)
+
+// hasEpilogue reports whether the call carries any fused epilogue work.
+func (c *Call) hasEpilogue() bool {
+	return c.BiasRow != nil || c.BiasCol != nil || c.Act != ActNone
+}
+
+// applyEpilogueTile applies the call's bias and activation to the
+// rows×cols region of dst whose top-left element is C[r0][c0] (absolute
+// matrix coordinates, so the bias vectors index correctly). ldc is the row
+// stride of dst. Called once per macro-tile, immediately after the tile's
+// final k-panel is stored, so the operands are still cache-resident. Each
+// row is finished in a single fused pass — bias add and activation
+// together — with the mode branches hoisted out of the element loop.
+func (c *Call) applyEpilogueTile(dst []float32, r0, c0, rows, cols, ldc int) {
+	var bcol []float32
+	if c.BiasCol != nil {
+		bcol = c.BiasCol[c0 : c0+cols]
+	}
+	alpha := c.Alpha
+	for r := 0; r < rows; r++ {
+		row := dst[(r0+r)*ldc+c0 : (r0+r)*ldc+c0+cols]
+		var bv float32
+		if c.BiasRow != nil {
+			bv = c.BiasRow[r0+r]
+		}
+		if bcol != nil {
+			for i := range row {
+				row[i] += bv + bcol[i]
+			}
+			applyActivationRow(row, c.Act, alpha)
+			continue
+		}
+		switch c.Act {
+		case ActNone:
+			if bv != 0 {
+				for i := range row {
+					row[i] += bv
+				}
+			}
+		case ActReLU:
+			for i, v := range row {
+				v += bv
+				if v < 0 {
+					v = 0
+				}
+				row[i] = v
+			}
+		case ActReLU6:
+			for i, v := range row {
+				v += bv
+				if v < 0 {
+					v = 0
+				} else if v > 6 {
+					v = 6
+				}
+				row[i] = v
+			}
+		case ActLeakyReLU:
+			for i, v := range row {
+				v += bv
+				if v < 0 {
+					v = alpha * v
+				}
+				row[i] = v
+			}
+		}
+	}
+}
+
+// applyEpilogueAll applies the epilogue over an entire M×N image of C —
+// the K == 0 store case, where no macro-kernel runs.
+func (c *Call) applyEpilogueAll(dst []float32) {
+	c.applyEpilogueTile(dst, 0, 0, c.M, c.N, c.N)
+}
+
+// applyActivationRow applies act in place. The switch sits outside the
+// hot tile loop's inner body so each row pays one branch, not one per
+// element.
+func applyActivationRow(row []float32, act Activation, alpha float32) {
+	switch act {
+	case ActNone:
+	case ActReLU:
+		for i, v := range row {
+			if v < 0 {
+				row[i] = 0
+			}
+		}
+	case ActReLU6:
+		for i, v := range row {
+			if v < 0 {
+				row[i] = 0
+			} else if v > 6 {
+				row[i] = 6
+			}
+		}
+	case ActLeakyReLU:
+		for i, v := range row {
+			if v < 0 {
+				row[i] = alpha * v
+			}
+		}
+	}
+}

@@ -5,9 +5,13 @@
 // func microKernel8x8AVX2(pa, pb, c *float32, kc, ldc int64, store bool)
 //
 // One 8x8 fp32 micro-tile of C in eight YMM accumulators (Y0..Y7, one row
-// each). Per packed k step: one 8-wide load of the B strip, then eight
-// VBROADCASTSS/VFMADD231PS pairs, one per A row. pa advances 8 floats
-// (one packed A group), pb advances 8 floats (one packed B group).
+// each). The k-loop is unrolled 2x: each iteration loads two consecutive
+// B strip rows (Y9, Y10), prefetches the A/B strips 512 B — eight
+// unrolled iterations, sixteen k-steps — ahead, and issues sixteen
+// VBROADCASTSS/VFMADD231PS pairs — the
+// broadcasts all target Y8 and rely on register renaming. pa and pb
+// advance 16 floats per iteration (two packed groups each); an odd kc
+// runs one single-step tail.
 TEXT ·microKernel8x8AVX2(SB), NOSPLIT, $0-41
 	MOVQ pa+0(FP), SI
 	MOVQ pb+8(FP), DX
@@ -25,8 +29,15 @@ TEXT ·microKernel8x8AVX2(SB), NOSPLIT, $0-41
 	VXORPS Y6, Y6, Y6
 	VXORPS Y7, Y7, Y7
 
-kloop:
-	VMOVUPS (DX), Y9         // B strip row: 8 columns
+	MOVQ CX, BX              // BX = kc; the low bit selects the tail step
+	SHRQ $1, CX              // CX = pairs of k steps
+	JZ   ktail
+
+kloop2:
+	VMOVUPS (DX), Y9         // B strip row, step 0
+	VMOVUPS 32(DX), Y10      // B strip row, step 1
+	PREFETCHT0 512(SI)       // next A strip pairs
+	PREFETCHT0 512(DX)       // next B strip pairs
 	VBROADCASTSS 0(SI), Y8
 	VFMADD231PS Y9, Y8, Y0
 	VBROADCASTSS 4(SI), Y8
@@ -43,11 +54,49 @@ kloop:
 	VFMADD231PS Y9, Y8, Y6
 	VBROADCASTSS 28(SI), Y8
 	VFMADD231PS Y9, Y8, Y7
-	ADDQ $32, SI
-	ADDQ $32, DX
+	VBROADCASTSS 32(SI), Y8
+	VFMADD231PS Y10, Y8, Y0
+	VBROADCASTSS 36(SI), Y8
+	VFMADD231PS Y10, Y8, Y1
+	VBROADCASTSS 40(SI), Y8
+	VFMADD231PS Y10, Y8, Y2
+	VBROADCASTSS 44(SI), Y8
+	VFMADD231PS Y10, Y8, Y3
+	VBROADCASTSS 48(SI), Y8
+	VFMADD231PS Y10, Y8, Y4
+	VBROADCASTSS 52(SI), Y8
+	VFMADD231PS Y10, Y8, Y5
+	VBROADCASTSS 56(SI), Y8
+	VFMADD231PS Y10, Y8, Y6
+	VBROADCASTSS 60(SI), Y8
+	VFMADD231PS Y10, Y8, Y7
+	ADDQ $64, SI
+	ADDQ $64, DX
 	DECQ CX
-	JNZ  kloop
+	JNZ  kloop2
 
+ktail:
+	ANDQ $1, BX
+	JZ   kdone
+	VMOVUPS (DX), Y9         // odd kc: one last single step
+	VBROADCASTSS 0(SI), Y8
+	VFMADD231PS Y9, Y8, Y0
+	VBROADCASTSS 4(SI), Y8
+	VFMADD231PS Y9, Y8, Y1
+	VBROADCASTSS 8(SI), Y8
+	VFMADD231PS Y9, Y8, Y2
+	VBROADCASTSS 12(SI), Y8
+	VFMADD231PS Y9, Y8, Y3
+	VBROADCASTSS 16(SI), Y8
+	VFMADD231PS Y9, Y8, Y4
+	VBROADCASTSS 20(SI), Y8
+	VFMADD231PS Y9, Y8, Y5
+	VBROADCASTSS 24(SI), Y8
+	VFMADD231PS Y9, Y8, Y6
+	VBROADCASTSS 28(SI), Y8
+	VFMADD231PS Y9, Y8, Y7
+
+kdone:
 	MOVBLZX store+40(FP), AX
 	TESTL AX, AX
 	JNZ   overwrite

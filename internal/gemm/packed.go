@@ -33,6 +33,20 @@ const (
 // packed weight panels are loaded once and reused across the whole batch,
 // and a worker Pool spreads its macro-tiles across batch×tile. PackedB is
 // unsupported for batched calls (each image would need its own panels).
+//
+// BPack, when non-nil, replaces the B operand entirely: the packed tier
+// asks the source for each kc×nc panel instead of re-packing a
+// materialised matrix, so B may be nil and StrideB is ignored — batched
+// calls hand the image index to the source. Implicit-GEMM convolution
+// packs panels straight from the NCHW input this way. BPack cannot be
+// combined with PackedB.
+//
+// BiasRow, BiasCol, Act and Alpha describe a fused epilogue applied once
+// per output element as its micro-tile's final k-panel is stored (see
+// epilogue.go): BiasRow[i] is added to every element of row i (convolution
+// output channels), BiasCol[j] to every element of column j (dense output
+// features), then Act runs, replacing the separate post-GEMM bias and
+// activation sweeps.
 type Call struct {
 	A, B, C []float32
 	M, N, K int
@@ -42,6 +56,15 @@ type Call struct {
 
 	Batch            int // number of strided images; 0 and 1 mean a single GEMM
 	StrideB, StrideC int // element offsets between consecutive images
+
+	BPack PackSrc // virtual B operand; replaces B/PackedB when non-nil
+
+	BiasRow []float32  // optional per-row epilogue bias, len ≥ M
+	BiasCol []float32  // optional per-column epilogue bias, len ≥ N
+	Act     Activation // epilogue activation, applied after the bias add
+	Alpha   float32    // LeakyReLU slope
+
+	img int // image index handed to BPack when Run splits a batch itself
 }
 
 // images returns the batch count, treating the zero value as 1.
@@ -63,6 +86,15 @@ func (c *Call) validate() {
 		return
 	}
 	images := c.images()
+	if c.BPack != nil && c.PackedB != nil {
+		panicf("gemm: BPack cannot be combined with PackedB")
+	}
+	if c.BiasRow != nil && len(c.BiasRow) < c.M {
+		panicf("gemm: BiasRow %d too short for m=%d", len(c.BiasRow), c.M)
+	}
+	if c.BiasCol != nil && len(c.BiasCol) < c.N {
+		panicf("gemm: BiasCol %d too short for n=%d", len(c.BiasCol), c.N)
+	}
 	if images > 1 {
 		if c.PackedB != nil {
 			panicf("gemm: batched call cannot use PackedB")
@@ -72,7 +104,7 @@ func (c *Call) validate() {
 		if c.StrideC < c.M*c.N {
 			panicf("gemm: batch C stride %d overlaps %dx%d images", c.StrideC, c.M, c.N)
 		}
-		if c.K > 0 && c.StrideB < c.K*c.N {
+		if c.BPack == nil && c.K > 0 && c.StrideB < c.K*c.N {
 			panicf("gemm: batch B stride %d overlaps %dx%d images", c.StrideB, c.K, c.N)
 		}
 	}
@@ -90,6 +122,9 @@ func (c *Call) validate() {
 		}
 	} else if len(c.A) < c.M*c.K {
 		panicf("gemm: A buffer %d too small for %dx%d", len(c.A), c.M, c.K)
+	}
+	if c.BPack != nil {
+		return
 	}
 	if c.PackedB != nil {
 		if len(c.PackedB) < PackedBSize(c.K, c.N) {
@@ -126,6 +161,9 @@ func (ctx *Context) Run(c Call) {
 		if c.Store {
 			for img := 0; img < c.images(); img++ {
 				zeroC(c.C[img*c.StrideC:], c.M*c.N)
+				if c.hasEpilogue() {
+					c.applyEpilogueAll(c.C[img*c.StrideC:])
+				}
 			}
 		}
 		return
@@ -135,7 +173,11 @@ func (ctx *Context) Run(c Call) {
 		sub := c
 		sub.Batch, sub.StrideB, sub.StrideC = 0, 0, 0
 		for img := 0; img < c.images(); img++ {
-			sub.B = c.B[img*c.StrideB:]
+			if c.BPack != nil {
+				sub.img = img
+			} else {
+				sub.B = c.B[img*c.StrideB:]
+			}
 			sub.C = c.C[img*c.StrideC:]
 			ctx.run(kern, sub)
 		}
@@ -145,18 +187,31 @@ func (ctx *Context) Run(c Call) {
 }
 
 // run executes one validated, unbatched call with the given kernel.
+// (c.img selects the image a BPack source reads when the caller split a
+// batch.)
 func (ctx *Context) run(kern *kernel, c Call) {
 	pm := roundUp(c.M, kern.mr)
 	pn := roundUp(c.N, kern.nr)
 	for pp := 0; pp < c.K; pp += kcBlock {
 		kc := min(kcBlock, c.K-pp)
 		st := c.Store && pp == 0
+		// The epilogue fires exactly once per output element: with the
+		// final k-panel's tile store, while the tile is cache-hot.
+		var epi *Call
+		if pp+kc == c.K && c.hasEpilogue() {
+			epi = &c
+		}
 		for jj := 0; jj < c.N; jj += ncBlock {
 			nc := min(ncBlock, c.N-jj)
 			var pb []float32
-			if c.PackedB != nil {
+			switch {
+			case c.BPack != nil:
+				ctx.growB()
+				c.BPack.PackPanel(ctx.packB, c.img, pp, jj, kc, nc, kern.nr)
+				pb = ctx.packB
+			case c.PackedB != nil:
 				pb = c.PackedB[pn*pp+jj*kc:]
-			} else {
+			default:
 				ctx.growB()
 				packB(ctx.packB, c.B, pp, jj, kc, nc, c.N, kern.nr)
 				pb = ctx.packB
@@ -172,6 +227,9 @@ func (ctx *Context) run(kern *kernel, c Call) {
 					pa = ctx.packA
 				}
 				ctx.macroKernel(kern, pa, pb, c.C, ii, jj, mc, nc, kc, c.N, st)
+				if epi != nil {
+					epi.applyEpilogueTile(c.C, ii, jj, mc, nc, c.N)
+				}
 			}
 		}
 	}
@@ -256,6 +314,8 @@ func packB(dst, b []float32, pp, jj, kc, nc, ldb, nr int) {
 // macroKernel multiplies the packed panels into C with kern's micro-kernel.
 // store selects overwrite (C = panel product) over accumulate for this
 // panel's contribution. The receiver supplies the edge-tile staging buffer.
+// Any fused epilogue is applied by the caller after the macro-tile's final
+// k-panel (see run/runTile), so it runs exactly once per output element.
 func (ctx *Context) macroKernel(kern *kernel, pa, pb, c []float32, ii, jj, mc, nc, kc, ldc int, store bool) {
 	mr, nr := kern.mr, kern.nr
 	for i := 0; i < mc; i += mr {

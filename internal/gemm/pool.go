@@ -19,9 +19,22 @@ import (
 // Each worker owns a private packing Context, so panel scratch is reused
 // across every GEMM the worker ever touches. A Pool may serve concurrent
 // Run calls from many sessions; tasks are independent.
+//
+// Besides GEMMs the pool also executes row sweeps (Sweep): flat
+// bias+activation passes over an output tensor, claimed from the same
+// shared-counter grid, so kernels that cannot fuse their epilogue into a
+// GEMM still spread the sweep across cores without spawning goroutines.
 type Pool struct {
 	workers int
-	tasks   chan *task
+	tasks   chan poolWork
+}
+
+// poolWork is one unit a pool worker executes: a tiled GEMM task or a row
+// sweep. drain claims and runs work shares until exhausted; finish signals
+// the submitter that this helper is done.
+type poolWork interface {
+	drain(ctx *Context)
+	finish()
 }
 
 // task is one tiled GEMM in flight. Tiles are claimed via next; wg tracks
@@ -37,6 +50,9 @@ type task struct {
 	wg           sync.WaitGroup
 }
 
+// finish implements poolWork.
+func (t *task) finish() { t.wg.Done() }
+
 var taskPool = sync.Pool{New: func() any { return new(task) }}
 
 // NewPool starts a pool with the given number of persistent workers
@@ -45,7 +61,7 @@ func NewPool(workers int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Pool{workers: workers, tasks: make(chan *task)}
+	p := &Pool{workers: workers, tasks: make(chan poolWork)}
 	for i := 0; i < workers; i++ {
 		go p.worker()
 	}
@@ -54,9 +70,9 @@ func NewPool(workers int) *Pool {
 
 func (p *Pool) worker() {
 	var ctx Context
-	for t := range p.tasks {
-		t.drain(&ctx)
-		t.wg.Done()
+	for w := range p.tasks {
+		w.drain(&ctx)
+		w.finish()
 	}
 }
 
@@ -100,6 +116,9 @@ func (p *Pool) Run(ctx *Context, c Call, workers int) {
 		if c.Store {
 			for img := 0; img < c.images(); img++ {
 				zeroC(c.C[img*c.StrideC:], c.M*c.N)
+				if c.hasEpilogue() {
+					c.applyEpilogueAll(c.C[img*c.StrideC:])
+				}
 			}
 		}
 		return
@@ -139,6 +158,113 @@ func (p *Pool) Run(ctx *Context, c Call, workers int) {
 	taskPool.Put(t)
 }
 
+// sweepTask is one parallel row sweep in flight: rows×rowLen elements of
+// data get bias[row%len(bias)] added (when bias is non-nil) and act
+// applied, with chunks of rows claimed from the shared counter. It backs
+// Pool.Sweep for kernels whose epilogue cannot fuse into a GEMM tile
+// store (direct, Winograd and depthwise convolution activations).
+type sweepTask struct {
+	data, bias   []float32
+	rows, rowLen int
+	chunk        int // rows per claimed share
+	act          Activation
+	alpha        float32
+	next         atomic.Int64
+	wg           sync.WaitGroup
+}
+
+var sweepPool = sync.Pool{New: func() any { return new(sweepTask) }}
+
+// drain implements poolWork: claim row chunks until the sweep is done.
+func (t *sweepTask) drain(ctx *Context) {
+	chunks := int64((t.rows + t.chunk - 1) / t.chunk)
+	for {
+		i := t.next.Add(1) - 1
+		if i >= chunks {
+			return
+		}
+		lo := int(i) * t.chunk
+		hi := min(lo+t.chunk, t.rows)
+		sweepRows(t.data, t.bias, lo, hi, t.rowLen, t.act, t.alpha)
+	}
+}
+
+// finish implements poolWork.
+func (t *sweepTask) finish() { t.wg.Done() }
+
+// SweepRows is the serial form of Pool.Sweep: row r of the rows×rowLen
+// region gets bias[r%len(bias)] added (bias may be nil) and act applied.
+func SweepRows(data, bias []float32, rows, rowLen int, act Activation, alpha float32) {
+	sweepRows(data, bias, 0, rows, rowLen, act, alpha)
+}
+
+// sweepRows applies the bias+activation pass to rows [lo, hi).
+func sweepRows(data, bias []float32, lo, hi, rowLen int, act Activation, alpha float32) {
+	for r := lo; r < hi; r++ {
+		row := data[r*rowLen : (r+1)*rowLen]
+		var bv float32
+		if bias != nil {
+			bv = bias[r%len(bias)]
+		}
+		if bv != 0 {
+			for i := range row {
+				row[i] += bv
+			}
+		}
+		applyActivationRow(row, act, alpha)
+	}
+}
+
+// Sweep applies a fused bias-add and activation over a rows×rowLen
+// row-major region of data, in parallel across the pool: row r gets
+// bias[r%len(bias)] added to every element (bias may be nil for an
+// activation-only sweep), then act applied. This is the epilogue shape of
+// an NCHW tensor — rows are (batch, channel) planes, len(bias) the
+// channel count. The caller participates like Run; workers <= 1 (or a
+// small sweep) runs inline. No goroutines are spawned and nothing
+// allocates on the steady-state path.
+func (p *Pool) Sweep(data, bias []float32, rows, rowLen int, act Activation, alpha float32, workers int) {
+	if rows <= 0 || rowLen <= 0 || (bias == nil && act == ActNone) {
+		return
+	}
+	// Claim enough rows per share to amortise the atomic (≥ ~4096
+	// elements) and cap helper count at the chunk count.
+	chunk := 1
+	if rowLen < 4096 {
+		chunk = (4096 + rowLen - 1) / rowLen
+	}
+	chunks := (rows + chunk - 1) / chunk
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		sweepRows(data, bias, 0, rows, rowLen, act, alpha)
+		return
+	}
+	t := sweepPool.Get().(*sweepTask)
+	t.data, t.bias = data, bias
+	t.rows, t.rowLen, t.chunk = rows, rowLen, chunk
+	t.act, t.alpha = act, alpha
+	t.next.Store(0)
+	helpers := workers - 1
+	if helpers > p.workers {
+		helpers = p.workers
+	}
+	for i := 0; i < helpers; i++ {
+		t.wg.Add(1)
+		select {
+		case p.tasks <- t:
+		default:
+			// No worker idle right now; the caller keeps this share.
+			t.wg.Done()
+		}
+	}
+	t.drain(nil)
+	t.wg.Wait()
+	t.data, t.bias = nil, nil
+	sweepPool.Put(t)
+}
+
 // drain claims and executes tiles until the grid is exhausted.
 func (t *task) drain(ctx *Context) {
 	tiles := int64(t.tileM) * int64(t.tileN) * int64(t.call.images())
@@ -154,14 +280,19 @@ func (t *task) drain(ctx *Context) {
 // runTile computes one mcBlock×ncBlock block of one image's C across the
 // full K extent. Tiles split C on micro-tile boundaries, so no two tiles
 // touch the same element; batched calls lay images out as consecutive
-// tile grids over their strided B/C windows.
+// tile grids over their strided B/C windows. The task's call carries any
+// BPack source and epilogue, so caller- and worker-executed tiles pack
+// and finish identically.
 func (t *task) runTile(ctx *Context, idx int) {
 	c := &t.call
 	kern := t.kern
 	grid := t.tileM * t.tileN
 	img := idx / grid
 	idx %= grid
-	cb := c.B[img*c.StrideB:]
+	var cb []float32
+	if c.BPack == nil {
+		cb = c.B[img*c.StrideB:]
+	}
 	cc := c.C[img*c.StrideC:]
 	ii := (idx / t.tileN) * mcBlock
 	jj := (idx % t.tileN) * ncBlock
@@ -171,6 +302,10 @@ func (t *task) runTile(ctx *Context, idx int) {
 	pn := roundUp(c.N, kern.nr)
 	for pp := 0; pp < c.K; pp += kcBlock {
 		kc := min(kcBlock, c.K-pp)
+		var epi *Call
+		if pp+kc == c.K && c.hasEpilogue() {
+			epi = c
+		}
 		var pa, pb []float32
 		if c.PackedA != nil {
 			pa = c.PackedA[pm*pp+ii*kc:]
@@ -179,13 +314,21 @@ func (t *task) runTile(ctx *Context, idx int) {
 			packA(ctx.packA, c.A, ii, pp, mc, kc, c.K, kern.mr)
 			pa = ctx.packA
 		}
-		if c.PackedB != nil {
+		switch {
+		case c.BPack != nil:
+			ctx.growB()
+			c.BPack.PackPanel(ctx.packB, img, pp, jj, kc, nc, kern.nr)
+			pb = ctx.packB
+		case c.PackedB != nil:
 			pb = c.PackedB[pn*pp+jj*kc:]
-		} else {
+		default:
 			ctx.growB()
 			packB(ctx.packB, cb, pp, jj, kc, nc, c.N, kern.nr)
 			pb = ctx.packB
 		}
 		ctx.macroKernel(kern, pa, pb, cc, ii, jj, mc, nc, kc, c.N, c.Store && pp == 0)
+		if epi != nil {
+			epi.applyEpilogueTile(cc, ii, jj, mc, nc, c.N)
+		}
 	}
 }

@@ -74,7 +74,7 @@ func runConvDepthwise(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 			}
 		}
 	}
-	applyActivation(y, p.activation, p.alpha)
+	ctx.Sweep(y, nil, p.n*p.cin, p.oh*p.ow, p.activation, p.alpha)
 	return nil
 }
 

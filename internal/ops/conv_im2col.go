@@ -6,10 +6,16 @@ import (
 	"orpheus/internal/tensor"
 )
 
-// conv.im2col — GEMM convolution. The input is unfolded into a column
-// matrix (im2col) and multiplied by the reshaped weight matrix with the
-// packed GEMM. This is the Orpheus production path: the paper notes
-// "Orpheus uses GEMM convolution, which pays off for big matrices".
+// conv.im2col — GEMM convolution. This is the Orpheus production path:
+// the paper notes "Orpheus uses GEMM convolution, which pays off for big
+// matrices". It is *implicit* GEMM: instead of materialising the unfolded
+// kdim×cols column matrix and packing panels out of it, a convPackSrc
+// (conv_implicit.go) packs each B panel straight from the NCHW input, so
+// the unfold scratch and its extra write+read sweep over memory are gone.
+// One strided batched call covers the whole batch per group, and the
+// bias add and fused activation ride the GEMM epilogue — applied at tile
+// store while the tile is cache-hot — instead of two more full-tensor
+// sweeps.
 //
 // The weight matrix is a graph constant, so its packed A-panels are built
 // once (first use, cached in the plan-shared ConstCache) and every later
@@ -17,11 +23,18 @@ import (
 // mode, which both lets the runtime skip the arena zero-fill for this
 // kernel and keeps repeated runs correct without it.
 //
-// Groups are handled per (batch, group) block; a pure depthwise conv is
-// better served by conv.depthwise (this kernel still computes it
-// correctly, just slowly).
+// conv.im2col_explicit keeps the materialised unfold: it is the
+// differential reference for the implicit path, the subject of the
+// harness `conv` ablation, and the behaviour the per-call-allocation
+// framework simulation (DisableScratchReuse) is meant to model — so the
+// production kernel delegates to it under that flag.
+//
+// Groups are handled per group with the batch folded into one strided
+// call; a pure depthwise conv is better served by conv.depthwise (this
+// kernel still computes it correctly, just slowly).
 func init() {
 	Register(NewOverwritingKernel("conv.im2col", "Conv", nil, runConvIm2col))
+	Register(NewOverwritingKernel("conv.im2col_explicit", "Conv", nil, runConvIm2colExplicit))
 }
 
 // packedConvWeights returns the cached prepacked per-group weight panels
@@ -45,9 +58,78 @@ func packedConvWeights(ctx *Ctx, n *graph.Node, w []float32, groups, coutG, kdim
 }
 
 // runConvIm2col implements conv.im2col; parallelism follows ctx.Workers
-// through the shared GEMM worker pool. (The deliberately slow per-group
-// naive variant lives in conv.group_im2col.)
+// through the shared GEMM worker pool, with batch×tile scheduling across
+// the whole strided call. (The deliberately slow per-group naive variant
+// lives in conv.group_im2col.)
 func runConvIm2col(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	if ctx.DisableScratchReuse {
+		// The per-call-allocation simulation studies frameworks that
+		// materialise (and allocate) the unfold per call; keep them on
+		// the explicit path.
+		return runConvIm2colExplicit(ctx, n, in, out)
+	}
+	p, err := resolveConvRT(n, in)
+	if err != nil {
+		return err
+	}
+	x := in[0].Data()
+	w := in[1].Data()
+	var bias []float32
+	if p.hasBias {
+		bias = in[2].Data()
+	}
+	y := out[0].Data()
+
+	cinG := p.cin / p.groups
+	coutG := p.cout / p.groups
+	kdim := cinG * p.kh * p.kw
+	cols := p.oh * p.ow
+	act := gemmActivation(p.activation)
+
+	// Pointwise fast path: a 1x1 stride-1 unpadded convolution is exactly
+	// C[cout×HW] = W[cout×cin] · X[cin×HW]; even the implicit unfold would
+	// be an identity gather, so B is the input itself.
+	if p.kh == 1 && p.kw == 1 && p.sh == 1 && p.sw == 1 && p.dh == 1 && p.dw == 1 &&
+		p.padT == 0 && p.padL == 0 && p.padB == 0 && p.padR == 0 && p.groups == 1 {
+		pw := packedConvWeights(ctx, n, w, 1, p.cout, p.cin)
+		ctx.GEMM(gemm.Call{A: w, PackedA: pw, B: x, C: y,
+			M: p.cout, N: cols, K: p.cin, Store: true,
+			Batch: p.n, StrideB: p.cin * cols, StrideC: p.cout * cols,
+			BiasRow: bias, Act: act, Alpha: p.alpha})
+		return nil
+	}
+
+	perGroup := gemm.PackedASize(coutG, kdim)
+	packedW := packedConvWeights(ctx, n, w, p.groups, coutG, kdim)
+
+	for g := 0; g < p.groups; g++ {
+		// One strided call folds the whole batch: the source resolves the
+		// image index to its NCHW slab, C images start cout*cols apart,
+		// and the group's rows sit coutG*cols into each image.
+		ctx.convSrc.init(x, &p, g)
+		wg := w[g*coutG*kdim : (g+1)*coutG*kdim]
+		var pa []float32
+		if packedW != nil {
+			pa = packedW[g*perGroup : (g+1)*perGroup]
+		}
+		var bg []float32
+		if bias != nil {
+			bg = bias[g*coutG : (g+1)*coutG]
+		}
+		ctx.GEMM(gemm.Call{A: wg, PackedA: pa, BPack: &ctx.convSrc, C: y[g*coutG*cols:],
+			M: coutG, N: cols, K: kdim, Store: true,
+			Batch: p.n, StrideC: p.cout * cols,
+			BiasRow: bg, Act: act, Alpha: p.alpha})
+	}
+	return nil
+}
+
+// runConvIm2colExplicit implements conv.im2col_explicit: classic GEMM
+// convolution over a materialised im2col matrix, with separate bias and
+// activation sweeps (spread across the worker pool). It is numerically
+// the reference for the implicit path and the per-call-allocation
+// behaviour the torch-sim backend models.
+func runConvIm2colExplicit(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 	p, err := resolveConvRT(n, in)
 	if err != nil {
 		return err
@@ -65,21 +147,16 @@ func runConvIm2col(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 	kdim := cinG * p.kh * p.kw
 	cols := p.oh * p.ow
 
-	// Pointwise fast path: a 1x1 stride-1 unpadded convolution is exactly
-	// C[cout×HW] = W[cout×cin] · X[cin×HW]; the unfold would be a copy.
-	// The whole batch goes down as one strided GEMM call, so the packed
-	// weight panels are loaded once per batch and the worker pool spreads
-	// macro-tiles across batch×tile.
+	// Pointwise fast path: the unfold would be a copy, so skip it even on
+	// the explicit path (both paths share it; the comparison is about the
+	// general unfold).
 	if p.kh == 1 && p.kw == 1 && p.sh == 1 && p.sw == 1 && p.dh == 1 && p.dw == 1 &&
 		p.padT == 0 && p.padL == 0 && p.padB == 0 && p.padR == 0 && p.groups == 1 {
 		pw := packedConvWeights(ctx, n, w, 1, p.cout, p.cin)
 		ctx.GEMM(gemm.Call{A: w, PackedA: pw, B: x, C: y,
 			M: p.cout, N: cols, K: p.cin, Store: true,
 			Batch: p.n, StrideB: p.cin * cols, StrideC: p.cout * cols})
-		if bias != nil {
-			addBiasNCHW(y, bias, p.n, p.cout, cols)
-		}
-		applyActivation(y, p.activation, p.alpha)
+		ctx.Sweep(y, bias, p.n*p.cout, cols, p.activation, p.alpha)
 		return nil
 	}
 
@@ -108,14 +185,14 @@ func runConvIm2col(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 				M: coutG, N: cols, K: kdim, Store: true})
 		}
 	}
-	if bias != nil {
-		addBiasNCHW(y, bias, p.n, p.cout, cols)
-	}
-	applyActivation(y, p.activation, p.alpha)
+	ctx.Sweep(y, bias, p.n*p.cout, cols, p.activation, p.alpha)
 	return nil
 }
 
-// addBiasNCHW adds bias[c] to every spatial element of channel c.
+// addBiasNCHW adds bias[c] to every spatial element of channel c. It is
+// the single-threaded sweep kept for the deliberately naive
+// conv.group_im2col simulation; production paths fuse the bias into the
+// GEMM epilogue or use Ctx.Sweep.
 func addBiasNCHW(y, bias []float32, n, c, spatial int) {
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {

@@ -1,0 +1,119 @@
+package ops
+
+// Implicit-GEMM convolution support: a gemm.PackSrc that packs B panels
+// straight from the NCHW input image.
+//
+// GEMM convolution multiplies the reshaped weight matrix [coutG × kdim]
+// by the unfolded input [kdim × oh*ow]. The explicit form (conv.im2col_
+// explicit) materialises that unfold into a kdim×cols scratch matrix that
+// the packed GEMM then re-reads and re-copies into panels — every input
+// element is written once and read twice before any arithmetic happens.
+// convPackSrc removes the intermediate: the packed tier asks it for each
+// kc×nc panel and it gathers the receptive-field values directly into
+// pack strips, handling padding, stride, dilation, groups and the batch
+// (the image index selects the NCHW slab). The kdim×cols scratch and its
+// per-session arena reservation disappear entirely.
+
+// convPackSrc describes the virtual B matrix of one convolution group:
+// B[kd][col] = x[img][chan0 + kd/(kh*kw)][oy*sh - padT + ky*dh][ox*sw -
+// padL + kx*dw] with (ky, kx) from kd and (oy, ox) from col, zero outside
+// the input. It is read-only during a gemm call, so the pool may pack
+// panels from several workers at once.
+type convPackSrc struct {
+	x                                  []float32 // whole NCHW input batch
+	cin                                int       // channels per image (image stride is cin*h*w)
+	h, w                               int
+	chan0                              int // first input channel of this group
+	kh, kw, sh, sw, padT, padL, dh, dw int
+	oh, ow                             int
+}
+
+// init points the source at group g of the convolution described by p.
+func (s *convPackSrc) init(x []float32, p *convParams, g int) {
+	s.x = x
+	s.cin, s.h, s.w = p.cin, p.h, p.w
+	s.chan0 = g * (p.cin / p.groups)
+	s.kh, s.kw, s.sh, s.sw = p.kh, p.kw, p.sh, p.sw
+	s.padT, s.padL, s.dh, s.dw = p.padT, p.padL, p.dh, p.dw
+	s.oh, s.ow = p.oh, p.ow
+}
+
+// PackPanel implements gemm.PackSrc: the kc×nc panel at (pp, jj) of image
+// img's unfold matrix, written as strips of nr columns (row-major within
+// each strip), edge strips zero-padded. Rows decode to (channel, ky, kx);
+// columns to output pixels, walked in runs that stay within one output
+// row so the interior fast path is a bounds-free copy.
+func (s *convPackSrc) PackPanel(dst []float32, img, pp, jj, kc, nc, nr int) {
+	khw := s.kh * s.kw
+	plane := s.h * s.w
+	imgBase := (img*s.cin + s.chan0) * plane
+	for j := 0; j < nc; j += nr {
+		cols := min(nr, nc-j)
+		strip := dst[(j/nr)*kc*nr:]
+		for p := 0; p < kc; p++ {
+			kd := pp + p
+			ic := kd / khw
+			rem := kd - ic*khw
+			ky := rem / s.kw
+			kx := rem - ky*s.kw
+			xc := s.x[imgBase+ic*plane : imgBase+(ic+1)*plane]
+			dy := ky*s.dh - s.padT // iy = oy*sh + dy
+			dx := kx*s.dw - s.padL // ix = ox*sw + dx
+			row := strip[p*nr : p*nr+nr]
+			col := jj + j
+			cc := 0
+			for cc < cols {
+				oy := col / s.ow
+				ox := col - oy*s.ow
+				run := min(s.ow-ox, cols-cc)
+				seg := row[cc : cc+run]
+				iy := oy*s.sh + dy
+				if iy < 0 || iy >= s.h {
+					for i := range seg {
+						seg[i] = 0
+					}
+				} else {
+					xrow := xc[iy*s.w : (iy+1)*s.w]
+					ix := ox*s.sw + dx
+					if s.sw == 1 {
+						// Contiguous gather: zero the out-of-bounds
+						// fringes, copy the live middle [lo, hi).
+						lo, hi := 0, run
+						if ix < 0 {
+							lo = min(-ix, run)
+						}
+						if ix+run > s.w {
+							hi = s.w - ix
+						}
+						if hi < lo {
+							hi = lo
+						}
+						for i := 0; i < lo; i++ {
+							seg[i] = 0
+						}
+						if hi > lo {
+							copy(seg[lo:hi], xrow[ix+lo:ix+hi])
+						}
+						for i := hi; i < run; i++ {
+							seg[i] = 0
+						}
+					} else {
+						for i := range seg {
+							if ix >= 0 && ix < s.w {
+								seg[i] = xrow[ix]
+							} else {
+								seg[i] = 0
+							}
+							ix += s.sw
+						}
+					}
+				}
+				cc += run
+				col += run
+			}
+			for i := cols; i < nr; i++ {
+				row[i] = 0
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package ops
+
+import (
+	"fmt"
+	"testing"
+
+	"orpheus/internal/gemm"
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// Differential battery for implicit-GEMM convolution: conv.im2col (the
+// virtual B-pack plus fused epilogue) must match conv.im2col_explicit
+// (materialised unfold, separate bias/activation sweeps) at ≤ 1e-5
+// relative tolerance on every geometry either path claims to support —
+// odd shapes, asymmetric padding, stride, dilation, groups, batches —
+// under every selectable micro-kernel, single-threaded and through the
+// worker pool. The explicit path itself is pinned to conv.direct by
+// TestConvKernelEquivalence, so agreement here pins the whole chain.
+
+const implicitTol = 1e-5
+
+// withGemmKernel pins the named micro-kernel for fn, restoring afterwards.
+func withGemmKernel(t testing.TB, name string, fn func()) {
+	t.Helper()
+	prev := gemm.KernelName()
+	if err := gemm.SetKernel(name); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := gemm.SetKernel(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	fn()
+}
+
+// runConvWorkers executes the named conv kernel on a fresh Ctx with the
+// given worker budget (a fresh Ctx also means a fresh prepack cache, so
+// panels are always packed under the active micro-kernel).
+func runConvWorkers(t testing.TB, kernelName string, workers int, n *graph.Node, inputs []*tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	k := ByName(kernelName)
+	if k == nil {
+		t.Fatalf("kernel %q not registered", kernelName)
+	}
+	out := tensor.New(n.Outputs[0].Shape...)
+	ctx := NewCtx(workers)
+	if err := k.Run(ctx, n, inputs, []*tensor.Tensor{out}); err != nil {
+		t.Fatalf("kernel %q: %v", kernelName, err)
+	}
+	return out
+}
+
+// relClose reports the first index where got and want differ by more than
+// tol relative to max(1, |got|, |want|), or -1.
+func relClose(got, want []float32, tol float64) int {
+	for i := range want {
+		d := float64(got[i]) - float64(want[i])
+		if d < 0 {
+			d = -d
+		}
+		scale := 1.0
+		for _, v := range []float64{float64(got[i]), float64(want[i])} {
+			if v < 0 {
+				v = -v
+			}
+			if v > scale {
+				scale = v
+			}
+		}
+		if d > tol*scale {
+			return i
+		}
+	}
+	return -1
+}
+
+// implicitCases extends the shared convMatrix with geometries that stress
+// the implicit pack source specifically: panel boundaries in kdim and
+// cols, stride+dilation+asymmetric-padding combinations, grouped batches.
+var implicitCases = []convCase{
+	{name: "deep-kdim", n: 1, cin: 32, h: 10, w: 10, cout: 9, kh: 3, kw: 3, sh: 1, sw: 1, padT: 1, padL: 1, padB: 1, padR: 1, dh: 1, dw: 1, groups: 1, bias: true},
+	{name: "wide-cols", n: 1, cin: 3, h: 26, w: 30, cout: 5, kh: 3, kw: 3, sh: 1, sw: 1, padT: 1, padL: 1, padB: 1, padR: 1, dh: 1, dw: 1, groups: 1},
+	{name: "stride-dilate-asym", n: 2, cin: 5, h: 13, w: 11, cout: 7, kh: 3, kw: 2, sh: 2, sw: 3, padT: 2, padL: 0, padB: 1, padR: 3, dh: 2, dw: 1, groups: 1, bias: true},
+	{name: "grouped-batch", n: 3, cin: 12, h: 9, w: 7, cout: 8, kh: 3, kw: 3, sh: 1, sw: 1, padT: 1, padL: 1, padB: 1, padR: 1, dh: 1, dw: 1, groups: 4, bias: true},
+	{name: "pointwise-batch", n: 4, cin: 6, h: 5, w: 5, cout: 10, kh: 1, kw: 1, sh: 1, sw: 1, dh: 1, dw: 1, groups: 1, bias: true},
+	{name: "tall-stride", n: 1, cin: 2, h: 40, w: 3, cout: 3, kh: 5, kw: 1, sh: 3, sw: 1, padT: 2, padL: 0, padB: 2, padR: 0, dh: 1, dw: 1, groups: 1},
+}
+
+func implicitBattery() []convCase {
+	return append(append([]convCase(nil), convMatrix...), implicitCases...)
+}
+
+func TestConvImplicitMatchesExplicit(t *testing.T) {
+	for _, kn := range gemm.KernelNames() {
+		for _, tc := range implicitBattery() {
+			for _, workers := range []int{1, 3} {
+				for _, act := range []string{"", "relu"} {
+					tc, act := tc, act
+					name := fmt.Sprintf("%s/%s/workers=%d/act=%s", kn, tc.name, workers, act)
+					t.Run(name, func(t *testing.T) {
+						withGemmKernel(t, kn, func() {
+							attrs := tc.attrs()
+							if act != "" {
+								attrs["activation"] = act
+							}
+							inputs := tc.tensors(tensor.SeedFromString(tc.name))
+							n := buildNode(t, "Conv", attrs, inputs...)
+							want := runConvWorkers(t, "conv.im2col_explicit", 1, n, inputs)
+							got := runConvWorkers(t, "conv.im2col", workers, n, inputs)
+							if i := relClose(got.Data(), want.Data(), implicitTol); i >= 0 {
+								t.Fatalf("implicit diverges from explicit at [%d]: got %v want %v",
+									i, got.Data()[i], want.Data()[i])
+							}
+						})
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestConvImplicitRuntimeBatchSlices mirrors how sessions bind batched
+// plans: the node declares Nmax while the bound tensors carry any
+// 1 ≤ n ≤ Nmax, and the kernel must follow the tensors.
+func TestConvImplicitRuntimeBatchSlices(t *testing.T) {
+	const nmax = 4
+	tc := convCase{name: "rtbatch", n: nmax, cin: 5, h: 9, w: 8, cout: 6, kh: 3, kw: 3,
+		sh: 1, sw: 1, padT: 1, padL: 1, padB: 1, padR: 1, dh: 1, dw: 1, groups: 1, bias: true}
+	full := tc.tensors(77)
+	node := buildNode(t, "Conv", tc.attrs(), full...)
+	perImage := tc.cin * tc.h * tc.w
+	for n := 1; n <= nmax; n++ {
+		x := tensor.FromSlice(full[0].Data()[:n*perImage], n, tc.cin, tc.h, tc.w)
+		inputs := []*tensor.Tensor{x, full[1], full[2]}
+		outShape := append([]int(nil), node.Outputs[0].Shape...)
+		outShape[0] = n
+		want := tensor.New(outShape...)
+		got := tensor.New(outShape...)
+		if err := ByName("conv.im2col_explicit").Run(NewCtx(1), node, inputs, []*tensor.Tensor{want}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ByName("conv.im2col").Run(NewCtx(3), node, inputs, []*tensor.Tensor{got}); err != nil {
+			t.Fatal(err)
+		}
+		if i := relClose(got.Data(), want.Data(), implicitTol); i >= 0 {
+			t.Fatalf("batch %d: implicit diverges at [%d]: got %v want %v", n, i, got.Data()[i], want.Data()[i])
+		}
+	}
+}
+
+// FuzzConvImplicitVsExplicit explores conv geometry beyond the fixed
+// battery: random shapes, strides, dilations, asymmetric padding, group
+// counts, batch sizes, bias and fused activations, through both the
+// single-threaded and pool paths of every selectable kernel.
+func FuzzConvImplicitVsExplicit(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(4), uint8(8), uint8(8), uint8(3), uint8(3), uint8(1), uint8(1), uint8(1), uint8(1), uint8(1), uint8(1), uint8(1), true, uint8(1))
+	f.Add(uint64(9), uint8(8), uint8(8), uint8(9), uint8(7), uint8(3), uint8(2), uint8(2), uint8(3), uint8(2), uint8(0), uint8(2), uint8(1), uint8(2), false, uint8(3))
+	f.Add(uint64(5), uint8(6), uint8(6), uint8(12), uint8(5), uint8(1), uint8(1), uint8(1), uint8(1), uint8(0), uint8(0), uint8(1), uint8(1), uint8(6), true, uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, cinB, coutB, hB, wB, khB, kwB, shB, swB, padA, padC, dhB, dwB, groupB uint8, bias bool, nB uint8) {
+		tc := convCase{
+			n:    int(nB%4) + 1,
+			cin:  int(cinB%12) + 1,
+			h:    int(hB%20) + 1,
+			w:    int(wB%20) + 1,
+			cout: int(coutB%12) + 1,
+			kh:   int(khB%5) + 1,
+			kw:   int(kwB%5) + 1,
+			sh:   int(shB%3) + 1,
+			sw:   int(swB%3) + 1,
+			padT: int(padA % 3), padL: int(padC % 3),
+			padB: int(padC % 2), padR: int(padA % 2),
+			dh: int(dhB%2) + 1, dw: int(dwB%2) + 1,
+			groups: 1,
+			bias:   bias,
+		}
+		// Snap channels onto a valid group count.
+		g := int(groupB%4) + 1
+		tc.cin, tc.cout = tc.cin*g, tc.cout*g
+		tc.groups = g
+		if (tc.kh-1)*tc.dh+1 > tc.h+tc.padT+tc.padB || (tc.kw-1)*tc.dw+1 > tc.w+tc.padL+tc.padR {
+			t.Skip("kernel exceeds padded input")
+		}
+		attrs := tc.attrs()
+		if seed%3 == 0 {
+			attrs["activation"] = []string{"relu", "relu6", "leakyrelu"}[(seed/3)%3]
+			attrs["alpha"] = 0.1
+		}
+		inputs := tc.tensors(seed)
+		n := buildNode(t, "Conv", attrs, inputs...)
+		want := runConvWorkers(t, "conv.im2col_explicit", 1, n, inputs)
+		for _, kn := range gemm.KernelNames() {
+			withGemmKernel(t, kn, func() {
+				for _, workers := range []int{1, 3} {
+					got := runConvWorkers(t, "conv.im2col", workers, n, inputs)
+					if i := relClose(got.Data(), want.Data(), implicitTol); i >= 0 {
+						t.Fatalf("kernel %s workers %d: implicit diverges at [%d]: got %v want %v (case %+v)",
+							kn, workers, i, got.Data()[i], want.Data()[i], tc)
+					}
+				}
+			})
+		}
+	})
+}

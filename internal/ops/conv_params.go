@@ -3,6 +3,7 @@ package ops
 import (
 	"fmt"
 
+	"orpheus/internal/gemm"
 	"orpheus/internal/graph"
 	"orpheus/internal/tensor"
 )
@@ -144,6 +145,23 @@ func (p convParams) flops() int64 {
 	perOut := int64(p.cin/p.groups) * int64(p.kh) * int64(p.kw)
 	outs := int64(p.n) * int64(p.cout) * int64(p.oh) * int64(p.ow)
 	return 2 * perOut * outs
+}
+
+// gemmActivation maps a fused-activation attribute onto the GEMM epilogue
+// enum. Unknown names panic, mirroring applyActivation.
+func gemmActivation(act string) gemm.Activation {
+	switch act {
+	case "":
+		return gemm.ActNone
+	case "relu":
+		return gemm.ActReLU
+	case "relu6":
+		return gemm.ActReLU6
+	case "leakyrelu":
+		return gemm.ActLeakyReLU
+	default:
+		panic(fmt.Sprintf("ops: unknown fused activation %q", act))
+	}
 }
 
 // applyActivation applies a fused activation in place.

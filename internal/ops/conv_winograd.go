@@ -181,7 +181,7 @@ func runConvWinograd(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 			}
 		}
 	}
-	applyActivation(y, p.activation, p.alpha)
+	ctx.Sweep(y, nil, p.n*p.cout, p.oh*p.ow, p.activation, p.alpha)
 	return nil
 }
 

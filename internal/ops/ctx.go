@@ -86,6 +86,13 @@ type Ctx struct {
 	// When nil a private cache is created on first use.
 	Consts *ConstCache
 
+	// convSrc is the implicit-GEMM pack source conv.im2col points its
+	// Calls at. Kernels within a session run sequentially and GEMM blocks
+	// until the call completes, so one reusable value per session keeps
+	// the hot path free of allocations (an interface over a fresh struct
+	// would heap-allocate every run).
+	convSrc convPackSrc
+
 	scratch map[ctxKey][]float32
 
 	// ScratchBytes accumulates the bytes handed out by Scratch and newly
@@ -110,6 +117,26 @@ func (c *Ctx) GEMM(call gemm.Call) {
 		return
 	}
 	c.Gemm.Run(call)
+}
+
+// Sweep applies an optional per-channel bias and a fused activation over
+// an NCHW tensor laid out as rows×rowLen (rows = batch×channels, bias
+// indexed by row%len(bias); bias may be nil). With a multi-worker budget
+// the sweep is spread across the shared GEMM worker pool instead of
+// running as a single-threaded loop. Kernels whose output comes straight
+// from a GEMM should fuse the epilogue into the Call instead; Sweep
+// serves the ones that cannot (direct, Winograd, depthwise,
+// spatial-pack) and the explicit im2col comparison path.
+func (c *Ctx) Sweep(y, bias []float32, rows, rowLen int, act string, alpha float32) {
+	a := gemmActivation(act)
+	if bias == nil && a == gemm.ActNone {
+		return
+	}
+	if c.Workers > 1 {
+		gemm.Shared().Sweep(y, bias, rows, rowLen, a, alpha, c.Workers)
+		return
+	}
+	gemm.SweepRows(y, bias, rows, rowLen, a, alpha)
 }
 
 func (c *Ctx) consts() *ConstCache {

@@ -81,18 +81,18 @@ func runDenseGemm(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 			ctx.PutCache("dense.gemm/pwt", n, pb)
 		}
 	}
+	// Bias is per output feature — a GEMM column — and the activation
+	// follows it, so both ride the epilogue at tile store instead of two
+	// extra sweeps over Y.
+	var bias []float32
+	if len(in) == 3 {
+		bias = in[2].Data()
+	}
 	yd := out[0].Data()
 	ctx.GEMM(gemm.Call{A: x.Data(), B: wt, PackedB: pb, C: yd,
-		M: batch, N: m, K: k, Store: true})
-	if len(in) == 3 {
-		bias := in[2].Data()
-		for b := 0; b < batch; b++ {
-			row := yd[b*m : (b+1)*m]
-			for j := range row {
-				row[j] += bias[j]
-			}
-		}
-	}
-	applyActivation(yd, n.Attrs.Str("activation", ""), float32(n.Attrs.Float("alpha", 0.01)))
+		M: batch, N: m, K: k, Store: true,
+		BiasCol: bias,
+		Act:     gemmActivation(n.Attrs.Str("activation", "")),
+		Alpha:   float32(n.Attrs.Float("alpha", 0.01))})
 	return nil
 }

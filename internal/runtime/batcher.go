@@ -50,6 +50,64 @@ type Batcher struct {
 	batches   sync.WaitGroup
 	closeOnce sync.Once
 	runs      atomic.Int64
+
+	// Observability counters (see Stats). All are plain atomics so the
+	// hot path pays a handful of uncontended adds, never a lock.
+	depth          atomic.Int64 // requests submitted but not yet claimed or abandoned
+	served         atomic.Int64 // requests claimed into an executed batch
+	flushFull      atomic.Int64
+	flushDeadline  atomic.Int64
+	flushImmediate atomic.Int64
+	flushExplicit  atomic.Int64
+	flushClose     atomic.Int64
+	waitNs         atomic.Int64 // cumulative submit→launch wait of claimed requests
+}
+
+// BatcherStats is a point-in-time snapshot of a Batcher's counters.
+// Flush counts classify every launched batch by what ended its gather:
+// the batch filling to MaxBatch, the earliest member deadline expiring,
+// immediate-flush mode, an explicit Flush call, or the Close drain.
+// QueuedWait accumulates, over all claimed requests, the time from Submit
+// to the moment their batch was handed off for execution — divide by
+// Requests for the mean queueing latency.
+type BatcherStats struct {
+	// QueueDepth is the number of requests currently submitted but not
+	// yet claimed by an executing batch (or abandoned by cancellation).
+	QueueDepth int64
+	// Runs is the number of batched Session.Run executions launched.
+	Runs int64
+	// Requests is the number of requests claimed into executed batches.
+	Requests int64
+	// FlushFull counts batches launched because they reached MaxBatch.
+	FlushFull int64
+	// FlushDeadline counts batches flushed by a member's deadline.
+	FlushDeadline int64
+	// FlushImmediate counts immediate-mode launches.
+	FlushImmediate int64
+	// FlushExplicit counts batches flushed by an explicit Flush call.
+	FlushExplicit int64
+	// FlushClose counts batches flushed by the Close drain.
+	FlushClose int64
+	// QueuedWait is the cumulative submit→launch wait of claimed requests.
+	QueuedWait time.Duration
+}
+
+// Stats returns a snapshot of the batcher's observability counters. It is
+// safe to call concurrently with Submit/Flush/Close; the fields are read
+// individually, so a snapshot taken mid-burst may be off by in-flight
+// requests.
+func (b *Batcher) Stats() BatcherStats {
+	return BatcherStats{
+		QueueDepth:     b.depth.Load(),
+		Runs:           b.runs.Load(),
+		Requests:       b.served.Load(),
+		FlushFull:      b.flushFull.Load(),
+		FlushDeadline:  b.flushDeadline.Load(),
+		FlushImmediate: b.flushImmediate.Load(),
+		FlushExplicit:  b.flushExplicit.Load(),
+		FlushClose:     b.flushClose.Load(),
+		QueuedWait:     time.Duration(b.waitNs.Load()),
+	}
 }
 
 // BatcherOptions configures NewBatcher.
@@ -82,6 +140,7 @@ type batchReq struct {
 	ctx     context.Context
 	input   []float32
 	flushBy time.Time
+	enq     time.Time // when Submit handed the request to the collector
 	state   atomic.Int32
 	done    chan batchOutcome
 }
@@ -158,17 +217,22 @@ func (b *Batcher) Submit(ctx context.Context, sample []float32, wait time.Durati
 	if wait <= 0 {
 		wait = b.defWait
 	}
+	now := time.Now()
 	r := &batchReq{
 		ctx:     ctx,
 		input:   sample,
-		flushBy: time.Now().Add(wait),
+		flushBy: now.Add(wait),
+		enq:     now,
 		done:    make(chan batchOutcome, 1),
 	}
+	b.depth.Add(1)
 	select {
 	case b.reqs <- r:
 	case <-b.stop:
+		b.depth.Add(-1)
 		return BatchResult{}, fmt.Errorf("runtime: batcher: %w", ErrClosed)
 	case <-ctx.Done():
+		b.depth.Add(-1)
 		return BatchResult{}, ctx.Err()
 	}
 	select {
@@ -177,8 +241,10 @@ func (b *Batcher) Submit(ctx context.Context, sample []float32, wait time.Durati
 	case <-ctx.Done():
 		// Queued requests abandon cleanly; the CAS loses only against a
 		// batch that already claimed the request, and claimed work is
-		// delivered, not discarded.
+		// delivered, not discarded. Whichever side wins the CAS owns the
+		// queue-depth decrement, so every request leaves the gauge once.
 		if r.state.CompareAndSwap(reqPending, reqAbandoned) {
+			b.depth.Add(-1)
 			return BatchResult{}, ctx.Err()
 		}
 		o := <-r.done
@@ -233,7 +299,9 @@ func (b *Batcher) collect() {
 					break drain
 				}
 			}
+			b.flushImmediate.Add(1)
 		} else {
+			cause := &b.flushFull // reached only by filling to b.max
 			flushBy := first.flushBy
 			timer.Reset(time.Until(flushBy))
 		gather:
@@ -248,17 +316,21 @@ func (b *Batcher) collect() {
 						timer.Reset(time.Until(flushBy))
 					}
 				case <-timer.C:
+					cause = &b.flushDeadline
 					break gather
 				case <-b.flushNow:
+					cause = &b.flushExplicit
 					break gather
 				case <-b.stop:
 					// Graceful drain: run what is already gathered.
 					stopTimer(timer)
+					b.flushClose.Add(1)
 					b.launch(batch)
 					return
 				}
 			}
 			stopTimer(timer)
+			cause.Add(1)
 		}
 		b.launch(batch)
 	}
@@ -292,11 +364,15 @@ func (b *Batcher) launch(batch []*batchReq) {
 // allocation-free batched path is PredictBatchInto at the facade.
 func (b *Batcher) runBatch(batch []*batchReq) {
 	// Claim phase: requests cancelled while queued are dropped before
-	// staging, so their plans never run.
+	// staging, so their plans never run. A successful claim owns the
+	// queue-depth decrement (abandoners decrement on their own CAS win).
+	launched := time.Now()
 	claimed := batch[:0]
 	for _, r := range batch {
 		if r.ctx.Err() == nil && r.state.CompareAndSwap(reqPending, reqStaged) {
 			claimed = append(claimed, r)
+			b.depth.Add(-1)
+			b.waitNs.Add(int64(launched.Sub(r.enq)))
 		}
 	}
 	n := len(claimed)
@@ -304,6 +380,7 @@ func (b *Batcher) runBatch(batch []*batchReq) {
 		return
 	}
 	b.runs.Add(1)
+	b.served.Add(int64(n))
 	stage := make([]float32, n*b.perVol)
 	for i, r := range claimed {
 		copy(stage[i*b.perVol:(i+1)*b.perVol], r.input)

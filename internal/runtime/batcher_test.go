@@ -314,3 +314,81 @@ func TestBatcherSubmitCancelCloseStress(t *testing.T) {
 		t.Fatalf("post-stress Submit after Close returned %v, want ErrClosed", err)
 	}
 }
+
+// TestBatcherStats pins the observability counters: every served request
+// is counted once, flush causes classify launches, queued wait
+// accumulates, and the depth gauge returns to zero when idle.
+func TestBatcherStats(t *testing.T) {
+	b, _ := newTestBatcher(t, 4, BatcherOptions{FlushDeadline: 2 * time.Millisecond}, nil)
+	const clients = 9
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if _, err := b.Submit(context.Background(), sampleFor(c), 0); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Requests != clients {
+		t.Errorf("Requests = %d, want %d", st.Requests, clients)
+	}
+	if st.Runs != b.Runs() || st.Runs < 1 {
+		t.Errorf("Runs = %d (batcher reports %d)", st.Runs, b.Runs())
+	}
+	if got := st.FlushFull + st.FlushDeadline + st.FlushImmediate + st.FlushExplicit + st.FlushClose; got != st.Runs {
+		// Every launched batch in this test claims at least one request,
+		// so flush causes and runs must agree.
+		t.Errorf("flush causes sum to %d, runs = %d", got, st.Runs)
+	}
+	if st.QueueDepth != 0 {
+		t.Errorf("QueueDepth = %d after drain, want 0", st.QueueDepth)
+	}
+	if st.QueuedWait < 0 {
+		t.Errorf("QueuedWait = %v, want >= 0", st.QueuedWait)
+	}
+	if st.FlushImmediate != 0 {
+		t.Errorf("FlushImmediate = %d on a deadline batcher", st.FlushImmediate)
+	}
+}
+
+// TestBatcherStatsCancelledNotServed asserts a request abandoned while
+// queued never counts as served and leaves the depth gauge balanced.
+func TestBatcherStatsCancelledNotServed(t *testing.T) {
+	b, _ := newTestBatcher(t, 4, BatcherOptions{FlushDeadline: 200 * time.Millisecond}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(ctx, sampleFor(1), 0)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let it queue
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit = %v, want context.Canceled", err)
+	}
+	b.Flush() // release the gathering batch; it claims nothing
+	time.Sleep(10 * time.Millisecond)
+	st := b.Stats()
+	if st.Requests != 0 {
+		t.Errorf("Requests = %d, want 0", st.Requests)
+	}
+	if st.QueueDepth != 0 {
+		t.Errorf("QueueDepth = %d, want 0", st.QueueDepth)
+	}
+}
+
+// TestBatcherStatsImmediate pins the immediate-mode flush counter.
+func TestBatcherStatsImmediate(t *testing.T) {
+	b, _ := newTestBatcher(t, 4, BatcherOptions{Immediate: true}, nil)
+	if _, err := b.Submit(context.Background(), sampleFor(0), 0); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	if st.FlushImmediate != 1 || st.Requests != 1 {
+		t.Errorf("stats = %+v, want one immediate flush serving one request", st)
+	}
+}

@@ -180,15 +180,50 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// modelInfo is the /models response element.
+// modelInfo is the /models response element. Batcher is present only on
+// batching servers and snapshots the model's runtime.BatcherStats — the
+// counters an operator watches to tune MaxBatch and the flush deadline.
 type modelInfo struct {
-	Name       string `json:"name"`
-	Backend    string `json:"backend"`
-	InputShape []int  `json:"input_shape"`
-	MaxBatch   int    `json:"max_batch"`
-	Nodes      int    `json:"nodes"`
-	ParamBytes int64  `json:"param_bytes"`
-	ArenaBytes int64  `json:"arena_bytes"`
+	Name       string            `json:"name"`
+	Backend    string            `json:"backend"`
+	InputShape []int             `json:"input_shape"`
+	MaxBatch   int               `json:"max_batch"`
+	Nodes      int               `json:"nodes"`
+	ParamBytes int64             `json:"param_bytes"`
+	ArenaBytes int64             `json:"arena_bytes"`
+	Batcher    *batcherStatsJSON `json:"batcher,omitempty"`
+}
+
+// batcherStatsJSON mirrors runtime.BatcherStats on the wire; the
+// cumulative queued wait is reported in milliseconds.
+type batcherStatsJSON struct {
+	QueueDepth     int64   `json:"queue_depth"`
+	Runs           int64   `json:"runs"`
+	Requests       int64   `json:"requests"`
+	FlushFull      int64   `json:"flush_full"`
+	FlushDeadline  int64   `json:"flush_deadline"`
+	FlushImmediate int64   `json:"flush_immediate"`
+	FlushExplicit  int64   `json:"flush_explicit"`
+	FlushClose     int64   `json:"flush_close"`
+	QueuedWaitMs   float64 `json:"queued_wait_ms"`
+}
+
+func batcherStats(b *runtime.Batcher) *batcherStatsJSON {
+	if b == nil {
+		return nil
+	}
+	st := b.Stats()
+	return &batcherStatsJSON{
+		QueueDepth:     st.QueueDepth,
+		Runs:           st.Runs,
+		Requests:       st.Requests,
+		FlushFull:      st.FlushFull,
+		FlushDeadline:  st.FlushDeadline,
+		FlushImmediate: st.FlushImmediate,
+		FlushExplicit:  st.FlushExplicit,
+		FlushClose:     st.FlushClose,
+		QueuedWaitMs:   float64(st.QueuedWait) / 1e6,
+	}
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -204,10 +239,34 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			Nodes:      len(e.graph.Nodes),
 			ParamBytes: e.sessions.Plan().WeightBytes(),
 			ArenaBytes: e.sessions.Plan().ArenaBytes(),
+			Batcher:    batcherStats(e.batcher),
 		})
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	writeJSON(w, http.StatusOK, infos)
+}
+
+// BatcherStats returns the named model's batcher counters, or false when
+// the model is not hosted or the server does not batch. cmd/orpheus-serve
+// logs these on shutdown.
+func (s *Server) BatcherStats(model string) (runtime.BatcherStats, bool) {
+	e, ok := s.entry(model)
+	if !ok || e.batcher == nil {
+		return runtime.BatcherStats{}, false
+	}
+	return e.batcher.Stats(), true
+}
+
+// ModelNames lists the hosted models, sorted.
+func (s *Server) ModelNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.entries))
+	for name := range s.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // predictRequest is the /predict and /profile request body. WaitMs caps

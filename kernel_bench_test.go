@@ -17,6 +17,7 @@ import (
 
 	"orpheus/internal/backend"
 	"orpheus/internal/gemm"
+	"orpheus/internal/passes"
 	"orpheus/internal/runtime"
 	"orpheus/internal/tensor"
 )
@@ -109,6 +110,63 @@ func BenchmarkKernelModel(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
+			})
+		}
+	}
+}
+
+// BenchmarkConvImplicit times full single-sample inference with the GEMM
+// convolution path flipped between the production implicit form
+// (conv.im2col: virtual B-pack + fused epilogue) and the explicit form
+// (conv.im2col_explicit: materialised kdim×cols unfold, separate
+// bias/activation sweeps) — the PR-5 before/after pair behind
+// BENCH_pr5.json. The scratch-B/run metric reports the per-session kernel
+// scratch footprint, which carries the unfold buffers the implicit path
+// deletes.
+func BenchmarkConvImplicit(b *testing.B) {
+	for _, model := range []string{"wrn-40-2", "resnet-18", "mobilenet-v1"} {
+		g := cachedModel(b, model)
+		for _, kernel := range []string{"conv.im2col", "conv.im2col_explicit"} {
+			label := "implicit"
+			if kernel == "conv.im2col_explicit" {
+				label = "explicit"
+			}
+			b.Run(model+"/"+label, func(b *testing.B) {
+				work := g.Clone()
+				if err := work.Finalize(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := passes.Default().Run(work); err != nil {
+					b.Fatal(err)
+				}
+				plan, err := runtime.Compile(work, runtime.Options{
+					Policy: &backend.PreferencePolicy{
+						PolicyName: "bench-" + label,
+						Prefs: map[string][]string{
+							"Conv":  {"conv.depthwise", kernel},
+							"Dense": {"dense.gemm"},
+						},
+					},
+					Workers: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sess := runtime.NewSession(plan)
+				x := tensor.Rand(tensor.NewRNG(1), -1, 1, work.Inputs[0].Shape...)
+				in := map[string]*tensor.Tensor{work.Inputs[0].Name: x}
+				if _, err := sess.Run(context.Background(), in); err != nil { // warm-up packs weights
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sess.Run(context.Background(), in); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(sess.CtxScratchBytes()), "scratch-B/run")
 			})
 		}
 	}

@@ -618,6 +618,13 @@ func (b *Batcher) PredictWait(ctx context.Context, input *Tensor, wait time.Dura
 // flush deadline.
 func (b *Batcher) Flush() { b.rb.Flush() }
 
+// BatcherStats mirrors runtime.BatcherStats at the public boundary: queue
+// depth, launched runs, flush causes and cumulative queued wait.
+type BatcherStats = runtime.BatcherStats
+
+// Stats snapshots the batcher's observability counters.
+func (b *Batcher) Stats() BatcherStats { return b.rb.Stats() }
+
 // Close stops the batcher and drains its in-flight batches; subsequent
 // Predicts on the batcher fail with ErrClosed. The owning Session stays
 // usable, and the batcher is unregistered from it so long-lived sessions
