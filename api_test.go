@@ -337,6 +337,64 @@ func TestFacadeBatcher(t *testing.T) {
 	}
 }
 
+// TestFacadeBatcherQueueDepth covers bounded admission at the facade:
+// WithQueueDepth sheds excess Predicts with the exported ErrOverloaded
+// while admitted requests complete correctly. Two requests held in the
+// gather phase (the flush deadline is far away) pin the queue at its cap,
+// so the third Predict sheds deterministically.
+func TestFacadeBatcherQueueDepth(t *testing.T) {
+	m := stressCNN(t)
+	sess, err := m.Compile(WithMaxBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	b, err := sess.NewBatcher(
+		WithFlushDeadline(10*time.Second),
+		WithQueueDepth(2),
+		WithRunTimeout(5*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandomTensor(9, m.InputShape()...)
+	want, err := sess.Predict(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := b.Predict(context.Background(), x)
+			if err != nil {
+				t.Errorf("admitted request failed: %v", err)
+				return
+			}
+			if !tensor.AllClose(out, want, 0) {
+				t.Error("admitted request diverged from Predict")
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().QueueDepth < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled to its cap")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if _, err := b.Predict(context.Background(), x); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-cap Predict returned %v, want ErrOverloaded", err)
+	}
+	b.Flush()
+	wg.Wait()
+	st := b.Stats()
+	if st.Rejected != 1 || st.Requests != 2 {
+		t.Fatalf("Stats = {Requests: %d, Rejected: %d}, want {2, 1}", st.Requests, st.Rejected)
+	}
+}
+
 // TestTypedErrorTaxonomy asserts the facade's errors are errors.Is-able
 // against the exported sentinels.
 func TestTypedErrorTaxonomy(t *testing.T) {

@@ -12,9 +12,15 @@
 //	curl -X POST localhost:8080/predict/wrn-40-2 \
 //	     -d '{"input": [ ...3072 floats... ], "topk": 5}'
 //
+// The server is bounded by default: -queue-depth and -max-inflight shed
+// excess load with 429 + Retry-After instead of queueing without limit,
+// and -request-timeout caps each request's execution. Kubernetes-style
+// probes: /healthz (liveness) and /readyz (readiness; 503 while draining
+// or saturated).
+//
 // On SIGINT/SIGTERM the server shuts down gracefully: the batchers drain
 // their in-flight batches and the HTTP server finishes open requests
-// before the process exits.
+// before the process exits; late requests get 503 + Retry-After.
 //
 // The wire contract — endpoints, status codes, wait_ms, batch_size and
 // flush-deadline semantics — is documented in docs/SERVE.md.
@@ -48,12 +54,18 @@ func main() {
 		workers   = flag.Int("workers", 1, "kernel thread budget")
 		maxBatch  = flag.Int("max-batch", 1, "dynamic batching width: coalesce up to N concurrent /predict requests into one batched run (1 disables)")
 		flushMs   = flag.Float64("flush-ms", 2, "batching flush deadline in milliseconds (how long a lone request waits for peers); 0 selects immediate flush, < 0 the 2ms default")
+		queueDep  = flag.Int("queue-depth", 64, "per-model batcher queue bound: beyond N queued requests /predict sheds with 429 and Retry-After (0 = unbounded)")
+		inflight  = flag.Int("max-inflight", 256, "server-wide concurrent request cap: beyond N in-flight requests /predict sheds with 429 (0 = unbounded)")
+		reqTO     = flag.Duration("request-timeout", 30*time.Second, "per-request execution deadline (queue wait plus run time); 0 disables")
 	)
 	flag.Parse()
 
 	s := serve.New(
 		serve.WithMaxBatch(*maxBatch),
 		serve.WithFlushDeadline(time.Duration(*flushMs*float64(time.Millisecond))),
+		serve.WithQueueDepth(*queueDep),
+		serve.WithMaxInflight(*inflight),
+		serve.WithRequestTimeout(*reqTO),
 	)
 	hosted := 0
 	if *zooNames != "" {
@@ -104,18 +116,28 @@ func main() {
 		}
 		s.Close()
 		// Final batching report: flush causes and queueing latency tell
-		// the operator whether max-batch / flush-ms were sized right.
+		// the operator whether max-batch / flush-ms were sized right, shed
+		// and panic counters whether queue-depth / max-inflight were.
 		for _, name := range s.ModelNames() {
 			st, ok := s.BatcherStats(name)
 			if !ok {
+				if q, qok := s.Quarantined(name); qok && q > 0 {
+					log.Printf("model %s: %d sessions quarantined after panics", name, q)
+				}
 				continue
 			}
 			avgWaitMs := 0.0
 			if st.Requests > 0 {
 				avgWaitMs = float64(st.QueuedWait) / float64(st.Requests) / 1e6
 			}
-			log.Printf("batcher %s: %d requests in %d runs (flushes: %d full, %d deadline, %d immediate, %d explicit, %d close), avg queued wait %.3f ms",
-				name, st.Requests, st.Runs, st.FlushFull, st.FlushDeadline, st.FlushImmediate, st.FlushExplicit, st.FlushClose, avgWaitMs)
+			log.Printf("batcher %s: %d requests in %d runs (flushes: %d full, %d deadline, %d immediate, %d explicit, %d close), %d rejected, %d cancelled, avg queued wait %.3f ms",
+				name, st.Requests, st.Runs, st.FlushFull, st.FlushDeadline, st.FlushImmediate, st.FlushExplicit, st.FlushClose, st.Rejected, st.Cancelled, avgWaitMs)
+			if q, ok := s.Quarantined(name); ok && q > 0 {
+				log.Printf("model %s: %d sessions quarantined after panics", name, q)
+			}
+		}
+		if shed, panics := s.ShedCount(), s.PanicCount(); shed > 0 || panics > 0 {
+			log.Printf("overload: %d requests shed (429/503), %d plan-step panics contained", shed, panics)
 		}
 	}()
 	log.Printf("listening on %s", *addr)

@@ -1,0 +1,168 @@
+// Package faultinject is the runtime's fault-injection harness: a
+// build-tag-free hook point the session consults at every plan-step
+// boundary. An Injector holds a set of rules matching steps by model,
+// node name and op; a matching rule injects a panic, a typed error or
+// extra latency, optionally with a probability and a bounded number of
+// firings. The zero hook (a nil *Injector on ops.Ctx) costs one pointer
+// comparison per step, so production binaries carry the hook at no
+// measurable cost and the overload test battery can kill steps mid-batch
+// without a special build.
+//
+// Injected panics carry a *PanicValue, so recovery layers (and tests)
+// can distinguish injected faults from genuine kernel bugs.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel every injected error wraps; tests branch on
+// it with errors.Is to separate injected faults from real failures.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// Action selects what a matching rule does to the step.
+type Action int
+
+// The injectable fault classes.
+const (
+	// ActError makes the step return a typed error wrapping ErrInjected
+	// (or the rule's Err).
+	ActError Action = iota
+	// ActPanic makes the step panic with a *PanicValue.
+	ActPanic
+	// ActDelay sleeps for the rule's Delay, then lets the step proceed —
+	// latency injection for overload and deadline tests.
+	ActDelay
+)
+
+// String names the action for counters and log lines.
+func (a Action) String() string {
+	switch a {
+	case ActError:
+		return "error"
+	case ActPanic:
+		return "panic"
+	case ActDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// PanicValue is the value an ActPanic rule panics with. Recovery layers
+// that want to treat injected panics specially (or tests asserting the
+// panic reached them) type-switch on *PanicValue.
+type PanicValue struct {
+	// Model and Step identify the plan step that was killed.
+	Model, Step string
+}
+
+// Error formats the panic value; it also lets the recovered value read
+// naturally when wrapped into an error message.
+func (p *PanicValue) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %s/%s", p.Model, p.Step)
+}
+
+// Rule matches plan steps and describes the fault to inject. Empty
+// match fields match everything, so the zero Rule with Action ActError
+// fails every step of every model.
+type Rule struct {
+	// Model matches the graph name ("" matches any model).
+	Model string
+	// Step matches the node name ("" matches any step).
+	Step string
+	// Op matches the node op ("" matches any op).
+	Op string
+	// Probability is the chance a matching step fires the rule; values
+	// outside (0, 1) mean always.
+	Probability float64
+	// Times caps how often the rule fires (0 = unlimited).
+	Times int64
+	// Action selects the fault class.
+	Action Action
+	// Delay is the injected latency for ActDelay.
+	Delay time.Duration
+	// Err overrides the error returned by ActError; it is wrapped so
+	// errors.Is(err, ErrInjected) still holds. Nil uses ErrInjected alone.
+	Err error
+
+	fired atomic.Int64
+}
+
+// Injector evaluates rules at step boundaries. It is safe for concurrent
+// use by any number of sessions; the RNG behind probabilities is seeded
+// explicitly so test runs are reproducible.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*Rule
+
+	panics atomic.Int64
+	errors atomic.Int64
+	delays atomic.Int64
+}
+
+// New builds an injector over the given rules with a deterministic RNG.
+func New(seed int64, rules ...*Rule) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), rules: rules}
+}
+
+// Counts reports how many faults of each class the injector has fired:
+// panics, errors, delays.
+func (in *Injector) Counts() (panics, errs, delays int64) {
+	return in.panics.Load(), in.errors.Load(), in.delays.Load()
+}
+
+// matches reports whether the rule applies to (model, step, op).
+func (r *Rule) matches(model, step, op string) bool {
+	return (r.Model == "" || r.Model == model) &&
+		(r.Step == "" || r.Step == step) &&
+		(r.Op == "" || r.Op == op)
+}
+
+// Step is the hook the runtime calls before executing a plan step. It
+// returns a non-nil error to fail the step, panics with *PanicValue to
+// kill it, sleeps to delay it, or returns nil to let it run untouched.
+// A nil receiver is a no-op, so callers hold an always-present pointer
+// and pay one comparison when injection is off.
+func (in *Injector) Step(model, step, op string) error {
+	if in == nil {
+		return nil
+	}
+	for _, r := range in.rules {
+		if !r.matches(model, step, op) {
+			continue
+		}
+		if r.Probability > 0 && r.Probability < 1 {
+			in.mu.Lock()
+			miss := in.rng.Float64() >= r.Probability
+			in.mu.Unlock()
+			if miss {
+				continue
+			}
+		}
+		if r.Times > 0 && r.fired.Add(1) > r.Times {
+			continue
+		}
+		switch r.Action {
+		case ActPanic:
+			in.panics.Add(1)
+			panic(&PanicValue{Model: model, Step: step})
+		case ActDelay:
+			in.delays.Add(1)
+			time.Sleep(r.Delay)
+		default:
+			in.errors.Add(1)
+			if r.Err != nil {
+				return fmt.Errorf("faultinject: step %s/%s: %w: %w", model, step, r.Err, ErrInjected)
+			}
+			return fmt.Errorf("faultinject: step %s/%s: %w", model, step, ErrInjected)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorIsNoOp pins the production contract: a nil *Injector is
+// a legal, free hook — every step proceeds untouched.
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if err := in.Step("m", "s", "Conv"); err != nil {
+		t.Fatalf("nil injector returned %v", err)
+	}
+}
+
+// TestMatching pins the rule-matching semantics: empty fields are
+// wildcards, populated fields must match exactly.
+func TestMatching(t *testing.T) {
+	cases := []struct {
+		rule            *Rule
+		model, step, op string
+		want            bool
+	}{
+		{&Rule{}, "m", "s", "Conv", true},
+		{&Rule{Model: "m"}, "m", "s", "Conv", true},
+		{&Rule{Model: "other"}, "m", "s", "Conv", false},
+		{&Rule{Step: "s"}, "m", "s", "Conv", true},
+		{&Rule{Step: "t"}, "m", "s", "Conv", false},
+		{&Rule{Op: "Conv"}, "m", "s", "Conv", true},
+		{&Rule{Op: "Gemm"}, "m", "s", "Conv", false},
+		{&Rule{Model: "m", Step: "s", Op: "Conv"}, "m", "s", "Conv", true},
+		{&Rule{Model: "m", Step: "s", Op: "Gemm"}, "m", "s", "Conv", false},
+	}
+	for i, tc := range cases {
+		if got := tc.rule.matches(tc.model, tc.step, tc.op); got != tc.want {
+			t.Errorf("case %d: matches(%q,%q,%q) = %v, want %v", i, tc.model, tc.step, tc.op, got, tc.want)
+		}
+	}
+}
+
+// TestErrorInjection checks ActError: the returned error wraps
+// ErrInjected (and the rule's custom Err when set), and the error counter
+// advances.
+func TestErrorInjection(t *testing.T) {
+	custom := errors.New("disk on fire")
+	in := New(1,
+		&Rule{Step: "a", Action: ActError},
+		&Rule{Step: "b", Action: ActError, Err: custom},
+	)
+	if err := in.Step("m", "a", "Conv"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("step a: got %v, want ErrInjected", err)
+	}
+	err := in.Step("m", "b", "Conv")
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, custom) {
+		t.Fatalf("step b: got %v, want ErrInjected wrapping custom", err)
+	}
+	if err := in.Step("m", "c", "Conv"); err != nil {
+		t.Fatalf("unmatched step failed: %v", err)
+	}
+	if _, errs, _ := in.Counts(); errs != 2 {
+		t.Fatalf("error count = %d, want 2", errs)
+	}
+}
+
+// TestPanicInjection checks ActPanic: the panic value is a *PanicValue
+// naming the killed step, and the panic counter advances.
+func TestPanicInjection(t *testing.T) {
+	in := New(1, &Rule{Model: "m", Step: "s", Action: ActPanic})
+	func() {
+		defer func() {
+			r := recover()
+			pv, ok := r.(*PanicValue)
+			if !ok {
+				t.Fatalf("recovered %T (%v), want *PanicValue", r, r)
+			}
+			if pv.Model != "m" || pv.Step != "s" {
+				t.Fatalf("panic value = %+v, want m/s", pv)
+			}
+		}()
+		_ = in.Step("m", "s", "Conv")
+		t.Fatal("step did not panic")
+	}()
+	if panics, _, _ := in.Counts(); panics != 1 {
+		t.Fatalf("panic count = %d, want 1", panics)
+	}
+}
+
+// TestDelayInjection checks ActDelay: the step blocks for at least the
+// configured latency, then proceeds without error.
+func TestDelayInjection(t *testing.T) {
+	in := New(1, &Rule{Action: ActDelay, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := in.Step("m", "s", "Conv"); err != nil {
+		t.Fatalf("delayed step failed: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("step returned after %v, want >= 20ms", d)
+	}
+	if _, _, delays := in.Counts(); delays != 1 {
+		t.Fatalf("delay count = %d, want 1", delays)
+	}
+}
+
+// TestTimesCap checks the firing cap: a rule with Times=N injects exactly
+// N faults, then goes inert.
+func TestTimesCap(t *testing.T) {
+	in := New(1, &Rule{Action: ActError, Times: 3})
+	failed := 0
+	for i := 0; i < 10; i++ {
+		if err := in.Step("m", "s", "Conv"); err != nil {
+			failed++
+		}
+	}
+	if failed != 3 {
+		t.Fatalf("rule fired %d times, want 3", failed)
+	}
+}
+
+// TestProbabilityIsDeterministicPerSeed checks that probabilistic rules
+// fire a reproducible subset for a fixed seed, and roughly the expected
+// fraction for a fair one.
+func TestProbabilityIsDeterministicPerSeed(t *testing.T) {
+	const trials = 1000
+	run := func(seed int64) int {
+		in := New(seed, &Rule{Action: ActError, Probability: 0.3})
+		n := 0
+		for i := 0; i < trials; i++ {
+			if in.Step("m", "s", "Conv") != nil {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed fired %d then %d faults", a, b)
+	}
+	if a < trials/5 || a > trials/2 {
+		t.Fatalf("p=0.3 fired %d/%d times — far off expectation", a, trials)
+	}
+}

@@ -31,10 +31,26 @@ type Pool struct {
 
 // poolWork is one unit a pool worker executes: a tiled GEMM task or a row
 // sweep. drain claims and runs work shares until exhausted; finish signals
-// the submitter that this helper is done.
+// the submitter that this helper is done; fail records a panic recovered
+// while draining so the submitter can re-raise it on its own goroutine.
 type poolWork interface {
 	drain(ctx *Context)
 	finish()
+	fail(r any)
+}
+
+// drainRecover runs one share of w behind the pool's panic barrier: a
+// panicking kernel tile is recorded on the task (first panic wins) instead
+// of unwinding the goroutine. Workers survive poisoned tasks, and the
+// submitter re-raises the panic after every helper has checked in, so the
+// fault surfaces exactly once, on the goroutine that owns the request.
+func drainRecover(w poolWork, ctx *Context) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.fail(r)
+		}
+	}()
+	w.drain(ctx)
 }
 
 // task is one tiled GEMM in flight. Tiles are claimed via next; wg tracks
@@ -48,10 +64,37 @@ type task struct {
 	tileM, tileN int
 	next         atomic.Int64
 	wg           sync.WaitGroup
+	failure      panicSlot
 }
 
 // finish implements poolWork.
 func (t *task) finish() { t.wg.Done() }
+
+// fail implements poolWork.
+func (t *task) fail(r any) { t.failure.set(r) }
+
+// panicSlot stores the first panic recovered across a task's helpers.
+// set is called only on the (cold) panic path; take is called by the
+// submitter after wg.Wait, which orders it after every set.
+type panicSlot struct {
+	mu sync.Mutex
+	r  any
+}
+
+func (s *panicSlot) set(r any) {
+	s.mu.Lock()
+	if s.r == nil {
+		s.r = r
+	}
+	s.mu.Unlock()
+}
+
+// take returns and clears the stored panic.
+func (s *panicSlot) take() any {
+	r := s.r
+	s.r = nil
+	return r
+}
 
 var taskPool = sync.Pool{New: func() any { return new(task) }}
 
@@ -71,7 +114,7 @@ func NewPool(workers int) *Pool {
 func (p *Pool) worker() {
 	var ctx Context
 	for w := range p.tasks {
-		w.drain(&ctx)
+		drainRecover(w, &ctx)
 		w.finish()
 	}
 }
@@ -151,11 +194,17 @@ func (p *Pool) Run(ctx *Context, c Call, workers int) {
 			t.wg.Done()
 		}
 	}
-	t.drain(ctx)
+	drainRecover(t, ctx)
 	t.wg.Wait()
+	r := t.failure.take()
 	t.call = Call{}
 	t.kern = nil
 	taskPool.Put(t)
+	if r != nil {
+		// Re-raise on the submitting goroutine: the runtime's step barrier
+		// converts it to a typed error and quarantines the session.
+		panic(r)
+	}
 }
 
 // sweepTask is one parallel row sweep in flight: rows×rowLen elements of
@@ -171,7 +220,11 @@ type sweepTask struct {
 	alpha        float32
 	next         atomic.Int64
 	wg           sync.WaitGroup
+	failure      panicSlot
 }
+
+// fail implements poolWork.
+func (t *sweepTask) fail(r any) { t.failure.set(r) }
 
 var sweepPool = sync.Pool{New: func() any { return new(sweepTask) }}
 
@@ -259,10 +312,14 @@ func (p *Pool) Sweep(data, bias []float32, rows, rowLen int, act Activation, alp
 			t.wg.Done()
 		}
 	}
-	t.drain(nil)
+	drainRecover(t, nil)
 	t.wg.Wait()
+	r := t.failure.take()
 	t.data, t.bias = nil, nil
 	sweepPool.Put(t)
+	if r != nil {
+		panic(r)
+	}
 }
 
 // drain claims and executes tiles until the grid is exhausted.

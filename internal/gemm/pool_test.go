@@ -174,3 +174,61 @@ func TestParallelRaggedWorkerSweep(t *testing.T) {
 		}
 	}
 }
+
+// panickyPack is a PackSrc whose every panel request panics — a stand-in
+// for a buggy im2col source, used to prove the pool contains worker
+// panics.
+type panickyPack struct{}
+
+func (panickyPack) PackPanel(dst []float32, img, pp, jj, kc, nc, nr int) {
+	panic("panickyPack: poisoned panel")
+}
+
+// TestPoolPanicIsolation pins the pool's panic barrier: a panic inside a
+// worker's share of a task is re-raised on the submitting goroutine (so
+// the session layer can convert it into a typed error), the workers
+// survive, and the pool keeps computing correct GEMMs afterwards.
+func TestPoolPanicIsolation(t *testing.T) {
+	pool := NewPool(3)
+	defer pool.Close()
+	m, n, k := 64, 256, 32
+	r := tensor.NewRNG(5)
+	a := randMat(r, m, k)
+
+	for trial := 0; trial < 3; trial++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("trial %d: poisoned Run did not re-raise the panic", trial)
+				}
+			}()
+			var ctx Context
+			pool.Run(&ctx, Call{A: a, BPack: panickyPack{}, C: make([]float32, m*n), M: m, N: n, K: k, Store: true}, 4)
+		}()
+	}
+
+	// The pool must still be fully alive: drive it concurrently and check
+	// results against the naive reference.
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rr := tensor.NewRNG(uint64(900 + g))
+			b := randMat(rr, k, n)
+			want := naiveWant(a, b, nil, m, n, k, true)
+			got := make([]float32, m*n)
+			var ctx Context
+			pool.Run(&ctx, Call{A: a, B: b, C: got, M: m, N: n, K: k, Store: true}, 3)
+			if d := maxDiff(want, got); d > 1e-3 {
+				errs <- fmt.Errorf("caller %d after panic: differs from Naive by %v", g, d)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -42,6 +42,8 @@ type Batcher struct {
 	max      int
 	defWait  time.Duration
 	immed    bool
+	maxDepth int           // admission cap on queued requests (0 = unbounded)
+	runLimit time.Duration // deadline on each batched Session.Run (0 = none)
 
 	reqs      chan *batchReq
 	flushNow  chan struct{}
@@ -61,6 +63,8 @@ type Batcher struct {
 	flushExplicit  atomic.Int64
 	flushClose     atomic.Int64
 	waitNs         atomic.Int64 // cumulative submit→launch wait of claimed requests
+	rejected       atomic.Int64 // requests shed at admission (queue full or closed)
+	cancelledReqs  atomic.Int64 // requests abandoned by their context while queued
 }
 
 // BatcherStats is a point-in-time snapshot of a Batcher's counters.
@@ -89,7 +93,16 @@ type BatcherStats struct {
 	// FlushClose counts batches flushed by the Close drain.
 	FlushClose int64
 	// QueuedWait is the cumulative submit→launch wait of claimed requests.
+	// Rejected and cancelled requests never contribute, so QueuedWait /
+	// Requests is an unskewed mean queueing latency even under shedding.
 	QueuedWait time.Duration
+	// Rejected counts requests shed at admission: the queue-depth cap was
+	// hit, or the batcher was already closed. They never occupied a queue
+	// slot and are excluded from QueuedWait.
+	Rejected int64
+	// Cancelled counts requests abandoned by their own context while
+	// queued — before any batch claimed them.
+	Cancelled int64
 }
 
 // Stats returns a snapshot of the batcher's observability counters. It is
@@ -107,7 +120,31 @@ func (b *Batcher) Stats() BatcherStats {
 		FlushExplicit:  b.flushExplicit.Load(),
 		FlushClose:     b.flushClose.Load(),
 		QueuedWait:     time.Duration(b.waitNs.Load()),
+		Rejected:       b.rejected.Load(),
+		Cancelled:      b.cancelledReqs.Load(),
 	}
+}
+
+// EstimateWait predicts how long a request admitted right now would wait
+// before its batch launches: the mean historical queueing latency scaled
+// by the current queue depth (relative to one batch width), floored at
+// the flush deadline. The serve layer turns this into Retry-After for
+// shed (429) responses; it is an estimate from live counters, not a
+// guarantee.
+func (b *Batcher) EstimateWait() time.Duration {
+	st := b.Stats()
+	if st.Requests == 0 {
+		return b.defWait
+	}
+	mean := st.QueuedWait / time.Duration(st.Requests)
+	est := mean
+	if batches := (st.QueueDepth + int64(b.max) - 1) / int64(b.max); batches > 1 {
+		est = mean * time.Duration(batches)
+	}
+	if est < b.defWait {
+		est = b.defWait
+	}
+	return est
 }
 
 // BatcherOptions configures NewBatcher.
@@ -121,6 +158,20 @@ type BatcherOptions struct {
 	// soon as the collector sees it, batched only with requests that are
 	// already queued at that instant. FlushDeadline is ignored.
 	Immediate bool
+
+	// QueueDepth caps how many requests may be queued (submitted but not
+	// yet claimed by an executing batch) at once. A Submit that would
+	// exceed the cap is rejected immediately with ErrOverloaded instead of
+	// joining an unbounded pile-up — bounded admission for overload
+	// resilience. 0 (the default) leaves the queue unbounded.
+	QueueDepth int
+
+	// RunTimeout bounds the execution time of each batched Session.Run
+	// (not the queue wait — FlushDeadline and per-request waits govern
+	// that). The run is cancelled at the next plan-step boundary when the
+	// deadline passes, failing the batch's requests with
+	// context.DeadlineExceeded. 0 (the default) leaves runs unbounded.
+	RunTimeout time.Duration
 }
 
 // DefaultFlushDeadline is the default per-request wait for batch peers.
@@ -183,6 +234,8 @@ func NewBatcher(pool *SessionPool, opts BatcherOptions) (*Batcher, error) {
 		max:       pool.Plan().MaxBatch(),
 		defWait:   opts.FlushDeadline,
 		immed:     opts.Immediate,
+		maxDepth:  opts.QueueDepth,
+		runLimit:  opts.RunTimeout,
 		reqs:      make(chan *batchReq),
 		flushNow:  make(chan struct{}, 1),
 		stop:      make(chan struct{}),
@@ -225,14 +278,25 @@ func (b *Batcher) Submit(ctx context.Context, sample []float32, wait time.Durati
 		enq:     now,
 		done:    make(chan batchOutcome, 1),
 	}
-	b.depth.Add(1)
+	// Bounded admission: the queue-depth gauge is bumped optimistically
+	// and rolled back when over the cap, so concurrent Submits can never
+	// all squeeze past a nearly-full queue. Shed requests fail fast with
+	// the typed ErrOverloaded — the caller (or the HTTP layer above it)
+	// backs off instead of piling onto a saturated model.
+	if d := b.depth.Add(1); b.maxDepth > 0 && d > int64(b.maxDepth) {
+		b.depth.Add(-1)
+		b.rejected.Add(1)
+		return BatchResult{}, fmt.Errorf("runtime: batcher queue full (%d queued, cap %d): %w", d-1, b.maxDepth, ErrOverloaded)
+	}
 	select {
 	case b.reqs <- r:
 	case <-b.stop:
 		b.depth.Add(-1)
+		b.rejected.Add(1)
 		return BatchResult{}, fmt.Errorf("runtime: batcher: %w", ErrClosed)
 	case <-ctx.Done():
 		b.depth.Add(-1)
+		b.cancelledReqs.Add(1)
 		return BatchResult{}, ctx.Err()
 	}
 	select {
@@ -245,6 +309,7 @@ func (b *Batcher) Submit(ctx context.Context, sample []float32, wait time.Durati
 		// queue-depth decrement, so every request leaves the gauge once.
 		if r.state.CompareAndSwap(reqPending, reqAbandoned) {
 			b.depth.Add(-1)
+			b.cancelledReqs.Add(1)
 			return BatchResult{}, ctx.Err()
 		}
 		o := <-r.done
@@ -389,10 +454,18 @@ func (b *Batcher) runBatch(batch []*batchReq) {
 	shape[0] *= n
 	in := tensor.FromSlice(stage, shape...)
 
-	// The batch itself runs uncancellable: it serves every claimed
-	// request, and one caller's deadline must not discard peers' work.
+	// The batch runs detached from any single caller's context: it serves
+	// every claimed request, and one caller's deadline must not discard
+	// peers' work. RunTimeout is the batch-level bound — an execution
+	// deadline covering the run itself, enforced at step boundaries.
+	runCtx := context.Background()
+	if b.runLimit > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, b.runLimit)
+		defer cancel()
+	}
 	sess := b.pool.Get()
-	outs, err := sess.Run(context.Background(), map[string]*tensor.Tensor{b.inName: in})
+	outs, err := sess.Run(runCtx, map[string]*tensor.Tensor{b.inName: in})
 	var out *tensor.Tensor
 	if err == nil {
 		if out = outs[b.outName]; out == nil {

@@ -379,6 +379,12 @@ func TestBatcherStatsCancelledNotServed(t *testing.T) {
 	if st.QueueDepth != 0 {
 		t.Errorf("QueueDepth = %d, want 0", st.QueueDepth)
 	}
+	if st.Cancelled != 1 {
+		t.Errorf("Cancelled = %d, want 1", st.Cancelled)
+	}
+	if st.Rejected != 0 {
+		t.Errorf("Rejected = %d, want 0 — cancellation must not count as shedding", st.Rejected)
+	}
 }
 
 // TestBatcherStatsImmediate pins the immediate-mode flush counter.

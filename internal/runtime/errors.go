@@ -1,6 +1,9 @@
 package runtime
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Typed sentinel errors of the inference request lifecycle. Every error the
 // runtime (and the facade above it) returns for these conditions wraps one
@@ -36,4 +39,37 @@ var (
 	// ErrNoOutput marks a graph that produced no output tensor (a model
 	// hosting error, not a request error).
 	ErrNoOutput = errors.New("model has no outputs")
+
+	// ErrOverloaded marks a request shed by admission control: the
+	// batcher's queue or the server's in-flight limit is at capacity and
+	// the request was rejected immediately instead of queueing unboundedly.
+	// The HTTP layer maps it to 429 with a Retry-After estimate.
+	ErrOverloaded = errors.New("overloaded")
+
+	// ErrPlanPanic marks a request whose plan step panicked. The panic is
+	// recovered at the step boundary, only the affected request (or batch)
+	// fails, and the session it ran on is quarantined rather than pooled;
+	// the process stays up. The concrete error is a *PlanPanicError
+	// carrying the step name.
+	ErrPlanPanic = errors.New("plan step panicked")
 )
+
+// PlanPanicError is the error Run returns when a plan step panics: the
+// panic value plus the step (node) it was recovered at. It wraps
+// ErrPlanPanic, so callers branch with errors.Is and introspect with
+// errors.As when they need the step identity.
+type PlanPanicError struct {
+	// Model is the graph name, Node the panicking step's node name and Op
+	// its operator.
+	Model, Node, Op string
+	// Value is the recovered panic value.
+	Value any
+}
+
+// Error formats the panic with its step identity.
+func (e *PlanPanicError) Error() string {
+	return fmt.Sprintf("runtime: node %q (%s) in %s panicked: %v: %v", e.Node, e.Op, e.Model, e.Value, ErrPlanPanic)
+}
+
+// Unwrap ties the error into the sentinel taxonomy.
+func (e *PlanPanicError) Unwrap() error { return ErrPlanPanic }

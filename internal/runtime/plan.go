@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 
+	"orpheus/internal/faultinject"
 	"orpheus/internal/graph"
 	"orpheus/internal/ops"
 	"orpheus/internal/tensor"
@@ -27,6 +28,11 @@ type Options struct {
 	// DisableScratchReuse additionally makes kernels reallocate their
 	// internal scratch (im2col buffers etc.) on every call.
 	DisableScratchReuse bool
+	// Fault installs a fault-injection hook consulted at every plan-step
+	// boundary of every session compiled from the plan (see
+	// internal/faultinject). Nil — the default — disables injection at the
+	// cost of one pointer comparison per step.
+	Fault *faultinject.Injector
 }
 
 // step is one planned node execution. overwrites records, at compile time,
@@ -226,6 +232,13 @@ func (p *Plan) batchVolume(v *graph.Value, n int) int {
 
 // MaxBatch returns the largest runtime batch the plan's sessions accept.
 func (p *Plan) MaxBatch() int { return p.maxBatch }
+
+// SetFault installs (or clears) the plan's fault-injection hook after
+// compilation — the escape hatch for harnesses that compile through a
+// backend and cannot thread Options.Fault. Call it before the plan's
+// sessions start running; sessions created earlier keep the hook they
+// were built with.
+func (p *Plan) SetFault(fi *faultinject.Injector) { p.opts.Fault = fi }
 
 // InputShapeAt returns the shape of graph input i at batch n (for
 // MaxBatch-1 plans this is simply the input's planned shape).

@@ -42,6 +42,12 @@ type Session struct {
 	// binds[n] holds the prebound steps for batch n (1 ≤ n ≤ MaxBatch),
 	// built lazily on the first run at that batch size.
 	binds []*batchBind
+
+	// poisoned is set when a plan step panics on this session: the arena,
+	// scratch and GEMM packing state may be mid-write garbage, so the
+	// session must not serve another request. SessionPool.Put quarantines
+	// poisoned sessions instead of recycling them.
+	poisoned bool
 }
 
 // batchBind is the prebound execution state for one batch size.
@@ -82,6 +88,7 @@ func NewSession(plan *Plan) *Session {
 	s := &Session{plan: plan, ctx: ops.NewCtx(plan.opts.Workers)}
 	s.ctx.DisableScratchReuse = plan.opts.DisableScratchReuse
 	s.ctx.Consts = plan.consts
+	s.ctx.Fault = plan.opts.Fault
 	s.inTensors = make([]*tensor.Tensor, len(plan.g.Inputs))
 	if plan.opts.NoBufferReuse {
 		return s
@@ -295,6 +302,34 @@ func cancelled(done <-chan struct{}) bool {
 	}
 }
 
+// Poisoned reports whether a plan step panicked on this session, leaving
+// its arena and kernel scratch in an unknown state. A poisoned session
+// must be discarded; SessionPool.Put does so automatically.
+func (s *Session) Poisoned() bool { return s.poisoned }
+
+// runStep executes one step behind the panic barrier: the fault-injection
+// hook fires first (inside the barrier, so injected panics travel the
+// same path as real ones), then the kernel. A recovered panic poisons the
+// session and comes back as a *PlanPanicError carrying the step identity;
+// the request fails, the process does not. The defer is open-coded and
+// recover is reached only when panicking, so the steady-state path stays
+// allocation-free.
+func (s *Session) runStep(node *graph.Node, kernel ops.Kernel, in, out []*tensor.Tensor) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.poisoned = true
+			err = &PlanPanicError{Model: s.plan.g.Name, Node: node.Name, Op: node.Op, Value: r}
+		}
+	}()
+	if err := s.ctx.Fault.Step(s.plan.g.Name, node.Name, node.Op); err != nil {
+		return fmt.Errorf("runtime: node %q (%s): %w", node.Name, node.Op, err)
+	}
+	if err := kernel.Run(s.ctx, node, in, out); err != nil {
+		return fmt.Errorf("runtime: node %q (%s, kernel %s): %w", node.Name, node.Op, kernel.Name(), err)
+	}
+	return nil
+}
+
 func (s *Session) run(ctx context.Context, inputs map[string]*tensor.Tensor, profile bool) (map[string]*tensor.Tensor, []LayerTiming, error) {
 	if s.slots == nil {
 		return s.runDynamic(ctx, inputs, profile)
@@ -330,8 +365,8 @@ func (s *Session) run(ctx context.Context, inputs map[string]*tensor.Tensor, pro
 		if profile {
 			start = time.Now()
 		}
-		if err := st.kernel.Run(s.ctx, st.node, st.in, st.out); err != nil {
-			return nil, nil, fmt.Errorf("runtime: node %q (%s, kernel %s): %w", st.node.Name, st.node.Op, st.kernel.Name(), err)
+		if err := s.runStep(st.node, st.kernel, st.in, st.out); err != nil {
+			return nil, nil, err
 		}
 		if profile {
 			timings = append(timings, LayerTiming{
@@ -393,8 +428,8 @@ func (s *Session) runDynamic(ctx context.Context, inputs map[string]*tensor.Tens
 		if profile {
 			start = time.Now()
 		}
-		if err := st.kernel.Run(s.ctx, st.node, in, out); err != nil {
-			return nil, nil, fmt.Errorf("runtime: node %q (%s, kernel %s): %w", st.node.Name, st.node.Op, st.kernel.Name(), err)
+		if err := s.runStep(st.node, st.kernel, in, out); err != nil {
+			return nil, nil, err
 		}
 		if profile {
 			timings = append(timings, LayerTiming{

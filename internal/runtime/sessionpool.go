@@ -3,6 +3,7 @@ package runtime
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"orpheus/internal/tensor"
 )
@@ -17,6 +18,12 @@ import (
 type SessionPool struct {
 	plan *Plan
 	pool sync.Pool
+
+	// quarantined counts sessions dropped by Put because a plan step
+	// panicked on them — a poisoned arena must never serve another
+	// request. Operators watch this alongside the serve-layer panic
+	// counter.
+	quarantined atomic.Int64
 }
 
 // NewSessionPool returns a pool over the plan. Sessions are created
@@ -35,8 +42,20 @@ func (sp *SessionPool) Plan() *Plan { return sp.plan }
 // doing so.
 func (sp *SessionPool) Get() *Session { return sp.pool.Get().(*Session) }
 
-// Put returns a borrowed session to the pool.
-func (sp *SessionPool) Put(s *Session) { sp.pool.Put(s) }
+// Put returns a borrowed session to the pool. A session poisoned by a
+// plan-step panic is quarantined instead — dropped for the GC, never
+// recycled — so one corrupted arena cannot bleed into later requests; a
+// fresh session is built on the next Get that misses the pool.
+func (sp *SessionPool) Put(s *Session) {
+	if s.Poisoned() {
+		sp.quarantined.Add(1)
+		return
+	}
+	sp.pool.Put(s)
+}
+
+// Quarantined reports how many poisoned sessions Put has dropped.
+func (sp *SessionPool) Quarantined() int64 { return sp.quarantined.Load() }
 
 // Run borrows a session, executes the graph and returns cloned outputs
 // that remain valid after the session goes back to the pool. It is safe

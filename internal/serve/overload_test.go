@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"orpheus/internal/faultinject"
+)
+
+// injectFaults installs a fault injector on the hosted model's plan. It
+// must run before the first request, which is when sessions are first
+// created from the plan.
+func injectFaults(t *testing.T, s *Server, model string, fi *faultinject.Injector) {
+	t.Helper()
+	e, ok := s.entry(model)
+	if !ok {
+		t.Fatalf("model %q not hosted", model)
+	}
+	e.sessions.Plan().SetFault(fi)
+}
+
+func sampleInput() []float32 {
+	in := make([]float32, 3*8*8)
+	for i := range in {
+		in[i] = float32(i%7) * 0.1
+	}
+	return in
+}
+
+// TestReadyzStates pins the readiness probe's three states on one
+// batching server: ready (200) while accepting, overloaded (503) while a
+// bounded queue is saturated, and draining (503) once Close begins —
+// while /healthz stays 200 throughout, because a degraded process is
+// still alive.
+func TestReadyzStates(t *testing.T) {
+	s, ts := newTestServer(t,
+		WithMaxBatch(4), WithQueueDepth(2), WithFlushDeadline(200*time.Millisecond))
+
+	getReady := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Status string `json:"status"`
+			Models []struct {
+				Name       string `json:"name"`
+				QueueDepth int64  `json:"queue_depth"`
+				QueueCap   int    `json:"queue_cap"`
+				Saturated  bool   `json:"saturated"`
+			} `json:"models"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		if len(body.Models) != 1 || body.Models[0].Name != "tiny" || body.Models[0].QueueCap != 2 {
+			t.Fatalf("readyz models = %+v", body.Models)
+		}
+		return resp.StatusCode, body.Status
+	}
+
+	if code, status := getReady(); code != http.StatusOK || status != "ready" {
+		t.Fatalf("idle readyz = %d %q, want 200 ready", code, status)
+	}
+
+	// Fill the bounded queue: two requests gather for the 200ms flush
+	// deadline, holding QueueDepth at its cap of 2.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": sampleInput()})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("queued predict = %d, want 200", resp.StatusCode)
+			}
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if st, ok := s.BatcherStats("tiny"); ok && st.QueueDepth >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never reached its cap")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, status := getReady(); code != http.StatusServiceUnavailable || status != "overloaded" {
+		t.Fatalf("saturated readyz = %d %q, want 503 overloaded", code, status)
+	}
+
+	// A request over the cap is shed immediately: 429 + Retry-After.
+	resp := postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": sampleInput()})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap predict = %d, want 429", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("429 Retry-After = %q, want an integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	if s.ShedCount() < 1 {
+		t.Fatalf("ShedCount = %d, want >= 1", s.ShedCount())
+	}
+	wg.Wait()
+
+	// Drain: readyz flips to draining, healthz stays 200.
+	s.Close()
+	if code, status := getReady(); code != http.StatusServiceUnavailable || status != "draining" {
+		t.Fatalf("draining readyz = %d %q, want 503 draining", code, status)
+	}
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200", hz.StatusCode)
+	}
+}
+
+// TestPanicReturns500AndServerSurvives drives an injected plan-step panic
+// through /predict and pins the containment chain: the request gets a 500
+// naming the panic (never a dropped connection), the panic counter and
+// the session quarantine advance, and the very next request succeeds on a
+// fresh session.
+func TestPanicReturns500AndServerSurvives(t *testing.T) {
+	s, ts := newTestServer(t)
+	injectFaults(t, s, "tiny",
+		faultinject.New(1, &faultinject.Rule{Step: "fc", Action: faultinject.ActPanic, Times: 1}))
+
+	resp := postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": sampleInput()})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("poisoned predict = %d, want 500", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "panicked") {
+		t.Fatalf("500 body %q does not name the panic", body)
+	}
+	if s.PanicCount() != 1 {
+		t.Fatalf("PanicCount = %d, want 1", s.PanicCount())
+	}
+	if q, ok := s.Quarantined("tiny"); !ok || q != 1 {
+		t.Fatalf("Quarantined = %d (%v), want 1", q, ok)
+	}
+
+	resp = postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": sampleInput()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict after contained panic = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestDrainingMapsTo503 pins the shutdown contract at the HTTP boundary:
+// once Close begins, /predict and /profile are rejected with 503 +
+// Retry-After — the load-balancer signal to retry on another node — not
+// the 500 of a real failure.
+func TestDrainingMapsTo503(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.Close()
+	for _, ep := range []string{"/predict/tiny", "/profile/tiny"} {
+		resp := postJSON(t, ts.URL+ep, map[string]any{"input": sampleInput()})
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s while draining = %d, want 503", ep, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") != "1" {
+			t.Errorf("%s 503 Retry-After = %q, want \"1\"", ep, resp.Header.Get("Retry-After"))
+		}
+	}
+}
+
+// TestMaxInflightSheds pins the server-wide limiter: with one execution
+// slot and a slow request holding it, a second request is shed with 429
+// instead of queueing behind it.
+func TestMaxInflightSheds(t *testing.T) {
+	s, ts := newTestServer(t, WithMaxInflight(1))
+	injectFaults(t, s, "tiny",
+		faultinject.New(1, &faultinject.Rule{Step: "fc", Action: faultinject.ActDelay,
+			Delay: 300 * time.Millisecond, Times: 1}))
+
+	done := make(chan int, 1)
+	go func() {
+		resp := postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": sampleInput()})
+		done <- resp.StatusCode
+	}()
+	// Wait for the slow request to occupy the only slot, then fire the one
+	// that must be shed.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.inflight) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never acquired the in-flight slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp := postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": sampleInput()})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second predict = %d, want 429", resp.StatusCode)
+	}
+	if got := <-done; got != http.StatusOK {
+		t.Fatalf("slow predict = %d, want 200", got)
+	}
+	// The slot is released; the server accepts again.
+	resp = postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": sampleInput()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict after release = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestRequestTimeoutBoundsExecution pins WithRequestTimeout on the solo
+// path: a run held past the deadline by injected latency is cancelled at
+// a step boundary and surfaces as a 500, and an unfaulted request on the
+// same server completes inside the budget.
+func TestRequestTimeoutBoundsExecution(t *testing.T) {
+	s, ts := newTestServer(t, WithRequestTimeout(50*time.Millisecond))
+	injectFaults(t, s, "tiny",
+		faultinject.New(1, &faultinject.Rule{Step: "fc", Action: faultinject.ActDelay,
+			Delay: 80 * time.Millisecond, Times: 1}))
+
+	resp := postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": sampleInput()})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("overlong predict = %d, want 500", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "deadline") {
+		t.Fatalf("timeout body %q does not name the deadline", body)
+	}
+	resp = postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": sampleInput()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fast predict = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestStatusTableAcrossEndpoints drives every row of the wire status
+// contract through real HTTP requests — the end-to-end companion of
+// TestStatusForTypedErrors's unit table: 200 success, 400 malformed
+// input, 404 unknown model, 429 overload, 500 contained panic, 503
+// drain.
+func TestStatusTableAcrossEndpoints(t *testing.T) {
+	cases := []struct {
+		name string
+		want int
+		run  func(t *testing.T) int
+	}{
+		{"200-ok", http.StatusOK, func(t *testing.T) int {
+			_, ts := newTestServer(t)
+			return postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": sampleInput()}).StatusCode
+		}},
+		{"400-short-input", http.StatusBadRequest, func(t *testing.T) int {
+			_, ts := newTestServer(t)
+			return postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": []float32{1, 2, 3}}).StatusCode
+		}},
+		{"404-unknown-model", http.StatusNotFound, func(t *testing.T) int {
+			_, ts := newTestServer(t)
+			return postJSON(t, ts.URL+"/predict/nosuch", map[string]any{"input": sampleInput()}).StatusCode
+		}},
+		{"429-inflight-cap", http.StatusTooManyRequests, func(t *testing.T) int {
+			s, ts := newTestServer(t, WithMaxInflight(1))
+			// Occupy the only slot from inside the test goroutine: admit
+			// directly, then observe the wire rejection.
+			release, err := s.admit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer release()
+			return postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": sampleInput()}).StatusCode
+		}},
+		{"500-plan-panic", http.StatusInternalServerError, func(t *testing.T) int {
+			s, ts := newTestServer(t)
+			injectFaults(t, s, "tiny",
+				faultinject.New(1, &faultinject.Rule{Step: "fc", Action: faultinject.ActPanic, Times: 1}))
+			return postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": sampleInput()}).StatusCode
+		}},
+		{"503-draining", http.StatusServiceUnavailable, func(t *testing.T) int {
+			s, ts := newTestServer(t)
+			s.Close()
+			return postJSON(t, ts.URL+"/predict/tiny", map[string]any{"input": sampleInput()}).StatusCode
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.run(t); got != tc.want {
+				t.Errorf("status = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@
 // one or more compiled sessions and exposes:
 //
 //	GET  /healthz          liveness
+//	GET  /readyz           readiness: drain state and queue saturation
 //	GET  /models           loaded models with shapes and footprints
 //	POST /predict/{model}  {"input": [...]} → {"output": [...], "topk": ...}
 //	POST /profile/{model}  same input → per-layer timing breakdown
@@ -13,7 +14,16 @@
 // get a 400, not a panic. Error statuses are uniform across endpoints and
 // derived from the runtime's typed error set with errors.Is (see
 // statusFor): unknown model → 404, malformed body or input → 400,
-// execution failure or shutdown → 500.
+// shed by admission control → 429 with a Retry-After estimate, graceful
+// shutdown → 503 with Retry-After, execution failure (including a
+// recovered plan-step panic) → 500.
+//
+// The server degrades instead of falling over: WithQueueDepth bounds each
+// model's batching queue, WithMaxInflight caps concurrent executions
+// server-wide, WithRequestTimeout bounds execution time (not just queue
+// wait), and a plan step that panics fails only its own request — the
+// poisoned session is quarantined, never pooled, and the process stays
+// up. See docs/SERVE.md ("Overload behaviour").
 //
 // Servers created with WithMaxBatch(n > 1) batch dynamically: concurrent
 // /predict requests to one model are coalesced into a single batched
@@ -27,13 +37,16 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"orpheus/internal/backend"
@@ -69,9 +82,26 @@ type Server struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
 
-	maxBatch int
-	flush    time.Duration
-	flushSet bool
+	maxBatch   int
+	flush      time.Duration
+	flushSet   bool
+	queueDepth int
+	reqTimeout time.Duration
+
+	// inflight is the server-wide admission semaphore (nil when
+	// WithMaxInflight is unset): each /predict and /profile holds one slot
+	// for its execution; a request arriving with no slot free is shed with
+	// a 429 instead of stacking another goroutine behind a saturated
+	// model.
+	inflight chan struct{}
+
+	// draining flips once Close begins; admission then rejects new
+	// requests with ErrClosed (→ 503 + Retry-After) so load balancers
+	// stop routing to a node that is shutting down.
+	draining atomic.Bool
+
+	shed   atomic.Int64 // requests rejected with 429 (queue or in-flight cap)
+	panics atomic.Int64 // requests failed by a recovered plan-step panic
 }
 
 // Option configures a Server.
@@ -91,6 +121,40 @@ func WithMaxBatch(n int) Option {
 // default (DefaultFlushDeadline).
 func WithFlushDeadline(d time.Duration) Option {
 	return func(s *Server) { s.flush, s.flushSet = d, true }
+}
+
+// WithQueueDepth bounds each model's batching queue: a /predict request
+// arriving while n requests are already queued (submitted but not yet
+// claimed by a batch) is shed immediately with 429 and a Retry-After
+// estimate instead of joining an unbounded goroutine pile-up. n <= 0
+// (the default) leaves queues unbounded. Only batching servers
+// (WithMaxBatch > 1) have queues; on unbatched servers use
+// WithMaxInflight.
+func WithQueueDepth(n int) Option {
+	return func(s *Server) { s.queueDepth = n }
+}
+
+// WithMaxInflight caps concurrent request executions server-wide (both
+// /predict and /profile, across all models): requests beyond the cap are
+// shed with 429. n <= 0 (the default) disables the limiter.
+func WithMaxInflight(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.inflight = make(chan struct{}, n)
+		} else {
+			s.inflight = nil
+		}
+	}
+}
+
+// WithRequestTimeout bounds a request's execution time, not just its
+// queue wait: solo runs execute under a context deadline enforced at
+// plan-step boundaries, and batched runs get the same bound as the
+// batcher's RunTimeout. Requests over the deadline fail with
+// context.DeadlineExceeded (→ 500). d <= 0 (the default) disables the
+// bound.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.reqTimeout = d }
 }
 
 // New returns an empty server.
@@ -143,6 +207,8 @@ func (s *Server) AddModel(name string, g *graph.Graph, backendName string, worke
 		e.batcher, err = runtime.NewBatcher(e.sessions, runtime.BatcherOptions{
 			FlushDeadline: s.flush,
 			Immediate:     s.flush == 0,
+			QueueDepth:    s.queueDepth,
+			RunTimeout:    s.reqTimeout,
 		})
 		if err != nil {
 			return fmt.Errorf("serve: batching %s: %w", name, err)
@@ -152,13 +218,15 @@ func (s *Server) AddModel(name string, g *graph.Graph, backendName string, worke
 	return nil
 }
 
-// Close drains the server's batchers gracefully: requests already handed
-// to a collector execute to completion, queued and future batched
-// requests fail with runtime.ErrClosed, and Close returns once in-flight
-// batches have delivered. The plain per-request path keeps working. The
-// batcher pointers themselves are immutable after AddModel (handlers read
-// them without the lock), so Close only drains the batchers.
+// Close drains the server gracefully: the draining flag flips first, so
+// new requests are rejected with ErrClosed (→ 503 + Retry-After, which
+// tells load balancers to take the node out of rotation), then the
+// batchers drain — requests already handed to a collector execute to
+// completion and Close returns once in-flight batches have delivered.
+// The batcher pointers themselves are immutable after AddModel (handlers
+// read them without the lock), so Close only drains the batchers.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, e := range s.entries {
@@ -168,12 +236,44 @@ func (s *Server) Close() {
 	}
 }
 
+// Draining reports whether Close has begun; /readyz exposes it.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ShedCount reports how many requests the server rejected with 429
+// (queue-depth or in-flight cap). cmd/orpheus-serve logs it on shutdown.
+func (s *Server) ShedCount() int64 { return s.shed.Load() }
+
+// PanicCount reports how many requests failed on a recovered plan-step
+// panic (each also quarantined its session).
+func (s *Server) PanicCount() int64 { return s.panics.Load() }
+
+// admit performs server-level admission: a draining server rejects with
+// ErrClosed, and a full in-flight limiter sheds with ErrOverloaded. On
+// success the caller must invoke the returned release when its execution
+// finishes.
+func (s *Server) admit() (release func(), err error) {
+	if s.draining.Load() {
+		return nil, fmt.Errorf("serve: draining: %w", runtime.ErrClosed)
+	}
+	if s.inflight == nil {
+		return func() {}, nil
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return func() { <-s.inflight }, nil
+	default:
+		return nil, fmt.Errorf("serve: %d requests in flight (cap %d): %w",
+			len(s.inflight), cap(s.inflight), runtime.ErrOverloaded)
+	}
+}
+
 // Handler returns the HTTP routing for the server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /models", s.handleModels)
 	mux.HandleFunc("POST /predict/{model}", s.handlePredict)
 	mux.HandleFunc("POST /profile/{model}", s.handleProfile)
@@ -206,6 +306,8 @@ type batcherStatsJSON struct {
 	FlushExplicit  int64   `json:"flush_explicit"`
 	FlushClose     int64   `json:"flush_close"`
 	QueuedWaitMs   float64 `json:"queued_wait_ms"`
+	Rejected       int64   `json:"rejected"`
+	Cancelled      int64   `json:"cancelled"`
 }
 
 func batcherStats(b *runtime.Batcher) *batcherStatsJSON {
@@ -223,7 +325,54 @@ func batcherStats(b *runtime.Batcher) *batcherStatsJSON {
 		FlushExplicit:  st.FlushExplicit,
 		FlushClose:     st.FlushClose,
 		QueuedWaitMs:   float64(st.QueuedWait) / 1e6,
+		Rejected:       st.Rejected,
+		Cancelled:      st.Cancelled,
 	}
+}
+
+// readyModel is one model's readiness row: queue depth against its cap
+// (0 = unbounded) and whether the queue is saturated right now.
+type readyModel struct {
+	Name       string `json:"name"`
+	QueueDepth int64  `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	Saturated  bool   `json:"saturated"`
+}
+
+// handleReadyz is the readiness probe: 200 while the server is accepting
+// and no model's queue is saturated, 503 once Close has begun (drain) or
+// any bounded queue is full. Liveness (/healthz) stays 200 through both —
+// a draining or saturated process is still alive.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	models := make([]readyModel, 0, len(s.entries))
+	saturated := false
+	for _, e := range s.entries {
+		rm := readyModel{Name: e.Name, QueueCap: s.queueDepth}
+		if e.batcher != nil {
+			rm.QueueDepth = e.batcher.Stats().QueueDepth
+			rm.Saturated = s.queueDepth > 0 && rm.QueueDepth >= int64(s.queueDepth)
+		}
+		saturated = saturated || rm.Saturated
+		models = append(models, rm)
+	}
+	s.mu.RUnlock()
+	sort.Slice(models, func(i, j int) bool { return models[i].Name < models[j].Name })
+	status, code := "ready", http.StatusOK
+	switch {
+	case s.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case saturated:
+		status, code = "overloaded", http.StatusServiceUnavailable
+	}
+	if code != http.StatusOK {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"draining": s.draining.Load(),
+		"models":   models,
+	})
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -255,6 +404,17 @@ func (s *Server) BatcherStats(model string) (runtime.BatcherStats, bool) {
 		return runtime.BatcherStats{}, false
 	}
 	return e.batcher.Stats(), true
+}
+
+// Quarantined returns how many poisoned sessions the named model's pool
+// has dropped after plan-step panics, or false when the model is not
+// hosted. cmd/orpheus-serve logs this on shutdown.
+func (s *Server) Quarantined(model string) (int64, bool) {
+	e, ok := s.entry(model)
+	if !ok {
+		return 0, false
+	}
+	return e.sessions.Quarantined(), true
 }
 
 // ModelNames lists the hosted models, sorted.
@@ -308,9 +468,12 @@ func (s *Server) entry(name string) (*Entry, bool) {
 
 // statusFor maps an execution error onto the wire contract with
 // errors.Is over the runtime's typed error set: request-shaped failures
-// are the client's fault (400), everything else — including shutdown and
-// a cancelled request context — is a 500 the same way any aborted
-// execution is. Unknown models are mapped to 404 before execution, in
+// are the client's fault (400), shedding by admission control is 429
+// (retry the same node later), graceful shutdown is 503 (retry another
+// node — the load-balancer signal that this one is draining), and
+// everything else — a recovered plan-step panic, a cancelled request
+// context, kernel failures — is a 500 the same way any aborted execution
+// is. Unknown models are mapped to 404 before execution, in
 // lookupAndDecode.
 func statusFor(err error) int {
 	switch {
@@ -319,11 +482,48 @@ func statusFor(err error) int {
 		errors.Is(err, runtime.ErrUnknownInput),
 		errors.Is(err, runtime.ErrUnknownOutput):
 		return http.StatusBadRequest
+	case errors.Is(err, runtime.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, runtime.ErrClosed):
+		return http.StatusServiceUnavailable
 	default:
-		// runtime.ErrClosed, runtime.ErrNoOutput, context.Canceled (the
+		// runtime.ErrPlanPanic, runtime.ErrNoOutput, context.Canceled (the
 		// client is gone and never reads the status) and kernel failures.
 		return http.StatusInternalServerError
 	}
+}
+
+// writeFailure maps err through statusFor and writes it, with the
+// overload niceties: 429 and 503 carry a Retry-After (derived from the
+// model's live batcher wait statistics when available), sheds and panics
+// bump the server counters.
+func (s *Server) writeFailure(w http.ResponseWriter, e *Entry, err error) {
+	code := statusFor(err)
+	switch code {
+	case http.StatusTooManyRequests:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(e))
+	case http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", "1")
+	}
+	if errors.Is(err, runtime.ErrPlanPanic) {
+		s.panics.Add(1)
+	}
+	writeError(w, code, err)
+}
+
+// retryAfterSeconds turns the model's live queue-wait estimate into the
+// integer seconds the Retry-After header wants, with a floor of 1 — the
+// smallest honest hint the header can express.
+func retryAfterSeconds(e *Entry) string {
+	if e == nil || e.batcher == nil {
+		return "1"
+	}
+	secs := int64((e.batcher.EstimateWait() + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // lookupAndDecode resolves the request's model and body with the uniform
@@ -348,11 +548,33 @@ func (s *Server) lookupAndDecode(w http.ResponseWriter, r *http.Request) (*Entry
 	return e, req, true
 }
 
+// requestCtx derives a request's execution context: the client's context,
+// additionally bounded by WithRequestTimeout when set — so a wedged or
+// slow run is cancelled at the next plan-step boundary instead of holding
+// its session (and admission slot) forever.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.reqTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.reqTimeout)
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	release, err := s.admit()
+	if err != nil {
+		// Shed before decoding: a saturated server must not spend CPU
+		// parsing bodies it will reject anyway.
+		e, _ := s.entry(r.PathValue("model"))
+		s.writeFailure(w, e, err)
+		return
+	}
+	defer release()
 	e, req, ok := s.lookupAndDecode(w, r)
 	if !ok {
 		return
 	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	start := time.Now()
 	var (
 		data  []float32
@@ -360,15 +582,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		batch = 1
 	)
 	if e.batcher != nil {
-		res, err := e.batcher.Submit(r.Context(), req.Input, time.Duration(req.WaitMs*float64(time.Millisecond)))
+		res, err := e.batcher.Submit(ctx, req.Input, time.Duration(req.WaitMs*float64(time.Millisecond)))
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			s.writeFailure(w, e, err)
 			return
 		}
 		data, shape, batch = res.Output, res.Shape, res.BatchSize
 	} else {
 		sess := e.sessions.Get()
-		outs, err := sess.Run(r.Context(), map[string]*tensor.Tensor{e.inName: tensor.FromSlice(req.Input, e.inShape1...)})
+		outs, err := sess.Run(ctx, map[string]*tensor.Tensor{e.inName: tensor.FromSlice(req.Input, e.inShape1...)})
 		if err == nil {
 			if out := outs[e.outName]; out != nil {
 				data = append([]float32(nil), out.Data()...)
@@ -379,7 +601,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		e.sessions.Put(sess)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			s.writeFailure(w, e, err)
 			return
 		}
 	}
@@ -396,15 +618,24 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	release, err := s.admit()
+	if err != nil {
+		e, _ := s.entry(r.PathValue("model"))
+		s.writeFailure(w, e, err)
+		return
+	}
+	defer release()
 	e, req, ok := s.lookupAndDecode(w, r)
 	if !ok {
 		return
 	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	sess := e.sessions.Get()
-	_, timings, err := sess.RunProfiled(r.Context(), map[string]*tensor.Tensor{e.inName: tensor.FromSlice(req.Input, e.inShape1...)})
+	_, timings, err := sess.RunProfiled(ctx, map[string]*tensor.Tensor{e.inName: tensor.FromSlice(req.Input, e.inShape1...)})
 	e.sessions.Put(sess)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeFailure(w, e, err)
 		return
 	}
 	rows := make([]layerTimingJSON, len(timings))

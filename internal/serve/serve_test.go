@@ -437,8 +437,9 @@ func TestAddModelErrors(t *testing.T) {
 }
 
 // TestStatusForTypedErrors pins the errors.Is-based status derivation:
-// request-shaped failures map to 400, everything else to 500, regardless
-// of how deeply the sentinel is wrapped.
+// request-shaped failures map to 400, overload to 429, shutdown to 503,
+// everything else to 500, regardless of how deeply the sentinel is
+// wrapped.
 func TestStatusForTypedErrors(t *testing.T) {
 	wrap := func(err error) error { return fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", err)) }
 	cases := []struct {
@@ -449,8 +450,11 @@ func TestStatusForTypedErrors(t *testing.T) {
 		{wrap(runtime.ErrBatchTooLarge), http.StatusBadRequest},
 		{wrap(runtime.ErrUnknownInput), http.StatusBadRequest},
 		{wrap(runtime.ErrUnknownOutput), http.StatusBadRequest},
-		{wrap(runtime.ErrClosed), http.StatusInternalServerError},
+		{wrap(runtime.ErrOverloaded), http.StatusTooManyRequests},
+		{wrap(runtime.ErrClosed), http.StatusServiceUnavailable},
 		{wrap(runtime.ErrNoOutput), http.StatusInternalServerError},
+		{wrap(runtime.ErrPlanPanic), http.StatusInternalServerError},
+		{&runtime.PlanPanicError{Model: "m", Node: "n", Op: "Conv", Value: "boom"}, http.StatusInternalServerError},
 		{context.Canceled, http.StatusInternalServerError},
 		{fmt.Errorf("kernel exploded"), http.StatusInternalServerError},
 	}
@@ -526,7 +530,7 @@ func TestImmediateFlushMode(t *testing.T) {
 
 // TestCloseDrainsBatchedRequests asserts the graceful-drain contract of
 // Server.Close over the runtime batcher: requests racing the shutdown
-// either complete with correct outputs or fail with the 500 the contract
+// either complete with correct outputs or fail with the 503 the contract
 // maps shutdown to — never hang, never return garbage.
 func TestCloseDrainsBatchedRequests(t *testing.T) {
 	input := make([]float32, 3*8*8)
@@ -577,10 +581,10 @@ func TestCloseDrainsBatchedRequests(t *testing.T) {
 					t.Errorf("client %d: drained output diverged at %d", i, j)
 				}
 			}
-		case http.StatusInternalServerError:
-			// Arrived after the drain: typed ErrClosed → 500 per contract.
+		case http.StatusServiceUnavailable:
+			// Arrived after the drain: typed ErrClosed → 503 per contract.
 		default:
-			t.Errorf("client %d: status %d, want 200 or 500", i, results[i].status)
+			t.Errorf("client %d: status %d, want 200 or 503", i, results[i].status)
 		}
 	}
 }

@@ -72,6 +72,17 @@ var (
 	ErrClosed = runtime.ErrClosed
 	// ErrNoOutput marks a graph that produced no output tensor.
 	ErrNoOutput = runtime.ErrNoOutput
+	// ErrOverloaded marks a request rejected at admission because a bounded
+	// batcher queue (WithQueueDepth) was full. Overload rejections are
+	// immediate — the request never waits — so callers can retry after a
+	// short backoff.
+	ErrOverloaded = runtime.ErrOverloaded
+	// ErrPlanPanic marks a request that failed because a plan step panicked.
+	// The panic is contained: only the affected request (or batch) fails,
+	// the poisoned session is quarantined, and the process keeps serving.
+	// Inspect the full *runtime.PlanPanicError with errors.As for the
+	// model, node and recovered value.
+	ErrPlanPanic = runtime.ErrPlanPanic
 	// ErrMultiIO marks a single-tensor convenience call (Predict,
 	// PredictBatch, Benchmark, ...) on a model with more than one input or
 	// output; use Run with named tensors instead.
@@ -561,6 +572,23 @@ func WithFlushDeadline(d time.Duration) BatcherOption {
 // lowest latency, opportunistic batching.
 func WithImmediateFlush() BatcherOption {
 	return func(o *runtime.BatcherOptions) { o.Immediate = true }
+}
+
+// WithQueueDepth bounds the batcher's admission queue: once n requests
+// are queued or running, further Predicts fail immediately with
+// ErrOverloaded instead of queueing without limit. 0 (the default) means
+// unbounded. Bounding the queue keeps latency predictable under overload
+// — work is shed at the door, not after it has waited.
+func WithQueueDepth(n int) BatcherOption {
+	return func(o *runtime.BatcherOptions) { o.QueueDepth = n }
+}
+
+// WithRunTimeout bounds each batched run's execution time (queue wait is
+// governed separately, by the caller's ctx). A run over budget is
+// cancelled at the next plan-step boundary and every request in the batch
+// fails with context.DeadlineExceeded. 0 (the default) means no limit.
+func WithRunTimeout(d time.Duration) BatcherOption {
+	return func(o *runtime.BatcherOptions) { o.RunTimeout = d }
 }
 
 // NewBatcher creates a dynamic batcher over the session. Up to MaxBatch
