@@ -38,6 +38,7 @@ func main() {
 		tracePath = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of one profiled run to this file")
 		seed      = flag.Uint64("seed", 42, "seed for the synthetic input tensor")
 		topK      = flag.Int("top", 5, "print the top-K output classes")
+		int8      = flag.Bool("int8", false, "run on the int8 quantized execution tier (~4x smaller weights; outputs carry quantization noise)")
 	)
 	flag.Parse()
 
@@ -63,7 +64,11 @@ func main() {
 	}
 	fmt.Println(model.Summary())
 
-	sess, err := model.Compile(orpheus.WithBackend(*backendN), orpheus.WithWorkers(*workers))
+	copts := []orpheus.CompileOption{orpheus.WithBackend(*backendN), orpheus.WithWorkers(*workers)}
+	if *int8 {
+		copts = append(copts, orpheus.WithInt8())
+	}
+	sess, err := model.Compile(copts...)
 	if err != nil {
 		fatal(err)
 	}

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"orpheus/internal/onnx"
+	"orpheus/internal/runtime"
 	"orpheus/internal/serve"
 	"orpheus/internal/zoo"
 )
@@ -57,16 +58,21 @@ func main() {
 		queueDep  = flag.Int("queue-depth", 64, "per-model batcher queue bound: beyond N queued requests /predict sheds with 429 and Retry-After (0 = unbounded)")
 		inflight  = flag.Int("max-inflight", 256, "server-wide concurrent request cap: beyond N in-flight requests /predict sheds with 429 (0 = unbounded)")
 		reqTO     = flag.Duration("request-timeout", 30*time.Second, "per-request execution deadline (queue wait plus run time); 0 disables")
+		int8      = flag.Bool("int8", false, "run hosted models on the int8 quantized execution tier (~4x smaller weights; outputs carry quantization noise)")
 	)
 	flag.Parse()
 
-	s := serve.New(
+	opts := []serve.Option{
 		serve.WithMaxBatch(*maxBatch),
-		serve.WithFlushDeadline(time.Duration(*flushMs*float64(time.Millisecond))),
+		serve.WithFlushDeadline(time.Duration(*flushMs * float64(time.Millisecond))),
 		serve.WithQueueDepth(*queueDep),
 		serve.WithMaxInflight(*inflight),
 		serve.WithRequestTimeout(*reqTO),
-	)
+	}
+	if *int8 {
+		opts = append(opts, serve.WithInt8())
+	}
+	s := serve.New(opts...)
 	hosted := 0
 	if *zooNames != "" {
 		for _, name := range strings.Split(*zooNames, ",") {
@@ -132,6 +138,9 @@ func main() {
 			}
 			log.Printf("batcher %s: %d requests in %d runs (flushes: %d full, %d deadline, %d immediate, %d explicit, %d close), %d rejected, %d cancelled, avg queued wait %.3f ms",
 				name, st.Requests, st.Runs, st.FlushFull, st.FlushDeadline, st.FlushImmediate, st.FlushExplicit, st.FlushClose, st.Rejected, st.Cancelled, avgWaitMs)
+			if st.Requests > 0 {
+				log.Printf("batcher %s: queued-wait histogram %s", name, waitHistogram(st))
+			}
 			if q, ok := s.Quarantined(name); ok && q > 0 {
 				log.Printf("model %s: %d sessions quarantined after panics", name, q)
 			}
@@ -148,4 +157,27 @@ func main() {
 	// goroutine signals when open requests and batchers have finished.
 	<-drained
 	log.Printf("bye")
+}
+
+// waitHistogram renders the queued-wait latency bands compactly, e.g.
+// "<=0.1ms:12 <=1ms:3 >25ms:1" — empty buckets are skipped.
+func waitHistogram(st runtime.BatcherStats) string {
+	var sb strings.Builder
+	for i, n := range st.WaitHistogram {
+		if n == 0 {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		if i < len(runtime.WaitBucketBounds) {
+			fmt.Fprintf(&sb, "<=%gms:%d", float64(runtime.WaitBucketBounds[i])/1e6, n)
+		} else {
+			fmt.Fprintf(&sb, ">%gms:%d", float64(runtime.WaitBucketBounds[len(runtime.WaitBucketBounds)-1])/1e6, n)
+		}
+	}
+	if sb.Len() == 0 {
+		return "(empty)"
+	}
+	return sb.String()
 }

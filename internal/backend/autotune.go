@@ -3,6 +3,7 @@ package backend
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"orpheus/internal/graph"
@@ -16,13 +17,30 @@ import (
 // kernel on synthetic data and caches the fastest. This is the
 // profile-guided flavour of the paper's "multiple implementations selected
 // at runtime" and the subject of ablation A5.
+//
+// The policy is batch-aware (runtime.BatchPolicy): when a session of a
+// MaxBatch plan binds a smaller batch n, SelectBatch re-tunes at the
+// batch-n shapes, so a kernel that wins at the planned batch does not get
+// blindly reused where a different one is faster. With AllowInt8 set the
+// quantized kernels join the candidate pool and the tuner arbitrates
+// fp32 vs int8 per (layer, batch) on measured time.
 type AutoTunePolicy struct {
 	// Repeats per kernel measurement (after one warm-up); default 3.
 	Repeats int
-	// cache maps signature → kernel name.
-	cache map[string]string
+	// AllowInt8 admits quantized kernels as candidates; the winner is
+	// still decided purely on measured time. Leave false for bit-accurate
+	// fp32 plans. Setting it also makes the policy an Int8Arbiter, so
+	// Compile(Options{Int8: true}) leaves the tuner's per-layer decision
+	// in charge instead of forcing int8 everywhere.
+	AllowInt8 bool
 	// Trace receives one line per tuning decision when non-nil.
 	Trace func(sig, winner string, times map[string]time.Duration)
+
+	// mu guards cache: Select runs at compile time, but SelectBatch is
+	// called from session binding, potentially from many goroutines.
+	mu sync.Mutex
+	// cache maps signature → kernel name.
+	cache map[string]string
 }
 
 // NewAutoTunePolicy returns an empty-cache tuner.
@@ -33,27 +51,55 @@ func NewAutoTunePolicy() *AutoTunePolicy {
 // Name implements runtime.Policy.
 func (p *AutoTunePolicy) Name() string { return "autotune" }
 
-// Select implements runtime.Policy.
+// ArbitratesInt8 implements runtime.Int8Arbiter: with AllowInt8 the tuner
+// decides fp32 vs int8 per layer itself.
+func (p *AutoTunePolicy) ArbitratesInt8() bool { return p.AllowInt8 }
+
+// Select implements runtime.Policy, tuning at the node's planned shapes.
 func (p *AutoTunePolicy) Select(n *graph.Node) (ops.Kernel, error) {
-	sig := nodeSignature(n)
-	if name, ok := p.cache[sig]; ok {
+	in := make([][]int, len(n.Inputs))
+	for i, v := range n.Inputs {
+		in[i] = v.Shape
+	}
+	out := make([][]int, len(n.Outputs))
+	for i, v := range n.Outputs {
+		out[i] = v.Shape
+	}
+	return p.selectAt(n, in, out)
+}
+
+// SelectBatch implements runtime.BatchPolicy, tuning at the batch-n
+// shapes a session is about to bind.
+func (p *AutoTunePolicy) SelectBatch(n *graph.Node, batch int, inShapes, outShapes [][]int) (ops.Kernel, error) {
+	return p.selectAt(n, inShapes, outShapes)
+}
+
+func (p *AutoTunePolicy) selectAt(n *graph.Node, inShapes, outShapes [][]int) (ops.Kernel, error) {
+	sig := signatureAt(n, inShapes)
+	p.mu.Lock()
+	name, ok := p.cache[sig]
+	p.mu.Unlock()
+	if ok {
 		return ops.ByName(name), nil
 	}
-	winner, times, err := p.tune(n)
+	winner, times, err := p.tune(n, inShapes, outShapes, sig)
 	if err != nil {
 		return nil, err
 	}
+	p.mu.Lock()
 	p.cache[sig] = winner.Name()
+	p.mu.Unlock()
 	if p.Trace != nil {
 		p.Trace(sig, winner.Name(), times)
 	}
 	return winner, nil
 }
 
-// tune benchmarks every supporting kernel on synthetic tensors shaped like
-// the node's inputs.
-func (p *AutoTunePolicy) tune(n *graph.Node) (ops.Kernel, map[string]time.Duration, error) {
-	candidates := supportingKernels(n)
+// tune benchmarks every supporting kernel on synthetic tensors of the
+// given shapes (constants use their real tensors — quantized candidates
+// need the actual weights).
+func (p *AutoTunePolicy) tune(n *graph.Node, inShapes, outShapes [][]int, sig string) (ops.Kernel, map[string]time.Duration, error) {
+	candidates := supportingKernels(n, p.AllowInt8)
 	if len(candidates) == 0 {
 		return nil, nil, fmt.Errorf("backend: no kernel supports node %q (%s)", n.Name, n.Op)
 	}
@@ -65,17 +111,17 @@ func (p *AutoTunePolicy) tune(n *graph.Node) (ops.Kernel, map[string]time.Durati
 		reps = 3
 	}
 	in := make([]*tensor.Tensor, len(n.Inputs))
-	r := tensor.NewRNG(tensor.SeedFromString(nodeSignature(n)))
+	r := tensor.NewRNG(tensor.SeedFromString(sig))
 	for i, v := range n.Inputs {
 		if v.IsConst() {
 			in[i] = v.Const
 		} else {
-			in[i] = tensor.Rand(r, -1, 1, v.Shape...)
+			in[i] = tensor.Rand(r, -1, 1, inShapes[i]...)
 		}
 	}
 	out := make([]*tensor.Tensor, len(n.Outputs))
-	for i, v := range n.Outputs {
-		out[i] = tensor.New(v.Shape...)
+	for i := range n.Outputs {
+		out[i] = tensor.New(outShapes[i]...)
 	}
 	times := make(map[string]time.Duration, len(candidates))
 	var best ops.Kernel
@@ -104,13 +150,22 @@ func (p *AutoTunePolicy) tune(n *graph.Node) (ops.Kernel, map[string]time.Durati
 }
 
 // CacheSize returns the number of tuned signatures so far.
-func (p *AutoTunePolicy) CacheSize() int { return len(p.cache) }
+func (p *AutoTunePolicy) CacheSize() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cache)
+}
 
 // supportingKernels lists the registered kernels able to run n, in stable
-// name order.
-func supportingKernels(n *graph.Node) []ops.Kernel {
+// name order. Quantized kernels are candidates only when the caller
+// opted into int8 — they are numerically different implementations, not
+// interchangeable fp32 ones.
+func supportingKernels(n *graph.Node, allowInt8 bool) []ops.Kernel {
 	var out []ops.Kernel
 	for _, k := range ops.ForOp(n.Op) {
+		if !allowInt8 && ops.IsQuantized(k) {
+			continue
+		}
 		if k.Supports(n) {
 			out = append(out, k)
 		}
@@ -119,9 +174,20 @@ func supportingKernels(n *graph.Node) []ops.Kernel {
 	return out
 }
 
-// nodeSignature builds the tuning cache key: op, attributes and input
-// shapes (names excluded so identical layers share one entry).
+// nodeSignature builds the tuning cache key at the node's planned shapes:
+// op, attributes and input shapes (names excluded so identical layers
+// share one entry).
 func nodeSignature(n *graph.Node) string {
+	in := make([][]int, len(n.Inputs))
+	for i, v := range n.Inputs {
+		in[i] = v.Shape
+	}
+	return signatureAt(n, in)
+}
+
+// signatureAt is nodeSignature with explicit input shapes, for batch-aware
+// tuning keys.
+func signatureAt(n *graph.Node, inShapes [][]int) string {
 	keys := make([]string, 0, len(n.Attrs))
 	for k := range n.Attrs {
 		keys = append(keys, k)
@@ -131,13 +197,15 @@ func nodeSignature(n *graph.Node) string {
 	for _, k := range keys {
 		sig += fmt.Sprintf("|%s=%v", k, n.Attrs[k])
 	}
-	for _, in := range n.Inputs {
-		sig += "|" + tensor.ShapeString(in.Shape)
+	for _, shape := range inShapes {
+		sig += "|" + tensor.ShapeString(shape)
 	}
 	return sig
 }
 
-// interface check
+// interface checks
 var _ runtime.Policy = (*AutoTunePolicy)(nil)
+var _ runtime.BatchPolicy = (*AutoTunePolicy)(nil)
+var _ runtime.Int8Arbiter = (*AutoTunePolicy)(nil)
 var _ runtime.Policy = (*PreferencePolicy)(nil)
 var _ runtime.Policy = (*HeuristicPolicy)(nil)

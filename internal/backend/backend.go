@@ -58,10 +58,29 @@ func (b *Backend) Prepare(g *graph.Graph, workers int) (*runtime.Plan, error) {
 // runtime batch size: arena slots are sized for maxBatch and sessions
 // accept any batch 1 ≤ n ≤ maxBatch per Run. maxBatch <= 0 means 1.
 func (b *Backend) PrepareBatched(g *graph.Graph, workers, maxBatch int) (*runtime.Plan, error) {
-	if workers <= 0 {
-		workers = 1
+	return b.PrepareWith(g, PrepareOpts{Workers: workers, MaxBatch: maxBatch})
+}
+
+// PrepareOpts parameterises PrepareWith.
+type PrepareOpts struct {
+	// Workers is the kernel goroutine budget; <= 0 means 1.
+	Workers int
+	// MaxBatch sizes the plan's arena for runtime batching; <= 0 means 1.
+	MaxBatch int
+	// Int8 enables the quantized execution tier. For the auto-tuning
+	// backend the tuner arbitrates fp32 vs int8 per layer on measured
+	// time; for fixed-policy backends the quantized kernel is used
+	// wherever one supports the layer.
+	Int8 bool
+}
+
+// PrepareWith optimises (a clone of) g according to the backend's rules
+// and compiles it with the given options.
+func (b *Backend) PrepareWith(g *graph.Graph, o PrepareOpts) (*runtime.Plan, error) {
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
-	if b.ForceAllCores && workers == 1 {
+	if b.ForceAllCores && o.Workers == 1 {
 		return nil, fmt.Errorf("backend %s: cannot select a single thread (the API always uses the maximum)", b.Name)
 	}
 	work := g.Clone()
@@ -73,12 +92,19 @@ func (b *Backend) PrepareBatched(g *graph.Graph, workers, maxBatch int) (*runtim
 			return nil, err
 		}
 	}
+	policy := b.NewPolicy()
+	if o.Int8 {
+		if at, ok := policy.(*AutoTunePolicy); ok {
+			at.AllowInt8 = true
+		}
+	}
 	return runtime.Compile(work, runtime.Options{
-		Policy:              b.NewPolicy(),
-		Workers:             workers,
-		MaxBatch:            maxBatch,
+		Policy:              policy,
+		Workers:             o.Workers,
+		MaxBatch:            o.MaxBatch,
 		NoBufferReuse:       b.NoBufferReuse,
 		DisableScratchReuse: b.DisableScratchReuse,
+		Int8:                o.Int8,
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"orpheus/internal/graph"
+	"orpheus/internal/ops"
 	"orpheus/internal/runtime"
 	"orpheus/internal/tensor"
 )
@@ -237,6 +238,85 @@ func TestAutoTuneCachesDecisions(t *testing.T) {
 	}
 	if p.CacheSize() != 2 { // two distinct conv signatures
 		t.Fatalf("cache size = %d, want 2", p.CacheSize())
+	}
+}
+
+// TestAutoTuneInt8Eligibility pins the candidate-pool rules of the int8
+// tier: quantized kernels are invisible to fp32 tuning (a plan that never
+// opted in must stay bit-accurate fp32) and join the pool only under
+// AllowInt8, which also flips the policy into an Int8Arbiter so Compile
+// leaves the per-layer fp32-vs-int8 decision to measurement.
+func TestAutoTuneInt8Eligibility(t *testing.T) {
+	g := convNet(t)
+	var conv *graph.Node
+	for _, n := range g.Nodes {
+		if n.Op == "Conv" && n.Attrs.Int("group", 1) == 1 {
+			conv = n
+			break
+		}
+	}
+	if conv == nil {
+		t.Fatal("no dense conv in fixture")
+	}
+	hasQuantized := func(ks []ops.Kernel) bool {
+		for _, k := range ks {
+			if ops.IsQuantized(k) {
+				return true
+			}
+		}
+		return false
+	}
+	if hasQuantized(supportingKernels(conv, false)) {
+		t.Error("fp32 candidate pool contains a quantized kernel")
+	}
+	if !hasQuantized(supportingKernels(conv, true)) {
+		t.Error("AllowInt8 candidate pool is missing the quantized kernel")
+	}
+	p := NewAutoTunePolicy()
+	if p.ArbitratesInt8() {
+		t.Error("policy arbitrates int8 without AllowInt8")
+	}
+	p.AllowInt8 = true
+	if !p.ArbitratesInt8() {
+		t.Error("AllowInt8 policy must arbitrate int8 itself")
+	}
+}
+
+// TestAutoTuneSelectBatchRetunes pins batch-aware tuning: SelectBatch at
+// a smaller batch produces its own cache entry (the batch-n shapes sign
+// differently), so a kernel that wins at MaxBatch is not blindly reused.
+func TestAutoTuneSelectBatchRetunes(t *testing.T) {
+	g := convNet(t)
+	var conv *graph.Node
+	for _, n := range g.Nodes {
+		if n.Op == "Conv" {
+			conv = n
+			break
+		}
+	}
+	p := NewAutoTunePolicy()
+	p.Repeats = 1
+	if _, err := p.Select(conv); err != nil {
+		t.Fatal(err)
+	}
+	size1 := p.CacheSize()
+	in := make([][]int, len(conv.Inputs))
+	for i, v := range conv.Inputs {
+		in[i] = append([]int(nil), v.Shape...)
+	}
+	out := [][]int{append([]int(nil), conv.Outputs[0].Shape...)}
+	in[0] = append([]int(nil), in[0]...)
+	in[0][0] = 3 // tune at batch 3 instead of the planned batch
+	out[0][0] = 3
+	k, err := p.SelectBatch(conv, 3, in, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k == nil {
+		t.Fatal("SelectBatch returned no kernel")
+	}
+	if p.CacheSize() != size1+1 {
+		t.Errorf("batch-3 tuning reused the planned-batch cache entry (size %d, want %d)", p.CacheSize(), size1+1)
 	}
 }
 

@@ -17,6 +17,11 @@ const (
 	mcBlock = 128 // rows of A per packed panel
 	kcBlock = 256 // shared dimension per panel
 	ncBlock = 512 // cols of B per packed panel
+
+	// MaxPanelK re-exports the k-blocking factor: no PackPanel/PackPanel8
+	// request ever has kc > MaxPanelK, so pack sources may size per-panel
+	// stack tables (e.g. hoisted row-decode results) with it.
+	MaxPanelK = kcBlock
 )
 
 // Call describes one GEMM invocation: C = A·B when Store is set,
@@ -147,6 +152,13 @@ type Context struct {
 	// escape of a stack buffer — and the steady-state Run path must not
 	// allocate.
 	tail [maxMR * maxNR]float32
+
+	// Int8-tier scratch (int8.go): quantized panel buffers and the int32
+	// accumulator tile. Grown lazily so fp32-only processes never pay for
+	// them.
+	packA8 []int8
+	packB8 []byte
+	acc32  []int32
 }
 
 // Run executes the call single-threaded. Hot inference paths should hold a

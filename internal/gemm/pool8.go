@@ -1,0 +1,96 @@
+package gemm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pooled execution of quantized GEMMs. task8 mirrors task: the call is
+// split into (image, macro-tile) units claimed from a shared counter, and
+// each claimed tile runs runTile8 — full-K accumulation into the worker's
+// own int32 scratch followed by the requantize store — so caller- and
+// helper-executed tiles finish identically and no two tiles touch the same
+// C element.
+type task8 struct {
+	call         CallInt8
+	kern         *kernel8
+	tileM, tileN int
+	next         atomic.Int64
+	wg           sync.WaitGroup
+	failure      panicSlot
+}
+
+// finish implements poolWork.
+func (t *task8) finish() { t.wg.Done() }
+
+// fail implements poolWork.
+func (t *task8) fail(r any) { t.failure.set(r) }
+
+// drain implements poolWork: claim and execute tiles until the grid is
+// exhausted.
+func (t *task8) drain(ctx *Context) {
+	tiles := int64(t.tileM) * int64(t.tileN) * int64(t.call.images())
+	grid := t.tileM * t.tileN
+	for {
+		i := t.next.Add(1) - 1
+		if i >= tiles {
+			return
+		}
+		idx := int(i)
+		img := idx / grid
+		idx %= grid
+		ii := (idx / t.tileN) * mcBlock
+		jj := (idx % t.tileN) * ncBlock
+		ctx.runTile8(t.kern, &t.call, img, ii, jj)
+	}
+}
+
+var task8Pool = sync.Pool{New: func() any { return new(task8) }}
+
+// RunInt8 executes the quantized call using up to workers goroutines, the
+// caller included, with the same recruitment and panic-containment rules
+// as Run. ctx supplies the caller's packing and accumulator scratch.
+func (p *Pool) RunInt8(ctx *Context, c CallInt8, workers int) {
+	c.validate()
+	if c.M == 0 || c.N == 0 {
+		return
+	}
+	tm := (c.M + mcBlock - 1) / mcBlock
+	tn := (c.N + ncBlock - 1) / ncBlock
+	tiles := tm * tn * c.images()
+	if workers > tiles {
+		workers = tiles
+	}
+	if workers <= 1 {
+		ctx.RunInt8(c)
+		return
+	}
+	t := task8Pool.Get().(*task8)
+	t.call = c
+	t.kern = activeKernel8()
+	t.tileM, t.tileN = tm, tn
+	t.next.Store(0)
+	helpers := workers - 1
+	if helpers > p.workers {
+		helpers = p.workers
+	}
+	for i := 0; i < helpers; i++ {
+		t.wg.Add(1)
+		select {
+		case p.tasks <- t:
+		default:
+			// No worker idle right now; the caller keeps this share.
+			t.wg.Done()
+		}
+	}
+	drainRecover(t, ctx)
+	t.wg.Wait()
+	r := t.failure.take()
+	t.call = CallInt8{}
+	t.kern = nil
+	task8Pool.Put(t)
+	if r != nil {
+		// Re-raise on the submitting goroutine, like Run.
+		panic(r)
+	}
+}

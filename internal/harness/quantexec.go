@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"orpheus/internal/backend"
+	"orpheus/internal/runtime"
+	"orpheus/internal/tensor"
+	"orpheus/internal/zoo"
+)
+
+// E3 "quant": the int8 execution tier against the fp32 baseline, per zoo
+// model — measured latency and speedup, top-1 agreement and output
+// relative error over a battery of inputs, and the packed-weight
+// footprint both ways. Where E2 ("quantize") studies weight-only storage
+// quantisation with fp32 arithmetic, this experiment runs the full
+// quantized path: u8×s8 GEMM kernels, on-the-fly activation
+// quantization, fused requantize epilogue.
+func init() {
+	register(&Experiment{ID: "quant", Title: "E3: int8 execution tier vs fp32 (speed, agreement, footprint)", Run: runQuantExec})
+}
+
+// quantAgreeInputs is the accuracy battery size per model.
+const quantAgreeInputs = 8
+
+func runQuantExec(cfg *Config) (*Report, error) {
+	cfg.fill()
+	rep := &Report{ID: "quant", Title: "E3: int8 execution tier vs fp32 per model"}
+	rep.Header = []string{"model", "fp32 ms", "int8 ms", "speedup", "top-1 agree", "rel err", "packed fp32 MB", "packed int8 MB"}
+	measured := cfg.Mode != ModeSim
+	if !measured {
+		rep.AddNote("timing columns require -mode measure; the A73 cost model has no int8 tier")
+	}
+	b, err := backend.ByName("orpheus")
+	if err != nil {
+		return nil, err
+	}
+	for _, modelName := range cfg.Models {
+		g, err := zoo.Build(modelName, 1)
+		if err != nil {
+			return nil, err
+		}
+		fpPlan, err := b.Prepare(g, 1)
+		if err != nil {
+			return nil, err
+		}
+		qPlan, err := b.PrepareWith(g, backend.PrepareOpts{Workers: 1, MaxBatch: 1, Int8: true})
+		if err != nil {
+			return nil, err
+		}
+		fpSess := runtime.NewSession(fpPlan)
+		qSess := runtime.NewSession(qPlan)
+		inName, outName := g.Inputs[0].Name, g.Outputs[0].Name
+
+		// Accuracy battery: agreement and relative error over fresh inputs.
+		agree := 0
+		var relSum float64
+		var x *tensor.Tensor
+		for i := 0; i < quantAgreeInputs; i++ {
+			x = tensor.Rand(tensor.NewRNG(tensor.SeedFromString(fmt.Sprintf("quant-%s-%d", modelName, i))), -1, 1, g.Inputs[0].Shape...)
+			in := map[string]*tensor.Tensor{inName: x}
+			fpOut, err := fpSess.Run(cfg.Ctx, in)
+			if err != nil {
+				return nil, err
+			}
+			fd := fpOut[outName].Clone().Data()
+			qOut, err := qSess.Run(cfg.Ctx, in)
+			if err != nil {
+				return nil, err
+			}
+			qd := qOut[outName].Data()
+			if argmax32(fd) == argmax32(qd) {
+				agree++
+			}
+			relSum += relErr32(qd, fd)
+		}
+
+		fpMs, qMs := "-", "-"
+		speedup := "-"
+		if measured {
+			in := map[string]*tensor.Tensor{inName: x}
+			fpStats, err := runtime.Measure(cfg.Ctx, fpSess, in, cfg.Warmup, cfg.Reps)
+			if err != nil {
+				return nil, err
+			}
+			qStats, err := runtime.Measure(cfg.Ctx, qSess, in, cfg.Warmup, cfg.Reps)
+			if err != nil {
+				return nil, err
+			}
+			f := float64(fpStats.Median) / 1e6
+			q := float64(qStats.Median) / 1e6
+			fpMs, qMs = fmtMs(f), fmtMs(q)
+			speedup = fmt.Sprintf("%.2fx", f/q)
+		}
+
+		rep.AddRow(modelName, fpMs, qMs, speedup,
+			fmt.Sprintf("%d/%d", agree, quantAgreeInputs),
+			fmt.Sprintf("%.4f", relSum/quantAgreeInputs),
+			fmt.Sprintf("%.2f", float64(fpPlan.ConstBytes())/(1<<20)),
+			fmt.Sprintf("%.2f", float64(qPlan.ConstBytes())/(1<<20)))
+	}
+	rep.AddNote("int8 path: per-channel s8 weights, per-image u8 activations, fused requantize epilogue")
+	rep.AddNote("rel err is the L2 relative error of the final output (softmax amplifies logit-level noise)")
+	rep.AddNote("packed MB = derived constants after warm-up: fp32 panels vs int8 panels + scale/rowsum metadata")
+	return rep, nil
+}
+
+// argmax32 returns the index of the largest element.
+func argmax32(v []float32) int {
+	best, bi := float32(math.Inf(-1)), 0
+	for i, x := range v {
+		if x > best {
+			best, bi = x, i
+		}
+	}
+	return bi
+}
+
+// relErr32 is ||a-b|| / ||b||.
+func relErr32(a, b []float32) float64 {
+	var num, den float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		num += d * d
+		den += float64(b[i]) * float64(b[i])
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}

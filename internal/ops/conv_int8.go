@@ -1,0 +1,308 @@
+package ops
+
+import (
+	"orpheus/internal/gemm"
+	"orpheus/internal/graph"
+	"orpheus/internal/quant"
+	"orpheus/internal/tensor"
+)
+
+// conv.im2col_int8 — quantized implicit-GEMM convolution.
+//
+// The structure mirrors conv.im2col exactly — per-group strided batched
+// GEMM over a virtual B packed straight from the NCHW input — but the
+// arithmetic runs on the int8 tier: weights are quantized per output
+// channel at first use (symmetric, |q| ≤ quant.QMaxGemm) and cached
+// prepacked in the plan's ConstCache; activations are quantized to uint8
+// per image into kernel-private scratch (never a graph tensor) and the
+// pack walk copies bytes from it — a kh·kw-fold saving over quantizing
+// inside the walk, where each input pixel is revisited once per kernel
+// tap; the int32→fp32 requantize, zero-point compensation, bias and
+// activation all ride the GEMM tile-store epilogue.
+//
+// The kernel registers as quantized: policies only select it when the
+// plan opted into int8 execution, and the equivalence tests hold it to a
+// quantization tolerance instead of fp32 bit-closeness.
+func init() {
+	RegisterQuantized(NewOverwritingKernel("conv.im2col_int8", "Conv", supportsConvInt8, runConvIm2colInt8))
+}
+
+// maxInt8K bounds the reduction depth of an int8 GEMM so the int32
+// accumulator is exact: |Σ a·(b−z)| ≤ K·63·255, and 2^17·63·255 < 2^31.
+// Real model layers sit orders of magnitude below this.
+const maxInt8K = 1 << 17
+
+func supportsConvInt8(n *graph.Node) bool {
+	p, err := resolveConv(n)
+	if err != nil {
+		return false
+	}
+	if len(n.Inputs) < 2 || !n.Inputs[1].IsConst() {
+		return false
+	}
+	// Depthwise convolutions have K = kh*kw per group — far too little
+	// arithmetic per packed byte for the GEMM tier to pay off.
+	kdim := (p.cin / p.groups) * p.kh * p.kw
+	return !p.isDepthwise() && kdim <= maxInt8K
+}
+
+// int8ConvWeights returns the node's cached quantized weight panels,
+// building them on first use: per-output-channel symmetric quantization
+// over all cout rows, then one prepacked A-panel buffer per group
+// (PackedAInt8Size(coutG, kdim) bytes each, back to back).
+func int8ConvWeights(ctx *Ctx, n *graph.Node, w []float32, groups, coutG, kdim int) *Int8Weights {
+	if wq := ctx.CacheInt8("conv.im2col_int8/pw", n); wq != nil {
+		return wq
+	}
+	rows := groups * coutG
+	data := make([]int8, rows*kdim)
+	scales := make([]float32, rows)
+	quant.QuantizeRowsInto(data, scales, w, rows, kdim, quant.QMaxGemm)
+	sums := make([]int32, rows)
+	gemm.RowSumsInt8(sums, data, rows, kdim)
+	per := gemm.PackedAInt8Size(coutG, kdim)
+	packed := make([]int8, groups*per)
+	for g := 0; g < groups; g++ {
+		gemm.PrepackAInt8Into(packed[g*per:], data[g*coutG*kdim:(g+1)*coutG*kdim], coutG, kdim)
+	}
+	wq := &Int8Weights{Packed: packed, Scales: scales, RowSums: sums}
+	ctx.PutCacheInt8("conv.im2col_int8/pw", n, wq)
+	return wq
+}
+
+func runConvIm2colInt8(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	p, err := resolveConvRT(n, in)
+	if err != nil {
+		return err
+	}
+	x := in[0].Data()
+	w := in[1].Data()
+	var bias []float32
+	if p.hasBias {
+		bias = in[2].Data()
+	}
+	y := out[0].Data()
+
+	coutG := p.cout / p.groups
+	kdim := (p.cin / p.groups) * p.kh * p.kw
+	cols := p.oh * p.ow
+	act := gemmActivation(p.activation)
+
+	wq := int8ConvWeights(ctx, n, w, p.groups, coutG, kdim)
+	perGroup := gemm.PackedAInt8Size(coutG, kdim)
+
+	src := &ctx.convSrc8
+	src.quantizeBatch(x, p.n, p.cin*p.h*p.w)
+	for g := 0; g < p.groups; g++ {
+		src.init(x, &p, g)
+		var bg []float32
+		if bias != nil {
+			bg = bias[g*coutG : (g+1)*coutG]
+		}
+		ctx.GEMM8(gemm.CallInt8{
+			PackedA: wq.Packed[g*perGroup : (g+1)*perGroup],
+			B:       src, C: y[g*coutG*cols:],
+			M: coutG, N: cols, K: kdim,
+			Batch: p.n, StrideC: p.cout * cols,
+			ScaleA: wq.Scales[g*coutG:], RowSum: wq.RowSums[g*coutG:],
+			BScale: src.scales, BZero: src.zeros,
+			BiasRow: bg, Act: act, Alpha: p.alpha})
+	}
+	return nil
+}
+
+// quantRange derives the asymmetric uint8 parameters for values in
+// [lo, hi]: the range is widened to include zero so fp32 0 (implicit
+// padding) quantizes exactly to the zero point, a degenerate range maps
+// to (scale 1, zero 0), and the zero point is clamped to [0, 255].
+func quantRange(lo, hi float32) (scale float32, zero int32) {
+	if lo > 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	if hi == lo {
+		return 1, 0
+	}
+	scale = (hi - lo) / 255
+	z := int32(-lo/scale + 0.5)
+	if z < 0 {
+		z = 0
+	} else if z > 255 {
+		z = 255
+	}
+	return scale, z
+}
+
+func growF32(s []float32, n int) []float32 {
+	if cap(s) < n {
+		return make([]float32, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growU8(s []byte, n int) []byte {
+	if cap(s) < n {
+		return make([]byte, n)
+	}
+	return s[:n]
+}
+
+// convPackSrc8 is the quantizing counterpart of convPackSrc: a
+// gemm.PackSrc8 that packs receptive-field bytes from a uint8 copy of
+// the NCHW input built once per conv call. Quantizing inside the pack
+// walk would redo the float math once per kernel tap (~9x for a 3x3),
+// which on small-K layers costs more than the int8 GEMM itself; a bulk
+// vectorised pre-pass makes the walk pure byte moves. Padding emits the
+// image's zero-point byte so it dequantizes to exactly zero after
+// compensation. Read-only during a call, so pool workers may pack panels
+// concurrently.
+type convPackSrc8 struct {
+	geo convPackSrc
+
+	// q8 is the quantized batch input (same NCHW indexing as the fp32
+	// tensor); scales/zeros are the per-image parameters the requantize
+	// epilogue needs.
+	q8     []byte
+	scales []float32
+	zeros  []int32
+}
+
+// quantizeBatch scans each image of the batch (stride elements apiece),
+// derives its quantization parameters and converts it to uint8 in q8.
+// The buffers are reused across calls, so the steady state allocates
+// nothing.
+func (s *convPackSrc8) quantizeBatch(x []float32, images, stride int) {
+	s.scales = growF32(s.scales, images)
+	s.zeros = growI32(s.zeros, images)
+	s.q8 = growU8(s.q8, images*stride)
+	for img := 0; img < images; img++ {
+		xi := x[img*stride : (img+1)*stride]
+		lo, hi := gemm.MinMaxF32(xi)
+		scale, zero := quantRange(lo, hi)
+		s.scales[img] = scale
+		s.zeros[img] = zero
+		gemm.QuantizeU8(s.q8[img*stride:], xi, 1/scale, float32(zero)+0.5)
+	}
+}
+
+// init points the source at group g of the convolution described by p.
+// quantizeBatch must already have run for the batch.
+func (s *convPackSrc8) init(x []float32, p *convParams, g int) {
+	s.geo.init(x, p, g)
+}
+
+// PackPanel8 implements gemm.PackSrc8 with the same run-walk structure as
+// convPackSrc.PackPanel: rows decode to (channel, ky, kx), columns walk
+// output pixels in runs within one output row, and the stride-1 interior
+// is a bounds-free byte copy from the pre-quantized input. The k-quad
+// layout makes a row's bytes land 4 apart within the strip.
+//
+// Two hoists keep integer division off the per-byte path: each row's
+// (channel offset, tap offsets) are decoded once per panel into stack
+// tables instead of once per strip, and the (oy, ox) output coordinate is
+// carried incrementally through the run walk instead of re-divided per
+// run. On a 3x3/stride-1 layer these divisions were the largest single
+// pack cost after the quantize pre-pass.
+func (s *convPackSrc8) PackPanel8(dst []byte, img, pp, jj, kc, nc, nr int) {
+	g := &s.geo
+	khw := g.kh * g.kw
+	plane := g.h * g.w
+	imgBase := (img*g.cin + g.chan0) * plane
+	zb := byte(s.zeros[img])
+	kcq4 := (kc + 3) &^ 3
+	var chOff, rowDy, rowDx [gemm.MaxPanelK]int32
+	for p := 0; p < kc; p++ {
+		kd := pp + p
+		ic := kd / khw
+		rem := kd - ic*khw
+		ky := rem / g.kw
+		kx := rem - ky*g.kw
+		chOff[p] = int32(ic * plane)
+		rowDy[p] = int32(ky*g.dh - g.padT) // iy = oy*sh + dy
+		rowDx[p] = int32(kx*g.dw - g.padL) // ix = ox*sw + dx
+	}
+	for j := 0; j < nc; j += nr {
+		cols := min(nr, nc-j)
+		strip := dst[(j/nr)*nr*kcq4:]
+		col0 := jj + j
+		oy0 := col0 / g.ow
+		ox0 := col0 - oy0*g.ow
+		for p := 0; p < kc; p++ {
+			qc := s.q8[imgBase+int(chOff[p]) : imgBase+int(chOff[p])+plane]
+			dy := int(rowDy[p])
+			dx := int(rowDx[p])
+			row := strip[(p>>2)*nr*4+(p&3):]
+			oy, ox := oy0, ox0
+			cc := 0
+			for cc < cols {
+				run := min(g.ow-ox, cols-cc)
+				iy := oy*g.sh + dy
+				if iy < 0 || iy >= g.h {
+					for i := 0; i < run; i++ {
+						row[(cc+i)*4] = zb
+					}
+				} else {
+					qrow := qc[iy*g.w : (iy+1)*g.w]
+					ix := ox*g.sw + dx
+					if g.sw == 1 {
+						lo, hi := 0, run
+						if ix < 0 {
+							lo = min(-ix, run)
+						}
+						if ix+run > g.w {
+							hi = g.w - ix
+						}
+						if hi < lo {
+							hi = lo
+						}
+						for i := 0; i < lo; i++ {
+							row[(cc+i)*4] = zb
+						}
+						for i := lo; i < hi; i++ {
+							row[(cc+i)*4] = qrow[ix+i]
+						}
+						for i := hi; i < run; i++ {
+							row[(cc+i)*4] = zb
+						}
+					} else {
+						for i := 0; i < run; i++ {
+							if ix >= 0 && ix < g.w {
+								row[(cc+i)*4] = qrow[ix]
+							} else {
+								row[(cc+i)*4] = zb
+							}
+							ix += g.sw
+						}
+					}
+				}
+				cc += run
+				ox += run
+				if ox == g.ow {
+					ox = 0
+					oy++
+				}
+			}
+			// Columns beyond nc are geometric padding (their products are
+			// discarded), zeroed per the PackSrc8 contract.
+			for i := cols; i < nr; i++ {
+				row[i*4] = 0
+			}
+		}
+		// Quad-tail rows beyond kc multiply A's zero k-padding; zero them.
+		for p := kc; p < kcq4; p++ {
+			row := strip[(p>>2)*nr*4+(p&3):]
+			for i := 0; i < nr; i++ {
+				row[i*4] = 0
+			}
+		}
+	}
+}

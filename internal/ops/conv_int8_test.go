@@ -1,0 +1,102 @@
+package ops
+
+import (
+	"testing"
+
+	"orpheus/internal/tensor"
+)
+
+// quantCloseEnough compares an int8-tier output against the fp32
+// reference on a quantization budget instead of fp32 bit-closeness: the
+// max absolute divergence must stay within a small fraction of the
+// reference's own dynamic range (symmetric s8 weights carry ~1/63
+// relative error, u8 activations ~1/255 of their range, and errors
+// accumulate sub-linearly over K).
+func quantCloseEnough(t *testing.T, name string, got, ref *tensor.Tensor) {
+	t.Helper()
+	var amax float32
+	for _, v := range ref.Data() {
+		if v < 0 {
+			v = -v
+		}
+		if v > amax {
+			amax = v
+		}
+	}
+	tol := 0.05*float64(amax) + 1e-3
+	if d := tensor.MaxAbsDiff(got, ref); d > tol {
+		t.Errorf("%s diverges from fp32 reference: max diff %g, quant budget %g (ref max %g)", name, d, tol, amax)
+	}
+}
+
+// TestConvInt8WithinQuantTolerance runs conv.im2col_int8 over every
+// geometry of the fp32 equivalence matrix it supports and holds it to a
+// quantization tolerance against conv.direct — the int8 counterpart of
+// TestConvKernelEquivalence, which excludes quantized kernels.
+func TestConvInt8WithinQuantTolerance(t *testing.T) {
+	k := ByName("conv.im2col_int8")
+	if k == nil {
+		t.Fatal("conv.im2col_int8 not registered")
+	}
+	if !IsQuantized(k) {
+		t.Fatal("conv.im2col_int8 must register as quantized")
+	}
+	supported := 0
+	for _, tc := range convMatrix {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			inputs := tc.tensors(tensor.SeedFromString(tc.name))
+			n := buildNode(t, "Conv", tc.attrs(), inputs...)
+			if !k.Supports(n) {
+				t.Skip("geometry unsupported by the int8 tier")
+			}
+			supported++
+			ref := runKernel(t, "conv.direct", "Conv", tc.attrs(), inputs...)
+			got := runKernel(t, "conv.im2col_int8", "Conv", tc.attrs(), inputs...)
+			quantCloseEnough(t, "conv.im2col_int8", got, ref)
+		})
+	}
+}
+
+// TestDenseInt8WithinQuantTolerance is the dense counterpart: the
+// transposed int8 product must match dense.gemm on the quantization
+// budget for single samples and batches, with and without bias.
+func TestDenseInt8WithinQuantTolerance(t *testing.T) {
+	k := ByName("dense.gemm_int8")
+	if k == nil {
+		t.Fatal("dense.gemm_int8 not registered")
+	}
+	if !IsQuantized(k) {
+		t.Fatal("dense.gemm_int8 must register as quantized")
+	}
+	cases := []struct {
+		name        string
+		batch, m, n int
+		bias        bool
+		act         string
+	}{
+		{"single", 1, 10, 64, false, ""},
+		{"single-bias", 1, 7, 33, true, ""},
+		{"batch4-relu", 4, 16, 128, true, "relu"},
+		{"batch3-odd", 3, 5, 100, false, ""},
+		{"deep", 2, 12, 1024, true, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := tensor.NewRNG(tensor.SeedFromString(tc.name))
+			x := tensor.Rand(r, -2, 2, tc.batch, tc.n)
+			w := tensor.Rand(r, -1, 1, tc.m, tc.n)
+			inputs := []*tensor.Tensor{x, w}
+			if tc.bias {
+				inputs = append(inputs, tensor.Rand(r, -1, 1, tc.m))
+			}
+			attrs := map[string]any{}
+			if tc.act != "" {
+				attrs["activation"] = tc.act
+			}
+			ref := runKernel(t, "dense.gemm", "Dense", attrs, inputs...)
+			got := runKernel(t, "dense.gemm_int8", "Dense", attrs, inputs...)
+			quantCloseEnough(t, "dense.gemm_int8", got, ref)
+		})
+	}
+}

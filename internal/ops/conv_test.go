@@ -75,7 +75,17 @@ func TestConvFusedActivations(t *testing.T) {
 // conv algorithm must agree with the direct reference on every geometry it
 // claims to support.
 func TestConvKernelEquivalence(t *testing.T) {
-	algos := []string{"conv.im2col", "conv.spatialpack", "conv.winograd", "conv.depthwise", "conv.group_im2col"}
+	// Every registered fp32 Conv kernel joins the matrix automatically;
+	// quantized kernels are excluded explicitly — they are numerically
+	// different implementations held to a quantization tolerance by
+	// TestConvInt8WithinQuantTolerance, not to fp32 bit-closeness.
+	var algos []string
+	for _, k := range ForOp("Conv") {
+		if k.Name() == "conv.direct" || IsQuantized(k) {
+			continue
+		}
+		algos = append(algos, k.Name())
+	}
 	for _, tc := range convMatrix {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {

@@ -26,11 +26,29 @@ type ctxKey struct {
 type ConstCache struct {
 	mu sync.RWMutex
 	m  map[ctxKey][]float32
+	q  map[ctxKey]*Int8Weights
+}
+
+// Int8Weights is a ConstCache entry for the quantized execution tier: a
+// weight matrix quantized per output channel to the int8 GEMM contract
+// ([-63, 63], quant.QMaxGemm), prepacked into the int8 panel layout, with
+// the per-row scales and quantized-row sums the requantize epilogue needs.
+// For grouped convolution, Packed holds the groups' panel buffers back to
+// back and Scales/RowSums cover all cout rows.
+type Int8Weights struct {
+	Packed  []int8
+	Scales  []float32
+	RowSums []int32
+}
+
+// Bytes returns the entry's memory footprint.
+func (w *Int8Weights) Bytes() int64 {
+	return int64(len(w.Packed)) + int64(len(w.Scales))*4 + int64(len(w.RowSums))*4
 }
 
 // NewConstCache returns an empty cache.
 func NewConstCache() *ConstCache {
-	return &ConstCache{m: make(map[ctxKey][]float32)}
+	return &ConstCache{m: make(map[ctxKey][]float32), q: make(map[ctxKey]*Int8Weights)}
 }
 
 func (cc *ConstCache) get(k ctxKey) []float32 {
@@ -49,13 +67,36 @@ func (cc *ConstCache) put(k ctxKey, buf []float32) bool {
 	return !existed
 }
 
-// Bytes returns the total footprint of the cached constants.
+func (cc *ConstCache) getInt8(k ctxKey) *Int8Weights {
+	cc.mu.RLock()
+	w := cc.q[k]
+	cc.mu.RUnlock()
+	return w
+}
+
+// putInt8 stores w and reports whether the key was previously absent.
+func (cc *ConstCache) putInt8(k ctxKey, w *Int8Weights) bool {
+	cc.mu.Lock()
+	if cc.q == nil {
+		cc.q = make(map[ctxKey]*Int8Weights)
+	}
+	_, existed := cc.q[k]
+	cc.q[k] = w
+	cc.mu.Unlock()
+	return !existed
+}
+
+// Bytes returns the total footprint of the cached constants, fp32 and
+// int8 entries alike.
 func (cc *ConstCache) Bytes() int64 {
 	cc.mu.RLock()
 	defer cc.mu.RUnlock()
 	var total int64
 	for _, b := range cc.m {
 		total += int64(len(b)) * 4
+	}
+	for _, w := range cc.q {
+		total += w.Bytes()
 	}
 	return total
 }
@@ -100,6 +141,11 @@ type Ctx struct {
 	// would heap-allocate every run).
 	convSrc convPackSrc
 
+	// convSrc8 and denseSrc8 are the quantizing pack sources of the int8
+	// kernels, reusable per session for the same reason.
+	convSrc8  convPackSrc8
+	denseSrc8 densePackSrc8
+
 	scratch map[ctxKey][]float32
 
 	// ScratchBytes accumulates the bytes handed out by Scratch and newly
@@ -124,6 +170,16 @@ func (c *Ctx) GEMM(call gemm.Call) {
 		return
 	}
 	c.Gemm.Run(call)
+}
+
+// GEMM8 executes one quantized GEMM call with the same worker routing as
+// GEMM.
+func (c *Ctx) GEMM8(call gemm.CallInt8) {
+	if c.Workers > 1 {
+		gemm.Shared().RunInt8(&c.Gemm, call, c.Workers)
+		return
+	}
+	c.Gemm.RunInt8(call)
 }
 
 // Sweep applies an optional per-channel bias and a fused activation over
@@ -170,6 +226,23 @@ func (c *Ctx) Cache(kind string, n *graph.Node) []float32 {
 func (c *Ctx) PutCache(kind string, n *graph.Node, buf []float32) {
 	if c.consts().put(ctxKey{kind, n}, buf) {
 		c.ScratchBytes += int64(len(buf)) * 4
+	}
+}
+
+// CacheInt8 returns the quantized-weight entry stored for (kind, n), or
+// nil.
+func (c *Ctx) CacheInt8(kind string, n *graph.Node) *Int8Weights {
+	if c.Consts == nil {
+		return nil
+	}
+	return c.Consts.getInt8(ctxKey{kind, n})
+}
+
+// PutCacheInt8 stores w persistently for (kind, n), charging ScratchBytes
+// only for new entries like PutCache.
+func (c *Ctx) PutCacheInt8(kind string, n *graph.Node, w *Int8Weights) {
+	if c.consts().putInt8(ctxKey{kind, n}, w) {
+		c.ScratchBytes += w.Bytes()
 	}
 }
 

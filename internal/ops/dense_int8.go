@@ -1,0 +1,120 @@
+package ops
+
+import (
+	"orpheus/internal/gemm"
+	"orpheus/internal/graph"
+	"orpheus/internal/quant"
+	"orpheus/internal/tensor"
+)
+
+// dense.gemm_int8 — quantized fully connected layer.
+//
+// The fp32 path computes Y[N,M] = X[N,K]·Wᵀ via a cached transposed
+// weight; the int8 tier instead runs the transposed product Yᵀ[M,N] =
+// W·Xᵀ with TransC storing straight into Y's row-major layout. That
+// orientation puts W — the constant — on the A side, so its rows quantize
+// per output feature directly (no transpose, and the per-row scales are
+// exactly the per-feature scales the epilogue wants), and each sample
+// becomes a B column quantized with its own parameters (ColQuant).
+func init() {
+	RegisterQuantized(NewOverwritingKernel("dense.gemm_int8", "Dense", supportsDenseInt8, runDenseGemmInt8))
+}
+
+func supportsDenseInt8(n *graph.Node) bool {
+	if len(n.Inputs) < 2 || !n.Inputs[1].IsConst() {
+		return false
+	}
+	ws := n.Inputs[1].Shape
+	return len(ws) == 2 && ws[1] <= maxInt8K
+}
+
+func runDenseGemmInt8(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	x, w := in[0], in[1]
+	batch, k := x.Shape()[0], x.Shape()[1]
+	m := w.Shape()[0]
+	wq := ctx.CacheInt8("dense.gemm_int8/pw", n)
+	if wq == nil {
+		data := make([]int8, m*k)
+		scales := make([]float32, m)
+		quant.QuantizeRowsInto(data, scales, w.Data(), m, k, quant.QMaxGemm)
+		sums := make([]int32, m)
+		gemm.RowSumsInt8(sums, data, m, k)
+		wq = &Int8Weights{Packed: gemm.PrepackAInt8(data, m, k), Scales: scales, RowSums: sums}
+		ctx.PutCacheInt8("dense.gemm_int8/pw", n, wq)
+	}
+	var bias []float32
+	if len(in) == 3 {
+		bias = in[2].Data()
+	}
+	src := &ctx.denseSrc8
+	src.init(x.Data(), batch, k)
+	ctx.GEMM8(gemm.CallInt8{
+		PackedA: wq.Packed, B: src, C: out[0].Data(),
+		M: m, N: batch, K: k,
+		TransC: true, ColQuant: true,
+		ScaleA: wq.Scales, RowSum: wq.RowSums,
+		BScale: src.scales, BZero: src.zeros,
+		BiasRow: bias,
+		Act:     gemmActivation(n.Attrs.Str("activation", "")),
+		Alpha:   float32(n.Attrs.Float("alpha", 0.01))})
+	return nil
+}
+
+// densePackSrc8 presents the activation matrix X[N,K] as the virtual
+// uint8 B of the transposed dense GEMM: B[p][j] = Q_j(X[j][p]), each
+// sample column j quantized with its own parameters. init converts X to
+// uint8 in one vectorised pass per sample, so the pack walk — which
+// revisits a sample once per M-tile — is pure byte moves over one
+// contiguous row.
+type densePackSrc8 struct {
+	k int
+
+	// q8 is the quantized activation matrix; scales/zeros are the
+	// per-sample parameters for the epilogue. Buffers reused across calls.
+	q8     []byte
+	scales []float32
+	zeros  []int32
+}
+
+// init derives each sample's parameters and quantizes X into q8.
+func (s *densePackSrc8) init(x []float32, samples, k int) {
+	s.k = k
+	s.scales = growF32(s.scales, samples)
+	s.zeros = growI32(s.zeros, samples)
+	s.q8 = growU8(s.q8, samples*k)
+	for j := 0; j < samples; j++ {
+		xj := x[j*k : (j+1)*k]
+		lo, hi := gemm.MinMaxF32(xj)
+		scale, zero := quantRange(lo, hi)
+		s.scales[j] = scale
+		s.zeros[j] = zero
+		gemm.QuantizeU8(s.q8[j*k:], xj, 1/scale, float32(zero)+0.5)
+	}
+}
+
+// PackPanel8 implements gemm.PackSrc8; img is always 0 (TransC calls are
+// unbatched).
+func (s *densePackSrc8) PackPanel8(dst []byte, img, pp, jj, kc, nc, nr int) {
+	kcq4 := (kc + 3) &^ 3
+	for j0 := 0; j0 < nc; j0 += nr {
+		cols := min(nr, nc-j0)
+		strip := dst[(j0/nr)*nr*kcq4:]
+		for jl := 0; jl < cols; jl++ {
+			col := jj + j0 + jl
+			qr := s.q8[col*s.k+pp : col*s.k+pp+kc]
+			base := jl * 4
+			for p := 0; p < kc; p++ {
+				strip[base+(p>>2)*nr*4+(p&3)] = qr[p]
+			}
+			for p := kc; p < kcq4; p++ {
+				strip[base+(p>>2)*nr*4+(p&3)] = 0
+			}
+		}
+		for jl := cols; jl < nr; jl++ {
+			base := jl * 4
+			for p := 0; p < kcq4; p++ {
+				strip[base+(p>>2)*nr*4+(p&3)] = 0
+			}
+		}
+	}
+}

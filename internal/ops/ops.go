@@ -99,6 +99,7 @@ var (
 	kernelsByName = map[string]Kernel{}
 	referenceFor  = map[string]Kernel{}
 	refExplicit   = map[string]bool{}
+	quantizedSet  = map[string]bool{}
 )
 
 // Register adds a kernel to the registry. Unless RegisterReference names
@@ -114,6 +115,22 @@ func Register(k Kernel) {
 	if _, ok := referenceFor[k.Op()]; !ok {
 		referenceFor[k.Op()] = k
 	}
+}
+
+// RegisterQuantized registers k and marks it as a reduced-precision
+// implementation: numerically useful but not bit-comparable to the op's
+// fp32 kernels. Backend policies skip quantized kernels unless the plan
+// opted into them, and the cross-kernel equivalence tests compare them
+// under a quantization tolerance rather than the fp32 one.
+func RegisterQuantized(k Kernel) {
+	Register(k)
+	quantizedSet[k.Name()] = true
+}
+
+// IsQuantized reports whether k was registered as a reduced-precision
+// kernel.
+func IsQuantized(k Kernel) bool {
+	return k != nil && quantizedSet[k.Name()]
 }
 
 // RegisterReference registers k and marks it as the op's correctness

@@ -1,0 +1,58 @@
+package quant
+
+// Quantization helpers for the executable int8 GEMM tier (internal/gemm's
+// CallInt8), as opposed to the fake-quant measurement path in quant.go.
+
+// QMaxGemm is the symmetric weight bound of the int8 GEMM tier. Weights
+// are clamped to [-63, 63] (7 significant bits) rather than the full int8
+// range so that every u8×s8 pair product the AVX2 VPMADDUBSW kernel forms
+// stays within int16 (2·255·63 = 32130 < 32767): the saturating
+// instruction can then never saturate, and the pure-Go, AVX2 and VNNI
+// kernels all produce bit-identical int32 accumulators. The half-bit of
+// extra weight rounding error is far below the activation quantization
+// error.
+const QMaxGemm = 63
+
+// QuantizeRowsInto quantizes the rows×per float matrix w per-row symmetric
+// into data (len ≥ rows*per) with one scale per row (scales len ≥ rows):
+// data[r][i] = clamp(round(w[r][i]/scales[r]), ±qmax), scales[r] =
+// max|w[r]|/qmax. All-zero rows get scale 1 so they round-trip to zero.
+// Use QMaxGemm for weights destined for the int8 GEMM tier.
+func QuantizeRowsInto(data []int8, scales []float32, w []float32, rows, per int, qmax int32) {
+	fq := float32(qmax)
+	for r := 0; r < rows; r++ {
+		row := w[r*per : (r+1)*per]
+		var maxAbs float32
+		for _, v := range row {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := maxAbs / fq
+		if scale == 0 {
+			scale = 1
+		}
+		scales[r] = scale
+		inv := 1 / scale
+		out := data[r*per : (r+1)*per]
+		for i, v := range row {
+			f := v * inv
+			var q int32
+			if f >= 0 {
+				q = int32(f + 0.5)
+			} else {
+				q = -int32(0.5 - f)
+			}
+			if q > qmax {
+				q = qmax
+			} else if q < -qmax {
+				q = -qmax
+			}
+			out[i] = int8(q)
+		}
+	}
+}

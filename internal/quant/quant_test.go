@@ -1,9 +1,15 @@
-package quant
+// Package quant_test lives outside the package: the test exercises quant
+// through the full runtime, and runtime's kernels themselves depend on
+// quant (the int8 execution tier), so an in-package test would be an
+// import cycle.
+package quant_test
 
 import (
 	"context"
 	"testing"
 	"testing/quick"
+
+	. "orpheus/internal/quant"
 
 	"orpheus/internal/runtime"
 	"orpheus/internal/tensor"

@@ -65,6 +65,37 @@ type Batcher struct {
 	waitNs         atomic.Int64 // cumulative submit→launch wait of claimed requests
 	rejected       atomic.Int64 // requests shed at admission (queue full or closed)
 	cancelledReqs  atomic.Int64 // requests abandoned by their context while queued
+	waitHist       [WaitBuckets]atomic.Int64
+}
+
+// WaitBuckets is the number of fixed buckets in the queued-wait
+// histogram: eight bounded latency bands plus one unbounded overflow.
+const WaitBuckets = 9
+
+// WaitBucketBounds holds the inclusive upper bounds of the histogram's
+// first WaitBuckets-1 buckets; waits above the last bound land in the
+// overflow bucket. The bands bracket the default 2ms flush deadline so
+// the histogram separates "flushed early by a full batch" from "waited
+// out the deadline" from "stuck behind a backlog".
+var WaitBucketBounds = [WaitBuckets - 1]time.Duration{
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+}
+
+// waitBucket maps a queued wait to its histogram bucket index.
+func waitBucket(d time.Duration) int {
+	for i, hi := range WaitBucketBounds {
+		if d <= hi {
+			return i
+		}
+	}
+	return WaitBuckets - 1
 }
 
 // BatcherStats is a point-in-time snapshot of a Batcher's counters.
@@ -103,6 +134,11 @@ type BatcherStats struct {
 	// Cancelled counts requests abandoned by their own context while
 	// queued — before any batch claimed them.
 	Cancelled int64
+	// WaitHistogram buckets every claimed request's submit→launch wait
+	// into the fixed latency bands of WaitBucketBounds (the final bucket
+	// is the unbounded overflow). Same population as QueuedWait, so the
+	// histogram exposes the shape — tail and all — behind that mean.
+	WaitHistogram [WaitBuckets]int64
 }
 
 // Stats returns a snapshot of the batcher's observability counters. It is
@@ -110,7 +146,12 @@ type BatcherStats struct {
 // individually, so a snapshot taken mid-burst may be off by in-flight
 // requests.
 func (b *Batcher) Stats() BatcherStats {
+	var hist [WaitBuckets]int64
+	for i := range hist {
+		hist[i] = b.waitHist[i].Load()
+	}
 	return BatcherStats{
+		WaitHistogram:  hist,
 		QueueDepth:     b.depth.Load(),
 		Runs:           b.runs.Load(),
 		Requests:       b.served.Load(),
@@ -437,7 +478,9 @@ func (b *Batcher) runBatch(batch []*batchReq) {
 		if r.ctx.Err() == nil && r.state.CompareAndSwap(reqPending, reqStaged) {
 			claimed = append(claimed, r)
 			b.depth.Add(-1)
-			b.waitNs.Add(int64(launched.Sub(r.enq)))
+			w := launched.Sub(r.enq)
+			b.waitNs.Add(int64(w))
+			b.waitHist[waitBucket(w)].Add(1)
 		}
 	}
 	n := len(claimed)

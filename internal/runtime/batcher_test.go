@@ -353,6 +353,38 @@ func TestBatcherStats(t *testing.T) {
 	if st.FlushImmediate != 0 {
 		t.Errorf("FlushImmediate = %d on a deadline batcher", st.FlushImmediate)
 	}
+	var histTotal int64
+	for _, n := range st.WaitHistogram {
+		histTotal += n
+	}
+	if histTotal != st.Requests {
+		// Every claimed request lands in exactly one wait bucket, so the
+		// histogram and the Requests counter cover the same population.
+		t.Errorf("WaitHistogram sums to %d, Requests = %d", histTotal, st.Requests)
+	}
+}
+
+// TestWaitBucket pins the histogram bucketing: bounds are inclusive and
+// anything past the last bound lands in the overflow bucket.
+func TestWaitBucket(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{100 * time.Microsecond, 0},
+		{101 * time.Microsecond, 1},
+		{time.Millisecond, 3},
+		{2 * time.Millisecond, 4},
+		{25 * time.Millisecond, 7},
+		{26 * time.Millisecond, WaitBuckets - 1},
+		{time.Hour, WaitBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := waitBucket(c.d); got != c.want {
+			t.Errorf("waitBucket(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
 }
 
 // TestBatcherStatsCancelledNotServed asserts a request abandoned while

@@ -20,6 +20,53 @@ type Policy interface {
 	Select(n *graph.Node) (ops.Kernel, error)
 }
 
+// BatchPolicy is an optional Policy extension for batch-aware selection:
+// when a plan compiled at MaxBatch runs a smaller batch n, sessions ask
+// SelectBatch for the kernel to bind at that batch, with the node's input
+// and output shapes recomputed for n (constants keep their static
+// shapes). The kernel choice that wins at the planned batch is not
+// necessarily the winner at n — packing overheads amortise differently —
+// and for quantized tiers the fp32/int8 crossover itself moves with n.
+// Implementations must be safe for concurrent use (sessions bind lazily
+// from many goroutines) and should fall back to a plain Select-style
+// decision on unknown shapes. Errors are advisory: the session keeps the
+// plan's compile-time kernel.
+type BatchPolicy interface {
+	Policy
+	SelectBatch(n *graph.Node, batch int, inShapes, outShapes [][]int) (ops.Kernel, error)
+}
+
+// Int8Arbiter is implemented by policies that decide between fp32 and
+// quantized kernels themselves (the auto-tuner with int8 enabled). When
+// Options.Int8 is set and the policy arbitrates, Compile leaves it
+// unwrapped; otherwise the policy is wrapped in Int8Policy, which forces
+// quantized kernels wherever one supports the node.
+type Int8Arbiter interface {
+	ArbitratesInt8() bool
+}
+
+// Int8Policy prefers quantized kernels: Select returns the first
+// registered quantized kernel supporting the node, delegating to Base
+// for everything else (ops without a quantized implementation, nodes a
+// quantized kernel cannot handle — non-constant weights, depthwise
+// convolutions). Compile installs it automatically for Options.Int8.
+type Int8Policy struct {
+	Base Policy
+}
+
+// Name implements Policy.
+func (p Int8Policy) Name() string { return p.Base.Name() + "+int8" }
+
+// Select implements Policy.
+func (p Int8Policy) Select(n *graph.Node) (ops.Kernel, error) {
+	for _, k := range ops.ForOp(n.Op) {
+		if ops.IsQuantized(k) && k.Supports(n) {
+			return k, nil
+		}
+	}
+	return p.Base.Select(n)
+}
+
 // ReferencePolicy selects every op's reference kernel (the simplest
 // correct implementation). It is the fallback when no backend is given.
 type ReferencePolicy struct{}

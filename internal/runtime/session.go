@@ -132,10 +132,22 @@ func (s *Session) bindFor(n int) *batchBind {
 		views[v] = t
 		return t
 	}
+	// Batch-aware policies re-decide kernels at batch sizes other than the
+	// one the plan was tuned for; binding happens once per batch size, so
+	// the (possibly measured) decision is off the hot path.
+	bp, batchAware := s.plan.opts.Policy.(BatchPolicy)
+	batchAware = batchAware && n != s.plan.maxBatch
 	b := &batchBind{steps: make([]boundStep, len(s.plan.steps))}
 	for si, st := range s.plan.steps {
 		bs := &b.steps[si]
 		bs.node, bs.kernel = st.node, st.kernel
+		overwrites := st.overwrites
+		if batchAware {
+			if k := s.selectBatchKernel(bp, st.node, n); k != nil {
+				bs.kernel = k
+				overwrites = ops.KernelOverwrites(k, st.node)
+			}
+		}
 		bs.in = make([]*tensor.Tensor, len(st.node.Inputs))
 		for ai, v := range st.node.Inputs {
 			switch {
@@ -153,7 +165,7 @@ func (s *Session) bindFor(n int) *batchBind {
 		for oi, v := range st.node.Outputs {
 			t := view(v)
 			bs.out[oi] = t
-			if !st.overwrites {
+			if !overwrites {
 				bs.zero = append(bs.zero, t.Data())
 			}
 		}
@@ -175,6 +187,26 @@ func (s *Session) bindFor(n int) *batchBind {
 	}
 	b.results = make(map[string]*tensor.Tensor, len(b.outBinds))
 	return b
+}
+
+// selectBatchKernel asks a batch-aware policy which kernel to bind for
+// node at the given batch, with input/output shapes recomputed for it.
+// Any error, op mismatch or unsupported choice falls back to the plan's
+// compile-time kernel (a nil return).
+func (s *Session) selectBatchKernel(bp BatchPolicy, node *graph.Node, batch int) ops.Kernel {
+	in := make([][]int, len(node.Inputs))
+	for i, v := range node.Inputs {
+		in[i] = s.plan.batchShape(v, batch)
+	}
+	out := make([][]int, len(node.Outputs))
+	for i, v := range node.Outputs {
+		out[i] = s.plan.batchShape(v, batch)
+	}
+	k, err := bp.SelectBatch(node, batch, in, out)
+	if err != nil || k == nil || k.Op() != node.Op || !k.Supports(node) {
+		return nil
+	}
+	return k
 }
 
 // resolveBatch validates the caller's inputs, fills s.inTensors and

@@ -87,6 +87,7 @@ type Server struct {
 	flushSet   bool
 	queueDepth int
 	reqTimeout time.Duration
+	int8       bool
 
 	// inflight is the server-wide admission semaphore (nil when
 	// WithMaxInflight is unset): each /predict and /profile holds one slot
@@ -157,6 +158,15 @@ func WithRequestTimeout(d time.Duration) Option {
 	return func(s *Server) { s.reqTimeout = d }
 }
 
+// WithInt8 compiles hosted models onto the int8 quantized execution tier
+// (see internal/README.md): conv and dense layers run u8×s8 GEMMs with
+// plan-time-quantized weights wherever a quantized kernel supports them.
+// The wire contract is unchanged — inputs and outputs stay float32 —
+// but outputs carry quantization noise relative to an fp32 server.
+func WithInt8() Option {
+	return func(s *Server) { s.int8 = true }
+}
+
 // New returns an empty server.
 func New(opts ...Option) *Server {
 	s := &Server{entries: make(map[string]*Entry), maxBatch: 1, flush: DefaultFlushDeadline}
@@ -180,7 +190,7 @@ func (s *Server) AddModel(name string, g *graph.Graph, backendName string, worke
 	if err != nil {
 		return err
 	}
-	plan, err := be.PrepareBatched(g, workers, s.maxBatch)
+	plan, err := be.PrepareWith(g, backend.PrepareOpts{Workers: workers, MaxBatch: s.maxBatch, Int8: s.int8})
 	if err != nil {
 		return fmt.Errorf("serve: compiling %s: %w", name, err)
 	}
@@ -308,6 +318,29 @@ type batcherStatsJSON struct {
 	QueuedWaitMs   float64 `json:"queued_wait_ms"`
 	Rejected       int64   `json:"rejected"`
 	Cancelled      int64   `json:"cancelled"`
+	// WaitHistogramMs pairs each bucket's upper bound in milliseconds
+	// (the final bucket, bound 0, is the unbounded overflow) with its
+	// count — the latency shape behind the queued_wait_ms mean.
+	WaitHistogramMs []waitBucketJSON `json:"wait_histogram_ms"`
+}
+
+// waitBucketJSON is one queued-wait histogram bucket on the wire.
+type waitBucketJSON struct {
+	LeMs  float64 `json:"le_ms"`
+	Count int64   `json:"count"`
+}
+
+// waitHistogramJSON renders the fixed-bucket histogram with its bounds.
+func waitHistogramJSON(hist [runtime.WaitBuckets]int64) []waitBucketJSON {
+	out := make([]waitBucketJSON, runtime.WaitBuckets)
+	for i, n := range hist {
+		le := 0.0 // overflow bucket: no upper bound
+		if i < len(runtime.WaitBucketBounds) {
+			le = float64(runtime.WaitBucketBounds[i]) / 1e6
+		}
+		out[i] = waitBucketJSON{LeMs: le, Count: n}
+	}
+	return out
 }
 
 func batcherStats(b *runtime.Batcher) *batcherStatsJSON {
@@ -316,17 +349,18 @@ func batcherStats(b *runtime.Batcher) *batcherStatsJSON {
 	}
 	st := b.Stats()
 	return &batcherStatsJSON{
-		QueueDepth:     st.QueueDepth,
-		Runs:           st.Runs,
-		Requests:       st.Requests,
-		FlushFull:      st.FlushFull,
-		FlushDeadline:  st.FlushDeadline,
-		FlushImmediate: st.FlushImmediate,
-		FlushExplicit:  st.FlushExplicit,
-		FlushClose:     st.FlushClose,
-		QueuedWaitMs:   float64(st.QueuedWait) / 1e6,
-		Rejected:       st.Rejected,
-		Cancelled:      st.Cancelled,
+		QueueDepth:      st.QueueDepth,
+		Runs:            st.Runs,
+		Requests:        st.Requests,
+		FlushFull:       st.FlushFull,
+		FlushDeadline:   st.FlushDeadline,
+		FlushImmediate:  st.FlushImmediate,
+		FlushExplicit:   st.FlushExplicit,
+		FlushClose:      st.FlushClose,
+		QueuedWaitMs:    float64(st.QueuedWait) / 1e6,
+		Rejected:        st.Rejected,
+		Cancelled:       st.Cancelled,
+		WaitHistogramMs: waitHistogramJSON(st.WaitHistogram),
 	}
 }
 

@@ -169,6 +169,7 @@ type compileConfig struct {
 	backendName string
 	workers     int
 	maxBatch    int
+	int8        bool
 }
 
 // CompileOption configures Compile.
@@ -193,6 +194,22 @@ func WithWorkers(n int) CompileOption {
 // for amortised weight traffic per sample. Default 1.
 func WithMaxBatch(n int) CompileOption {
 	return func(c *compileConfig) { c.maxBatch = n }
+}
+
+// WithInt8 enables the quantized execution tier: convolution and dense
+// layers with constant weights run as u8×s8 GEMMs with int32
+// accumulation (AVX2 VPMADDUBSW / AVX-512 VNNI where available). Weights
+// are quantized per output channel and prepacked once at first use
+// (~4× smaller than the fp32 packed panels); activations are quantized
+// on the fly at the GEMM pack boundary, and the int32→fp32 requantize,
+// bias and activation fuse into the GEMM epilogue. Outputs differ from
+// fp32 by the quantization error (typically well under 1% relative on
+// the zoo models — validate for your model, e.g. with
+// `orpheus-bench -experiment quant`). With the "orpheus-tuned" backend
+// the auto-tuner instead arbitrates fp32 vs int8 per layer and batch
+// size on measured time.
+func WithInt8() CompileOption {
+	return func(c *compileConfig) { c.int8 = true }
 }
 
 // Backends lists the registered backend names.
@@ -254,7 +271,8 @@ func (m *Model) Compile(opts ...CompileOption) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := be.PrepareBatched(m.g, cfg.workers, cfg.maxBatch)
+	plan, err := be.PrepareWith(m.g, backend.PrepareOpts{
+		Workers: cfg.workers, MaxBatch: cfg.maxBatch, Int8: cfg.int8})
 	if err != nil {
 		return nil, err
 	}
@@ -548,6 +566,13 @@ func (s *Session) PlanSummary() []string {
 func (s *Session) MemoryFootprint() (weights, arena int64) {
 	return s.sessions.Plan().WeightBytes(), s.sessions.Plan().ArenaBytes()
 }
+
+// ConstBytes reports the footprint of the plan's derived constants —
+// the packed weight panels kernels cache per layer (under WithInt8, the
+// int8 panels plus their per-channel scale and row-sum metadata, about a
+// quarter of the fp32 panels they replace). Panels pack lazily on first
+// use, so measure after a warm-up Predict.
+func (s *Session) ConstBytes() int64 { return s.sessions.Plan().ConstBytes() }
 
 // Batcher coalesces concurrent single-sample Predict calls into batched
 // runs — the dynamic batching the HTTP server uses, as an embeddable
