@@ -39,6 +39,7 @@ func main() {
 		workers    = flag.Int("workers", 1, "thread count for measured runs (paper uses 1)")
 		models     = flag.String("models", "", "comma-separated model subset (default: all five)")
 		csvPath    = flag.String("csv", "", "also write the report as CSV to this file")
+		wireOnly   = flag.Bool("wire", false, "wire experiment: benchmark only the binary tensor format (skip the JSON baseline)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -61,6 +62,7 @@ func main() {
 		Reps:    *reps,
 		Warmup:  *warmup,
 		Workers: *workers,
+		Wire:    *wireOnly,
 	}
 	if *models != "" {
 		cfg.Models = strings.Split(*models, ",")

@@ -1,16 +1,28 @@
-// orpheus-serve hosts models behind an HTTP/JSON inference API — the
-// deployment-side counterpart of the paper's Python bindings.
+// orpheus-serve hosts models behind an HTTP inference API — the
+// deployment-side counterpart of the paper's Python bindings. It speaks
+// JSON and the binary tensor wire format (internal/wire), negotiated per
+// request by Content-Type/Accept.
 //
 // Usage:
 //
 //	orpheus-serve -zoo wrn-40-2 -addr :8080
 //	orpheus-serve -model mobilenet.onnx -backend tvm-sim
+//	orpheus-serve -model main=wrn-40-2.onnx -model canary=wrn-16-1.onnx \
+//	              -priority main=1 -priority canary=0      # multi-model, tiered shedding
 //	orpheus-serve -zoo mobilenet-v1 -max-batch 8 -flush-ms 2   # dynamic batching
 //	orpheus-serve -zoo mobilenet-v1 -max-batch 8 -flush-ms 0   # immediate flush
 //
 //	curl localhost:8080/models
 //	curl -X POST localhost:8080/predict/wrn-40-2 \
+//	     -H 'Content-Type: application/json' \
 //	     -d '{"input": [ ...3072 floats... ], "topk": 5}'
+//	curl -X POST 'localhost:8080/models/wrn-40-2/predict?topk=5' \
+//	     -H 'Content-Type: application/x-orpheus-tensor' \
+//	     --data-binary @sample.bin
+//
+// -model is repeatable and takes PATH or NAME=PATH; -zoo hosts built-ins
+// alongside. -priority NAME=N tiers the models under -max-inflight:
+// lower-priority models shed (429) first as the server fills.
 //
 // The server is bounded by default: -queue-depth and -max-inflight shed
 // excess load with 429 + Retry-After instead of queueing without limit,
@@ -36,6 +48,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -48,19 +61,52 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		zooNames  = flag.String("zoo", "", "comma-separated built-in models to host")
-		modelPath = flag.String("model", "", "path to an .onnx model to host")
-		backendN  = flag.String("backend", "orpheus", "execution backend")
-		workers   = flag.Int("workers", 1, "kernel thread budget")
-		maxBatch  = flag.Int("max-batch", 1, "dynamic batching width: coalesce up to N concurrent /predict requests into one batched run (1 disables)")
-		flushMs   = flag.Float64("flush-ms", 2, "batching flush deadline in milliseconds (how long a lone request waits for peers); 0 selects immediate flush, < 0 the 2ms default")
-		queueDep  = flag.Int("queue-depth", 64, "per-model batcher queue bound: beyond N queued requests /predict sheds with 429 and Retry-After (0 = unbounded)")
-		inflight  = flag.Int("max-inflight", 256, "server-wide concurrent request cap: beyond N in-flight requests /predict sheds with 429 (0 = unbounded)")
-		reqTO     = flag.Duration("request-timeout", 30*time.Second, "per-request execution deadline (queue wait plus run time); 0 disables")
-		int8      = flag.Bool("int8", false, "run hosted models on the int8 quantized execution tier (~4x smaller weights; outputs carry quantization noise)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		zooNames = flag.String("zoo", "", "comma-separated built-in models to host")
+		backendN = flag.String("backend", "orpheus", "execution backend")
+		workers  = flag.Int("workers", 1, "kernel thread budget")
+		maxBatch = flag.Int("max-batch", 1, "dynamic batching width: coalesce up to N concurrent /predict requests into one batched run (1 disables)")
+		flushMs  = flag.Float64("flush-ms", 2, "batching flush deadline in milliseconds (how long a lone request waits for peers); 0 selects immediate flush, < 0 the 2ms default")
+		queueDep = flag.Int("queue-depth", 64, "per-model batcher queue bound: beyond N queued requests /predict sheds with 429 and Retry-After (0 = unbounded)")
+		inflight = flag.Int("max-inflight", 256, "server-wide concurrent request cap: beyond N in-flight requests /predict sheds with 429 (0 = unbounded)")
+		reqTO    = flag.Duration("request-timeout", 30*time.Second, "per-request execution deadline (queue wait plus run time); 0 disables")
+		int8     = flag.Bool("int8", false, "run hosted models on the int8 quantized execution tier (~4x smaller weights; outputs carry quantization noise)")
 	)
+	type modelSpec struct{ name, path string }
+	var modelSpecs []modelSpec
+	flag.Func("model", "host an .onnx model: PATH or NAME=PATH (repeatable; NAME defaults to the file's basename)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok {
+			path = v
+			name = strings.TrimSuffix(filepath.Base(v), ".onnx")
+		}
+		if name == "" || path == "" {
+			return fmt.Errorf("want PATH or NAME=PATH, got %q", v)
+		}
+		modelSpecs = append(modelSpecs, modelSpec{name: name, path: path})
+		return nil
+	})
+	priorities := make(map[string]int)
+	flag.Func("priority", "shedding priority for a hosted model: NAME=N (repeatable; higher N sheds later under -max-inflight)", func(v string) error {
+		name, ns, ok := strings.Cut(v, "=")
+		n, err := strconv.Atoi(ns)
+		if !ok || name == "" || err != nil {
+			return fmt.Errorf("want NAME=N, got %q", v)
+		}
+		priorities[name] = n
+		return nil
+	})
 	flag.Parse()
+	// modelOpts resolves a model's Add-time options and marks its
+	// priority entry as consumed, so typos in -priority are caught below.
+	used := make(map[string]bool)
+	modelOpts := func(name string) []serve.ModelOption {
+		if p, ok := priorities[name]; ok {
+			used[name] = true
+			return []serve.ModelOption{serve.WithModelPriority(p)}
+		}
+		return nil
+	}
 
 	opts := []serve.Option{
 		serve.WithMaxBatch(*maxBatch),
@@ -80,27 +126,31 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			if err := s.AddModel(name, g, *backendN, *workers); err != nil {
+			if err := s.AddModel(name, g, *backendN, *workers, modelOpts(name)...); err != nil {
 				log.Fatal(err)
 			}
-			log.Printf("hosting %s (%s backend)", name, *backendN)
+			log.Printf("hosting %s (%s backend, priority %d)", name, *backendN, priorities[name])
 			hosted++
 		}
 	}
-	if *modelPath != "" {
-		g, err := onnx.ImportFile(*modelPath)
+	for _, spec := range modelSpecs {
+		g, err := onnx.ImportFile(spec.path)
 		if err != nil {
 			log.Fatal(err)
 		}
-		name := strings.TrimSuffix(filepath.Base(*modelPath), ".onnx")
-		if err := s.AddModel(name, g, *backendN, *workers); err != nil {
+		if err := s.AddModel(spec.name, g, *backendN, *workers, modelOpts(spec.name)...); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("hosting %s from %s (%s backend)", name, *modelPath, *backendN)
+		log.Printf("hosting %s from %s (%s backend, priority %d)", spec.name, spec.path, *backendN, priorities[spec.name])
 		hosted++
 	}
 	if hosted == 0 {
 		log.Fatal(fmt.Errorf("nothing to host: pass -zoo and/or -model (zoo models: %v)", zoo.Names()))
+	}
+	for name := range priorities {
+		if !used[name] {
+			log.Fatal(fmt.Errorf("-priority %s=%d names a model that is not hosted", name, priorities[name]))
+		}
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}

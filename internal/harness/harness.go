@@ -43,6 +43,9 @@ type Config struct {
 	Models []string
 	// Device is the simulated target (default HiKey 970).
 	Device *device.Device
+	// Wire restricts the "wire" experiment's client to the binary tensor
+	// format, skipping the JSON baseline (orpheus-bench -wire).
+	Wire bool
 }
 
 func (c *Config) fill() {

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/serve"
+	"orpheus/internal/wire"
+)
+
+// E4 "wire": end-to-end /predict latency of the two request body
+// formats — JSON against the binary tensor wire format — through a real
+// HTTP server hosting a nearly-free model with a wrn-40-2-sized input
+// (3072 floats). With the kernels this cheap the serving plane dominates,
+// so the measured delta is the wire format's own: body transport, parse,
+// staging and response encode.
+func init() {
+	register(&Experiment{ID: "wire", Title: "E4: serving wire formats — JSON vs binary /predict latency", Run: runWire})
+}
+
+// wireWarmup and wireRequests size the latency sample per format.
+const (
+	wireWarmup   = 25
+	wireRequests = 200
+)
+
+// wireShape is the benchmark input: the wrn-40-2 CIFAR sample.
+var wireShape = []int{1, 3, 32, 32}
+
+func runWire(cfg *Config) (*Report, error) {
+	cfg.fill()
+	rep := &Report{ID: "wire", Title: "E4: JSON vs binary tensor /predict, end to end"}
+	rep.Header = []string{"format", "body bytes", "median us", "p95 us", "req/s", "vs json"}
+
+	g := graph.New("wirebench")
+	x, err := g.Input("input", wireShape)
+	if err != nil {
+		return nil, err
+	}
+	gap, err := g.Add("GlobalAveragePool", "gap", nil, x)
+	if err != nil {
+		return nil, err
+	}
+	fl, err := g.Add("Flatten", "flat", graph.Attrs{"axis": 1}, gap)
+	if err != nil {
+		return nil, err
+	}
+	sm, err := g.Add("Softmax", "prob", nil, fl)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.MarkOutput(sm); err != nil {
+		return nil, err
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+
+	s := serve.New()
+	if err := s.AddModel("wire", g, "orpheus", cfg.Workers); err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	input := make([]float32, 3*32*32)
+	for i := range input {
+		input[i] = float32(i%255) / 255
+	}
+
+	jsonShot := func() (int, error) {
+		body, err := json.Marshal(map[string]any{"input": input})
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Post(ts.URL+"/predict/wire", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Output []float32 `json:"output"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK || len(out.Output) != 3 {
+			return 0, fmt.Errorf("json predict: status %d, %d outputs", resp.StatusCode, len(out.Output))
+		}
+		return len(body), nil
+	}
+	wireBuf := make([]byte, 0, wire.EncodedSize(wireShape))
+	binShot := func() (int, error) {
+		msg := wire.AppendTensor(wireBuf[:0], input, wireShape)
+		req, err := http.NewRequest("POST", ts.URL+"/models/wire/predict", bytes.NewReader(msg))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", serve.ContentTypeTensor)
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return 0, err
+		}
+		out, err := wire.DecodeBytes(raw, 0)
+		if err != nil || resp.StatusCode != http.StatusOK || out.Size() != 3 {
+			return 0, fmt.Errorf("binary predict: status %d, decode %v", resp.StatusCode, err)
+		}
+		return len(msg), nil
+	}
+
+	type formatCase struct {
+		name string
+		shot func() (int, error)
+	}
+	formats := []formatCase{{"json", jsonShot}, {"binary", binShot}}
+	if cfg.Wire {
+		formats = formats[1:]
+		rep.AddNote("-wire: binary format only (JSON baseline skipped)")
+	}
+
+	medians := map[string]float64{}
+	for _, fc := range formats {
+		var bodyBytes int
+		for i := 0; i < wireWarmup; i++ {
+			if bodyBytes, err = fc.shot(); err != nil {
+				return nil, err
+			}
+		}
+		lat := make([]float64, wireRequests)
+		for i := range lat {
+			if err := cfg.Ctx.Err(); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if _, err := fc.shot(); err != nil {
+				return nil, err
+			}
+			lat[i] = float64(time.Since(start)) / 1e3 // µs
+		}
+		sort.Float64s(lat)
+		median := lat[len(lat)/2]
+		p95 := lat[len(lat)*95/100]
+		medians[fc.name] = median
+		vsJSON := "-"
+		if j, ok := medians["json"]; ok && fc.name != "json" {
+			vsJSON = fmt.Sprintf("%.2fx", j/median)
+		} else if fc.name == "json" {
+			vsJSON = "1.00x"
+		}
+		rep.AddRow(fc.name, fmt.Sprint(bodyBytes),
+			fmt.Sprintf("%.1f", median), fmt.Sprintf("%.1f", p95),
+			fmt.Sprintf("%.0f", 1e6/median), vsJSON)
+	}
+	rep.AddNote("model: GAP→Flatten→Softmax on a 1x3x32x32 input — serving-plane cost, not kernel cost")
+	rep.AddNote("%d warm-up + %d timed requests per format over one live HTTP connection", wireWarmup, wireRequests)
+	return rep, nil
+}

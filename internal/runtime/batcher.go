@@ -227,10 +227,14 @@ const (
 	reqAbandoned
 )
 
-// batchReq is one request in flight through the batcher.
+// batchReq is one request in flight through the batcher. Exactly one of
+// input and stage is set: input is a caller-owned sample copied into the
+// batch, stage is a callback that writes the sample straight into the
+// batch's staging row (the zero-copy path binary requests ride).
 type batchReq struct {
 	ctx     context.Context
 	input   []float32
+	stage   func(dst []float32)
 	flushBy time.Time
 	enq     time.Time // when Submit handed the request to the collector
 	state   atomic.Int32
@@ -301,12 +305,37 @@ func (b *Batcher) Runs() int64 { return b.runs.Load() }
 // is queued, but a request already claimed by an executing batch delivers
 // its completed result regardless.
 func (b *Batcher) Submit(ctx context.Context, sample []float32, wait time.Duration) (BatchResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if len(sample) != b.perVol {
 		return BatchResult{}, fmt.Errorf("runtime: batcher sample has %d values, plan input %q wants %d: %w",
 			len(sample), b.inName, b.perVol, ErrShapeMismatch)
+	}
+	return b.submit(ctx, sample, nil, wait)
+}
+
+// SubmitStaged is Submit for callers that materialise the sample straight
+// into the batch — the zero-copy staging hook the binary wire protocol
+// rides. Instead of handing over a []float32 (which the batch would copy
+// into its staging tensor), the caller hands a stage callback; if the
+// request is claimed by a batch, stage is called exactly once, on the
+// executing batch's goroutine, with the request's staging row as dst
+// (exactly SampleVolume values), and must fill all of it. A request
+// cancelled while queued never has stage called. Any buffers stage reads
+// from must stay valid until SubmitStaged returns.
+func (b *Batcher) SubmitStaged(ctx context.Context, stage func(dst []float32), wait time.Duration) (BatchResult, error) {
+	if stage == nil {
+		return BatchResult{}, fmt.Errorf("runtime: batcher: nil stage callback: %w", ErrShapeMismatch)
+	}
+	return b.submit(ctx, nil, stage, wait)
+}
+
+// SampleVolume returns the flat value count of one sample — the length of
+// the dst slice a SubmitStaged callback receives.
+func (b *Batcher) SampleVolume() int { return b.perVol }
+
+// submit is the shared enqueue path behind Submit and SubmitStaged.
+func (b *Batcher) submit(ctx context.Context, sample []float32, stage func(dst []float32), wait time.Duration) (BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if wait <= 0 {
 		wait = b.defWait
@@ -315,6 +344,7 @@ func (b *Batcher) Submit(ctx context.Context, sample []float32, wait time.Durati
 	r := &batchReq{
 		ctx:     ctx,
 		input:   sample,
+		stage:   stage,
 		flushBy: now.Add(wait),
 		enq:     now,
 		done:    make(chan batchOutcome, 1),
@@ -489,13 +519,18 @@ func (b *Batcher) runBatch(batch []*batchReq) {
 	}
 	b.runs.Add(1)
 	b.served.Add(int64(n))
-	stage := make([]float32, n*b.perVol)
+	staging := make([]float32, n*b.perVol)
 	for i, r := range claimed {
-		copy(stage[i*b.perVol:(i+1)*b.perVol], r.input)
+		row := staging[i*b.perVol : (i+1)*b.perVol]
+		if r.stage != nil {
+			r.stage(row)
+		} else {
+			copy(row, r.input)
+		}
 	}
 	shape := append([]int(nil), b.inShape1...)
 	shape[0] *= n
-	in := tensor.FromSlice(stage, shape...)
+	in := tensor.FromSlice(staging, shape...)
 
 	// The batch runs detached from any single caller's context: it serves
 	// every claimed request, and one caller's deadline must not discard

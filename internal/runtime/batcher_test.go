@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -428,5 +429,93 @@ func TestBatcherStatsImmediate(t *testing.T) {
 	st := b.Stats()
 	if st.FlushImmediate != 1 || st.Requests != 1 {
 		t.Errorf("stats = %+v, want one immediate flush serving one request", st)
+	}
+}
+
+// TestSubmitStagedMatchesSubmit pins the zero-copy staging hook: staged
+// and copied submissions of the same samples produce identical results,
+// the stage callback runs exactly once per claimed request and receives a
+// dst of exactly SampleVolume values, and a nil callback is rejected with
+// a typed error.
+func TestSubmitStagedMatchesSubmit(t *testing.T) {
+	b, pool := newTestBatcher(t, 4, BatcherOptions{FlushDeadline: 5 * time.Millisecond}, nil)
+	if b.SampleVolume() != 3*8*8 {
+		t.Fatalf("SampleVolume = %d, want %d", b.SampleVolume(), 3*8*8)
+	}
+	if _, err := b.SubmitStaged(context.Background(), nil, 0); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("nil stage callback error = %v, want ErrShapeMismatch", err)
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	var stageCalls atomic.Int64
+	outs := make([][]float32, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sample := sampleFor(i % 3)
+			var res BatchResult
+			var err error
+			if i%2 == 0 {
+				res, err = b.Submit(context.Background(), sample, 0)
+			} else {
+				res, err = b.SubmitStaged(context.Background(), func(dst []float32) {
+					stageCalls.Add(1)
+					if len(dst) != len(sample) {
+						errs[i] = fmt.Errorf("stage dst has %d values, want %d", len(dst), len(sample))
+						return
+					}
+					copy(dst, sample)
+				}, 0)
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i] = res.Output
+		}(i)
+	}
+	wg.Wait()
+	if got := stageCalls.Load(); got != clients/2 {
+		t.Fatalf("stage callback ran %d times, want %d", got, clients/2)
+	}
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		want := referenceRow(t, pool, sampleFor(i%3))
+		for j := range want {
+			if outs[i][j] != want[j] {
+				t.Fatalf("client %d diverged from reference at %d (staged=%v)", i, j, i%2 == 1)
+			}
+		}
+	}
+}
+
+// TestSubmitStagedCancelledNeverStages pins the claim contract on the
+// staged path: a request abandoned by its context while queued never has
+// its stage callback invoked.
+func TestSubmitStagedCancelledNeverStages(t *testing.T) {
+	// A long flush deadline holds the request queued; cancelling during
+	// the gather must abandon it before staging.
+	b, _ := newTestBatcher(t, 4, BatcherOptions{FlushDeadline: time.Minute}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	staged := make(chan struct{}, 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.SubmitStaged(ctx, func(dst []float32) { staged <- struct{}{} }, 0)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled staged submit = %v, want context.Canceled", err)
+	}
+	select {
+	case <-staged:
+		t.Fatal("stage callback ran for a cancelled-while-queued request")
+	case <-time.After(50 * time.Millisecond):
 	}
 }

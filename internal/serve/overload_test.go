@@ -192,7 +192,7 @@ func TestMaxInflightSheds(t *testing.T) {
 	// Wait for the slow request to occupy the only slot, then fire the one
 	// that must be shed.
 	deadline := time.Now().Add(2 * time.Second)
-	for len(s.inflight) == 0 {
+	for s.Inflight() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("first request never acquired the in-flight slot")
 		}
@@ -263,7 +263,7 @@ func TestStatusTableAcrossEndpoints(t *testing.T) {
 			s, ts := newTestServer(t, WithMaxInflight(1))
 			// Occupy the only slot from inside the test goroutine: admit
 			// directly, then observe the wire rejection.
-			release, err := s.admit()
+			release, err := s.admit(nil)
 			if err != nil {
 				t.Fatal(err)
 			}

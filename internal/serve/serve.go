@@ -1,39 +1,60 @@
-// Package serve embeds Orpheus behind an HTTP/JSON API — the deployment
-// role the paper assigns to its Python bindings ("embedding in other
-// experimental workflows"), done the Go way with net/http. A Server hosts
-// one or more compiled sessions and exposes:
+// Package serve embeds Orpheus behind an HTTP API — the deployment role
+// the paper assigns to its Python bindings ("embedding in other
+// experimental workflows"), done the Go way with net/http. A Server
+// hosts one or more compiled sessions in a Registry and exposes:
 //
-//	GET  /healthz          liveness
-//	GET  /readyz           readiness: drain state and queue saturation
-//	GET  /models           loaded models with shapes and footprints
-//	POST /predict/{model}  {"input": [...]} → {"output": [...], "topk": ...}
-//	POST /profile/{model}  same input → per-layer timing breakdown
+//	GET  /healthz                  liveness
+//	GET  /readyz                   readiness: drain state and queue saturation
+//	GET  /models                   loaded models with shapes, priorities and footprints
+//	POST /predict/{model}          one sample in → prediction out
+//	POST /models/{model}/predict   the same endpoint, REST-style path
+//	POST /profile/{model}          same input → per-layer timing breakdown (JSON only)
 //
-// Inputs are flat row-major float32 arrays matching one sample of the
-// model's input shape; the handler validates length so malformed clients
-// get a 400, not a panic. Error statuses are uniform across endpoints and
-// derived from the runtime's typed error set with errors.Is (see
-// statusFor): unknown model → 404, malformed body or input → 400,
-// shed by admission control → 429 with a Retry-After estimate, graceful
-// shutdown → 503 with Retry-After, execution failure (including a
-// recovered plan-step panic) → 500.
+// Predict speaks two body formats, negotiated per request:
+//
+//   - application/json (the default): {"input": [...], "topk": n,
+//     "wait_ms": f} → {"output": [...], "shape": ..., "topk": ...}.
+//   - application/x-orpheus-tensor: the binary wire format of
+//     internal/wire — one encoded float32 sample as the raw body, with
+//     ?topk= and ?wait_ms= as query parameters. Decoding a binary body
+//     costs microseconds and no steady-state allocations, against
+//     hundreds of microseconds of JSON parsing for a CIFAR-sized sample.
+//
+// The response format follows the Accept header when it names one of the
+// two types, and mirrors the request format otherwise. Binary responses
+// carry the metadata in X-Orpheus-Batch-Size, X-Orpheus-Latency-Ms and
+// X-Orpheus-TopK headers. Error responses are always JSON. Any other
+// Content-Type is rejected with 415 before the body is read.
+//
+// Inputs are one sample of the model's input shape — a flat row-major
+// float32 array in JSON, an encoded tensor of matching volume in binary;
+// the handler validates before execution so malformed clients get a 400,
+// not a panic. Error statuses are uniform across endpoints and derived
+// from the runtime's typed error set with errors.Is (see statusFor):
+// unknown model → 404, malformed body or input → 400, shed by admission
+// control → 429 with a Retry-After estimate, graceful shutdown → 503
+// with Retry-After, execution failure (including a recovered plan-step
+// panic) → 500.
 //
 // The server degrades instead of falling over: WithQueueDepth bounds each
 // model's batching queue, WithMaxInflight caps concurrent executions
-// server-wide, WithRequestTimeout bounds execution time (not just queue
-// wait), and a plan step that panics fails only its own request — the
-// poisoned session is quarantined, never pooled, and the process stays
-// up. See docs/SERVE.md ("Overload behaviour").
+// server-wide — tiered by WithModelPriority so low-priority models shed
+// first (see Registry) — WithRequestTimeout bounds execution time (not
+// just queue wait), and a plan step that panics fails only its own
+// request — the poisoned session is quarantined, never pooled, and the
+// process stays up. See docs/SERVE.md ("Overload behaviour").
 //
 // Servers created with WithMaxBatch(n > 1) batch dynamically: concurrent
 // /predict requests to one model are coalesced into a single batched
 // Session.Run by a runtime.Batcher (flushing when the batch is full or
 // after a small deadline, default 2ms), so under load every packed weight
-// panel is read once per batch instead of once per request. Requests can
-// cap their own wait with "wait_ms"; each request's queue slot is tied to
-// its http.Request context, so a disconnected client is dropped before
-// its sample is ever staged. /profile always runs solo, since its
-// per-layer timings describe a single inference.
+// panel is read once per batch instead of once per request. Binary bodies
+// are staged straight into the batch tensor (Batcher.SubmitStaged) —
+// they are never copied through an intermediate slice. Requests can cap
+// their own wait with wait_ms; each request's queue slot is tied to its
+// http.Request context, so a disconnected client is dropped before its
+// sample is ever staged. /profile always runs solo, since its per-layer
+// timings describe a single inference.
 package serve
 
 import (
@@ -41,6 +62,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -49,10 +71,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"orpheus/internal/backend"
 	"orpheus/internal/graph"
 	"orpheus/internal/runtime"
 	"orpheus/internal/tensor"
+	"orpheus/internal/wire"
 )
 
 // DefaultFlushDeadline is how long a lone request waits for batch peers
@@ -63,9 +85,13 @@ const DefaultFlushDeadline = runtime.DefaultFlushDeadline
 // in-flight request (or batch of requests) borrows a session from the
 // entry's pool, so N clients hitting one model get private arenas over one
 // shared plan (and one shared set of packed weights) instead of queueing
-// on a mutex.
+// on a mutex. An Entry is immutable once its Registry.Add returns;
+// handlers that hold one keep serving it even while it is being removed
+// from the registry.
 type Entry struct {
-	Name     string
+	// Name is the model's registry key and URL path segment.
+	Name string
+	// Backend names the backend the model was compiled under.
 	Backend  string
 	graph    *graph.Graph
 	sessions *runtime.SessionPool
@@ -75,26 +101,62 @@ type Entry struct {
 	inShape1 []int // input shape of a single sample
 	perVol   int   // values per sample
 	batcher  *runtime.Batcher
+
+	priority int           // shedding priority class (higher = shed later)
+	queueCap int           // batching queue bound (0 = unbounded)
+	timeout  time.Duration // per-request execution bound (0 = none)
+
+	// admitLimit is the in-flight level at which this model starts
+	// shedding, derived from the priority tiering (math.MaxInt64 when no
+	// cap is set). It is recomputed whenever the model set changes.
+	admitLimit atomic.Int64
+
+	// maxWireLen bounds an encoded request body for this model: the
+	// max-rank header plus one sample's payload.
+	maxWireLen int
+	// bufs pools request/response wire buffers (*[]byte of maxWireLen,
+	// possibly grown by a large response) so the binary path reads,
+	// decodes and encodes without per-request allocations.
+	bufs sync.Pool
+	// inputs pools sample-shaped input tensors for the unbatched binary
+	// path (the batched path stages into the batch tensor directly).
+	inputs sync.Pool
 }
+
+// Priority reports the model's shedding priority class.
+func (e *Entry) Priority() int { return e.priority }
+
+// getBuf borrows a wire buffer sized for one encoded sample.
+func (e *Entry) getBuf() *[]byte {
+	if p, ok := e.bufs.Get().(*[]byte); ok {
+		return p
+	}
+	b := make([]byte, e.maxWireLen)
+	return &b
+}
+
+// putBuf returns a borrowed wire buffer to the pool.
+func (e *Entry) putBuf(p *[]byte) { e.bufs.Put(p) }
+
+// getInput borrows a sample-shaped input tensor.
+func (e *Entry) getInput() *tensor.Tensor {
+	if t, ok := e.inputs.Get().(*tensor.Tensor); ok {
+		return t
+	}
+	return tensor.New(e.inShape1...)
+}
+
+// putInput returns a borrowed input tensor to the pool.
+func (e *Entry) putInput(t *tensor.Tensor) { e.inputs.Put(t) }
 
 // Server hosts compiled models behind an http.Handler.
 type Server struct {
-	mu      sync.RWMutex
-	entries map[string]*Entry
+	reg *Registry
 
-	maxBatch   int
-	flush      time.Duration
-	flushSet   bool
-	queueDepth int
-	reqTimeout time.Duration
-	int8       bool
-
-	// inflight is the server-wide admission semaphore (nil when
-	// WithMaxInflight is unset): each /predict and /profile holds one slot
-	// for its execution; a request arriving with no slot free is shed with
-	// a 429 instead of stacking another goroutine behind a saturated
-	// model.
-	inflight chan struct{}
+	// inflightN gauges concurrent executions against the priority-tiered
+	// admission limits (see Registry); it replaces a flat semaphore so
+	// each model can have its own threshold over one shared count.
+	inflightN atomic.Int64
 
 	// draining flips once Close begins; admission then rejects new
 	// requests with ErrClosed (→ 503 + Retry-After) so load balancers
@@ -105,127 +167,24 @@ type Server struct {
 	panics atomic.Int64 // requests failed by a recovered plan-step panic
 }
 
-// Option configures a Server.
-type Option func(*Server)
-
-// WithMaxBatch sets the dynamic-batching width: models are compiled for up
-// to n samples per run and concurrent /predict requests are coalesced into
-// batches of up to n. n <= 1 disables batching (the default).
-func WithMaxBatch(n int) Option {
-	return func(s *Server) { s.maxBatch = n }
-}
-
-// WithFlushDeadline sets how long a pending request waits for batch peers
-// before being flushed. Exactly 0 selects immediate-flush mode: every
-// request executes as soon as the collector sees it, batched only with
-// requests already queued at that instant. Negative values select the
-// default (DefaultFlushDeadline).
-func WithFlushDeadline(d time.Duration) Option {
-	return func(s *Server) { s.flush, s.flushSet = d, true }
-}
-
-// WithQueueDepth bounds each model's batching queue: a /predict request
-// arriving while n requests are already queued (submitted but not yet
-// claimed by a batch) is shed immediately with 429 and a Retry-After
-// estimate instead of joining an unbounded goroutine pile-up. n <= 0
-// (the default) leaves queues unbounded. Only batching servers
-// (WithMaxBatch > 1) have queues; on unbatched servers use
-// WithMaxInflight.
-func WithQueueDepth(n int) Option {
-	return func(s *Server) { s.queueDepth = n }
-}
-
-// WithMaxInflight caps concurrent request executions server-wide (both
-// /predict and /profile, across all models): requests beyond the cap are
-// shed with 429. n <= 0 (the default) disables the limiter.
-func WithMaxInflight(n int) Option {
-	return func(s *Server) {
-		if n > 0 {
-			s.inflight = make(chan struct{}, n)
-		} else {
-			s.inflight = nil
-		}
-	}
-}
-
-// WithRequestTimeout bounds a request's execution time, not just its
-// queue wait: solo runs execute under a context deadline enforced at
-// plan-step boundaries, and batched runs get the same bound as the
-// batcher's RunTimeout. Requests over the deadline fail with
-// context.DeadlineExceeded (→ 500). d <= 0 (the default) disables the
-// bound.
-func WithRequestTimeout(d time.Duration) Option {
-	return func(s *Server) { s.reqTimeout = d }
-}
-
-// WithInt8 compiles hosted models onto the int8 quantized execution tier
-// (see internal/README.md): conv and dense layers run u8×s8 GEMMs with
-// plan-time-quantized weights wherever a quantized kernel supports them.
-// The wire contract is unchanged — inputs and outputs stay float32 —
-// but outputs carry quantization noise relative to an fp32 server.
-func WithInt8() Option {
-	return func(s *Server) { s.int8 = true }
-}
-
 // New returns an empty server.
 func New(opts ...Option) *Server {
-	s := &Server{entries: make(map[string]*Entry), maxBatch: 1, flush: DefaultFlushDeadline}
-	for _, o := range opts {
-		o(s)
-	}
-	if s.maxBatch < 1 {
-		s.maxBatch = 1
-	}
-	if !s.flushSet || s.flush < 0 {
-		s.flush = DefaultFlushDeadline
-	}
-	return s
+	return &Server{reg: NewRegistry(opts...)}
 }
 
-// AddModel compiles g under the named backend and hosts it as name. The
-// HTTP wire contract is single-I/O (one flat input array, one output
-// array), so multi-input/multi-output graphs are rejected.
-func (s *Server) AddModel(name string, g *graph.Graph, backendName string, workers int) error {
-	be, err := backend.ByName(backendName)
-	if err != nil {
-		return err
-	}
-	plan, err := be.PrepareWith(g, backend.PrepareOpts{Workers: workers, MaxBatch: s.maxBatch, Int8: s.int8})
-	if err != nil {
-		return fmt.Errorf("serve: compiling %s: %w", name, err)
-	}
-	ins, outs := plan.InputDescs(), plan.OutputDescs()
-	if len(ins) != 1 || len(outs) != 1 {
-		return fmt.Errorf("serve: model %q has %d inputs and %d outputs; the HTTP contract serves single-input single-output models", name, len(ins), len(outs))
-	}
-	e := &Entry{
-		Name:     name,
-		Backend:  backendName,
-		graph:    g,
-		sessions: runtime.NewSessionPool(plan),
-		inName:   ins[0].Name,
-		outName:  outs[0].Name,
-		inShape1: plan.InputShapeAt(0, 1),
-	}
-	e.perVol = tensor.Volume(e.inShape1)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.entries[name]; dup {
-		return fmt.Errorf("serve: model %q already hosted", name)
-	}
-	if s.maxBatch > 1 {
-		e.batcher, err = runtime.NewBatcher(e.sessions, runtime.BatcherOptions{
-			FlushDeadline: s.flush,
-			Immediate:     s.flush == 0,
-			QueueDepth:    s.queueDepth,
-			RunTimeout:    s.reqTimeout,
-		})
-		if err != nil {
-			return fmt.Errorf("serve: batching %s: %w", name, err)
-		}
-	}
-	s.entries[name] = e
-	return nil
+// Registry exposes the server's model registry for dynamic add/remove.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// AddModel compiles g under the named backend and hosts it as name; see
+// Registry.Add. Per-model options override the server-wide policy.
+func (s *Server) AddModel(name string, g *graph.Graph, backendName string, workers int, opts ...ModelOption) error {
+	return s.reg.Add(name, g, backendName, workers, opts...)
+}
+
+// RemoveModel unhosts the named model and drains its batcher; see
+// Registry.Remove.
+func (s *Server) RemoveModel(name string) error {
+	return s.reg.Remove(name)
 }
 
 // Close drains the server gracefully: the draining flag flips first, so
@@ -233,21 +192,17 @@ func (s *Server) AddModel(name string, g *graph.Graph, backendName string, worke
 // tells load balancers to take the node out of rotation), then the
 // batchers drain — requests already handed to a collector execute to
 // completion and Close returns once in-flight batches have delivered.
-// The batcher pointers themselves are immutable after AddModel (handlers
-// read them without the lock), so Close only drains the batchers.
 func (s *Server) Close() {
 	s.draining.Store(true)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, e := range s.entries {
-		if e.batcher != nil {
-			e.batcher.Close()
-		}
-	}
+	s.reg.close()
 }
 
 // Draining reports whether Close has begun; /readyz exposes it.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Inflight reports how many requests are executing right now — the gauge
+// the priority-tiered admission limits compare against.
+func (s *Server) Inflight() int64 { return s.inflightN.Load() }
 
 // ShedCount reports how many requests the server rejected with 429
 // (queue-depth or in-flight cap). cmd/orpheus-serve logs it on shutdown.
@@ -257,24 +212,32 @@ func (s *Server) ShedCount() int64 { return s.shed.Load() }
 // panic (each also quarantined its session).
 func (s *Server) PanicCount() int64 { return s.panics.Load() }
 
-// admit performs server-level admission: a draining server rejects with
-// ErrClosed, and a full in-flight limiter sheds with ErrOverloaded. On
-// success the caller must invoke the returned release when its execution
-// finishes.
-func (s *Server) admit() (release func(), err error) {
+// admit performs server-level admission for a request to e (nil counts
+// against the full cap): a draining server rejects with ErrClosed, and a
+// request past its model's priority-tiered admission limit is shed with
+// ErrOverloaded. On success the caller must invoke the returned release
+// when its execution finishes.
+func (s *Server) admit(e *Entry) (release func(), err error) {
 	if s.draining.Load() {
 		return nil, fmt.Errorf("serve: draining: %w", runtime.ErrClosed)
 	}
-	if s.inflight == nil {
+	capN := s.reg.cfg.inflightCap
+	if capN <= 0 {
 		return func() {}, nil
 	}
-	select {
-	case s.inflight <- struct{}{}:
-		return func() { <-s.inflight }, nil
-	default:
-		return nil, fmt.Errorf("serve: %d requests in flight (cap %d): %w",
-			len(s.inflight), cap(s.inflight), runtime.ErrOverloaded)
+	limit := int64(capN)
+	if e != nil {
+		limit = e.admitLimit.Load()
 	}
+	if n := s.inflightN.Add(1); n > limit {
+		s.inflightN.Add(-1)
+		if limit < int64(capN) {
+			return nil, fmt.Errorf("serve: %d requests in flight over priority-%d admission limit %d (server cap %d): %w",
+				n-1, e.priority, limit, capN, runtime.ErrOverloaded)
+		}
+		return nil, fmt.Errorf("serve: %d requests in flight (cap %d): %w", n-1, capN, runtime.ErrOverloaded)
+	}
+	return func() { s.inflightN.Add(-1) }, nil
 }
 
 // Handler returns the HTTP routing for the server.
@@ -286,6 +249,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /models", s.handleModels)
 	mux.HandleFunc("POST /predict/{model}", s.handlePredict)
+	mux.HandleFunc("POST /models/{model}/predict", s.handlePredict)
 	mux.HandleFunc("POST /profile/{model}", s.handleProfile)
 	return mux
 }
@@ -293,11 +257,15 @@ func (s *Server) Handler() http.Handler {
 // modelInfo is the /models response element. Batcher is present only on
 // batching servers and snapshots the model's runtime.BatcherStats — the
 // counters an operator watches to tune MaxBatch and the flush deadline.
+// AdmitLimit is the in-flight level at which the model starts shedding
+// (0 = no cap).
 type modelInfo struct {
 	Name       string            `json:"name"`
 	Backend    string            `json:"backend"`
 	InputShape []int             `json:"input_shape"`
 	MaxBatch   int               `json:"max_batch"`
+	Priority   int               `json:"priority"`
+	AdmitLimit int64             `json:"admit_limit"`
 	Nodes      int               `json:"nodes"`
 	ParamBytes int64             `json:"param_bytes"`
 	ArenaBytes int64             `json:"arena_bytes"`
@@ -378,19 +346,18 @@ type readyModel struct {
 // any bounded queue is full. Liveness (/healthz) stays 200 through both —
 // a draining or saturated process is still alive.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	models := make([]readyModel, 0, len(s.entries))
+	entries := s.reg.snapshot()
+	models := make([]readyModel, 0, len(entries))
 	saturated := false
-	for _, e := range s.entries {
-		rm := readyModel{Name: e.Name, QueueCap: s.queueDepth}
+	for _, e := range entries {
+		rm := readyModel{Name: e.Name, QueueCap: e.queueCap}
 		if e.batcher != nil {
 			rm.QueueDepth = e.batcher.Stats().QueueDepth
-			rm.Saturated = s.queueDepth > 0 && rm.QueueDepth >= int64(s.queueDepth)
+			rm.Saturated = e.queueCap > 0 && rm.QueueDepth >= int64(e.queueCap)
 		}
 		saturated = saturated || rm.Saturated
 		models = append(models, rm)
 	}
-	s.mu.RUnlock()
 	sort.Slice(models, func(i, j int) bool { return models[i].Name < models[j].Name })
 	status, code := "ready", http.StatusOK
 	switch {
@@ -410,15 +377,20 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	infos := make([]modelInfo, 0, len(s.entries))
-	for _, e := range s.entries {
+	entries := s.reg.snapshot()
+	infos := make([]modelInfo, 0, len(entries))
+	for _, e := range entries {
+		limit := e.admitLimit.Load()
+		if limit == math.MaxInt64 {
+			limit = 0
+		}
 		infos = append(infos, modelInfo{
 			Name:       e.Name,
 			Backend:    e.Backend,
 			InputShape: e.inShape1,
 			MaxBatch:   e.sessions.Plan().MaxBatch(),
+			Priority:   e.priority,
+			AdmitLimit: limit,
 			Nodes:      len(e.graph.Nodes),
 			ParamBytes: e.sessions.Plan().WeightBytes(),
 			ArenaBytes: e.sessions.Plan().ArenaBytes(),
@@ -452,29 +424,20 @@ func (s *Server) Quarantined(model string) (int64, bool) {
 }
 
 // ModelNames lists the hosted models, sorted.
-func (s *Server) ModelNames() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.entries))
-	for name := range s.entries {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
+func (s *Server) ModelNames() []string { return s.reg.Names() }
 
-// predictRequest is the /predict and /profile request body. WaitMs caps
-// how long the request waits to be batched with peers (0 means the server
-// default flush deadline); it is ignored on unbatched servers and by
-// /profile.
+// predictRequest is the JSON /predict and /profile request body. WaitMs
+// caps how long the request waits to be batched with peers (0 means the
+// server default flush deadline); it is ignored on unbatched servers and
+// by /profile.
 type predictRequest struct {
 	Input  []float32 `json:"input"`
 	TopK   int       `json:"topk,omitempty"`
 	WaitMs float64   `json:"wait_ms,omitempty"`
 }
 
-// predictResponse is the /predict response body. BatchSize reports how
-// many requests shared the run that produced this output (1 when
+// predictResponse is the JSON /predict response body. BatchSize reports
+// how many requests shared the run that produced this output (1 when
 // unbatched).
 type predictResponse struct {
 	Output    []float32 `json:"output"`
@@ -494,32 +457,33 @@ type layerTimingJSON struct {
 }
 
 func (s *Server) entry(name string) (*Entry, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.entries[name]
-	return e, ok
+	return s.reg.lookup(name)
 }
 
 // statusFor maps an execution error onto the wire contract with
-// errors.Is over the runtime's typed error set: request-shaped failures
-// are the client's fault (400), shedding by admission control is 429
-// (retry the same node later), graceful shutdown is 503 (retry another
-// node — the load-balancer signal that this one is draining), and
-// everything else — a recovered plan-step panic, a cancelled request
-// context, kernel failures — is a 500 the same way any aborted execution
-// is. Unknown models are mapped to 404 before execution, in
-// lookupAndDecode.
+// errors.Is over the typed error set: request-shaped failures — including
+// malformed binary tensors — are the client's fault (400), shedding by
+// admission control is 429 (retry the same node later), graceful shutdown
+// is 503 (retry another node — the load-balancer signal that this one is
+// draining), and everything else — a recovered plan-step panic, a
+// cancelled request context, kernel failures — is a 500 the same way any
+// aborted execution is. Unknown models are mapped to 404 before
+// execution.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, runtime.ErrShapeMismatch),
 		errors.Is(err, runtime.ErrBatchTooLarge),
 		errors.Is(err, runtime.ErrUnknownInput),
-		errors.Is(err, runtime.ErrUnknownOutput):
+		errors.Is(err, runtime.ErrUnknownOutput),
+		errors.Is(err, wire.ErrFormat),
+		errors.Is(err, wire.ErrTooLarge):
 		return http.StatusBadRequest
 	case errors.Is(err, runtime.ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, runtime.ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotHosted):
+		return http.StatusNotFound
 	default:
 		// runtime.ErrPlanPanic, runtime.ErrNoOutput, context.Canceled (the
 		// client is gone and never reads the status) and kernel failures.
@@ -560,110 +524,190 @@ func retryAfterSeconds(e *Entry) string {
 	return strconv.FormatInt(secs, 10)
 }
 
-// lookupAndDecode resolves the request's model and body with the uniform
-// status mapping: unknown model → 404, malformed body → 400. It writes the
-// error response itself and returns ok=false when the request is done.
-func (s *Server) lookupAndDecode(w http.ResponseWriter, r *http.Request) (*Entry, predictRequest, bool) {
-	e, ok := s.entry(r.PathValue("model"))
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("model %q not hosted", r.PathValue("model")))
-		return nil, predictRequest{}, false
-	}
+// decodeJSONRequest decodes and validates a JSON predict body for e with
+// the uniform status mapping: malformed body or wrong-length input → 400.
+// It writes the error response itself and returns ok=false when the
+// request is done.
+func (s *Server) decodeJSONRequest(w http.ResponseWriter, r *http.Request, e *Entry) (predictRequest, bool) {
 	var req predictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
-		return nil, predictRequest{}, false
+		return predictRequest{}, false
 	}
 	if len(req.Input) != e.perVol {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("input has %d values, model %s wants %d (%s): %w",
 			len(req.Input), e.Name, e.perVol, tensor.ShapeString(e.inShape1), runtime.ErrShapeMismatch))
-		return nil, predictRequest{}, false
+		return predictRequest{}, false
 	}
-	return e, req, true
+	return req, true
+}
+
+// lookupModel resolves the request's model with the uniform status
+// mapping (unknown → 404), writing the error itself.
+func (s *Server) lookupModel(w http.ResponseWriter, r *http.Request) (*Entry, bool) {
+	e, ok := s.entry(r.PathValue("model"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("model %q not hosted", r.PathValue("model")))
+		return nil, false
+	}
+	return e, true
 }
 
 // requestCtx derives a request's execution context: the client's context,
-// additionally bounded by WithRequestTimeout when set — so a wedged or
-// slow run is cancelled at the next plan-step boundary instead of holding
-// its session (and admission slot) forever.
-func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
-	if s.reqTimeout <= 0 {
+// additionally bounded by the model's request timeout when set — so a
+// wedged or slow run is cancelled at the next plan-step boundary instead
+// of holding its session (and admission slot) forever.
+func requestCtx(r *http.Request, e *Entry) (context.Context, context.CancelFunc) {
+	if e.timeout <= 0 {
 		return r.Context(), func() {}
 	}
-	return context.WithTimeout(r.Context(), s.reqTimeout)
+	return context.WithTimeout(r.Context(), e.timeout)
+}
+
+// runSolo executes one unbatched inference for e, copying the output out
+// of the session arena before the session goes back to the pool.
+func runSolo(ctx context.Context, e *Entry, in *tensor.Tensor) (data []float32, shape []int, err error) {
+	sess := e.sessions.Get()
+	outs, err := sess.Run(ctx, map[string]*tensor.Tensor{e.inName: in})
+	if err == nil {
+		if out := outs[e.outName]; out != nil {
+			data = append([]float32(nil), out.Data()...)
+			shape = out.Shape()
+		} else {
+			err = fmt.Errorf("model %q produced no output: %w", e.Name, runtime.ErrNoOutput)
+		}
+	}
+	e.sessions.Put(sess)
+	return data, shape, err
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	release, err := s.admit()
+	e, ok := s.lookupModel(w, r)
+	if !ok {
+		return
+	}
+	binReq, ferr := requestFormat(r)
+	if ferr != nil {
+		writeError(w, http.StatusUnsupportedMediaType, ferr)
+		return
+	}
+	binResp := responseWantsBinary(r, binReq)
+	release, err := s.admit(e)
 	if err != nil {
 		// Shed before decoding: a saturated server must not spend CPU
 		// parsing bodies it will reject anyway.
-		e, _ := s.entry(r.PathValue("model"))
 		s.writeFailure(w, e, err)
 		return
 	}
 	defer release()
-	e, req, ok := s.lookupAndDecode(w, r)
-	if !ok {
-		return
-	}
-	ctx, cancel := s.requestCtx(r)
+	ctx, cancel := requestCtx(r, e)
 	defer cancel()
 	start := time.Now()
 	var (
 		data  []float32
 		shape []int
 		batch = 1
+		topk  int
+		wait  time.Duration
 	)
-	if e.batcher != nil {
-		res, err := e.batcher.Submit(ctx, req.Input, time.Duration(req.WaitMs*float64(time.Millisecond)))
+	if binReq {
+		topk, wait, err = binaryParams(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		buf := e.getBuf()
+		defer e.putBuf(buf)
+		payload, err := readWireBody(r.Body, e, *buf)
 		if err != nil {
 			s.writeFailure(w, e, err)
 			return
 		}
-		data, shape, batch = res.Output, res.Shape, res.BatchSize
-	} else {
-		sess := e.sessions.Get()
-		outs, err := sess.Run(ctx, map[string]*tensor.Tensor{e.inName: tensor.FromSlice(req.Input, e.inShape1...)})
-		if err == nil {
-			if out := outs[e.outName]; out != nil {
-				data = append([]float32(nil), out.Data()...)
-				shape = out.Shape()
-			} else {
-				err = fmt.Errorf("model %q produced no output: %w", e.Name, runtime.ErrNoOutput)
+		if e.batcher != nil {
+			// Zero-copy staging: the wire payload is decoded straight into
+			// the batch tensor's row at claim time. The pooled buffer stays
+			// alive until SubmitStaged returns, which is after delivery.
+			res, err := e.batcher.SubmitStaged(ctx, func(dst []float32) {
+				_ = wire.Float32Into(dst, payload)
+			}, wait)
+			if err != nil {
+				s.writeFailure(w, e, err)
+				return
+			}
+			data, shape, batch = res.Output, res.Shape, res.BatchSize
+		} else {
+			in := e.getInput()
+			_ = wire.Float32Into(in.Data(), payload)
+			data, shape, err = runSolo(ctx, e, in)
+			e.putInput(in)
+			if err != nil {
+				s.writeFailure(w, e, err)
+				return
 			}
 		}
-		e.sessions.Put(sess)
-		if err != nil {
-			s.writeFailure(w, e, err)
+	} else {
+		req, ok := s.decodeJSONRequest(w, r, e)
+		if !ok {
 			return
 		}
+		topk = req.TopK
+		wait = time.Duration(req.WaitMs * float64(time.Millisecond))
+		if e.batcher != nil {
+			res, err := e.batcher.Submit(ctx, req.Input, wait)
+			if err != nil {
+				s.writeFailure(w, e, err)
+				return
+			}
+			data, shape, batch = res.Output, res.Shape, res.BatchSize
+		} else {
+			data, shape, err = runSolo(ctx, e, tensor.FromSlice(req.Input, e.inShape1...))
+			if err != nil {
+				s.writeFailure(w, e, err)
+				return
+			}
+		}
 	}
-	resp := predictResponse{
+	var topkIdx []int
+	if topk > 0 {
+		topkIdx = tensor.FromSlice(data, shape...).TopK(topk)
+	}
+	if binResp {
+		writeWireResponse(w, e, data, shape, batch, time.Since(start), topkIdx)
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{
 		Output:    data,
 		Shape:     shape,
+		TopK:      topkIdx,
 		BatchSize: batch,
 		LatencyMs: float64(time.Since(start)) / 1e6,
-	}
-	if req.TopK > 0 {
-		resp.TopK = tensor.FromSlice(data, shape...).TopK(req.TopK)
-	}
-	writeJSON(w, http.StatusOK, resp)
+	})
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	release, err := s.admit()
+	e, ok := s.lookupModel(w, r)
+	if !ok {
+		return
+	}
+	if binReq, ferr := requestFormat(r); ferr != nil {
+		writeError(w, http.StatusUnsupportedMediaType, ferr)
+		return
+	} else if binReq {
+		writeError(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("profile speaks JSON only; POST %s bodies to /predict", ContentTypeTensor))
+		return
+	}
+	release, err := s.admit(e)
 	if err != nil {
-		e, _ := s.entry(r.PathValue("model"))
 		s.writeFailure(w, e, err)
 		return
 	}
 	defer release()
-	e, req, ok := s.lookupAndDecode(w, r)
+	req, ok := s.decodeJSONRequest(w, r, e)
 	if !ok {
 		return
 	}
-	ctx, cancel := s.requestCtx(r)
+	ctx, cancel := requestCtx(r, e)
 	defer cancel()
 	sess := e.sessions.Get()
 	_, timings, err := sess.RunProfiled(ctx, map[string]*tensor.Tensor{e.inName: tensor.FromSlice(req.Input, e.inShape1...)})

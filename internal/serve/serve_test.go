@@ -49,6 +49,14 @@ func newTestServer(t *testing.T, opts ...Option) (*Server, *httptest.Server) {
 	return s, ts
 }
 
+// newHTTPServer wraps an already-configured Server in an httptest server.
+func newHTTPServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
 func postJSON(t *testing.T, url string, body any) *http.Response {
 	t.Helper()
 	b, _ := json.Marshal(body)

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"orpheus/internal/runtime"
+	"orpheus/internal/tensor"
+	"orpheus/internal/wire"
+)
+
+// ContentTypeTensor is the media type of the binary tensor format
+// (internal/wire): requests carry one encoded sample as the body, and
+// responses negotiated to it carry one encoded output. Request metadata
+// that the JSON body would hold moves to query parameters (?topk=,
+// ?wait_ms=); response metadata moves to X-Orpheus-* headers. Error
+// responses are always JSON.
+const ContentTypeTensor = "application/x-orpheus-tensor"
+
+// contentTypeJSON is the canonical JSON media type.
+const contentTypeJSON = "application/json"
+
+// requestFormat classifies the request body from its Content-Type:
+// binary wire tensor, JSON (the default for an absent header), or — for
+// anything else — an error the handler maps to 415. The strictness is
+// deliberate: a body the server would misparse should fail loudly at the
+// content-type gate, not decode into garbage.
+func requestFormat(r *http.Request) (binary bool, err error) {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return false, nil
+	}
+	mt, _, perr := mime.ParseMediaType(ct)
+	if perr != nil {
+		return false, fmt.Errorf("unparseable Content-Type %q: %v", ct, perr)
+	}
+	switch {
+	case mt == ContentTypeTensor:
+		return true, nil
+	case mt == contentTypeJSON, mt == "text/json", strings.HasSuffix(mt, "+json"):
+		return false, nil
+	}
+	return false, fmt.Errorf("unsupported Content-Type %q (use %s or %s)", mt, contentTypeJSON, ContentTypeTensor)
+}
+
+// responseWantsBinary negotiates the response format from the Accept
+// header: an explicit tensor or JSON media type wins; anything else
+// (including an absent header and */*) mirrors the request format, so a
+// binary client gets binary back without setting Accept.
+func responseWantsBinary(r *http.Request, requestBinary bool) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt, _, err := mime.ParseMediaType(part)
+		if err != nil {
+			continue
+		}
+		switch mt {
+		case ContentTypeTensor:
+			return true
+		case contentTypeJSON:
+			return false
+		}
+	}
+	return requestBinary
+}
+
+// binaryParams reads the query-parameter request metadata of a binary
+// predict (?topk=, ?wait_ms= — the fields the JSON body would carry).
+// Malformed values are the client's fault: 400.
+func binaryParams(r *http.Request) (topk int, wait time.Duration, err error) {
+	q := r.URL.Query()
+	if v := q.Get("topk"); v != "" {
+		topk, err = strconv.Atoi(v)
+		if err != nil || topk < 0 {
+			return 0, 0, fmt.Errorf("invalid topk %q: want a non-negative integer", v)
+		}
+	}
+	if v := q.Get("wait_ms"); v != "" {
+		ms, perr := strconv.ParseFloat(v, 64)
+		if perr != nil || ms < 0 {
+			return 0, 0, fmt.Errorf("invalid wait_ms %q: want a non-negative number", v)
+		}
+		wait = time.Duration(ms * float64(time.Millisecond))
+	}
+	return topk, wait, nil
+}
+
+// fillBuffer reads r into buf until EOF, reporting the bytes read and
+// whether r held more than buf can take (the caller's size bound).
+func fillBuffer(r io.Reader, buf []byte) (n int, overflow bool, err error) {
+	for n < len(buf) {
+		m, rerr := r.Read(buf[n:])
+		n += m
+		if rerr == io.EOF {
+			return n, false, nil
+		}
+		if rerr != nil {
+			return n, false, rerr
+		}
+	}
+	var probe [1]byte
+	for {
+		m, rerr := r.Read(probe[:])
+		if m > 0 {
+			return n, true, nil
+		}
+		if rerr == io.EOF {
+			return n, false, nil
+		}
+		if rerr != nil {
+			return n, false, rerr
+		}
+	}
+}
+
+// validateWireBody checks that msg is exactly one well-formed wire
+// tensor whose volume matches one sample of e's input, returning the
+// raw little-endian payload (aliasing msg). It allocates nothing — the
+// alloc pin in wirehttp_test.go holds the serving plane to that.
+func validateWireBody(e *Entry, msg []byte) (payload []byte, err error) {
+	hdr, hl, err := wire.ParseHeader(msg, int64(4*e.perVol))
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Volume() != e.perVol {
+		return nil, fmt.Errorf("input has %d values, model %s wants %d: %w",
+			hdr.Volume(), e.Name, e.perVol, runtime.ErrShapeMismatch)
+	}
+	if len(msg) != hl+hdr.DataLen {
+		return nil, fmt.Errorf("%w: message is %d bytes, header declares %d", wire.ErrFormat, len(msg), hl+hdr.DataLen)
+	}
+	return msg[hl:], nil
+}
+
+// readWireBody reads a binary predict body into buf and validates it as
+// one sample for e. The returned payload aliases buf; it stays valid
+// until the buffer goes back to the entry's pool.
+func readWireBody(body io.Reader, e *Entry, buf []byte) ([]byte, error) {
+	n, overflow, err := fillBuffer(body, buf)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading body: %v", wire.ErrFormat, err)
+	}
+	if overflow {
+		return nil, fmt.Errorf("%w: body exceeds %d bytes (one %s sample)",
+			wire.ErrTooLarge, len(buf), tensor.ShapeString(e.inShape1))
+	}
+	return validateWireBody(e, buf[:n])
+}
+
+// writeWireResponse writes a 200 with the output encoded as one wire
+// tensor, the JSON body's metadata fields promoted to headers. The
+// encode reuses the entry's pooled buffer, so the steady-state response
+// path allocates nothing for the tensor bytes.
+func writeWireResponse(w http.ResponseWriter, e *Entry, data []float32, shape []int, batch int, latency time.Duration, topk []int) {
+	h := w.Header()
+	h.Set("Content-Type", ContentTypeTensor)
+	h.Set("X-Orpheus-Batch-Size", strconv.Itoa(batch))
+	h.Set("X-Orpheus-Latency-Ms", strconv.FormatFloat(float64(latency)/1e6, 'f', 3, 64))
+	if len(topk) > 0 {
+		parts := make([]string, len(topk))
+		for i, k := range topk {
+			parts[i] = strconv.Itoa(k)
+		}
+		h.Set("X-Orpheus-TopK", strings.Join(parts, ","))
+	}
+	buf := e.getBuf()
+	defer e.putBuf(buf)
+	msg := wire.AppendTensor((*buf)[:0], data, shape)
+	if cap(msg) > cap(*buf) {
+		// An output larger than the request-sized buffer grew it; keep the
+		// growth for the next borrower.
+		*buf = msg[:cap(msg)]
+	}
+	h.Set("Content-Length", strconv.Itoa(len(msg)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(msg)
+}

@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"orpheus/internal/tensor"
+)
+
+// fuzzLimit bounds decode allocations during fuzzing: small enough that a
+// hostile input cannot stall the fuzzer on allocation, large enough to
+// exercise real request-sized tensors.
+const fuzzLimit = 1 << 20
+
+// FuzzWireDecode feeds arbitrary bytes to the decoder and pins the three
+// format guarantees:
+//
+//  1. no input panics the decoder (the fuzz harness turns a panic into a
+//     failure on its own);
+//  2. no input makes it allocate past the decode limit — a successful
+//     decode's volume is checked against the limit it was given;
+//  3. every successful decode round-trips: re-encoding the tensor
+//     reproduces the input bytes exactly, and the byte length matches the
+//     header's declaration — so no two distinct well-formed encodings
+//     decode to the same tensor.
+//
+// The seed corpus is the golden fixture set plus hand-picked malformed
+// prefixes.
+func FuzzWireDecode(f *testing.F) {
+	// Golden fixtures seed the well-formed side of the corpus.
+	files, _ := filepath.Glob("testdata/*.bin")
+	for _, path := range files {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	// Hand-picked malformed seeds: empty, bare magic, magic + garbage,
+	// truncated header, rank over max.
+	f.Add([]byte{})
+	f.Add([]byte("ORPT"))
+	f.Add([]byte("ORPT\x01\x01\xff\xff"))
+	f.Add([]byte("ORPT\x01\x01\x02\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add(append([]byte("ORPT\x01\x01\x00\x00"), bytes.Repeat([]byte{0xff}, 32)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeBytes(data, fuzzLimit)
+		if err != nil {
+			// Malformed input must be rejected with a typed error.
+			if !errors.Is(err, ErrFormat) && !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Guarantee 2: the decoded volume respects the limit.
+		if 4*dec.Size() > fuzzLimit {
+			t.Fatalf("decode allocated %d bytes past the %d limit", 4*dec.Size(), fuzzLimit)
+		}
+		// Guarantee 3: byte-exact round-trip.
+		re := AppendTensor(nil, dec.Data(), dec.Shape())
+		if !bytes.Equal(re, data) {
+			t.Fatalf("round-trip diverged:\n in: %x\nout: %x", data, re)
+		}
+		// The streaming decoder must agree with the one-shot decoder.
+		streamed, err := DecodeLimit(bytes.NewReader(data), fuzzLimit)
+		if err != nil {
+			t.Fatalf("DecodeLimit rejected what DecodeBytes accepted: %v", err)
+		}
+		if !streamed.SameShape(dec) {
+			t.Fatalf("streamed shape %v != %v", streamed.Shape(), dec.Shape())
+		}
+		sd, dd := streamed.Data(), dec.Data()
+		for i := range dd {
+			if sd[i] != dd[i] && !(sd[i] != sd[i] && dd[i] != dd[i]) { // NaN-tolerant
+				t.Fatalf("streamed data[%d] = %v, want %v", i, sd[i], dd[i])
+			}
+		}
+	})
+}
+
+// FuzzWireRoundTrip drives the opposite direction: arbitrary (shape,
+// data) pairs must encode and decode back to equality.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint8(4), []byte{1, 2, 3, 4})
+	f.Add(uint8(0), uint8(0), uint8(0), []byte{})
+	f.Fuzz(func(t *testing.T, d0, d1, d2 uint8, raw []byte) {
+		shape := []int{int(d0)%5 + 1, int(d1)%5 + 1, int(d2)%5 + 1}
+		vol := shape[0] * shape[1] * shape[2]
+		data := make([]float32, vol)
+		for i := range data {
+			if len(raw) > 0 {
+				data[i] = float32(int(raw[i%len(raw)])-128) * 0.25
+			} else {
+				data[i] = float32(i)
+			}
+		}
+		enc := AppendTensor(nil, data, shape)
+		dec, err := DecodeBytes(enc, 0)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if !tensor.ShapeEq(dec.Shape(), shape) {
+			t.Fatalf("shape %v, want %v", dec.Shape(), shape)
+		}
+		dd := dec.Data()
+		for i := range data {
+			if dd[i] != data[i] {
+				t.Fatalf("data[%d] = %v, want %v", i, dd[i], data[i])
+			}
+		}
+	})
+}

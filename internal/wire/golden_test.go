@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden fixtures instead of checking against
+// them: go test ./internal/wire -run TestGolden -update. Only a
+// deliberate, reviewed format change may ever run it.
+var update = flag.Bool("update", false, "rewrite golden wire fixtures")
+
+// TestGoldenFixtures is the conformance battery: each checked-in .bin
+// fixture must byte-exactly equal a fresh encode of its reference tensor,
+// and must decode back to it. The fixtures pin the format itself — any
+// silent drift (field order, endianness, header width, dataLen
+// derivation) fails here before it can ship, because the comparison is
+// against bytes produced by a previous version of the encoder, not by
+// the current one.
+func TestGoldenFixtures(t *testing.T) {
+	refs := testTensors()
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, ref := range refs {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("testdata", name+".bin")
+			var buf bytes.Buffer
+			if err := Encode(&buf, ref); err != nil {
+				t.Fatal(err)
+			}
+			if *update {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden fixture missing (run with -update after a deliberate format change): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("encoding of %q drifted from its golden fixture:\n got: %x\nwant: %x", name, buf.Bytes(), want)
+			}
+			// And the fixture decodes back to the reference tensor.
+			dec, err := DecodeBytes(want, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !dec.SameShape(ref) {
+				t.Fatalf("decoded shape %v, want %v", dec.Shape(), ref.Shape())
+			}
+			dd, rd := dec.Data(), ref.Data()
+			for i := range rd {
+				if dd[i] != rd[i] {
+					t.Fatalf("decoded data[%d] = %v, want %v", i, dd[i], rd[i])
+				}
+			}
+		})
+	}
+	// Every fixture on disk must have a reference — a stray file means
+	// the battery no longer covers the whole corpus.
+	files, err := filepath.Glob(filepath.Join("testdata", "*.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		name := filepath.Base(f)
+		if _, ok := refs[name[:len(name)-len(".bin")]]; !ok {
+			t.Errorf("fixture %s has no reference tensor in testTensors()", f)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"orpheus/internal/tensor"
+)
+
+// testTensors is the shape battery shared by the round-trip tests and the
+// golden-fixture generator: scalars, vectors, matrices, NCHW samples,
+// zero-volume shapes and a max-rank case.
+func testTensors() map[string]*tensor.Tensor {
+	mk := func(shape ...int) *tensor.Tensor {
+		t := tensor.New(shape...)
+		d := t.Data()
+		for i := range d {
+			d[i] = float32(i)*0.5 - 3.25
+		}
+		return t
+	}
+	return map[string]*tensor.Tensor{
+		"scalar":    tensor.Scalar(3.5),
+		"vec4":      tensor.FromSlice([]float32{0, 1.5, -2.25, float32(math.Pi)}, 4),
+		"mat3x2":    mk(3, 2),
+		"nchw":      mk(1, 2, 3, 3),
+		"empty":     tensor.New(0),
+		"zero-dim":  tensor.New(2, 0, 3),
+		"max-rank8": mk(1, 2, 1, 3, 1, 2, 1, 2),
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for name, want := range testTensors() {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Encode(&buf, want); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() != EncodedSize(want.Shape()) {
+				t.Fatalf("encoded %d bytes, EncodedSize says %d", buf.Len(), EncodedSize(want.Shape()))
+			}
+			got, err := Decode(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.SameShape(want) {
+				t.Fatalf("shape %v, want %v", got.Shape(), want.Shape())
+			}
+			gd, wd := got.Data(), want.Data()
+			for i := range wd {
+				if gd[i] != wd[i] {
+					t.Fatalf("data[%d] = %v, want %v", i, gd[i], wd[i])
+				}
+			}
+			// DecodeBytes agrees and enforces exact framing.
+			if _, err := DecodeBytes(buf.Bytes(), 0); err != nil {
+				t.Fatalf("DecodeBytes: %v", err)
+			}
+			if _, err := DecodeBytes(append(buf.Bytes(), 0), 0); err == nil {
+				t.Fatal("DecodeBytes accepted a trailing byte")
+			}
+		})
+	}
+}
+
+// TestStreamedBackToBack pins the exact-read property: two tensors
+// encoded back to back on one reader decode cleanly in sequence.
+func TestStreamedBackToBack(t *testing.T) {
+	a := tensor.FromSlice([]float32{1, 2, 3}, 3)
+	b := tensor.FromSlice([]float32{4, 5}, 1, 2)
+	var buf bytes.Buffer
+	if err := Encode(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(buf.Bytes())
+	ga, err := Decode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := Decode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.Size() != 3 || gb.Size() != 2 || gb.Dim(1) != 2 {
+		t.Fatalf("streamed decode got %v / %v", ga, gb)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d unread bytes after two decodes", r.Len())
+	}
+}
+
+// corrupt returns the encoding of a small valid tensor with f applied.
+func corrupt(t *testing.T, f func(b []byte) []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	return f(buf.Bytes())
+}
+
+// TestDecodeValidation drives the validation contract: every malformed
+// input is rejected with a typed error, never a panic, never a bogus
+// tensor.
+func TestDecodeValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		input   func(t *testing.T) []byte
+		wantErr error
+	}{
+		{"empty", func(t *testing.T) []byte { return nil }, ErrFormat},
+		{"short-header", func(t *testing.T) []byte { return []byte("ORPT") }, ErrFormat},
+		{"bad-magic", func(t *testing.T) []byte {
+			return corrupt(t, func(b []byte) []byte { b[0] = 'X'; return b })
+		}, ErrFormat},
+		{"bad-version", func(t *testing.T) []byte {
+			return corrupt(t, func(b []byte) []byte { b[4] = 99; return b })
+		}, ErrFormat},
+		{"bad-dtype", func(t *testing.T) []byte {
+			return corrupt(t, func(b []byte) []byte { b[5] = 0; return b })
+		}, ErrFormat},
+		{"rank-over-max", func(t *testing.T) []byte {
+			return corrupt(t, func(b []byte) []byte {
+				binary.LittleEndian.PutUint16(b[6:8], MaxRank+1)
+				return b
+			})
+		}, ErrFormat},
+		{"truncated-dims", func(t *testing.T) []byte {
+			return corrupt(t, func(b []byte) []byte { return b[:FixedHeaderLen+2] })
+		}, ErrFormat},
+		{"datalen-shape-mismatch", func(t *testing.T) []byte {
+			return corrupt(t, func(b []byte) []byte {
+				binary.LittleEndian.PutUint64(b[8:16], 999)
+				return b
+			})
+		}, ErrFormat},
+		{"truncated-payload", func(t *testing.T) []byte {
+			return corrupt(t, func(b []byte) []byte { return b[:len(b)-5] })
+		}, ErrFormat},
+		{"shape-product-overflow", func(t *testing.T) []byte {
+			// 2^32-1 × 2^32-1 × … wraps 64-bit arithmetic if unguarded.
+			b := make([]byte, 0, FixedHeaderLen+4*8)
+			b = append(b, Magic[0], Magic[1], Magic[2], Magic[3], Version, byte(Float32))
+			b = binary.LittleEndian.AppendUint16(b, 8)
+			b = binary.LittleEndian.AppendUint64(b, 16)
+			for i := 0; i < 8; i++ {
+				b = binary.LittleEndian.AppendUint32(b, math.MaxUint32)
+			}
+			return b
+		}, ErrTooLarge},
+		{"over-limit", func(t *testing.T) []byte {
+			// A well-formed 2 GiB declaration must be rejected by the
+			// default limit before any allocation.
+			b := make([]byte, 0, FixedHeaderLen+4)
+			b = append(b, Magic[0], Magic[1], Magic[2], Magic[3], Version, byte(Float32))
+			b = binary.LittleEndian.AppendUint16(b, 1)
+			b = binary.LittleEndian.AppendUint64(b, 2<<30)
+			b = binary.LittleEndian.AppendUint32(b, (2<<30)/4)
+			return b
+		}, ErrTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := tc.input(t)
+			if _, err := Decode(bytes.NewReader(in)); !errors.Is(err, ErrFormat) && !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("Decode error = %v, want a typed wire error", err)
+			}
+			if _, err := DecodeBytes(in, 0); !errors.Is(err, tc.wantErr) {
+				t.Fatalf("DecodeBytes error = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestDecodeLimitRespected pins the caller-supplied bound: a tensor fine
+// under the default limit is rejected under a tighter one.
+func TestDecodeLimitRespected(t *testing.T) {
+	big := tensor.New(1024) // 4 KiB payload
+	var buf bytes.Buffer
+	if err := Encode(&buf, big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeLimit(bytes.NewReader(buf.Bytes()), 1024); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("tight limit error = %v, want ErrTooLarge", err)
+	}
+	if _, err := DecodeLimit(bytes.NewReader(buf.Bytes()), 4096); err != nil {
+		t.Fatalf("sufficient limit: %v", err)
+	}
+}
+
+// TestParseHeaderAllocFree and TestAppendTensorAllocFree pin the hot-path
+// primitives the serving plane composes: header parse, payload decode
+// into staging, and response encode into a reused buffer must all be
+// zero-allocation at steady state.
+func TestParseHeaderAllocFree(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, tensor.New(1, 3, 32, 32)); err != nil {
+		t.Fatal(err)
+	}
+	msg := buf.Bytes()
+	dst := make([]float32, 3*32*32)
+	allocs := testing.AllocsPerRun(200, func() {
+		hdr, n, err := ParseHeader(msg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Float32Into(dst, msg[n:n+hdr.DataLen]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("decode-to-staging allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestAppendTensorAllocFree pins the encode side at 0 allocs/op given a
+// buffer with capacity.
+func TestAppendTensorAllocFree(t *testing.T) {
+	data := make([]float32, 10)
+	shape := []int{1, 10}
+	out := make([]byte, 0, EncodedSize(shape))
+	allocs := testing.AllocsPerRun(200, func() {
+		out = AppendTensor(out[:0], data, shape)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendTensor allocs/op = %v, want 0", allocs)
+	}
+	if _, err := DecodeBytes(out, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeErrorsPropagate pins that a failing writer surfaces its error.
+func TestEncodeErrorsPropagate(t *testing.T) {
+	if err := Encode(failWriter{}, tensor.New(2)); err == nil || !strings.Contains(err.Error(), "sink full") {
+		t.Fatalf("Encode on failing writer = %v", err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("sink full") }
+
+// TestDecodeShortReader pins truncation at every byte boundary of a small
+// message: each prefix must produce a typed error, not a panic or a
+// tensor.
+func TestDecodeShortReader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, tensor.FromSlice([]float32{1, 2}, 2)); err != nil {
+		t.Fatal(err)
+	}
+	msg := buf.Bytes()
+	for n := 0; n < len(msg); n++ {
+		if _, err := Decode(io.LimitReader(bytes.NewReader(msg), int64(n))); !errors.Is(err, ErrFormat) {
+			t.Fatalf("prefix of %d bytes: err = %v, want ErrFormat", n, err)
+		}
+	}
+}
