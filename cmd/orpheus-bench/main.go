@@ -9,6 +9,8 @@
 //	orpheus-bench -experiment fig2 -mode both      # fig2, simulated + measured
 //	orpheus-bench -experiment fig2 -mode measure -reps 5 -models wrn-40-2,resnet-18
 //	orpheus-bench -experiment simd -mode measure   # pure-Go vs SIMD kernels, this host
+//	orpheus-bench -experiment shard                # pipeline-parallel sharding, loopback stages
+//	orpheus-bench -shards host1:9101,host2:9102    # same, against running orpheus-shard processes
 //	orpheus-bench -list                            # list experiment ids
 //	orpheus-bench -csv results.csv -experiment fig2
 //
@@ -40,6 +42,7 @@ func main() {
 		models     = flag.String("models", "", "comma-separated model subset (default: all five)")
 		csvPath    = flag.String("csv", "", "also write the report as CSV to this file")
 		wireOnly   = flag.Bool("wire", false, "wire experiment: benchmark only the binary tensor format (skip the JSON baseline)")
+		shards     = flag.String("shards", "", "shard experiment: comma-separated addresses of running orpheus-shard stages, in pipeline order (default: in-process loopback stages)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -66,6 +69,12 @@ func main() {
 	}
 	if *models != "" {
 		cfg.Models = strings.Split(*models, ",")
+	}
+	if *shards != "" {
+		cfg.Shards = strings.Split(*shards, ",")
+		if *experiment == "" {
+			*experiment = "shard"
+		}
 	}
 
 	var ids []string

@@ -14,6 +14,7 @@ import (
 	"os"
 	"sort"
 
+	"orpheus/internal/graph"
 	"orpheus/internal/onnx"
 	"orpheus/internal/ops"
 	"orpheus/internal/passes"
@@ -24,10 +25,11 @@ func main() {
 	var (
 		showNodes = flag.Bool("nodes", false, "print every node")
 		optimized = flag.Bool("optimized", false, "apply the optimisation pipeline before printing")
+		showCuts  = flag.Bool("cuts", false, "rank pipeline cut points by activation transfer bytes")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: orpheus-inspect [-nodes] [-optimized] <model.onnx>")
+		fmt.Fprintln(os.Stderr, "usage: orpheus-inspect [-nodes] [-optimized] [-cuts] <model.onnx>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -86,6 +88,23 @@ func main() {
 		fmt.Println("\nnodes (topological order):")
 		for _, n := range g.Nodes {
 			fmt.Printf("  %-32s %-14s -> %s\n", n.Name, n.Op, tensor.ShapeString(n.Outputs[0].Shape))
+		}
+	}
+
+	if *showCuts {
+		cuts, err := passes.PipelineCuts(g)
+		if err != nil {
+			fatal(err)
+		}
+		// Rank narrowest boundary first — the order a min-transfer
+		// partition prefers — with the topological position kept visible
+		// so the reader can map ranks back onto the graph.
+		ranked := append([]graph.CutPoint(nil), cuts...)
+		sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Bytes < ranked[j].Bytes })
+		fmt.Println("\npipeline cut points (narrowest boundary first, positions in the optimised graph):")
+		for rank, c := range ranked {
+			fmt.Printf("  #%-3d after node %-4d %-32s %8.1f KiB  %d tensor(s)\n",
+				rank+1, c.After, c.Node, float64(c.Bytes)/1024, len(c.Values))
 		}
 	}
 }

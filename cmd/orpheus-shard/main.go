@@ -1,0 +1,158 @@
+// orpheus-shard runs one stage of a pipeline-parallel sharded model —
+// the process-level building block behind distributed inference on a
+// chain of small machines (SEIFER/DEFER-style). Every stage is started
+// from the same model with nothing but a different -shard index; each
+// derives its own subgraph from the deterministic min-transfer
+// partition, so the processes agree on shard boundaries without any
+// coordinator.
+//
+// Usage:
+//
+//	# 2-stage pipeline on one host
+//	orpheus-shard -model resnet-18 -shard 2/2 -listen :9102 &
+//	orpheus-shard -model resnet-18 -shard 1/2 -listen :9101 -next localhost:9102 &
+//	orpheus-bench -experiment shard -shards localhost:9101,localhost:9102
+//
+//	# quantized boundary activations (4x less transfer per cut)
+//	orpheus-shard -model model.onnx -shard 1/3 -listen :9101 \
+//	              -next host2:9102 -int8-wire
+//
+// -model takes a built-in zoo name or an .onnx path. Stages stream
+// activations over the framed TCP protocol documented in docs/SHARD.md;
+// the terminal stage (the one without -next) serves results back to the
+// driver's collect connection. SIGINT/SIGTERM drains in-flight requests
+// before exiting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/onnx"
+	"orpheus/internal/shard"
+	"orpheus/internal/zoo"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "", "zoo model name or .onnx path (required)")
+		shardPos = flag.String("shard", "", "this stage's position as K/N, 1-based (required; e.g. 1/2)")
+		listen   = flag.String("listen", ":9101", "address to accept feed (and, on the terminal stage, collect) connections on")
+		next     = flag.String("next", "", "downstream stage address; omit on the terminal stage")
+		int8Wire = flag.Bool("int8-wire", false, "quantize outgoing boundary activations to u8 frames (4x less transfer, quantization noise)")
+		backendN = flag.String("backend", "orpheus", "execution backend")
+		workers  = flag.Int("workers", 1, "kernel thread budget for this stage")
+		depth    = flag.Int("depth", 4, "in-flight requests this stage decodes ahead (backpressure bound)")
+		stageTO  = flag.Duration("stage-timeout", 0, "per-request compute deadline on this stage (0 = none)")
+		maxFrame = flag.Int("max-frame", 0, "max accepted frame payload in bytes (0 = 64 MiB)")
+	)
+	flag.Parse()
+	if *model == "" || *shardPos == "" {
+		fmt.Fprintln(os.Stderr, "usage: orpheus-shard -model <zoo-name|model.onnx> -shard K/N -listen ADDR [-next ADDR] [-int8-wire]")
+		os.Exit(2)
+	}
+	index, count, err := parseShard(*shardPos)
+	if err != nil {
+		log.Fatalf("orpheus-shard: %v", err)
+	}
+	if *next == "" && index != count-1 {
+		log.Fatalf("orpheus-shard: stage %d of %d is not terminal and needs -next", index+1, count)
+	}
+	if *next != "" && index == count-1 {
+		log.Fatalf("orpheus-shard: the terminal stage %d/%d must not set -next", count, count)
+	}
+
+	name, g, err := loadModel(*model)
+	if err != nil {
+		log.Fatalf("orpheus-shard: %v", err)
+	}
+	srv, err := shard.New(shard.Config{
+		Model:        name,
+		Graph:        g,
+		Index:        index,
+		Count:        count,
+		Backend:      *backendN,
+		Workers:      *workers,
+		Next:         *next,
+		Int8Wire:     *int8Wire,
+		Depth:        *depth,
+		StageTimeout: *stageTO,
+		MaxFrame:     *maxFrame,
+	})
+	if err != nil {
+		log.Fatalf("orpheus-shard: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("orpheus-shard: %v", err)
+	}
+	role := "terminal stage (serves collect)"
+	if *next != "" {
+		role = "forwards to " + *next
+	}
+	log.Printf("orpheus-shard: %s stage %d/%d listening on %s, %s", name, index+1, count, ln.Addr(), role)
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("orpheus-shard: draining stage %d/%d", index+1, count)
+		_ = srv.Close()
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("orpheus-shard: %v", err)
+	}
+	st := srv.Stats()
+	log.Printf("orpheus-shard: stage %d/%d done: %d processed, %d errors, %d passed through, %d dropped",
+		index+1, count, st.Processed, st.Errors, st.Forwarded, st.Dropped)
+}
+
+// parseShard parses the 1-based "K/N" stage position into a 0-based
+// index and the stage count.
+func parseShard(s string) (index, count int, err error) {
+	k, n, ok := strings.Cut(s, "/")
+	if ok {
+		_, err = fmt.Sscanf(k+" "+n, "%d %d", &index, &count)
+		ok = err == nil
+	}
+	if !ok || index < 1 || count < 1 || index > count {
+		return 0, 0, fmt.Errorf("-shard wants K/N with 1 <= K <= N, got %q", s)
+	}
+	return index - 1, count, nil
+}
+
+// loadModel resolves -model: a built-in zoo name first, else an ONNX
+// file (named by its basename, matching what a driver would request).
+func loadModel(spec string) (string, *graph.Graph, error) {
+	for _, n := range zoo.Names() {
+		if n == spec {
+			g, err := zoo.Build(n, 1)
+			return n, g, err
+		}
+	}
+	data, err := os.ReadFile(spec)
+	if err != nil {
+		return "", nil, fmt.Errorf("model %q is neither a zoo name (%s) nor a readable file: %w",
+			spec, strings.Join(zoo.Names(), ", "), err)
+	}
+	m, err := onnx.Unmarshal(data)
+	if err != nil {
+		return "", nil, err
+	}
+	g, err := onnx.Import(m)
+	if err != nil {
+		return "", nil, err
+	}
+	name := strings.TrimSuffix(filepath.Base(spec), ".onnx")
+	return name, g, nil
+}

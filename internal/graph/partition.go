@@ -1,0 +1,386 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"orpheus/internal/tensor"
+)
+
+// This file implements pipeline partitioning: splitting one graph into K
+// stage subgraphs that execute on different processes, with named boundary
+// tensors streamed between consecutive stages (the SEIFER/DEFER execution
+// model). Cut points are chosen to minimise the total bytes transferred
+// per inference, optionally subject to a compute-balance cap so no stage
+// dominates the pipeline's steady-state throughput.
+//
+// A cut lives between two positions of the topological node order. The
+// values crossing a cut — produced at or before it (or graph inputs) and
+// still needed after it — become the upstream shard's outputs and the
+// downstream shard's inputs, in one deterministic order, so the two sides
+// agree on the activation-frame layout without further negotiation. Graph
+// outputs produced before the final shard are threaded through every later
+// shard as passthrough values (an input marked as an output), which the
+// runtime resolves without copying.
+
+// CutPoint describes one candidate pipeline cut: the position in the
+// topological node order it follows, the values crossing it, and the
+// fp32 payload bytes those values transfer per inference.
+type CutPoint struct {
+	// After is the index into the topologically sorted g.Nodes that the
+	// cut follows: nodes [0..After] run upstream, (After..] downstream.
+	After int
+	// Node is the name of the last node before the cut (g.Nodes[After]).
+	Node string
+	// Values names the tensors crossing the cut, in boundary order
+	// (producer topological position, then name — the frame layout both
+	// sides of the wire derive independently).
+	Values []string
+	// Shapes holds the crossing values' shapes, parallel to Values.
+	Shapes [][]int
+	// Bytes is the total fp32 payload crossing the cut per inference at
+	// the graph's built batch size (4 bytes per element; int8 wire
+	// encoding transfers a quarter of this).
+	Bytes int64
+}
+
+// PartitionOptions parameterises Partition.
+type PartitionOptions struct {
+	// Shards is the number of pipeline stages to split into (≥ 1).
+	Shards int
+	// NodeCost estimates one node's compute cost for the balance
+	// constraint. Nil costs every node 1 (internal/passes supplies a
+	// flop-based cost, which graph cannot depend on).
+	NodeCost func(*Node) int64
+	// MaxImbalance caps any shard's cost at MaxImbalance × (total/Shards).
+	// ≤ 0 selects the default 1.5. Partition relaxes the cap progressively
+	// when no split satisfies it, so the call fails only when the graph
+	// has fewer cut positions than shards.
+	MaxImbalance float64
+}
+
+// PartitionResult is a graph split into pipeline stages.
+type PartitionResult struct {
+	// Shards holds one finalized subgraph per stage, in pipeline order.
+	// Shard s's outputs are exactly shard s+1's inputs (same names, same
+	// order); the first shard declares the original graph inputs and the
+	// last the original graph outputs.
+	Shards []*Graph
+	// Cuts describes the K-1 chosen boundaries, in pipeline order.
+	Cuts []CutPoint
+	// TransferBytes is the summed fp32 payload of all boundaries per
+	// inference — the objective Partition minimised.
+	TransferBytes int64
+}
+
+// cutAnalysis holds the per-position crossing sets of a topologically
+// sorted graph, shared by CutPoints and Partition.
+type cutAnalysis struct {
+	nodes    []*Node
+	prodIdx  map[*Value]int // -1 for graph inputs
+	crossing [][]*Value     // crossing[b] = values crossing the cut after node b
+	bytes    []int64        // bytes[b] = fp32 payload of crossing[b]
+}
+
+// analyzeCuts computes, for every position of the topological order, the
+// set of values that would cross a cut there. Shapes must be inferred
+// (call Finalize first).
+func analyzeCuts(g *Graph) (*cutAnalysis, error) {
+	if err := g.TopoSort(); err != nil {
+		return nil, err
+	}
+	n := len(g.Nodes)
+	if n == 0 {
+		return nil, fmt.Errorf("graph %q: cannot cut an empty graph", g.Name)
+	}
+	a := &cutAnalysis{nodes: g.Nodes, prodIdx: make(map[*Value]int)}
+	for _, in := range g.Inputs {
+		a.prodIdx[in] = -1
+	}
+	for i, nd := range g.Nodes {
+		for _, out := range nd.Outputs {
+			a.prodIdx[out] = i
+		}
+	}
+	// lastNeed[v] = last node index that reads v; graph outputs are needed
+	// past every cut, so they cross from their producer to the final shard.
+	lastNeed := make(map[*Value]int)
+	for i, nd := range g.Nodes {
+		for _, in := range nd.Inputs {
+			if in.IsConst() {
+				continue
+			}
+			lastNeed[in] = i
+		}
+	}
+	for _, out := range g.Outputs {
+		lastNeed[out] = n // sentinel: beyond the last cut
+	}
+	a.crossing = make([][]*Value, n-1)
+	a.bytes = make([]int64, n-1)
+	for b := 0; b < n-1; b++ {
+		var cross []*Value
+		for v, last := range lastNeed {
+			p, known := a.prodIdx[v]
+			if !known {
+				continue // constants never cross: each shard carries its own
+			}
+			if p <= b && last > b {
+				cross = append(cross, v)
+			}
+		}
+		sort.Slice(cross, func(i, j int) bool {
+			pi, pj := a.prodIdx[cross[i]], a.prodIdx[cross[j]]
+			if pi != pj {
+				return pi < pj
+			}
+			return cross[i].Name < cross[j].Name
+		})
+		var bytes int64
+		for _, v := range cross {
+			if v.Shape == nil {
+				return nil, fmt.Errorf("graph %q: value %q has no inferred shape (run Finalize before partitioning)", g.Name, v.Name)
+			}
+			bytes += 4 * int64(tensor.Volume(v.Shape))
+		}
+		a.crossing[b] = cross
+		a.bytes[b] = bytes
+	}
+	return a, nil
+}
+
+// cutPoint materialises the CutPoint describing the cut after position b.
+func (a *cutAnalysis) cutPoint(b int) CutPoint {
+	cp := CutPoint{After: b, Node: a.nodes[b].Name, Bytes: a.bytes[b]}
+	for _, v := range a.crossing[b] {
+		cp.Values = append(cp.Values, v.Name)
+		cp.Shapes = append(cp.Shapes, append([]int(nil), v.Shape...))
+	}
+	return cp
+}
+
+// CutPoints enumerates every candidate pipeline cut of the graph in
+// topological order, with the values and transfer bytes each would move
+// per inference. orpheus-inspect -cuts ranks these for auditing; Partition
+// picks from the same set.
+func CutPoints(g *Graph) ([]CutPoint, error) {
+	a, err := analyzeCuts(g)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CutPoint, 0, len(a.crossing))
+	for b := range a.crossing {
+		out = append(out, a.cutPoint(b))
+	}
+	return out, nil
+}
+
+// Partition splits g into opts.Shards pipeline stages, choosing the cuts
+// that minimise total boundary transfer bytes per inference (DEFER's
+// objective) subject to the compute-balance cap. The input graph is not
+// modified; shard subgraphs share its constant tensors (immutable
+// throughout Orpheus) but own their nodes and values.
+func Partition(g *Graph, opts PartitionOptions) (*PartitionResult, error) {
+	k := opts.Shards
+	if k < 1 {
+		return nil, fmt.Errorf("graph %q: cannot partition into %d shards", g.Name, k)
+	}
+	if k > len(g.Nodes) {
+		return nil, fmt.Errorf("graph %q: %d shards exceed the graph's %d nodes", g.Name, k, len(g.Nodes))
+	}
+	a, err := analyzeCuts(g)
+	if err != nil {
+		return nil, err
+	}
+	cost := opts.NodeCost
+	if cost == nil {
+		cost = func(*Node) int64 { return 1 }
+	}
+	// Prefix compute costs for O(1) range sums in the DP.
+	n := len(a.nodes)
+	prefix := make([]int64, n+1)
+	for i, nd := range a.nodes {
+		c := cost(nd)
+		if c < 0 {
+			c = 0
+		}
+		prefix[i+1] = prefix[i] + c
+	}
+	imbalance := opts.MaxImbalance
+	if imbalance <= 0 {
+		imbalance = 1.5
+	}
+	var cuts []int
+	for {
+		cap := int64(imbalance * float64(prefix[n]) / float64(k))
+		if cap < 1 {
+			cap = 1
+		}
+		cuts = chooseCuts(a, prefix, k, cap)
+		if cuts != nil || imbalance > 64 {
+			break
+		}
+		// No split fits this cap (e.g. one node dominates the cost):
+		// relax and retry rather than failing a feasible partition.
+		imbalance *= 1.5
+	}
+	if cuts == nil {
+		return nil, fmt.Errorf("graph %q: no feasible %d-way partition", g.Name, k)
+	}
+	res := &PartitionResult{}
+	for _, b := range cuts {
+		if len(a.crossing[b]) == 0 {
+			return nil, fmt.Errorf("graph %q: cut after node %q crosses no values (disconnected graph?)", g.Name, a.nodes[b].Name)
+		}
+		res.Cuts = append(res.Cuts, a.cutPoint(b))
+		res.TransferBytes += a.bytes[b]
+	}
+	lo := 0
+	for s := 0; s < k; s++ {
+		hi := n - 1
+		if s < len(cuts) {
+			hi = cuts[s]
+		}
+		var inVals, outVals []*Value
+		if s == 0 {
+			inVals = g.Inputs
+		} else {
+			inVals = a.crossing[cuts[s-1]]
+		}
+		if s == k-1 {
+			outVals = g.Outputs
+		} else {
+			outVals = a.crossing[cuts[s]]
+		}
+		name := fmt.Sprintf("%s.shard%d-of-%d", g.Name, s+1, k)
+		sg, err := buildShard(a.nodes[lo:hi+1], inVals, outVals, name, s == 0)
+		if err != nil {
+			return nil, fmt.Errorf("graph %q: shard %d/%d: %w", g.Name, s+1, k, err)
+		}
+		res.Shards = append(res.Shards, sg)
+		lo = hi + 1
+	}
+	return res, nil
+}
+
+// chooseCuts is the min-transfer dynamic program: dp[s][i] = cheapest way
+// to run nodes [0..i] as s shards whose per-shard cost stays under cap.
+// It returns the K-1 chosen cut positions, or nil when no split fits.
+func chooseCuts(a *cutAnalysis, prefix []int64, k int, cap int64) []int {
+	n := len(a.nodes)
+	if k == 1 {
+		return []int{}
+	}
+	const inf = int64(1) << 62
+	dp := make([][]int64, k+1)
+	from := make([][]int, k+1)
+	for s := 0; s <= k; s++ {
+		dp[s] = make([]int64, n)
+		from[s] = make([]int, n)
+		for i := range dp[s] {
+			dp[s][i] = inf
+			from[s][i] = -2
+		}
+	}
+	for i := 0; i < n; i++ {
+		if prefix[i+1] <= cap {
+			dp[1][i] = 0
+			from[1][i] = -1
+		}
+	}
+	for s := 2; s <= k; s++ {
+		for i := s - 1; i < n; i++ {
+			for j := s - 2; j < i; j++ {
+				if dp[s-1][j] == inf || prefix[i+1]-prefix[j+1] > cap {
+					continue
+				}
+				if c := dp[s-1][j] + a.bytes[j]; c < dp[s][i] {
+					dp[s][i] = c
+					from[s][i] = j
+				}
+			}
+		}
+	}
+	if dp[k][n-1] == inf {
+		return nil
+	}
+	cuts := make([]int, 0, k-1)
+	for s, i := k, n-1; s > 1; s-- {
+		j := from[s][i]
+		cuts = append(cuts, j)
+		i = j
+	}
+	// Reverse into pipeline order.
+	for l, r := 0, len(cuts)-1; l < r; l, r = l+1, r-1 {
+		cuts[l], cuts[r] = cuts[r], cuts[l]
+	}
+	return cuts
+}
+
+// buildShard assembles one stage subgraph over the given node range.
+// Boundary inputs are declared in boundary order; constants are shared
+// with the source graph; outputs not produced in the range must be among
+// the inputs (passthrough values the runtime forwards without a copy).
+func buildShard(nodes []*Node, inVals, outVals []*Value, name string, first bool) (*Graph, error) {
+	sg := New(name)
+	vmap := make(map[*Value]*Value)
+	for _, v := range inVals {
+		nv, err := sg.Input(v.Name, v.Shape)
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			// The entry shard reproduces the original input contract.
+			nv.Batched = v.Batched
+		}
+		vmap[v] = nv
+	}
+	mapIn := func(v *Value) (*Value, error) {
+		if nv := vmap[v]; nv != nil {
+			return nv, nil
+		}
+		if v.IsConst() {
+			nv, err := sg.Const(v.Name, v.Const)
+			if err != nil {
+				return nil, err
+			}
+			vmap[v] = nv
+			return nv, nil
+		}
+		return nil, fmt.Errorf("value %q is read but neither produced in the shard nor a boundary input", v.Name)
+	}
+	for _, nd := range nodes {
+		ins := make([]*Value, len(nd.Inputs))
+		for i, v := range nd.Inputs {
+			nv, err := mapIn(v)
+			if err != nil {
+				return nil, err
+			}
+			ins[i] = nv
+		}
+		outNames := make([]string, len(nd.Outputs))
+		for i, v := range nd.Outputs {
+			outNames[i] = v.Name
+		}
+		outs, err := sg.AddMulti(nd.Op, nd.Name, nd.Attrs.Clone(), ins, outNames)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range nd.Outputs {
+			vmap[v] = outs[i]
+		}
+	}
+	for _, v := range outVals {
+		nv := vmap[v]
+		if nv == nil {
+			return nil, fmt.Errorf("boundary output %q is neither produced in the shard nor passed through", v.Name)
+		}
+		if err := sg.MarkOutput(nv); err != nil {
+			return nil, err
+		}
+	}
+	if err := sg.Finalize(); err != nil {
+		return nil, err
+	}
+	return sg, nil
+}

@@ -1,0 +1,224 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func init() {
+	// Fixed-width projection ops so chain tests control each cut's
+	// transfer bytes precisely.
+	for _, w := range []int{2, 4, 8} {
+		w := w
+		RegisterShapeFn(testWidthOp(w), func(n *Node) ([][]int, error) {
+			return [][]int{{n.Inputs[0].Shape[0], w}}, nil
+		})
+	}
+}
+
+func testWidthOp(w int) string {
+	return map[int]string{2: "testW2", 4: "testW4", 8: "testW8"}[w]
+}
+
+// buildChain builds x → node per width, each node's output having the
+// given width, last output marked.
+func buildChain(t *testing.T, widths ...int) *Graph {
+	t.Helper()
+	g := New("chain")
+	v, err := g.Input("x", []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range widths {
+		v, err = g.Add(testWidthOp(w), nodeName(i), nil, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.MarkOutput(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func nodeName(i int) string { return string(rune('a' + i)) }
+
+func TestCutPointsEnumeratesEveryPosition(t *testing.T) {
+	g := buildChain(t, 8, 2, 4, 4)
+	cuts, err := CutPoints(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != len(g.Nodes)-1 {
+		t.Fatalf("%d candidates for %d nodes", len(cuts), len(g.Nodes))
+	}
+	wantBytes := []int64{32, 8, 16} // widths 8, 2, 4 × 4 bytes
+	for i, c := range cuts {
+		if c.After != i || c.Node != g.Nodes[i].Name {
+			t.Fatalf("cut %d: After=%d Node=%q", i, c.After, c.Node)
+		}
+		if c.Bytes != wantBytes[i] {
+			t.Fatalf("cut %d: %d bytes, want %d", i, c.Bytes, wantBytes[i])
+		}
+		if len(c.Values) != 1 || len(c.Shapes) != 1 {
+			t.Fatalf("cut %d crossing %v", i, c.Values)
+		}
+	}
+}
+
+func TestPartitionPicksMinTransferCut(t *testing.T) {
+	// Candidate cuts transfer 32, 8, 16 bytes; the 2-way split must take
+	// the 8-byte boundary.
+	g := buildChain(t, 8, 2, 4, 4)
+	res, err := Partition(g, PartitionOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shards) != 2 || len(res.Cuts) != 1 {
+		t.Fatalf("shards=%d cuts=%d", len(res.Shards), len(res.Cuts))
+	}
+	if res.Cuts[0].After != 1 || res.TransferBytes != 8 {
+		t.Fatalf("cut after %d (%d bytes), want after 1 (8 bytes)", res.Cuts[0].After, res.TransferBytes)
+	}
+	// The boundary contract: upstream outputs == downstream inputs, same
+	// names, same order.
+	up, down := res.Shards[0], res.Shards[1]
+	if len(up.Outputs) != 1 || len(down.Inputs) != 1 || up.Outputs[0].Name != down.Inputs[0].Name {
+		t.Fatalf("boundary mismatch: %v vs %v", up.Outputs, down.Inputs)
+	}
+	// First shard keeps the original input contract, last the outputs.
+	if up.Inputs[0].Name != "x" || down.Outputs[0].Name != g.Outputs[0].Name {
+		t.Fatalf("end contracts: in %q out %q", up.Inputs[0].Name, down.Outputs[0].Name)
+	}
+}
+
+func TestPartitionHonoursBalanceCap(t *testing.T) {
+	// Same chain; the min-transfer cut (after node 1) would put cost
+	// 5+5=10 upstream against a cap of 1.5×12/2 = 9, so the balance
+	// constraint must push the cut to position 0 despite its 32 bytes.
+	g := buildChain(t, 8, 2, 4, 4)
+	costs := map[string]int64{"a": 5, "b": 5, "c": 1, "d": 1}
+	res, err := Partition(g, PartitionOptions{
+		Shards:   2,
+		NodeCost: func(n *Node) int64 { return costs[n.Name] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cuts[0].After != 0 || res.TransferBytes != 32 {
+		t.Fatalf("cut after %d (%d bytes), want after 0 (32 bytes)", res.Cuts[0].After, res.TransferBytes)
+	}
+}
+
+func TestPartitionRelaxesInfeasibleCap(t *testing.T) {
+	// One node dominating the cost makes every split breach the default
+	// cap; Partition must relax rather than fail.
+	g := buildChain(t, 8, 2, 4, 4)
+	res, err := Partition(g, PartitionOptions{
+		Shards: 2,
+		NodeCost: func(n *Node) int64 {
+			if n.Name == "c" {
+				return 1000
+			}
+			return 1
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shards) != 2 {
+		t.Fatalf("shards=%d", len(res.Shards))
+	}
+}
+
+func TestPartitionThreadsEarlyOutputThrough(t *testing.T) {
+	// An output produced in the first shard must be threaded through the
+	// second as a passthrough (declared input, marked output).
+	g := New("early-out")
+	x, err := g.Input("x", []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := g.Add("testW4", "a", nil, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := g.Add("testW8", "b", nil, early)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := g.Add("testW2", "c", nil, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.MarkOutput(early); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.MarkOutput(late); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, PartitionOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Shards[len(res.Shards)-1]
+	var passthrough bool
+	for _, in := range last.Inputs {
+		if in.Name == early.Name {
+			passthrough = true
+		}
+	}
+	var reExported bool
+	for _, out := range last.Outputs {
+		if out.Name == early.Name {
+			reExported = true
+		}
+	}
+	if !passthrough || !reExported {
+		t.Fatalf("early output not threaded through: inputs %v outputs %v", last.Inputs, last.Outputs)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := buildChain(t, 8, 2, 4, 4)
+	a, err := Partition(g, PartitionOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, PartitionOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Cuts, b.Cuts) {
+		t.Fatalf("cuts differ across runs:\n%v\n%v", a.Cuts, b.Cuts)
+	}
+	for i := range a.Shards {
+		if a.Shards[i].Name != b.Shards[i].Name {
+			t.Fatalf("shard %d name %q vs %q", i, a.Shards[i].Name, b.Shards[i].Name)
+		}
+	}
+}
+
+func TestPartitionRejectsBadShardCounts(t *testing.T) {
+	g := buildChain(t, 8, 2)
+	if _, err := Partition(g, PartitionOptions{Shards: 0}); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if _, err := Partition(g, PartitionOptions{Shards: 5}); err == nil {
+		t.Fatal("more shards than nodes accepted")
+	}
+	// A single shard degenerates to the whole graph.
+	res, err := Partition(g, PartitionOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shards) != 1 || len(res.Cuts) != 0 || res.TransferBytes != 0 {
+		t.Fatalf("1-shard partition: %d shards, %d cuts, %d bytes", len(res.Shards), len(res.Cuts), res.TransferBytes)
+	}
+}

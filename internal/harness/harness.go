@@ -46,6 +46,11 @@ type Config struct {
 	// Wire restricts the "wire" experiment's client to the binary tensor
 	// format, skipping the JSON baseline (orpheus-bench -wire).
 	Wire bool
+	// Shards points the "shard" experiment at externally started
+	// orpheus-shard stage processes (orpheus-bench -shards
+	// host1:port,host2:port,... in pipeline order) instead of spinning
+	// loopback stages in-process.
+	Shards []string
 }
 
 func (c *Config) fill() {

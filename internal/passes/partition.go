@@ -1,0 +1,52 @@
+package passes
+
+import (
+	"fmt"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/ops"
+)
+
+// PartitionPipeline prepares a graph for pipeline-parallel execution: it
+// optimises a clone through the standard pass pipeline (so cut shapes
+// reflect the execution graph, not the imported one — folded BatchNorms,
+// fused activations), then splits it into k stage subgraphs at the
+// cut points that minimise total transfer bytes per inference, with
+// per-node flop estimates driving the compute-balance constraint.
+//
+// Every consumer of a partition derives it through this function — the
+// orpheus-shard runner, the pipeline driver and orpheus-inspect -cuts —
+// so all of them agree on shard boundaries for a given (model, k) pair
+// without exchanging anything but the shard index.
+func PartitionPipeline(g *graph.Graph, k int) (*graph.PartitionResult, error) {
+	work := g.Clone()
+	if err := work.Finalize(); err != nil {
+		return nil, err
+	}
+	if _, err := Default().Run(work); err != nil {
+		return nil, err
+	}
+	res, err := graph.Partition(work, graph.PartitionOptions{
+		Shards:   k,
+		NodeCost: ops.NodeFlops,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("passes: partition %q into %d shards: %w", g.Name, k, err)
+	}
+	return res, nil
+}
+
+// PipelineCuts enumerates the candidate cut points of the optimised graph
+// — the same set PartitionPipeline chooses from — for auditing from the
+// CLI. The graph is cloned and optimised first, so positions and transfer
+// bytes match what a partition would actually use.
+func PipelineCuts(g *graph.Graph) ([]graph.CutPoint, error) {
+	work := g.Clone()
+	if err := work.Finalize(); err != nil {
+		return nil, err
+	}
+	if _, err := Default().Run(work); err != nil {
+		return nil, err
+	}
+	return graph.CutPoints(work)
+}

@@ -42,6 +42,7 @@ type Batcher struct {
 	max      int
 	defWait  time.Duration
 	immed    bool
+	adaptive bool
 	maxDepth int           // admission cap on queued requests (0 = unbounded)
 	runLimit time.Duration // deadline on each batched Session.Run (0 = none)
 
@@ -65,6 +66,7 @@ type Batcher struct {
 	waitNs         atomic.Int64 // cumulative submit→launch wait of claimed requests
 	rejected       atomic.Int64 // requests shed at admission (queue full or closed)
 	cancelledReqs  atomic.Int64 // requests abandoned by their context while queued
+	adaptiveCuts   atomic.Int64 // requests whose flush deadline load-shrunk
 	waitHist       [WaitBuckets]atomic.Int64
 }
 
@@ -134,6 +136,9 @@ type BatcherStats struct {
 	// Cancelled counts requests abandoned by their own context while
 	// queued — before any batch claimed them.
 	Cancelled int64
+	// AdaptiveCuts counts requests whose flush deadline was shortened by
+	// Adaptive mode because peers were already queued at admission.
+	AdaptiveCuts int64
 	// WaitHistogram buckets every claimed request's submit→launch wait
 	// into the fixed latency bands of WaitBucketBounds (the final bucket
 	// is the unbounded overflow). Same population as QueuedWait, so the
@@ -163,6 +168,7 @@ func (b *Batcher) Stats() BatcherStats {
 		QueuedWait:     time.Duration(b.waitNs.Load()),
 		Rejected:       b.rejected.Load(),
 		Cancelled:      b.cancelledReqs.Load(),
+		AdaptiveCuts:   b.adaptiveCuts.Load(),
 	}
 }
 
@@ -213,6 +219,16 @@ type BatcherOptions struct {
 	// deadline passes, failing the batch's requests with
 	// context.DeadlineExceeded. 0 (the default) leaves runs unbounded.
 	RunTimeout time.Duration
+
+	// Adaptive scales each request's flush deadline down with the
+	// instantaneous queue depth: a request admitted with d peers already
+	// queued waits at most wait/(1+d) for further batch mates. A lone
+	// request on an idle batcher keeps the full deadline (nothing else
+	// may be coming, so the wait buys batching headroom); under a
+	// backlog the wait shrinks toward zero — peers are already queued,
+	// so lingering only adds latency. The deadline restores itself as
+	// the queue empties because the scale is recomputed per request.
+	Adaptive bool
 }
 
 // DefaultFlushDeadline is the default per-request wait for batch peers.
@@ -279,6 +295,7 @@ func NewBatcher(pool *SessionPool, opts BatcherOptions) (*Batcher, error) {
 		max:       pool.Plan().MaxBatch(),
 		defWait:   opts.FlushDeadline,
 		immed:     opts.Immediate,
+		adaptive:  opts.Adaptive,
 		maxDepth:  opts.QueueDepth,
 		runLimit:  opts.RunTimeout,
 		reqs:      make(chan *batchReq),
@@ -354,10 +371,20 @@ func (b *Batcher) submit(ctx context.Context, sample []float32, stage func(dst [
 	// all squeeze past a nearly-full queue. Shed requests fail fast with
 	// the typed ErrOverloaded — the caller (or the HTTP layer above it)
 	// backs off instead of piling onto a saturated model.
-	if d := b.depth.Add(1); b.maxDepth > 0 && d > int64(b.maxDepth) {
+	d := b.depth.Add(1)
+	if b.maxDepth > 0 && d > int64(b.maxDepth) {
 		b.depth.Add(-1)
 		b.rejected.Add(1)
 		return BatchResult{}, fmt.Errorf("runtime: batcher queue full (%d queued, cap %d): %w", d-1, b.maxDepth, ErrOverloaded)
+	}
+	// Load-adaptive flush: with peers already queued, batch mates are
+	// here, not hypothetical — shrink this request's deadline in
+	// proportion so a backlog flushes promptly, and let the full deadline
+	// restore itself as the queue empties (the scale is per request, so
+	// there is no sticky state to decay).
+	if b.adaptive && d > 1 {
+		r.flushBy = now.Add(wait / time.Duration(d))
+		b.adaptiveCuts.Add(1)
 	}
 	select {
 	case b.reqs <- r:

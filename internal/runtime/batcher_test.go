@@ -519,3 +519,57 @@ func TestSubmitStagedCancelledNeverStages(t *testing.T) {
 	case <-time.After(50 * time.Millisecond):
 	}
 }
+
+// TestBatcherAdaptiveFlush pins the load-adaptive deadline: a backlog
+// shrinks each member's flush deadline (so the batch launches well
+// before the configured wait), while a lone request on the drained
+// batcher keeps the full deadline — the shrink is per-request, so idle
+// restores it with no decay machinery.
+func TestBatcherAdaptiveFlush(t *testing.T) {
+	const deadline = 120 * time.Millisecond
+	const clients = 4 // MaxBatch 8: the batch can only flush by deadline
+	burst := func(b *Batcher) time.Duration {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				if _, err := b.Submit(context.Background(), sampleFor(c), 0); err != nil {
+					t.Error(err)
+				}
+			}(c)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	fixed, _ := newTestBatcher(t, 8, BatcherOptions{FlushDeadline: deadline}, nil)
+	if got := burst(fixed); got < deadline {
+		t.Fatalf("fixed-deadline burst finished in %v, cannot flush before %v", got, deadline)
+	}
+
+	ad, _ := newTestBatcher(t, 8, BatcherOptions{FlushDeadline: deadline, Adaptive: true}, nil)
+	if got := burst(ad); got >= deadline {
+		t.Fatalf("adaptive burst took %v, want < %v (backlog should shrink the deadline)", got, deadline)
+	}
+	st := ad.Stats()
+	if st.AdaptiveCuts < 1 {
+		t.Fatalf("AdaptiveCuts = %d after a %d-wide burst, want >= 1", st.AdaptiveCuts, clients)
+	}
+	if st.FlushDeadline < 1 {
+		t.Fatalf("FlushDeadline = %d, the shrunk wait still flushes via the timer", st.FlushDeadline)
+	}
+
+	// Idle again: a lone request sees depth 0 and keeps the full wait.
+	lone := time.Now()
+	if _, err := ad.Submit(context.Background(), sampleFor(9), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(lone); got < deadline {
+		t.Fatalf("lone request flushed in %v, want the restored %v deadline", got, deadline)
+	}
+	if got := ad.Stats().AdaptiveCuts; got != st.AdaptiveCuts {
+		t.Fatalf("lone request bumped AdaptiveCuts %d -> %d; idle must not shrink", st.AdaptiveCuts, got)
+	}
+}

@@ -126,6 +126,13 @@ func validateWireBody(e *Entry, msg []byte) (payload []byte, err error) {
 	if err != nil {
 		return nil, err
 	}
+	if hdr.DType != wire.Float32 {
+		// The HTTP predict path copies the payload straight into float32
+		// staging; a u8 body (legal on the shard wire) would otherwise
+		// pass the volume check and silently predict on garbage.
+		return nil, fmt.Errorf("%w: predict bodies must be %s tensors, got %s",
+			wire.ErrFormat, wire.Float32, hdr.DType)
+	}
 	if hdr.Volume() != e.perVol {
 		return nil, fmt.Errorf("input has %d values, model %s wants %d: %w",
 			hdr.Volume(), e.Name, e.perVol, runtime.ErrShapeMismatch)

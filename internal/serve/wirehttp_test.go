@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"strings"
@@ -290,5 +291,24 @@ func TestBinaryPredictAllocFree(t *testing.T) {
 		if dst[i] != input[i] {
 			t.Fatalf("staged[%d] = %v, want %v", i, dst[i], input[i])
 		}
+	}
+}
+
+// TestBinaryPredictRejectsU8 pins the dtype guard: a u8 wire message
+// (legal on the shard transport) whose element count matches the model
+// must still be rejected — the HTTP path stages float32 only, and
+// without the guard the body would predict on garbage.
+func TestBinaryPredictRejectsU8(t *testing.T) {
+	s := New()
+	if err := s.AddModel("tiny", tinyModel(t), "orpheus", 1); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	e, _ := s.entry("tiny")
+
+	q := make([]byte, e.perVol)
+	msg := wire.AppendTensorU8(nil, q, []int{1, 3, 8, 8}, 0.5, 128)
+	if _, err := validateWireBody(e, msg); !errors.Is(err, wire.ErrFormat) {
+		t.Fatalf("u8 body error = %v, want wire.ErrFormat", err)
 	}
 }

@@ -1,0 +1,80 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"orpheus/internal/faultinject"
+)
+
+// BenchmarkShardPipeline measures the pipeline two ways. The "delayed"
+// group injects one 10ms delay per stage (each stage owns exactly one
+// of conv1/fc/prob), making stage time sleep-dominated so the overlap
+// of depth >= nstages shows even on a single-core host: depth-1 pays
+// all three delays per request, depth-6 approaches one. The "compute"
+// group runs the tiny CNN for real, exposing the wire/framing overhead
+// a loopback hop adds to an un-delayed stage chain.
+func BenchmarkShardPipeline(b *testing.B) {
+	b.Run("delayed-3stage", func(b *testing.B) {
+		g := stageModel(b, "bench-delayed")
+		servers, addrs := startStages(b, g, 3, nil)
+		delayOps := []string{"Conv", "Dense", "Softmax"}
+		for i, s := range servers {
+			s.Plan().SetFault(faultinject.New(1, &faultinject.Rule{
+				Op: delayOps[i], Action: faultinject.ActDelay, Delay: 10 * time.Millisecond,
+			}))
+		}
+		input := sampleInput(volume(g.Inputs[0].Shape), 1)
+		for _, depth := range []int{1, 6} {
+			b.Run(map[int]string{1: "depth-1", 6: "depth-6"}[depth], func(b *testing.B) {
+				benchPipeline(b, g.Name, addrs, depth, input)
+			})
+		}
+	})
+
+	b.Run("compute-3stage", func(b *testing.B) {
+		g := stageModel(b, "bench-compute")
+		_, addrs := startStages(b, g, 3, nil)
+		input := sampleInput(volume(g.Inputs[0].Shape), 1)
+		b.Run("depth-6", func(b *testing.B) {
+			benchPipeline(b, g.Name, addrs, 6, input)
+		})
+	})
+}
+
+// benchPipeline drives b.N requests through one freshly dialed pipeline
+// at the given depth, with depth concurrent submitters, reporting inf/s.
+func benchPipeline(b *testing.B, model string, addrs []string, depth int, input []float32) {
+	p, err := Dial(context.Background(), PipelineConfig{Model: model, Addrs: addrs, Depth: depth})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Predict(context.Background(), input); err != nil { // warm links and plans
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	work := make(chan struct{})
+	for w := 0; w < depth; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				if _, err := p.Predict(context.Background(), input); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "inf/s")
+}

@@ -1,0 +1,59 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed sentinels for the shard transport. Every error the package
+// returns wraps exactly one of these, so callers branch with errors.Is
+// instead of string matching — the same contract the runtime and serve
+// layers follow.
+var (
+	// ErrHandshake marks a failed stage handshake: version skew, model
+	// mismatch, boundary tensors that don't line up, or a malformed
+	// hello/welcome frame.
+	ErrHandshake = errors.New("shard: handshake failed")
+
+	// ErrProtocol marks a malformed frame after the handshake — bad
+	// magic, unknown type, nonzero reserved bits, or a payload that
+	// doesn't parse. A protocol error poisons the connection; the peer
+	// must reconnect.
+	ErrProtocol = errors.New("shard: protocol error")
+
+	// ErrPeerClosed marks a connection lost mid-stream. Requests in
+	// flight on it fail with this; the transport reconnects with backoff
+	// for subsequent traffic.
+	ErrPeerClosed = errors.New("shard: peer closed")
+
+	// ErrDraining is returned for work submitted after Close began:
+	// in-flight requests finish, new ones are refused.
+	ErrDraining = errors.New("shard: draining")
+
+	// ErrRemote marks a failure on another stage of the pipeline,
+	// propagated downstream as an error frame. The concrete value is a
+	// *RemoteError carrying the failing shard and its message.
+	ErrRemote = errors.New("shard: remote stage failed")
+)
+
+// RemoteError is the unwrapped form of ErrRemote: a failure that
+// happened on another stage and travelled the pipeline as an error
+// frame, keyed to the request's sequence id.
+type RemoteError struct {
+	// Shard is the 0-based index of the stage that failed.
+	Shard int
+	// Code is a stable machine-readable cause ("run", "timeout",
+	// "panic", "decode").
+	Code string
+	// Msg is the human-readable detail from the failing stage.
+	Msg string
+}
+
+// Error formats the remote failure with its origin stage.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("shard: stage %d failed (%s): %s", e.Shard, e.Code, e.Msg)
+}
+
+// Is reports true for ErrRemote, so errors.Is(err, ErrRemote) matches
+// any propagated stage failure regardless of origin.
+func (e *RemoteError) Is(target error) bool { return target == ErrRemote }

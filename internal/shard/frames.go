@@ -1,0 +1,323 @@
+// Package shard implements pipeline-parallel inference across
+// processes: a model is split into stage subgraphs by graph.Partition,
+// each stage runs in a shard.Server that receives activation frames
+// over TCP, executes its subgraph and forwards the boundary activations
+// downstream, and a shard.Pipeline driver keeps enough requests in
+// flight that every stage computes concurrently — steady-state
+// throughput is bounded by the slowest stage, not the sum of all of
+// them. The byte-level protocol is documented in docs/SHARD.md.
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"orpheus/internal/wire"
+)
+
+// Frame layout, little-endian:
+//
+//	offset  size  field
+//	0       4     magic "ORPF"
+//	4       1     frame type
+//	5       1     flags (must be 0 in v1)
+//	6       2     reserved (must be 0 in v1)
+//	8       4     payload length
+//	12      …     payload
+//
+// The reserved bytes must be zero so that every well-formed frame has
+// exactly one encoding — the same canonical-bytes rule the ORPT tensor
+// format enforces.
+const (
+	frameHeaderLen = 12
+
+	// ProtocolVersion is the shard wire protocol version carried in the
+	// handshake; peers with different versions refuse to pair.
+	ProtocolVersion = 1
+
+	// DefaultMaxFrame bounds a single frame's payload (64 MiB): large
+	// enough for any zoo boundary at small batch, small enough that a
+	// hostile length field cannot stall a stage on allocation.
+	DefaultMaxFrame = 64 << 20
+)
+
+var frameMagic = [4]byte{'O', 'R', 'P', 'F'}
+
+// frameType discriminates the payloads of the stage protocol.
+type frameType uint8
+
+const (
+	// ftHello opens a connection: a JSON handshake from the dialer.
+	ftHello frameType = 1
+	// ftWelcome acknowledges a hello: a JSON handshake from the
+	// listener, carrying the stage's boundary descriptors.
+	ftWelcome frameType = 2
+	// ftActivations carries one request's boundary tensors into a stage:
+	// seq u64 | count u16 | count ORPT tensor messages back to back, in
+	// boundary descriptor order.
+	ftActivations frameType = 3
+	// ftResult carries the terminal stage's outputs to the collector,
+	// with the same payload layout as ftActivations.
+	ftResult frameType = 4
+	// ftError propagates a stage failure downstream in a request's
+	// stream position: seq u64 | JSON RemoteError.
+	ftError frameType = 5
+	// ftDrain announces a graceful close: the sender emits nothing after
+	// it, and the receiver finishes in-flight work then closes.
+	ftDrain frameType = 6
+)
+
+// TensorDesc names one boundary tensor and its per-request shape; the
+// handshake exchanges these so both ends of a connection agree on frame
+// layout (tensor order and volume) before any activation flows.
+type TensorDesc struct {
+	Name  string `json:"name"`
+	Shape []int  `json:"shape"`
+}
+
+// hello is the dialer's handshake. Role "feed" means the dialer will
+// send ftActivations (the upstream stage or the driver); role "collect"
+// means the dialer wants the stage's ftResult stream (the driver, on
+// the terminal stage only).
+type hello struct {
+	Version int    `json:"version"`
+	Model   string `json:"model"`
+	Role    string `json:"role"`
+	// Shard is the dialer's 0-based stage index, or -1 for the driver.
+	Shard int  `json:"shard"`
+	Count int  `json:"count"`
+	Int8  bool `json:"int8"`
+	// Tensors are the boundary tensors a feed dialer will send, in frame
+	// order. Empty means "unknown" (the driver learns them from the
+	// welcome); a stage dialing its successor always fills them in, and
+	// the receiver refuses the pairing if they don't match its inputs.
+	Tensors []TensorDesc `json:"tensors,omitempty"`
+}
+
+// welcome is the listener's handshake reply: its identity plus both
+// boundary descriptor lists, so a driver can validate user inputs and
+// decode results without any other source of model metadata.
+type welcome struct {
+	Version int          `json:"version"`
+	Model   string       `json:"model"`
+	Shard   int          `json:"shard"`
+	Count   int          `json:"count"`
+	Inputs  []TensorDesc `json:"inputs"`
+	Outputs []TensorDesc `json:"outputs"`
+}
+
+// frameConn frames a net.Conn: buffered reads and writes of
+// length-prefixed frames with a reused payload buffer on the read side.
+// Reads are owned by one goroutine; writes are serialised by a mutex so
+// the worker and the drain path can share the downstream connection.
+type frameConn struct {
+	c        net.Conn
+	br       *bufio.Reader
+	maxFrame int
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	rhdr [frameHeaderLen]byte
+	rbuf []byte
+}
+
+func newFrameConn(c net.Conn, maxFrame int) *frameConn {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &frameConn{
+		c:        c,
+		br:       bufio.NewReaderSize(c, 64<<10),
+		bw:       bufio.NewWriterSize(c, 64<<10),
+		maxFrame: maxFrame,
+	}
+}
+
+// readFrame reads one frame, returning its type and payload. The
+// payload aliases the connection's reused buffer and is valid only
+// until the next readFrame.
+func (fc *frameConn) readFrame() (frameType, []byte, error) {
+	if _, err := io.ReadFull(fc.br, fc.rhdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("%w: reading frame header: %v", ErrPeerClosed, err)
+		}
+		return 0, nil, fmt.Errorf("%w: reading frame header: %v", ErrPeerClosed, err)
+	}
+	if [4]byte(fc.rhdr[:4]) != frameMagic {
+		return 0, nil, fmt.Errorf("%w: bad frame magic %q", ErrProtocol, fc.rhdr[:4])
+	}
+	ft := frameType(fc.rhdr[4])
+	if fc.rhdr[5] != 0 || fc.rhdr[6] != 0 || fc.rhdr[7] != 0 {
+		return 0, nil, fmt.Errorf("%w: nonzero reserved frame bytes", ErrProtocol)
+	}
+	n := binary.LittleEndian.Uint32(fc.rhdr[8:12])
+	if int64(n) > int64(fc.maxFrame) {
+		return 0, nil, fmt.Errorf("%w: frame declares %d bytes, limit %d", ErrProtocol, n, fc.maxFrame)
+	}
+	if cap(fc.rbuf) < int(n) {
+		fc.rbuf = make([]byte, n)
+	}
+	fc.rbuf = fc.rbuf[:n]
+	if _, err := io.ReadFull(fc.br, fc.rbuf); err != nil {
+		return 0, nil, fmt.Errorf("%w: reading %d-byte frame payload: %v", ErrPeerClosed, n, err)
+	}
+	return ft, fc.rbuf, nil
+}
+
+// writeFrame writes one frame and flushes. Safe for concurrent callers.
+func (fc *frameConn) writeFrame(ft frameType, payload []byte) error {
+	if len(payload) > fc.maxFrame {
+		return fmt.Errorf("%w: frame payload %d bytes over the %d limit", ErrProtocol, len(payload), fc.maxFrame)
+	}
+	var hdr [frameHeaderLen]byte
+	copy(hdr[:4], frameMagic[:])
+	hdr[4] = byte(ft)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	if _, err := fc.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("%w: writing frame header: %v", ErrPeerClosed, err)
+	}
+	if _, err := fc.bw.Write(payload); err != nil {
+		return fmt.Errorf("%w: writing frame payload: %v", ErrPeerClosed, err)
+	}
+	if err := fc.bw.Flush(); err != nil {
+		return fmt.Errorf("%w: flushing frame: %v", ErrPeerClosed, err)
+	}
+	return nil
+}
+
+// writeJSON marshals v into a frame of type ft.
+func (fc *frameConn) writeJSON(ft frameType, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("shard: encoding %T: %w", v, err)
+	}
+	return fc.writeFrame(ft, b)
+}
+
+func (fc *frameConn) Close() error { return fc.c.Close() }
+
+// activation payload layout: seq u64 | count u16 | count ORPT messages.
+const actHeaderLen = 10
+
+// appendActivations encodes one request's tensors into dst (reused
+// across requests): fp32 ORPT messages, or u8 with per-tensor affine
+// parameters when int8 is set. Tensor order must match the boundary
+// descriptors exchanged at handshake.
+func appendActivations(dst []byte, seq uint64, tensors [][]float32, shapes [][]int, int8wire bool, qbuf []byte) ([]byte, []byte) {
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(tensors)))
+	for i, data := range tensors {
+		if int8wire {
+			if cap(qbuf) < len(data) {
+				qbuf = make([]byte, len(data))
+			}
+			q := qbuf[:len(data)]
+			scale, zero := wire.QuantizeU8(q, data)
+			dst = wire.AppendTensorU8(dst, q, shapes[i], scale, zero)
+		} else {
+			dst = wire.AppendTensor(dst, data, shapes[i])
+		}
+	}
+	return dst, qbuf
+}
+
+// decodeActivations parses an activation payload against the expected
+// descriptors, dequantizing u8 tensors transparently. dst[i] receives
+// tensor i's values and must already have the descriptor's volume.
+func decodeActivations(payload []byte, descs []TensorDesc, dst [][]float32) (seq uint64, err error) {
+	if len(payload) < actHeaderLen {
+		return 0, fmt.Errorf("%w: activation payload is %d bytes", ErrProtocol, len(payload))
+	}
+	seq = binary.LittleEndian.Uint64(payload)
+	count := int(binary.LittleEndian.Uint16(payload[8:]))
+	if count != len(descs) {
+		return seq, fmt.Errorf("%w: frame carries %d tensors, stage expects %d", ErrProtocol, count, len(descs))
+	}
+	rest := payload[actHeaderLen:]
+	for i, d := range descs {
+		hdr, hl, herr := wire.ParseHeader(rest, 0)
+		if herr != nil {
+			return seq, fmt.Errorf("%w: tensor %d (%s): %v", ErrProtocol, i, d.Name, herr)
+		}
+		if hdr.Volume() != len(dst[i]) {
+			return seq, fmt.Errorf("%w: tensor %d (%s) has %d values, want %d",
+				ErrProtocol, i, d.Name, hdr.Volume(), len(dst[i]))
+		}
+		if len(rest) < hl+hdr.DataLen {
+			return seq, fmt.Errorf("%w: tensor %d (%s) truncated", ErrProtocol, i, d.Name)
+		}
+		body := rest[hl : hl+hdr.DataLen]
+		switch hdr.DType {
+		case wire.U8:
+			err = wire.DequantizeU8Into(dst[i], body, hdr.Scale, hdr.Zero)
+		default:
+			err = wire.Float32Into(dst[i], body)
+		}
+		if err != nil {
+			return seq, fmt.Errorf("%w: tensor %d (%s): %v", ErrProtocol, i, d.Name, err)
+		}
+		rest = rest[hl+hdr.DataLen:]
+	}
+	if len(rest) != 0 {
+		return seq, fmt.Errorf("%w: %d trailing bytes after %d tensors", ErrProtocol, len(rest), count)
+	}
+	return seq, nil
+}
+
+// appendError encodes an error frame payload: the failing request's
+// seq followed by the JSON RemoteError.
+func appendError(dst []byte, seq uint64, re *RemoteError) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	b, _ := json.Marshal(re)
+	return append(dst, b...)
+}
+
+// decodeError parses an error frame payload back into its sequence id
+// and remote error.
+func decodeError(payload []byte) (uint64, *RemoteError, error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("%w: error payload is %d bytes", ErrProtocol, len(payload))
+	}
+	seq := binary.LittleEndian.Uint64(payload)
+	var re RemoteError
+	if err := json.Unmarshal(payload[8:], &re); err != nil {
+		return seq, nil, fmt.Errorf("%w: decoding error frame: %v", ErrProtocol, err)
+	}
+	return seq, &re, nil
+}
+
+// descsEqual reports whether two boundary descriptor lists agree in
+// order, name and shape — the pairing precondition for a stage link.
+func descsEqual(a, b []TensorDesc) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Shape) != len(b[i].Shape) {
+			return false
+		}
+		for j := range a[i].Shape {
+			if a[i].Shape[j] != b[i].Shape[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// jsonUnmarshal decodes a JSON handshake payload, typing failures as
+// protocol errors.
+func jsonUnmarshal(b []byte, v any) error {
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("%w: decoding %T: %v", ErrProtocol, v, err)
+	}
+	return nil
+}

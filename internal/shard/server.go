@@ -1,0 +1,664 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"orpheus/internal/backend"
+	"orpheus/internal/graph"
+	"orpheus/internal/passes"
+	"orpheus/internal/runtime"
+	"orpheus/internal/tensor"
+)
+
+// Config parameterises one pipeline stage.
+type Config struct {
+	// Model is the model name exchanged in handshakes; peers refuse to
+	// pair across different models.
+	Model string
+	// Graph is the full (unpartitioned) model graph. The server derives
+	// its own stage subgraph from Index/Count, so every stage can be
+	// started from the same model file with nothing but a different
+	// -shard flag.
+	Graph *graph.Graph
+	// Index is this stage's 0-based position; Count the total number of
+	// stages.
+	Index, Count int
+	// Backend names the execution backend ("orpheus" if empty).
+	Backend string
+	// Workers is the kernel goroutine budget per inference (<=0: 1).
+	Workers int
+	// Next is the downstream stage's address; empty marks the terminal
+	// stage, which streams results to its collector instead.
+	Next string
+	// Int8Wire quantizes outgoing boundary activations to u8 frames —
+	// 4× less transfer per cut, at quantization precision.
+	Int8Wire bool
+	// Depth bounds in-flight requests inside the stage: frames beyond it
+	// queue in the kernel socket buffer, giving natural backpressure all
+	// the way to the driver. <=0 means 4.
+	Depth int
+	// StageTimeout bounds one request's compute on this stage (<=0: no
+	// deadline beyond the driver's).
+	StageTimeout time.Duration
+	// MaxFrame bounds one frame's payload (<=0: DefaultMaxFrame).
+	MaxFrame int
+	// DialBackoff is the initial backoff for downstream dials, doubling
+	// to 32× per retry (<=0: 50ms).
+	DialBackoff time.Duration
+}
+
+// Stats is a point-in-time snapshot of a stage's counters.
+type Stats struct {
+	// Processed counts requests executed by this stage.
+	Processed int64
+	// Errors counts requests that failed here (including timeouts).
+	Errors int64
+	// Forwarded counts error frames from upstream passed through.
+	Forwarded int64
+	// Dropped counts result frames lost because no collector was
+	// attached when they completed.
+	Dropped int64
+}
+
+// job is one unit of stage work, decoded off the feed connection.
+type job struct {
+	seq    uint64
+	inputs map[string]*tensor.Tensor
+	// err, when set, is an upstream failure to pass through in stream
+	// order instead of executing anything.
+	err *RemoteError
+	// drain marks the end of the feed stream: forward the drain mark
+	// downstream and finish.
+	drain bool
+}
+
+// Server runs one stage of a sharded pipeline: it accepts a feed
+// connection, executes its subgraph over each activation frame with
+// bounded in-flight depth, and forwards boundary activations to the
+// next stage (or results to the collector on the terminal stage).
+type Server struct {
+	cfg  Config
+	pool *runtime.SessionPool
+	in   []TensorDesc
+	out  []TensorDesc
+
+	ln   net.Listener
+	work chan job
+	quit chan struct{}
+
+	mu         sync.Mutex
+	feed       *frameConn
+	collector  *frameConn
+	collAttach chan struct{} // closed and replaced when a collector attaches
+	down       *frameConn
+
+	conns  sync.WaitGroup
+	worker sync.WaitGroup
+	closed atomic.Bool
+
+	processed atomic.Int64
+	errors    atomic.Int64
+	forwarded atomic.Int64
+	dropped   atomic.Int64
+}
+
+// New partitions cfg.Graph into cfg.Count stages, compiles stage
+// cfg.Index on the configured backend and returns a server ready to
+// Serve. Every stage of a pipeline derives the same partition from the
+// same model, so the only cross-stage coordination is the handshake.
+func New(cfg Config) (*Server, error) {
+	if cfg.Count < 1 || cfg.Index < 0 || cfg.Index >= cfg.Count {
+		return nil, fmt.Errorf("shard: invalid shard %d/%d", cfg.Index+1, cfg.Count)
+	}
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("shard: nil graph")
+	}
+	if cfg.Model == "" {
+		cfg.Model = cfg.Graph.Name
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 4
+	}
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = 50 * time.Millisecond
+	}
+	res, err := passes.PartitionPipeline(cfg.Graph, cfg.Count)
+	if err != nil {
+		return nil, err
+	}
+	sub := res.Shards[cfg.Index]
+	name := cfg.Backend
+	if name == "" {
+		name = "orpheus"
+	}
+	be, err := backend.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := be.PrepareWith(sub, backend.PrepareOpts{Workers: cfg.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("shard: preparing stage %d/%d: %w", cfg.Index+1, cfg.Count, err)
+	}
+	s := &Server{
+		cfg:        cfg,
+		pool:       runtime.NewSessionPool(plan),
+		in:         descsOf(plan.InputDescs()),
+		out:        descsOf(plan.OutputDescs()),
+		work:       make(chan job, cfg.Depth),
+		quit:       make(chan struct{}),
+		collAttach: make(chan struct{}),
+	}
+	return s, nil
+}
+
+// descsOf projects runtime IO descriptors onto the wire's TensorDesc.
+func descsOf(ds []runtime.IODesc) []TensorDesc {
+	out := make([]TensorDesc, len(ds))
+	for i, d := range ds {
+		out[i] = TensorDesc{Name: d.Name, Shape: d.Shape}
+	}
+	return out
+}
+
+// Plan exposes the stage's compiled plan — the hook the stress battery
+// uses to inject faults with runtime.Plan.SetFault.
+func (s *Server) Plan() *runtime.Plan { return s.pool.Plan() }
+
+// Inputs returns the stage's boundary input descriptors.
+func (s *Server) Inputs() []TensorDesc { return s.in }
+
+// Outputs returns the stage's boundary output descriptors.
+func (s *Server) Outputs() []TensorDesc { return s.out }
+
+// Stats snapshots the stage counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Processed: s.processed.Load(),
+		Errors:    s.errors.Load(),
+		Forwarded: s.forwarded.Load(),
+		Dropped:   s.dropped.Load(),
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("shard: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts stage connections on ln until Close. The worker that
+// executes the subgraph starts with the first accepted feed and runs
+// until the server drains.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.worker.Add(1)
+	go s.runWorker()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return fmt.Errorf("shard: accept: %w", err)
+		}
+		s.conns.Add(1)
+		go func() {
+			defer s.conns.Done()
+			s.handleConn(c)
+		}()
+	}
+}
+
+// Addr returns the listener address once Serve has begun, for tests and
+// harnesses that listen on port 0.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// handleConn performs the handshake and runs the connection's role
+// loop: feeds decode activations into the work queue, collectors park
+// until the terminal stage has results for them.
+func (s *Server) handleConn(c net.Conn) {
+	fc := newFrameConn(c, s.cfg.MaxFrame)
+	_ = c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	ft, payload, err := fc.readFrame()
+	if err != nil || ft != ftHello {
+		_ = fc.Close()
+		return
+	}
+	var h hello
+	if err := jsonUnmarshal(payload, &h); err != nil {
+		_ = fc.Close()
+		return
+	}
+	if err := s.checkHello(&h); err != nil {
+		// A handshake refusal travels back as an error frame so the
+		// dialer reports the cause instead of a bare disconnect.
+		_ = fc.writeFrame(ftError, appendError(nil, 0, &RemoteError{
+			Shard: s.cfg.Index, Code: "handshake", Msg: err.Error(),
+		}))
+		_ = fc.Close()
+		return
+	}
+	_ = c.SetReadDeadline(time.Time{})
+	w := welcome{
+		Version: ProtocolVersion, Model: s.cfg.Model,
+		Shard: s.cfg.Index, Count: s.cfg.Count,
+		Inputs: s.in, Outputs: s.out,
+	}
+	if err := fc.writeJSON(ftWelcome, &w); err != nil {
+		_ = fc.Close()
+		return
+	}
+	switch h.Role {
+	case "feed":
+		s.feedLoop(fc)
+	case "collect":
+		s.collectLoop(fc)
+	}
+}
+
+// checkHello validates a dialer's handshake against this stage.
+func (s *Server) checkHello(h *hello) error {
+	if h.Version != ProtocolVersion {
+		return fmt.Errorf("protocol version %d, want %d", h.Version, ProtocolVersion)
+	}
+	if h.Model != s.cfg.Model {
+		return fmt.Errorf("model %q, this stage serves %q", h.Model, s.cfg.Model)
+	}
+	if h.Count != s.cfg.Count {
+		return fmt.Errorf("pipeline of %d stages, this stage is %d of %d", h.Count, s.cfg.Index+1, s.cfg.Count)
+	}
+	switch h.Role {
+	case "feed":
+		if len(h.Tensors) > 0 && !descsEqual(h.Tensors, s.in) {
+			return fmt.Errorf("boundary mismatch: feed sends %v, stage expects %v", h.Tensors, s.in)
+		}
+	case "collect":
+		if s.cfg.Next != "" {
+			return fmt.Errorf("stage %d is not terminal; collect from the last stage", s.cfg.Index+1)
+		}
+	default:
+		return fmt.Errorf("unknown role %q", h.Role)
+	}
+	return nil
+}
+
+// feedLoop owns one feed connection: it decodes activation frames into
+// jobs and enqueues them. The queue's capacity is the stage's in-flight
+// depth — when the worker falls behind, this loop blocks, TCP flow
+// control pushes back, and the driver's depth limit caps the total.
+func (s *Server) feedLoop(fc *frameConn) {
+	s.mu.Lock()
+	if s.feed != nil {
+		_ = s.feed.Close() // a reconnecting feeder supersedes the old link
+	}
+	s.feed = fc
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if s.feed == fc {
+			s.feed = nil
+		}
+		s.mu.Unlock()
+		_ = fc.Close()
+	}()
+	for {
+		ft, payload, err := fc.readFrame()
+		if err != nil {
+			return
+		}
+		switch ft {
+		case ftActivations:
+			j, derr := s.decodeJob(payload)
+			if derr != nil {
+				// A frame that fails to decode poisons the connection:
+				// report and force the feeder to re-handshake.
+				s.errors.Add(1)
+				_ = fc.writeFrame(ftError, appendError(nil, j.seq, &RemoteError{
+					Shard: s.cfg.Index, Code: "decode", Msg: derr.Error(),
+				}))
+				return
+			}
+			select {
+			case s.work <- j:
+			case <-s.quit:
+				return
+			}
+		case ftError:
+			seq, re, derr := decodeError(payload)
+			if derr != nil {
+				return
+			}
+			select {
+			case s.work <- job{seq: seq, err: re}:
+			case <-s.quit:
+				return
+			}
+		case ftDrain:
+			// Drain marks end-of-stream, not end-of-connection: a
+			// stage-to-stage link outlives the driver that triggered the
+			// drain, so keep reading for the next stream. Closing here
+			// would leave the upstream stage holding a half-closed
+			// socket whose first write silently vanishes.
+			select {
+			case s.work <- job{drain: true}:
+			case <-s.quit:
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// decodeJob stages one activation frame into freshly allocated input
+// tensors (each in-flight job owns its inputs, so depth > 1 overlaps
+// decode with compute).
+func (s *Server) decodeJob(payload []byte) (job, error) {
+	inputs := make(map[string]*tensor.Tensor, len(s.in))
+	dst := make([][]float32, len(s.in))
+	for i, d := range s.in {
+		t := tensor.New(d.Shape...)
+		inputs[d.Name] = t
+		dst[i] = t.Data()
+	}
+	seq, err := decodeActivations(payload, s.in, dst)
+	if err != nil {
+		return job{seq: seq}, err
+	}
+	return job{seq: seq, inputs: inputs}, nil
+}
+
+// collectLoop parks a collector connection on the terminal stage. The
+// read side only watches for disconnect; results are written by the
+// worker.
+func (s *Server) collectLoop(fc *frameConn) {
+	s.mu.Lock()
+	if s.collector != nil {
+		_ = s.collector.Close()
+	}
+	s.collector = fc
+	close(s.collAttach)
+	s.collAttach = make(chan struct{})
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if s.collector == fc {
+			s.collector = nil
+		}
+		s.mu.Unlock()
+		_ = fc.Close()
+	}()
+	for {
+		ft, _, err := fc.readFrame()
+		if err != nil || ft == ftDrain {
+			return
+		}
+	}
+}
+
+// runWorker executes jobs in arrival (sequence) order: run the stage
+// subgraph, then forward boundary activations downstream or results to
+// the collector. One worker keeps per-stage ordering trivial; pipeline
+// overlap comes from stages running concurrently plus the decode
+// prefetch in feedLoop.
+func (s *Server) runWorker() {
+	defer s.worker.Done()
+	var enc, qbuf []byte
+	for {
+		var j job
+		select {
+		case j = <-s.work:
+		case <-s.quit:
+			// Drain whatever was already queued before quitting.
+			select {
+			case j = <-s.work:
+			default:
+				return
+			}
+		}
+		switch {
+		case j.drain:
+			s.forwardDrain()
+			continue
+		case j.err != nil:
+			s.forwarded.Add(1)
+			s.forwardError(j.seq, j.err)
+			continue
+		}
+		ctx := context.Background()
+		var cancel context.CancelFunc
+		if s.cfg.StageTimeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.StageTimeout)
+		}
+		outs, err := s.pool.Run(ctx, j.inputs)
+		if cancel != nil {
+			cancel()
+		}
+		if err != nil {
+			s.errors.Add(1)
+			code := "run"
+			if errors.Is(err, context.DeadlineExceeded) {
+				code = "timeout"
+			} else if errors.Is(err, runtime.ErrPlanPanic) {
+				code = "panic"
+			}
+			s.forwardError(j.seq, &RemoteError{Shard: s.cfg.Index, Code: code, Msg: err.Error()})
+			continue
+		}
+		s.processed.Add(1)
+		tensors := make([][]float32, len(s.out))
+		shapes := make([][]int, len(s.out))
+		for i, d := range s.out {
+			tensors[i] = outs[d.Name].Data()
+			shapes[i] = d.Shape
+		}
+		enc, qbuf = appendActivations(enc[:0], j.seq, tensors, shapes, s.cfg.Int8Wire && s.cfg.Next != "", qbuf)
+		s.forward(ftActivations, enc)
+	}
+}
+
+// forward sends one request's output frame downstream (as activations
+// to the next stage) or to the collector (as a result on the terminal
+// stage). Downstream delivery retries with backoff — blocking here is
+// what turns a dead peer into backpressure instead of data loss.
+func (s *Server) forward(ft frameType, payload []byte) {
+	if s.cfg.Next == "" {
+		fc := s.waitCollector()
+		if fc == nil {
+			s.dropped.Add(1)
+			return
+		}
+		if ft == ftActivations {
+			ft = ftResult // results leave the terminal stage as result frames
+		}
+		if err := fc.writeFrame(ft, payload); err != nil {
+			s.mu.Lock()
+			if s.collector == fc {
+				s.collector = nil
+			}
+			s.mu.Unlock()
+			s.dropped.Add(1)
+		}
+		return
+	}
+	backoff := s.cfg.DialBackoff
+	for {
+		fc, err := s.downstream()
+		if err == nil {
+			if err = fc.writeFrame(ft, payload); err == nil {
+				return
+			}
+			s.dropDownstream(fc)
+		}
+		select {
+		case <-s.quit:
+			s.dropped.Add(1)
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < 32*s.cfg.DialBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// forwardError sends an error frame for seq along the same path results
+// take, so the failure reaches the driver in the request's stream slot.
+func (s *Server) forwardError(seq uint64, re *RemoteError) {
+	s.forward(ftError, appendError(nil, seq, re))
+}
+
+// forwardDrain propagates a graceful end-of-stream mark.
+func (s *Server) forwardDrain() {
+	if s.cfg.Next == "" {
+		s.mu.Lock()
+		fc := s.collector
+		s.mu.Unlock()
+		if fc != nil {
+			_ = fc.writeFrame(ftDrain, nil)
+		}
+		return
+	}
+	if fc, err := s.downstream(); err == nil {
+		_ = fc.writeFrame(ftDrain, nil)
+	}
+}
+
+// waitCollector blocks until a collector is attached or the server
+// quits, returning nil in the latter case.
+func (s *Server) waitCollector() *frameConn {
+	for {
+		s.mu.Lock()
+		fc, attach := s.collector, s.collAttach
+		s.mu.Unlock()
+		if fc != nil {
+			return fc
+		}
+		select {
+		case <-attach:
+		case <-s.quit:
+			return nil
+		}
+	}
+}
+
+// downstream returns the connection to the next stage, dialing and
+// handshaking on first use or after a drop.
+func (s *Server) downstream() (*frameConn, error) {
+	s.mu.Lock()
+	fc := s.down
+	s.mu.Unlock()
+	if fc != nil {
+		return fc, nil
+	}
+	c, err := net.DialTimeout("tcp", s.cfg.Next, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dialing next stage %s: %v", ErrPeerClosed, s.cfg.Next, err)
+	}
+	nfc := newFrameConn(c, s.cfg.MaxFrame)
+	h := hello{
+		Version: ProtocolVersion, Model: s.cfg.Model, Role: "feed",
+		Shard: s.cfg.Index, Count: s.cfg.Count, Int8: s.cfg.Int8Wire,
+		Tensors: s.out,
+	}
+	if err := handshake(nfc, &h, nil); err != nil {
+		_ = nfc.Close()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.down = nfc
+	s.mu.Unlock()
+	return nfc, nil
+}
+
+// dropDownstream discards a failed downstream connection so the next
+// forward re-dials.
+func (s *Server) dropDownstream(fc *frameConn) {
+	s.mu.Lock()
+	if s.down == fc {
+		s.down = nil
+	}
+	s.mu.Unlock()
+	_ = fc.Close()
+}
+
+// Close drains the stage: stop accepting, let queued work finish, then
+// tear the connections down. Safe to call more than once.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.mu.Lock()
+	ln, feed := s.ln, s.feed
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	if feed != nil {
+		_ = feed.Close() // unblocks feedLoop's read
+	}
+	close(s.quit)
+	s.conns.Wait()
+	s.worker.Wait()
+	s.mu.Lock()
+	for _, fc := range []*frameConn{s.down, s.collector} {
+		if fc != nil {
+			_ = fc.Close()
+		}
+	}
+	s.down, s.collector = nil, nil
+	s.mu.Unlock()
+	return nil
+}
+
+// handshake sends h on fc and waits for the welcome, returning it via
+// w when non-nil. An error frame in place of the welcome is decoded
+// and surfaced as the remote refusal it carries.
+func handshake(fc *frameConn, h *hello, w *welcome) error {
+	if err := fc.writeJSON(ftHello, h); err != nil {
+		return fmt.Errorf("%w: sending hello: %v", ErrHandshake, err)
+	}
+	ft, payload, err := fc.readFrame()
+	if err != nil {
+		return fmt.Errorf("%w: awaiting welcome: %v", ErrHandshake, err)
+	}
+	switch ft {
+	case ftWelcome:
+	case ftError:
+		if _, re, derr := decodeError(payload); derr == nil {
+			return fmt.Errorf("%w: %v", ErrHandshake, re)
+		}
+		return fmt.Errorf("%w: peer refused", ErrHandshake)
+	default:
+		return fmt.Errorf("%w: unexpected frame type %d before welcome", ErrHandshake, ft)
+	}
+	var got welcome
+	if err := jsonUnmarshal(payload, &got); err != nil {
+		return fmt.Errorf("%w: decoding welcome: %v", ErrHandshake, err)
+	}
+	if got.Version != ProtocolVersion {
+		return fmt.Errorf("%w: peer speaks version %d, want %d", ErrHandshake, got.Version, ProtocolVersion)
+	}
+	if w != nil {
+		*w = got
+	}
+	return nil
+}

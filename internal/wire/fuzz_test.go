@@ -46,6 +46,16 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add([]byte("ORPT\x01\x01\xff\xff"))
 	f.Add([]byte("ORPT\x01\x01\x02\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
 	f.Add(append([]byte("ORPT\x01\x01\x00\x00"), bytes.Repeat([]byte{0xff}, 32)...))
+	// Well-formed u8 seeds: a quantized vector and a u8 message whose
+	// reserved extension bytes are nonzero (must be rejected — canonical
+	// encoding is what makes round-trips byte-exact).
+	q := make([]byte, 6)
+	scale, zero := QuantizeU8(q, []float32{-1, -0.5, 0, 0.25, 0.5, 1})
+	u8msg := AppendTensorU8(nil, q, []int{2, 3}, scale, zero)
+	f.Add(u8msg)
+	bad := append([]byte(nil), u8msg...)
+	bad[len(bad)-len(q)-1] = 0xff // last reserved extension byte
+	f.Add(bad)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec, err := DecodeBytes(data, fuzzLimit)
@@ -60,8 +70,20 @@ func FuzzWireDecode(f *testing.F) {
 		if 4*dec.Size() > fuzzLimit {
 			t.Fatalf("decode allocated %d bytes past the %d limit", 4*dec.Size(), fuzzLimit)
 		}
-		// Guarantee 3: byte-exact round-trip.
-		re := AppendTensor(nil, dec.Data(), dec.Shape())
+		// Guarantee 3: byte-exact round-trip. Re-encode from the parsed
+		// header's dtype — a u8 message round-trips through its raw
+		// quantized payload, not through the dequantized floats.
+		hdr, payload, perr := ParseMessage(data, fuzzLimit)
+		if perr != nil {
+			t.Fatalf("ParseMessage rejected what DecodeBytes accepted: %v", perr)
+		}
+		var re []byte
+		switch hdr.DType {
+		case U8:
+			re = AppendTensorU8(nil, payload, hdr.Shape(), hdr.Scale, hdr.Zero)
+		default:
+			re = AppendTensor(nil, dec.Data(), dec.Shape())
+		}
 		if !bytes.Equal(re, data) {
 			t.Fatalf("round-trip diverged:\n in: %x\nout: %x", data, re)
 		}

@@ -69,10 +69,101 @@ func TestGoldenFixtures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	u8refs := testU8Fixtures()
 	for _, f := range files {
 		name := filepath.Base(f)
-		if _, ok := refs[name[:len(name)-len(".bin")]]; !ok {
-			t.Errorf("fixture %s has no reference tensor in testTensors()", f)
+		name = name[:len(name)-len(".bin")]
+		_, f32 := refs[name]
+		_, u8 := u8refs[name]
+		if !f32 && !u8 {
+			t.Errorf("fixture %s has no reference in testTensors() or testU8Fixtures()", f)
 		}
+	}
+}
+
+// u8Fixture is a reference quantized tensor for the u8 golden battery:
+// the raw quantized payload plus the affine parameters the header
+// extension must carry.
+type u8Fixture struct {
+	data  []byte
+	shape []int
+	scale float32
+	zero  uint8
+}
+
+// testU8Fixtures returns the reference set for the u8 wire fixtures.
+// Fixture names are prefixed u8- so the stray-file check can attribute
+// every testdata/*.bin to exactly one battery.
+func testU8Fixtures() map[string]u8Fixture {
+	quant := func(shape []int, vals []float32) u8Fixture {
+		q := make([]byte, len(vals))
+		scale, zero := QuantizeU8(q, vals)
+		return u8Fixture{data: q, shape: shape, scale: scale, zero: zero}
+	}
+	return map[string]u8Fixture{
+		// A mixed-sign activation block: nonzero scale and zero point.
+		"u8-act2x4": quant([]int{2, 4}, []float32{-1.5, -0.25, 0, 0.75, 1.25, 2, 3.5, 6}),
+		// All-equal data: the degenerate encoding (q=1, scale=value).
+		"u8-const3": quant([]int{3}, []float32{2.5, 2.5, 2.5}),
+		// Empty tensor: header extension present, no payload.
+		"u8-empty": {data: nil, shape: []int{0}, scale: 1, zero: 0},
+		// Raw passthrough bytes with explicit parameters.
+		"u8-raw4": {data: []byte{0, 1, 128, 255}, shape: []int{4}, scale: 0.5, zero: 128},
+	}
+}
+
+// TestGoldenFixturesU8 pins the u8 encoding — header extension layout
+// (scale f32 LE, zero point, three reserved-zero bytes) and payload —
+// against checked-in bytes, exactly as TestGoldenFixtures does for
+// float32. Decodes additionally verify the dequantized values.
+func TestGoldenFixturesU8(t *testing.T) {
+	for name, ref := range testU8Fixtures() {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("testdata", name+".bin")
+			enc := AppendTensorU8(nil, ref.data, ref.shape, ref.scale, ref.zero)
+			if len(enc) != EncodedSizeU8(ref.shape) {
+				t.Fatalf("encoded %d bytes, EncodedSizeU8 says %d", len(enc), EncodedSizeU8(ref.shape))
+			}
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, enc, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden fixture missing (run with -update after a deliberate format change): %v", err)
+			}
+			if !bytes.Equal(enc, want) {
+				t.Fatalf("u8 encoding of %q drifted from its golden fixture:\n got: %x\nwant: %x", name, enc, want)
+			}
+			// The fixture parses back to the same parameters and payload…
+			hdr, payload, err := ParseMessage(want, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hdr.DType != U8 || hdr.Scale != ref.scale || hdr.Zero != ref.zero {
+				t.Fatalf("parsed dtype=%v scale=%v zero=%d, want u8 scale=%v zero=%d",
+					hdr.DType, hdr.Scale, hdr.Zero, ref.scale, ref.zero)
+			}
+			if !bytes.Equal(payload, ref.data) {
+				t.Fatalf("payload %x, want %x", payload, ref.data)
+			}
+			// …and decodes to the dequantized values.
+			dec, err := DecodeBytes(want, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dd := dec.Data()
+			for i, q := range ref.data {
+				want := ref.scale * (float32(q) - float32(ref.zero))
+				if dd[i] != want {
+					t.Fatalf("decoded data[%d] = %v, want %v", i, dd[i], want)
+				}
+			}
+		})
 	}
 }

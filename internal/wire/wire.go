@@ -71,29 +71,53 @@ var Magic = [4]byte{'O', 'R', 'P', 'T'}
 // DType identifies the element encoding of the data section.
 type DType uint8
 
-// Element dtypes of version 1. Float32 is the only one the runtime
-// executes today; the field is 8 bits wide so int8 activations (the
-// DEFER-style compressed pipeline transfer) can join without a version
-// bump.
+// Element dtypes of version 1. Float32 is what the runtime executes; U8
+// is the quantized transfer encoding the sharded pipeline streams between
+// stages (DEFER-style activation compression) — it joined without a
+// version bump because the dtype field was sized for it from the start.
 const (
 	// Float32 is little-endian IEEE-754 binary32.
 	Float32 DType = 1
+	// U8 is affine-quantized uint8: value = Scale × (q − Zero), with the
+	// scale and zero point carried in an 8-byte header extension after
+	// the dims table (see U8ExtLen). Decoding dequantizes to float32.
+	U8 DType = 2
 )
+
+// U8ExtLen is the byte length of the U8 header extension that follows the
+// dims table: scale (float32 LE), zero point (uint8), then 3 reserved
+// bytes that MUST be zero (the encoding stays canonical, so every
+// well-formed message re-encodes byte-exactly).
+const U8ExtLen = 8
 
 // Size returns the byte width of one element, or 0 for an unknown dtype.
 func (d DType) Size() int {
-	if d == Float32 {
+	switch d {
+	case Float32:
 		return 4
+	case U8:
+		return 1
 	}
 	return 0
 }
 
 // String names the dtype for error messages.
 func (d DType) String() string {
-	if d == Float32 {
+	switch d {
+	case Float32:
 		return "float32"
+	case U8:
+		return "uint8"
 	}
 	return fmt.Sprintf("dtype(%d)", uint8(d))
+}
+
+// extLen returns the byte length of the dtype's header extension.
+func (d DType) extLen() int {
+	if d == U8 {
+		return U8ExtLen
+	}
+	return 0
 }
 
 // Typed sentinel errors of the decode path; every validation failure
@@ -122,6 +146,11 @@ type Header struct {
 	Dims [MaxRank]int
 	// DataLen is the exact byte length of the data section.
 	DataLen int
+	// Scale and Zero are the U8 affine-quantization parameters from the
+	// header extension (value = Scale × (q − Zero)); zero for Float32.
+	Scale float32
+	// Zero is the U8 zero point.
+	Zero uint8
 }
 
 // Shape returns the dims as a slice aliasing the header (no allocation).
@@ -130,8 +159,9 @@ func (h *Header) Shape() []int { return h.Dims[:h.Rank] }
 // Volume returns the element count (product of dims; 1 for a scalar).
 func (h *Header) Volume() int { return h.DataLen / h.DType.Size() }
 
-// HeaderLen returns the encoded header length for the header's rank.
-func (h *Header) HeaderLen() int { return FixedHeaderLen + 4*h.Rank }
+// HeaderLen returns the encoded header length for the header's rank and
+// dtype (the U8 extension included).
+func (h *Header) HeaderLen() int { return FixedHeaderLen + 4*h.Rank + h.DType.extLen() }
 
 // HeaderSize returns the encoded header length for a tensor of the given
 // rank: the fixed prefix plus one uint32 per dimension.
@@ -179,8 +209,12 @@ func ParseHeader(b []byte, maxBytes int64) (hdr Header, n int, err error) {
 	}
 	// The shape product is accumulated in uint64 against the decode
 	// limit, so a hostile shape cannot overflow into a small allocation
-	// (e.g. 2^32 × 2^32 wrapping to 0) or a huge one.
-	maxElems := uint64(maxBytes) / uint64(esize)
+	// (e.g. 2^32 × 2^32 wrapping to 0) or a huge one. The element bound
+	// divides by the decoded (float32) width, not the wire width, so a
+	// U8 payload cannot expand 4× past the limit on dequantization —
+	// the limit caps what decoding materialises, not what the wire
+	// carried.
+	maxElems := uint64(maxBytes) / 4
 	vol := uint64(1)
 	for i := 0; i < rank; i++ {
 		d := uint64(binary.LittleEndian.Uint32(b[FixedHeaderLen+4*i:]))
@@ -205,7 +239,34 @@ func ParseHeader(b []byte, maxBytes int64) (hdr Header, n int, err error) {
 			ErrFormat, declared, vol, vol*uint64(esize))
 	}
 	hdr.DataLen = int(declared)
+	if ext := hdr.DType.extLen(); ext > 0 {
+		if len(b) < n+ext {
+			return hdr, 0, fmt.Errorf("%w: header truncated: %s extension needs %d bytes, have %d", ErrFormat, hdr.DType, n+ext, len(b))
+		}
+		hdr.Scale = math.Float32frombits(binary.LittleEndian.Uint32(b[n:]))
+		hdr.Zero = b[n+4]
+		if b[n+5] != 0 || b[n+6] != 0 || b[n+7] != 0 {
+			return hdr, 0, fmt.Errorf("%w: nonzero reserved bytes in %s extension", ErrFormat, hdr.DType)
+		}
+		n += ext
+	}
 	return hdr, n, nil
+}
+
+// ParseMessage validates one complete encoded tensor occupying exactly b:
+// the header (ParseHeader's contract) plus precisely DataLen payload
+// bytes. It returns the header and the payload aliasing b, allocating
+// nothing — the raw access path the shard protocol and the fuzz
+// round-trip use for non-float32 dtypes.
+func ParseMessage(b []byte, maxBytes int64) (Header, []byte, error) {
+	hdr, n, err := ParseHeader(b, maxBytes)
+	if err != nil {
+		return hdr, nil, err
+	}
+	if len(b) != n+hdr.DataLen {
+		return hdr, nil, fmt.Errorf("%w: message is %d bytes, header declares %d", ErrFormat, len(b), n+hdr.DataLen)
+	}
+	return hdr, b[n : n+hdr.DataLen], nil
 }
 
 // AppendHeader appends the encoded header for a float32 tensor of the
@@ -248,6 +309,116 @@ func AppendTensor(dst []byte, data []float32, shape []int) []byte {
 	return dst
 }
 
+// AppendTensorU8 appends the full encoding (header + extension + data) of
+// an affine-quantized uint8 tensor to dst and returns the extended slice:
+// each stored byte q represents the value scale × (q − zero). len(data)
+// must equal the shape volume. The sharded pipeline uses this to halve-
+// to-quarter boundary activation traffic in flight (-int8-wire).
+func AppendTensorU8(dst []byte, data []byte, shape []int, scale float32, zero uint8) []byte {
+	if len(data) != tensor.Volume(shape) {
+		panic(fmt.Sprintf("wire: %d data values do not match shape %v", len(data), shape))
+	}
+	if len(shape) > MaxRank {
+		panic(fmt.Sprintf("wire: rank %d exceeds MaxRank %d", len(shape), MaxRank))
+	}
+	for _, d := range shape {
+		if d < 0 || uint64(d) > math.MaxUint32 {
+			panic(fmt.Sprintf("wire: dimension %d does not fit the format", d))
+		}
+	}
+	dst = append(dst, Magic[0], Magic[1], Magic[2], Magic[3], Version, byte(U8))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(shape)))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(data)))
+	for _, d := range shape {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(d))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(scale))
+	dst = append(dst, zero, 0, 0, 0)
+	return append(dst, data...)
+}
+
+// EncodedSizeU8 returns the total encoded byte length of a uint8 tensor
+// with the given shape.
+func EncodedSizeU8(shape []int) int {
+	return HeaderSize(len(shape)) + U8ExtLen + tensor.Volume(shape)
+}
+
+// QuantizeU8 affine-quantizes data into q (which must be the same
+// length), returning the scale and zero point that AppendTensorU8 needs:
+// scale = (max−min)/255 over the data with the range widened to include
+// 0 (so the zero point is exactly representable), zero = the point
+// mapping the range minimum to 0. All-equal data reconstructs exactly.
+// The maximum absolute reconstruction error is scale/2 per element.
+func QuantizeU8(q []byte, data []float32) (scale float32, zero uint8) {
+	if len(q) != len(data) {
+		panic(fmt.Sprintf("wire: quantize destination holds %d values, data has %d", len(q), len(data)))
+	}
+	if len(data) == 0 {
+		return 0, 0
+	}
+	lo, hi := data[0], data[0]
+	for _, v := range data[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		// Constant data: encode every element as q=1 with scale = the
+		// value, so scale × (1 − 0) reconstructs it exactly (including 0).
+		for i := range q {
+			q[i] = 1
+		}
+		return lo, 0
+	}
+	// The quantized range must include zero, so the zero point is exactly
+	// representable and lands in [0, 255] without clamping. Without this,
+	// all-positive data computes a negative zero point, the clamp forces
+	// it to 0, and the top of the range saturates (4.0 in {0.5..4} would
+	// decode as 3.5).
+	if lo > 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	scale = (hi - lo) / 255
+	inv := 1 / scale
+	zp := math.Round(float64(-lo * inv))
+	if zp < 0 {
+		zp = 0
+	} else if zp > 255 {
+		zp = 255
+	}
+	zero = uint8(zp)
+	for i, v := range data {
+		r := math.Round(float64(v*inv)) + zp
+		if r < 0 {
+			r = 0
+		} else if r > 255 {
+			r = 255
+		}
+		q[i] = uint8(r)
+	}
+	return scale, zero
+}
+
+// DequantizeU8Into decodes an affine-quantized uint8 payload into dst
+// without allocating: dst[i] = scale × (payload[i] − zero). len(payload)
+// must equal len(dst).
+func DequantizeU8Into(dst []float32, payload []byte, scale float32, zero uint8) error {
+	if len(payload) != len(dst) {
+		return fmt.Errorf("%w: payload is %d bytes, destination wants %d", ErrFormat, len(payload), len(dst))
+	}
+	z := int32(zero)
+	for i := range dst {
+		dst[i] = scale * float32(int32(payload[i])-z)
+	}
+	return nil
+}
+
 // Float32Into decodes a little-endian float32 payload into dst without
 // allocating. len(payload) must be exactly 4×len(dst).
 func Float32Into(dst []float32, payload []byte) error {
@@ -284,7 +455,7 @@ func Decode(r io.Reader) (*tensor.Tensor, error) {
 // allocating for it. It reads exactly the encoded bytes and no more, so
 // tensors can be streamed back to back on one connection.
 func DecodeLimit(r io.Reader, maxBytes int64) (*tensor.Tensor, error) {
-	var hb [FixedHeaderLen + 4*MaxRank]byte
+	var hb [FixedHeaderLen + 4*MaxRank + U8ExtLen]byte
 	if _, err := io.ReadFull(r, hb[:FixedHeaderLen]); err != nil {
 		return nil, fmt.Errorf("%w: reading header: %v", ErrFormat, err)
 	}
@@ -292,24 +463,39 @@ func DecodeLimit(r io.Reader, maxBytes int64) (*tensor.Tensor, error) {
 	if rank > MaxRank {
 		return nil, fmt.Errorf("%w: rank %d exceeds MaxRank %d", ErrFormat, rank, MaxRank)
 	}
-	if rank > 0 {
-		if _, err := io.ReadFull(r, hb[FixedHeaderLen:FixedHeaderLen+4*rank]); err != nil {
+	n := FixedHeaderLen + 4*rank + DType(hb[5]).extLen()
+	if n > FixedHeaderLen {
+		if _, err := io.ReadFull(r, hb[FixedHeaderLen:n]); err != nil {
 			return nil, fmt.Errorf("%w: reading dims: %v", ErrFormat, err)
 		}
 	}
-	hdr, _, err := ParseHeader(hb[:FixedHeaderLen+4*rank], maxBytes)
+	hdr, _, err := ParseHeader(hb[:n], maxBytes)
 	if err != nil {
 		return nil, err
 	}
-	data := make([]float32, hdr.Volume())
+	var payload []byte
 	if hdr.DataLen > 0 {
-		payload := make([]byte, hdr.DataLen)
+		payload = make([]byte, hdr.DataLen)
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return nil, fmt.Errorf("%w: payload truncated: %v", ErrFormat, err)
 		}
-		if err := Float32Into(data, payload); err != nil {
-			return nil, err
-		}
+	}
+	return decodePayload(&hdr, payload)
+}
+
+// decodePayload materialises the float32 tensor a validated (header,
+// payload) pair describes, dequantizing U8 data on the way in.
+func decodePayload(hdr *Header, payload []byte) (*tensor.Tensor, error) {
+	data := make([]float32, hdr.Volume())
+	var err error
+	switch hdr.DType {
+	case U8:
+		err = DequantizeU8Into(data, payload, hdr.Scale, hdr.Zero)
+	default:
+		err = Float32Into(data, payload)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return tensor.FromSlice(data, hdr.Shape()...), nil
 }
@@ -318,16 +504,9 @@ func DecodeLimit(r io.Reader, maxBytes int64) (*tensor.Tensor, error) {
 // encoded tensor and nothing else (trailing bytes are rejected — the
 // framing a length-prefixed format promises).
 func DecodeBytes(b []byte, maxBytes int64) (*tensor.Tensor, error) {
-	hdr, n, err := ParseHeader(b, maxBytes)
+	hdr, payload, err := ParseMessage(b, maxBytes)
 	if err != nil {
 		return nil, err
 	}
-	if len(b) != n+hdr.DataLen {
-		return nil, fmt.Errorf("%w: message is %d bytes, header declares %d", ErrFormat, len(b), n+hdr.DataLen)
-	}
-	data := make([]float32, hdr.Volume())
-	if err := Float32Into(data, b[n:]); err != nil {
-		return nil, err
-	}
-	return tensor.FromSlice(data, hdr.Shape()...), nil
+	return decodePayload(&hdr, payload)
 }

@@ -265,3 +265,100 @@ func TestDecodeShortReader(t *testing.T) {
 		}
 	}
 }
+
+// TestQuantizeU8RoundTrip pins the affine quantizer: every value must
+// reconstruct within one quantization step, the extremes must map to
+// the extremes of the u8 range, and degenerate (all-equal) data must
+// reconstruct exactly.
+func TestQuantizeU8RoundTrip(t *testing.T) {
+	cases := map[string][]float32{
+		"mixed-sign": {-2, -1, -0.5, 0, 0.25, 1, 3, 6},
+		"positive":   {0.5, 1, 2, 4},
+		"negative":   {-8, -4, -2, -1},
+		"all-equal":  {3.25, 3.25, 3.25},
+		"all-zero":   {0, 0, 0, 0},
+		"single":     {-1.75},
+	}
+	for name, vals := range cases {
+		t.Run(name, func(t *testing.T) {
+			q := make([]byte, len(vals))
+			scale, zero := QuantizeU8(q, vals)
+			lo, hi := vals[0], vals[0]
+			for _, v := range vals {
+				lo, hi = min(lo, v), max(hi, v)
+			}
+			step := scale
+			if step < 0 {
+				step = -step // all-equal negative data encodes scale = value
+			}
+			dec := make([]float32, len(vals))
+			if err := DequantizeU8Into(dec, q, scale, zero); err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range vals {
+				if diff := dec[i] - v; diff > step || diff < -step {
+					t.Fatalf("value[%d]: %v dequantized to %v (scale %v)", i, v, dec[i], scale)
+				}
+			}
+			if lo == hi {
+				// Degenerate range must reconstruct exactly, including 0.
+				for i := range dec {
+					if dec[i] != lo {
+						t.Fatalf("all-equal data %v dequantized to %v", lo, dec[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestU8ExtensionValidation pins the canonical-extension rule: the three
+// reserved bytes after the zero point must be zero, and a u8 header
+// shorter than its declared extension is rejected.
+func TestU8ExtensionValidation(t *testing.T) {
+	q := []byte{10, 20, 30}
+	msg := AppendTensorU8(nil, q, []int{3}, 0.5, 7)
+	if _, _, err := ParseMessage(msg, 0); err != nil {
+		t.Fatalf("canonical u8 message rejected: %v", err)
+	}
+	extStart := len(msg) - len(q) - U8ExtLen
+	for i := 5; i < U8ExtLen; i++ { // bytes after scale(4)+zero(1)
+		bad := append([]byte(nil), msg...)
+		bad[extStart+i] = 1
+		if _, _, err := ParseMessage(bad, 0); !errors.Is(err, ErrFormat) {
+			t.Fatalf("reserved ext byte %d nonzero: got %v, want ErrFormat", i, err)
+		}
+	}
+	// Truncating the message inside the extension must be a format error.
+	if _, _, err := ParseMessage(msg[:extStart+3], 0); !errors.Is(err, ErrFormat) {
+		t.Fatalf("truncated extension: got %v, want ErrFormat", err)
+	}
+	// DecodeLimit must agree with the one-shot parse on u8.
+	dec, err := DecodeLimit(bytes.NewReader(msg), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, qv := range q {
+		want := 0.5 * (float32(qv) - 7)
+		if dec.Data()[i] != want {
+			t.Fatalf("streamed u8 decode[%d] = %v, want %v", i, dec.Data()[i], want)
+		}
+	}
+}
+
+// TestU8DecodeLimitCountsDecodedBytes pins the limit semantics for u8:
+// the bound applies to the materialised float32 tensor, so a u8 payload
+// cannot smuggle a 4x-limit allocation through dequantization.
+func TestU8DecodeLimitCountsDecodedBytes(t *testing.T) {
+	const limit = 256 // bytes of decoded float32 => 64 elements
+	ok := make([]byte, 64)
+	msg := AppendTensorU8(nil, ok, []int{64}, 1, 0)
+	if _, err := DecodeBytes(msg, limit); err != nil {
+		t.Fatalf("64-element u8 under a 256-byte limit rejected: %v", err)
+	}
+	big := make([]byte, 65)
+	msg = AppendTensorU8(nil, big, []int{65}, 1, 0)
+	if _, err := DecodeBytes(msg, limit); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("65-element u8 under a 256-byte limit: got %v, want ErrTooLarge", err)
+	}
+}

@@ -608,6 +608,15 @@ func WithQueueDepth(n int) BatcherOption {
 	return func(o *runtime.BatcherOptions) { o.QueueDepth = n }
 }
 
+// WithAdaptiveFlush makes the flush deadline load-adaptive: a request
+// admitted with d peers already queued waits at most FlushDeadline/(1+d)
+// for further batch mates. Idle batchers keep the full deadline (the
+// wait buys batching headroom); backlogged ones flush promptly, and the
+// deadline restores itself as the queue empties.
+func WithAdaptiveFlush() BatcherOption {
+	return func(o *runtime.BatcherOptions) { o.Adaptive = true }
+}
+
 // WithRunTimeout bounds each batched run's execution time (queue wait is
 // governed separately, by the caller's ctx). A run over budget is
 // cancelled at the next plan-step boundary and every request in the batch
