@@ -25,11 +25,12 @@ func main() {
 	var (
 		showNodes = flag.Bool("nodes", false, "print every node")
 		optimized = flag.Bool("optimized", false, "apply the optimisation pipeline before printing")
+		layout    = flag.Bool("layout", false, "apply the NHWC layout-assignment pass (implies -optimized) and report per-op layouts plus fold counters")
 		showCuts  = flag.Bool("cuts", false, "rank pipeline cut points by activation transfer bytes")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: orpheus-inspect [-nodes] [-optimized] [-cuts] <model.onnx>")
+		fmt.Fprintln(os.Stderr, "usage: orpheus-inspect [-nodes] [-optimized] [-layout] [-cuts] <model.onnx>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -49,7 +50,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *optimized {
+	var layoutStats *passes.LayoutStats
+	if *layout {
+		layoutStats = &passes.LayoutStats{}
+		if _, err := passes.LayoutPipeline(layoutStats).Run(g); err != nil {
+			fatal(err)
+		}
+	} else if *optimized {
 		if _, err := passes.Default().Run(g); err != nil {
 			fatal(err)
 		}
@@ -84,9 +91,21 @@ func main() {
 	}
 	fmt.Printf("total: %d nodes, %.1f MFLOPs per inference\n", len(g.Nodes), float64(totalFlops)/1e6)
 
+	if layoutStats != nil {
+		fmt.Printf("layout: %d nodes nhwc, %d transposes inserted, %d folded away (%d cancelled, %d elided, %d into conv gathers), %d materialised\n",
+			layoutStats.NHWCNodes, layoutStats.Inserted,
+			layoutStats.Cancelled+layoutStats.Elided+layoutStats.Folded,
+			layoutStats.Cancelled, layoutStats.Elided, layoutStats.Folded,
+			layoutStats.Remaining)
+	}
+
 	if *showNodes {
 		fmt.Println("\nnodes (topological order):")
 		for _, n := range g.Nodes {
+			if *layout {
+				fmt.Printf("  %-32s %-14s %-5s -> %s\n", n.Name, n.Op, nodeLayout(n), tensor.ShapeString(n.Outputs[0].Shape))
+				continue
+			}
 			fmt.Printf("  %-32s %-14s -> %s\n", n.Name, n.Op, tensor.ShapeString(n.Outputs[0].Shape))
 		}
 	}
@@ -107,6 +126,17 @@ func main() {
 				rank+1, c.After, c.Node, float64(c.Bytes)/1024, len(c.Values))
 		}
 	}
+}
+
+// nodeLayout names the layout a node executes in after the layout pass:
+// the assigned attribute where present, with a folded-NCHW-source conv
+// shown distinctly since its gather does the permutation.
+func nodeLayout(n *graph.Node) string {
+	l := n.Attrs.Str("layout", "nchw")
+	if l == "nhwc" && n.Attrs.Str("src_layout", "") == "nchw" {
+		return "nhwc*"
+	}
+	return l
 }
 
 func fatal(err error) {

@@ -72,6 +72,17 @@ type PrepareOpts struct {
 	// time; for fixed-policy backends the quantized kernel is used
 	// wherever one supports the layer.
 	Int8 bool
+	// Layout selects the tensor layout the plan executes in: "" or
+	// "nchw" keeps the importer's NCHW convention, "nhwc" runs the
+	// layout-assignment pass (channel-innermost kernels, transposes only
+	// at unavoidable frontiers), and "auto" compiles both and keeps the
+	// measured winner. "nhwc" and "auto" require an optimising backend —
+	// the conversion is a pipeline pass.
+	Layout string
+	// LayoutStats, when non-nil, receives the ConvertLayout counters for
+	// Layout "nhwc"/"auto" plans (the inspect tool and the layout
+	// experiment read them).
+	LayoutStats *passes.LayoutStats
 }
 
 // PrepareWith optimises (a clone of) g according to the backend's rules
@@ -83,12 +94,27 @@ func (b *Backend) PrepareWith(g *graph.Graph, o PrepareOpts) (*runtime.Plan, err
 	if b.ForceAllCores && o.Workers == 1 {
 		return nil, fmt.Errorf("backend %s: cannot select a single thread (the API always uses the maximum)", b.Name)
 	}
+	switch o.Layout {
+	case "", "nchw", "nhwc":
+	case "auto":
+		plan, _, err := b.AutoLayout(g, o)
+		return plan, err
+	default:
+		return nil, fmt.Errorf("backend %s: unknown layout %q (want nchw, nhwc or auto)", b.Name, o.Layout)
+	}
+	if o.Layout == "nhwc" && !b.Optimize {
+		return nil, fmt.Errorf("backend %s: layout nhwc needs the optimisation pipeline, which this backend disables", b.Name)
+	}
 	work := g.Clone()
 	if err := work.Finalize(); err != nil {
 		return nil, err
 	}
 	if b.Optimize {
-		if _, err := passes.Default().Run(work); err != nil {
+		pipeline := passes.Default()
+		if o.Layout == "nhwc" {
+			pipeline = passes.LayoutPipeline(o.LayoutStats)
+		}
+		if _, err := pipeline.Run(work); err != nil {
 			return nil, err
 		}
 	}
@@ -155,8 +181,10 @@ func init() {
 		Paper:       "Orpheus",
 		Description: "native: GEMM (im2col+packed) convolution, dedicated depthwise kernel, fused graph, arena memory",
 		NewPolicy: func() runtime.Policy {
+			// The NHWC kernels only support nodes the layout pass marked,
+			// so listing them first is a no-op for NCHW plans.
 			return &PreferencePolicy{PolicyName: "orpheus", Prefs: map[string][]string{
-				"Conv":  {"conv.depthwise", "conv.im2col"},
+				"Conv":  {"conv.depthwise_nhwc", "conv.im2col_nhwc", "conv.depthwise", "conv.im2col"},
 				"Dense": {"dense.gemm"},
 			}}
 		},

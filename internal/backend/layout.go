@@ -1,0 +1,57 @@
+package backend
+
+import (
+	"context"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/runtime"
+	"orpheus/internal/tensor"
+)
+
+// Layout arbitration: like the tuner's fp32-vs-int8 decision, the
+// NCHW-vs-NHWC choice is made empirically per model. Depthwise-heavy
+// networks gain a lot from channel-innermost vectorisation; networks the
+// pass cannot convert cleanly keep the NCHW plan. AutoLayout compiles the
+// model both ways, times a few single-sample inferences of each, and
+// keeps the measured winner.
+
+// autoLayoutReps is the per-plan measurement budget: one warm-up run
+// (packing constants) plus this many timed runs, median decides.
+const autoLayoutReps = 3
+
+// AutoLayout compiles g under both layouts, measures each briefly and
+// returns the faster plan plus the layout it executes in ("nchw" or
+// "nhwc"). When the NHWC conversion or its measurement fails, the NCHW
+// plan wins by default — layout is an optimisation, never a requirement.
+// o.Layout is ignored; o.LayoutStats receives the conversion counters
+// regardless of which plan wins.
+func (b *Backend) AutoLayout(g *graph.Graph, o PrepareOpts) (*runtime.Plan, string, error) {
+	o.Layout = ""
+	nchw, err := b.PrepareWith(g, o)
+	if err != nil {
+		return nil, "", err
+	}
+	o.Layout = "nhwc"
+	nhwc, err := b.PrepareWith(g, o)
+	if err != nil {
+		return nchw, "nchw", nil
+	}
+	ctx := context.Background()
+	in := make(map[string]*tensor.Tensor, len(g.Inputs))
+	r := tensor.NewRNG(tensor.SeedFromString("autolayout-" + g.Name))
+	for _, v := range g.Inputs {
+		in[v.Name] = tensor.Rand(r, -1, 1, v.Shape...)
+	}
+	nchwStats, err := runtime.Measure(ctx, runtime.NewSession(nchw), in, 1, autoLayoutReps)
+	if err != nil {
+		return nchw, "nchw", nil
+	}
+	nhwcStats, err := runtime.Measure(ctx, runtime.NewSession(nhwc), in, 1, autoLayoutReps)
+	if err != nil {
+		return nchw, "nchw", nil
+	}
+	if nhwcStats.Median < nchwStats.Median {
+		return nhwc, "nhwc", nil
+	}
+	return nchw, "nchw", nil
+}

@@ -72,6 +72,14 @@ func (p *HeuristicPolicy) Select(n *graph.Node) (ops.Kernel, error) {
 	if n.Op != "Conv" {
 		return (&PreferencePolicy{PolicyName: "heuristic", Prefs: nativePrefs}).Select(n)
 	}
+	// NHWC nodes (layout-converted plans) have their own kernel pair;
+	// these reject NCHW nodes, so the checks cost nothing otherwise.
+	if k := ops.ByName("conv.depthwise_nhwc"); k.Supports(n) {
+		return k, nil
+	}
+	if k := ops.ByName("conv.im2col_nhwc"); k.Supports(n) {
+		return k, nil
+	}
 	if k := ops.ByName("conv.depthwise"); k.Supports(n) {
 		return k, nil
 	}

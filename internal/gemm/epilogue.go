@@ -31,6 +31,20 @@ type PackSrc interface {
 	PackPanel(dst []float32, img, pp, jj, kc, nc, nr int)
 }
 
+// PackSrcA supplies a virtual A operand panel by panel — the A-side mirror
+// of PackSrc. NHWC implicit-GEMM convolution gathers per-image receptive
+// fields this way while the constant weights ride as a prepacked, shared B
+// operand. Implementations must be safe for concurrent PackPanelA calls.
+type PackSrcA interface {
+	// PackPanelA writes the packed form of the mc×kc panel of image img's
+	// A matrix starting at row ii, column pp into dst, using the layout
+	// packA produces: strips of mr rows, column-major within each strip,
+	// strip s spanning rows [s*mr, s*mr+mr). Rows beyond mc must be
+	// zero-padded so edge strips are full. dst holds at least
+	// roundUp(mc, mr)*kc values.
+	PackPanelA(dst []float32, img, ii, pp, mc, kc, mr int)
+}
+
 // Activation selects the elementwise activation a Call's epilogue applies
 // after the bias add.
 type Activation uint8
@@ -115,7 +129,7 @@ func (c *Call) applyEpilogueTile(dst []float32, r0, c0, rows, cols, ldc int) {
 // applyEpilogueAll applies the epilogue over an entire M×N image of C —
 // the K == 0 store case, where no macro-kernel runs.
 func (c *Call) applyEpilogueAll(dst []float32) {
-	c.applyEpilogueTile(dst, 0, 0, c.M, c.N, c.N)
+	c.applyEpilogueTile(dst, 0, 0, c.M, c.N, c.ldc())
 }
 
 // applyActivationRow applies act in place. The switch sits outside the

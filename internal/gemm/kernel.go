@@ -14,9 +14,11 @@ package gemm
 // Selection order:
 //
 //  1. The ORPHEUS_GEMM_KERNEL environment variable, when set to a known
-//     kernel name ("go", "avx2", "neon"), pins the choice — the A/B knob
-//     for same-host kernel comparisons. Unknown names are ignored with a
-//     warning, GODEBUG-style.
+//     kernel name ("go", "avx2", "avx2-6x16", "avx512", "neon"), pins the
+//     choice — the A/B knob for same-host kernel comparisons. A recognised
+//     kernel family that is not available on this CPU warns and falls
+//     through to the default; unknown names are ignored with a warning,
+//     GODEBUG-style.
 //  2. Otherwise the widest registered SIMD kernel for this CPU.
 //  3. Otherwise (non-amd64/arm64, the noasm build tag, or a CPU without
 //     the required features) the pure-Go kernel.
@@ -37,25 +39,54 @@ import (
 type microKernelFunc func(pa, pb, c []float32, kc, ldc int, store bool)
 
 // kernel bundles a micro-kernel with the packing geometry it consumes.
+// mc/nc are the macro-panel blocking factors, derived from mcBlock/ncBlock
+// rounded down to a multiple of the micro-tile so every interior panel is a
+// whole number of strips (tiles wider than 8, like the 14x32 AVX-512
+// kernel, do not divide the shared 128x512 macro block evenly).
 type kernel struct {
 	name   string
 	mr, nr int // micro-tile rows and columns
+	mc, nc int // macro-panel rows and columns (multiples of mr/nr)
 	micro  microKernelFunc
+}
+
+// newKernel derives the macro geometry for a micro-tile. The derived mc/nc
+// keep the PackedASize/PackedBSize panel formulas exact: with mc ≡ 0
+// (mod mr), roundUp(M, mr) splits as full panels of mc plus the rounded
+// remainder, so panel offsets pm*pp + ii*kc stay valid.
+func newKernel(name string, mr, nr int, micro microKernelFunc) *kernel {
+	return &kernel{
+		name: name, mr: mr, nr: nr,
+		mc: mcBlock - mcBlock%mr, nc: ncBlock - ncBlock%nr,
+		micro: micro,
+	}
 }
 
 // Micro-tile geometry bounds. Shared scratch (the macro-kernel edge-tile
 // buffer, the packing contexts) is sized for the largest registered kernel.
 const (
-	maxMR = 8
-	maxNR = 8
+	maxMR = 16
+	maxNR = 32
 )
 
 // goKernel is the portable pure-Go micro-kernel; always selectable as "go".
-var goKernel = &kernel{name: "go", mr: 4, nr: 8, micro: microKernelGo}
+var goKernel = newKernel("go", 4, 8, microKernelGo)
 
 // simdKernels holds the architecture kernels usable on this CPU, appended
 // by arch-specific init functions in ascending preference order.
 var simdKernels []*kernel
+
+// kernelFamilies names every fp32 kernel the dispatch layer knows about on
+// any architecture. A recognised name that is not selectable on this CPU
+// (avx512 on a non-avx512 host, neon on amd64) falls through to the default
+// with a warning instead of being treated as a typo.
+var kernelFamilies = map[string]bool{
+	"go":        true,
+	"avx2":      true,
+	"avx2-6x16": true,
+	"avx512":    true,
+	"neon":      true,
+}
 
 // registerKernel adds a SIMD kernel to the dispatch table. Called only
 // from package init, before any GEMM runs.
@@ -63,9 +94,16 @@ func registerKernel(k *kernel) {
 	if k.mr > maxMR || k.nr > maxNR {
 		panicf("gemm: kernel %s tile %dx%d exceeds max %dx%d", k.name, k.mr, k.nr, maxMR, maxNR)
 	}
-	if mcBlock%k.mr != 0 || ncBlock%k.nr != 0 {
-		panicf("gemm: kernel %s tile %dx%d does not divide %dx%d macro blocks",
-			k.name, k.mr, k.nr, mcBlock, ncBlock)
+	if k.mc <= 0 || k.nc <= 0 || k.mc%k.mr != 0 || k.nc%k.nr != 0 {
+		panicf("gemm: kernel %s macro panel %dx%d is not a multiple of tile %dx%d",
+			k.name, k.mc, k.nc, k.mr, k.nr)
+	}
+	if k.mc > mcBlock || k.nc > ncBlock {
+		panicf("gemm: kernel %s macro panel %dx%d exceeds scratch block %dx%d",
+			k.name, k.mc, k.nc, mcBlock, ncBlock)
+	}
+	if !kernelFamilies[k.name] {
+		panicf("gemm: kernel %s missing from kernelFamilies", k.name)
 	}
 	simdKernels = append(simdKernels, k)
 }
@@ -93,16 +131,35 @@ func activeKernel() *kernel {
 // defaultKernel applies the selection order documented at the top of this
 // file.
 func defaultKernel() *kernel {
-	if name := os.Getenv(KernelEnv); name != "" {
-		if k := lookupKernel(name); k != nil {
-			return k
-		}
-		fmt.Fprintf(os.Stderr, "gemm: ignoring %s=%q (known kernels: %v)\n", KernelEnv, name, KernelNames())
+	k, warn := resolveKernel(os.Getenv(KernelEnv))
+	if warn != "" {
+		fmt.Fprintln(os.Stderr, warn)
 	}
+	return k
+}
+
+// resolveKernel maps an ORPHEUS_GEMM_KERNEL value to the kernel to use plus
+// a warning to emit (empty when the request was honoured or absent). A name
+// from a known kernel family that this CPU cannot run — e.g. avx512 on a
+// non-avx512 host, or any SIMD name under the noasm tag — falls through to
+// the best available kernel with a warning rather than erroring, so one
+// deployment config can span heterogeneous hosts. Unknown names are
+// ignored with the GODEBUG-style typo warning.
+func resolveKernel(name string) (k *kernel, warn string) {
+	best := goKernel
 	if n := len(simdKernels); n > 0 {
-		return simdKernels[n-1]
+		best = simdKernels[n-1]
 	}
-	return goKernel
+	if name == "" {
+		return best, ""
+	}
+	if k := lookupKernel(name); k != nil {
+		return k, ""
+	}
+	if kernelFamilies[name] {
+		return best, fmt.Sprintf("gemm: %s=%q not available on this CPU; falling back to %q", KernelEnv, name, best.name)
+	}
+	return best, fmt.Sprintf("gemm: ignoring %s=%q (known kernels: %v)", KernelEnv, name, KernelNames())
 }
 
 // lookupKernel returns the named kernel, or nil.

@@ -12,9 +12,11 @@ package gemm
 //
 // Selection honours the same ORPHEUS_GEMM_KERNEL variable as the fp32
 // tier: a name known to this table ("go", "avx2", "vnni") pins the int8
-// choice; names unknown to the int8 tier (e.g. "neon" on amd64, or fp32-
-// only spellings) are ignored here — the fp32 dispatch already warns once
-// for fully unknown names — and the widest registered int8 kernel is used.
+// choice. A name from the int8 kernel families that this CPU cannot run
+// (e.g. "vnni" on a pre-VNNI host) warns and falls through to the widest
+// registered int8 kernel; names the int8 tier never implements (fp32-only
+// spellings like "avx512", "neon") stay quiet here — the fp32 dispatch
+// already warns once for fully unknown names.
 //
 // All three kernels produce bit-identical int32 accumulators for operands
 // within the tier's contract (weights in [-63, 63], activations in
@@ -67,6 +69,9 @@ func registerKernel8(k *kernel8) {
 		panicf("gemm: int8 kernel %s tile %dx%d does not divide %dx%d macro blocks",
 			k.name, k.mr, k.nr, mcBlock, ncBlock)
 	}
+	if !int8Families[k.name] {
+		panicf("gemm: int8 kernel %s missing from int8Families", k.name)
+	}
 	simd8Kernels = append(simd8Kernels, k)
 }
 
@@ -84,20 +89,45 @@ func activeKernel8() *kernel8 {
 	return active8.Load()
 }
 
+// int8Families names every int8 kernel the dispatch layer knows about on
+// any architecture — the set for which an unavailable-on-this-CPU request
+// warns instead of being silently ignored.
+var int8Families = map[string]bool{
+	"go":   true,
+	"avx2": true,
+	"vnni": true,
+}
+
 // defaultKernel8 applies the selection order documented at the top of this
 // file.
 func defaultKernel8() *kernel8 {
-	if name := os.Getenv(KernelEnv); name != "" {
-		if k := lookupKernel8(name); k != nil {
-			return k
-		}
-		// Unknown to the int8 tier; the fp32 dispatch warns for fully
-		// unknown names, so stay quiet and use the best registered kernel.
+	k, warn := resolveKernel8(os.Getenv(KernelEnv))
+	if warn != "" {
+		fmt.Fprintln(os.Stderr, warn)
 	}
+	return k
+}
+
+// resolveKernel8 maps an ORPHEUS_GEMM_KERNEL value to the int8 kernel to
+// use plus a warning to emit (empty when the request was honoured, absent,
+// or names a kernel outside the int8 families).
+func resolveKernel8(name string) (k *kernel8, warn string) {
+	best := go8Kernel
 	if n := len(simd8Kernels); n > 0 {
-		return simd8Kernels[n-1]
+		best = simd8Kernels[n-1]
 	}
-	return go8Kernel
+	if name == "" {
+		return best, ""
+	}
+	if k := lookupKernel8(name); k != nil {
+		return k, ""
+	}
+	if int8Families[name] {
+		return best, fmt.Sprintf("gemm: int8 tier: %s=%q not available on this CPU; falling back to %q", KernelEnv, name, best.name)
+	}
+	// Unknown to the int8 tier; the fp32 dispatch warns for fully unknown
+	// names, so stay quiet and use the best registered kernel.
+	return best, ""
 }
 
 // lookupKernel8 returns the named int8 kernel, or nil.

@@ -2,18 +2,30 @@
 
 package gemm
 
-// AVX2/FMA dispatch for amd64. The 8x8 assembly micro-kernel holds the
-// full micro-tile in eight YMM accumulators (one row of eight float32s
-// each) and issues eight fused multiply-adds per packed k step — four
-// 8-wide FMAs per pure-Go scalar's worth of work. Feature detection is a
-// hand-rolled CPUID/XGETBV probe (no external dependency): the kernel
-// registers only when the CPU reports AVX2 and FMA and the OS saves the
-// YMM state, so the portable kernel remains the default everywhere else.
+// AVX2/FMA and AVX-512 dispatch for amd64. Three assembly micro-kernels:
+//
+//   - avx2: the 8x8 tile in eight YMM accumulators, one row each.
+//   - avx2-6x16: a 6x16 tile in twelve YMM accumulators (two per row).
+//     Each A broadcast feeds two FMAs and each k step loads two B strips
+//     for six broadcasts, so the FLOP-per-load ratio beats 8x8; preferred
+//     on AVX2-only hosts.
+//   - avx512: a 14x32 tile in twenty-eight ZMM accumulators (two 16-wide
+//     registers per row), registered only when the CPU and OS support the
+//     AVX-512F state; preferred where available.
+//
+// Feature detection is a hand-rolled CPUID/XGETBV probe (no external
+// dependency), so the portable kernel remains the default everywhere else.
 
 func init() {
 	if hasAVX2FMA() {
-		registerKernel(&kernel{name: "avx2", mr: 8, nr: 8,
-			micro: adaptAsmKernel(microKernel8x8AVX2, 8, 8)})
+		registerKernel(newKernel("avx2", 8, 8,
+			adaptAsmKernel(microKernel8x8AVX2, 8, 8)))
+		registerKernel(newKernel("avx2-6x16", 6, 16,
+			adaptAsmKernel(microKernel6x16AVX2, 6, 16)))
+	}
+	if hasAVX512() {
+		registerKernel(newKernel("avx512", 14, 32,
+			adaptAsmKernel(microKernel14x32AVX512, 14, 32)))
 	}
 }
 
@@ -23,6 +35,20 @@ func init() {
 //
 //go:noescape
 func microKernel8x8AVX2(pa, pb, c *float32, kc, ldc int64, store bool)
+
+// microKernel6x16AVX2 computes one 6x16 block: C[r][cc] (+)= sum_p
+// pa[p*6+r]*pb[p*16+cc], with ldc the row stride of c in elements and kc
+// ≥ 1. Implemented in kernel_amd64.s.
+//
+//go:noescape
+func microKernel6x16AVX2(pa, pb, c *float32, kc, ldc int64, store bool)
+
+// microKernel14x32AVX512 computes one 14x32 block: C[r][cc] (+)= sum_p
+// pa[p*14+r]*pb[p*32+cc], with ldc the row stride of c in elements and kc
+// ≥ 1. Implemented in kernel_amd64.s.
+//
+//go:noescape
+func microKernel14x32AVX512(pa, pb, c *float32, kc, ldc int64, store bool)
 
 // cpuid executes the CPUID instruction for (eaxIn, ecxIn).
 func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
@@ -54,4 +80,22 @@ func hasAVX2FMA() bool {
 	const avx2 = 1 << 5
 	_, ebx7, _, _ := cpuid(7, 0)
 	return ebx7&avx2 != 0
+}
+
+// hasAVX512 reports whether this CPU and OS support the AVX-512 kernel:
+// the AVX2/FMA baseline, CPUID leaf 7 advertising AVX512F, and XCR0
+// showing the OS saving the opmask, ZMM-high and high-16-ZMM state.
+func hasAVX512() bool {
+	if !hasAVX2FMA() {
+		return false
+	}
+	const avx512f = 1 << 16
+	_, ebx7, _, _ := cpuid(7, 0)
+	if ebx7&avx512f == 0 {
+		return false
+	}
+	// XCR0: SSE|AVX|opmask|zmm_hi256|hi16_zmm all OS-enabled.
+	const zmmState = 1<<1 | 1<<2 | 1<<5 | 1<<6 | 1<<7
+	xlo, _ := xgetbv()
+	return xlo&zmmState == zmmState
 }

@@ -10,8 +10,8 @@ package gemm
 // multiplies against one 8-wide B strip load.
 
 func init() {
-	registerKernel(&kernel{name: "neon", mr: 8, nr: 8,
-		micro: adaptAsmKernel(microKernel8x8NEON, 8, 8)})
+	registerKernel(newKernel("neon", 8, 8,
+		adaptAsmKernel(microKernel8x8NEON, 8, 8)))
 }
 
 // microKernel8x8NEON computes one 8x8 block: C[r][cc] (+)= sum_p

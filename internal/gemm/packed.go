@@ -46,6 +46,18 @@ const (
 // packs panels straight from the NCHW input this way. BPack cannot be
 // combined with PackedB.
 //
+// APack is the A-side mirror of BPack: a virtual A operand packed panel by
+// panel, replacing A/PackedA. Unlike BPack it composes with PackedB and
+// with batching — this is the shape of NHWC implicit-GEMM convolution,
+// where the constant weight panels are the (prepacked, batch-shared) B
+// operand and the per-image receptive fields are gathered as A. Batched
+// APack calls share B/PackedB across images (StrideB is ignored) and hand
+// the image index to the source.
+//
+// Ldc, when non-zero, is the row stride of C in elements (Ldc ≥ N): C is an
+// M×N window of a wider row-major matrix. Grouped convolution writes each
+// group's output-channel slice in place this way. Zero means dense (Ldc=N).
+//
 // BiasRow, BiasCol, Act and Alpha describe a fused epilogue applied once
 // per output element as its micro-tile's final k-panel is stored (see
 // epilogue.go): BiasRow[i] is added to every element of row i (convolution
@@ -59,10 +71,13 @@ type Call struct {
 	PackedB []float32
 	Store   bool
 
+	Ldc int // row stride of C in elements; 0 means N (dense)
+
 	Batch            int // number of strided images; 0 and 1 mean a single GEMM
 	StrideB, StrideC int // element offsets between consecutive images
 
-	BPack PackSrc // virtual B operand; replaces B/PackedB when non-nil
+	BPack PackSrc  // virtual B operand; replaces B/PackedB when non-nil
+	APack PackSrcA // virtual A operand; replaces A/PackedA when non-nil
 
 	BiasRow []float32  // optional per-row epilogue bias, len ≥ M
 	BiasCol []float32  // optional per-column epilogue bias, len ≥ N
@@ -80,6 +95,14 @@ func (c *Call) images() int {
 	return c.Batch
 }
 
+// ldc returns the effective row stride of C.
+func (c *Call) ldc() int {
+	if c.Ldc != 0 {
+		return c.Ldc
+	}
+	return c.N
+}
+
 // validate panics if the described buffers cannot hold the matrices.
 // Packed-operand sizes are checked against the active kernel's geometry,
 // which must match the geometry the panels were packed under.
@@ -94,39 +117,57 @@ func (c *Call) validate() {
 	if c.BPack != nil && c.PackedB != nil {
 		panicf("gemm: BPack cannot be combined with PackedB")
 	}
+	if c.APack != nil && c.BPack != nil {
+		panicf("gemm: APack cannot be combined with BPack")
+	}
+	if c.APack != nil && (c.A != nil || c.PackedA != nil) {
+		panicf("gemm: APack cannot be combined with A/PackedA")
+	}
+	ldc := c.ldc()
+	if ldc < c.N {
+		panicf("gemm: Ldc %d narrower than n=%d", ldc, c.N)
+	}
 	if c.BiasRow != nil && len(c.BiasRow) < c.M {
 		panicf("gemm: BiasRow %d too short for m=%d", len(c.BiasRow), c.M)
 	}
 	if c.BiasCol != nil && len(c.BiasCol) < c.N {
 		panicf("gemm: BiasCol %d too short for n=%d", len(c.BiasCol), c.N)
 	}
+	rowsC := (c.M-1)*ldc + c.N // extent of one image's C window
 	if images > 1 {
-		if c.PackedB != nil {
+		// APack batches share the B operand (constant weights) across
+		// images, so PackedB is allowed and StrideB is ignored there.
+		if c.PackedB != nil && c.APack == nil {
 			panicf("gemm: batched call cannot use PackedB")
 		}
 		// Image windows must not overlap: tiles of different images are
 		// scheduled concurrently and assume disjoint C regions.
-		if c.StrideC < c.M*c.N {
+		if c.StrideC < rowsC {
 			panicf("gemm: batch C stride %d overlaps %dx%d images", c.StrideC, c.M, c.N)
 		}
-		if c.BPack == nil && c.K > 0 && c.StrideB < c.K*c.N {
+		if c.BPack == nil && c.APack == nil && c.K > 0 && c.StrideB < c.K*c.N {
 			panicf("gemm: batch B stride %d overlaps %dx%d images", c.StrideB, c.K, c.N)
 		}
 	}
 	lastB := (images - 1) * c.StrideB
+	if c.APack != nil {
+		lastB = 0
+	}
 	lastC := (images - 1) * c.StrideC
-	if len(c.C) < lastC+c.M*c.N {
+	if len(c.C) < lastC+rowsC {
 		panicf("gemm: C buffer %d too small for %dx%d × %d images", len(c.C), c.M, c.N, images)
 	}
 	if c.K == 0 {
 		return
 	}
-	if c.PackedA != nil {
-		if len(c.PackedA) < PackedASize(c.M, c.K) {
-			panicf("gemm: PackedA %d too small for m=%d k=%d", len(c.PackedA), c.M, c.K)
+	if c.APack == nil {
+		if c.PackedA != nil {
+			if len(c.PackedA) < PackedASize(c.M, c.K) {
+				panicf("gemm: PackedA %d too small for m=%d k=%d", len(c.PackedA), c.M, c.K)
+			}
+		} else if len(c.A) < c.M*c.K {
+			panicf("gemm: A buffer %d too small for %dx%d", len(c.A), c.M, c.K)
 		}
-	} else if len(c.A) < c.M*c.K {
-		panicf("gemm: A buffer %d too small for %dx%d", len(c.A), c.M, c.K)
 	}
 	if c.BPack != nil {
 		return
@@ -172,7 +213,7 @@ func (ctx *Context) Run(c Call) {
 	if c.K == 0 {
 		if c.Store {
 			for img := 0; img < c.images(); img++ {
-				zeroC(c.C[img*c.StrideC:], c.M*c.N)
+				zeroCWindow(c.C[img*c.StrideC:], c.M, c.N, c.ldc())
 				if c.hasEpilogue() {
 					c.applyEpilogueAll(c.C[img*c.StrideC:])
 				}
@@ -185,7 +226,8 @@ func (ctx *Context) Run(c Call) {
 		sub := c
 		sub.Batch, sub.StrideB, sub.StrideC = 0, 0, 0
 		for img := 0; img < c.images(); img++ {
-			if c.BPack != nil {
+			if c.BPack != nil || c.APack != nil {
+				// The pack source reads its own image; B panels are shared.
 				sub.img = img
 			} else {
 				sub.B = c.B[img*c.StrideB:]
@@ -204,6 +246,7 @@ func (ctx *Context) Run(c Call) {
 func (ctx *Context) run(kern *kernel, c Call) {
 	pm := roundUp(c.M, kern.mr)
 	pn := roundUp(c.N, kern.nr)
+	ldc := c.ldc()
 	for pp := 0; pp < c.K; pp += kcBlock {
 		kc := min(kcBlock, c.K-pp)
 		st := c.Store && pp == 0
@@ -213,8 +256,8 @@ func (ctx *Context) run(kern *kernel, c Call) {
 		if pp+kc == c.K && c.hasEpilogue() {
 			epi = &c
 		}
-		for jj := 0; jj < c.N; jj += ncBlock {
-			nc := min(ncBlock, c.N-jj)
+		for jj := 0; jj < c.N; jj += kern.nc {
+			nc := min(kern.nc, c.N-jj)
 			var pb []float32
 			switch {
 			case c.BPack != nil:
@@ -228,19 +271,24 @@ func (ctx *Context) run(kern *kernel, c Call) {
 				packB(ctx.packB, c.B, pp, jj, kc, nc, c.N, kern.nr)
 				pb = ctx.packB
 			}
-			for ii := 0; ii < c.M; ii += mcBlock {
-				mc := min(mcBlock, c.M-ii)
+			for ii := 0; ii < c.M; ii += kern.mc {
+				mc := min(kern.mc, c.M-ii)
 				var pa []float32
-				if c.PackedA != nil {
+				switch {
+				case c.APack != nil:
+					ctx.growA()
+					c.APack.PackPanelA(ctx.packA, c.img, ii, pp, mc, kc, kern.mr)
+					pa = ctx.packA
+				case c.PackedA != nil:
 					pa = c.PackedA[pm*pp+ii*kc:]
-				} else {
+				default:
 					ctx.growA()
 					packA(ctx.packA, c.A, ii, pp, mc, kc, c.K, kern.mr)
 					pa = ctx.packA
 				}
-				ctx.macroKernel(kern, pa, pb, c.C, ii, jj, mc, nc, kc, c.N, st)
+				ctx.macroKernel(kern, pa, pb, c.C, ii, jj, mc, nc, kc, ldc, st)
 				if epi != nil {
-					epi.applyEpilogueTile(c.C, ii, jj, mc, nc, c.N)
+					epi.applyEpilogueTile(c.C, ii, jj, mc, nc, ldc)
 				}
 			}
 		}
@@ -258,10 +306,20 @@ func (ctx *Context) PackedStore(a, b, c []float32, m, n, k int) {
 	ctx.Run(Call{A: a, B: b, C: c, M: m, N: n, K: k, Store: true})
 }
 
-func zeroC(c []float32, n int) {
-	c = c[:n]
-	for i := range c {
-		c[i] = 0
+// zeroCWindow clears an m×n window with row stride ldc.
+func zeroCWindow(c []float32, m, n, ldc int) {
+	if ldc == n {
+		c = c[:m*n]
+		for i := range c {
+			c[i] = 0
+		}
+		return
+	}
+	for r := 0; r < m; r++ {
+		row := c[r*ldc : r*ldc+n]
+		for i := range row {
+			row[i] = 0
+		}
 	}
 }
 

@@ -158,7 +158,7 @@ func (p *Pool) Run(ctx *Context, c Call, workers int) {
 	if c.K == 0 {
 		if c.Store {
 			for img := 0; img < c.images(); img++ {
-				zeroC(c.C[img*c.StrideC:], c.M*c.N)
+				zeroCWindow(c.C[img*c.StrideC:], c.M, c.N, c.ldc())
 				if c.hasEpilogue() {
 					c.applyEpilogueAll(c.C[img*c.StrideC:])
 				}
@@ -166,8 +166,9 @@ func (p *Pool) Run(ctx *Context, c Call, workers int) {
 		}
 		return
 	}
-	tm := (c.M + mcBlock - 1) / mcBlock
-	tn := (c.N + ncBlock - 1) / ncBlock
+	kern := activeKernel()
+	tm := (c.M + kern.mc - 1) / kern.mc
+	tn := (c.N + kern.nc - 1) / kern.nc
 	tiles := tm * tn * c.images()
 	if workers > tiles {
 		workers = tiles
@@ -178,7 +179,7 @@ func (p *Pool) Run(ctx *Context, c Call, workers int) {
 	}
 	t := taskPool.Get().(*task)
 	t.call = c
-	t.kern = activeKernel()
+	t.kern = kern
 	t.tileM, t.tileN = tm, tn
 	t.next.Store(0)
 	helpers := workers - 1
@@ -334,12 +335,12 @@ func (t *task) drain(ctx *Context) {
 	}
 }
 
-// runTile computes one mcBlock×ncBlock block of one image's C across the
+// runTile computes one mc×nc macro block of one image's C across the
 // full K extent. Tiles split C on micro-tile boundaries, so no two tiles
 // touch the same element; batched calls lay images out as consecutive
 // tile grids over their strided B/C windows. The task's call carries any
-// BPack source and epilogue, so caller- and worker-executed tiles pack
-// and finish identically.
+// BPack/APack source and epilogue, so caller- and worker-executed tiles
+// pack and finish identically.
 func (t *task) runTile(ctx *Context, idx int) {
 	c := &t.call
 	kern := t.kern
@@ -347,14 +348,17 @@ func (t *task) runTile(ctx *Context, idx int) {
 	img := idx / grid
 	idx %= grid
 	var cb []float32
-	if c.BPack == nil {
+	if c.BPack == nil && c.APack == nil && c.B != nil {
 		cb = c.B[img*c.StrideB:]
+	} else {
+		cb = c.B // shared weights (APack batches) or unused (BPack/PackedB)
 	}
 	cc := c.C[img*c.StrideC:]
-	ii := (idx / t.tileN) * mcBlock
-	jj := (idx % t.tileN) * ncBlock
-	mc := min(mcBlock, c.M-ii)
-	nc := min(ncBlock, c.N-jj)
+	ldc := c.ldc()
+	ii := (idx / t.tileN) * kern.mc
+	jj := (idx % t.tileN) * kern.nc
+	mc := min(kern.mc, c.M-ii)
+	nc := min(kern.nc, c.N-jj)
 	pm := roundUp(c.M, kern.mr)
 	pn := roundUp(c.N, kern.nr)
 	for pp := 0; pp < c.K; pp += kcBlock {
@@ -364,9 +368,14 @@ func (t *task) runTile(ctx *Context, idx int) {
 			epi = c
 		}
 		var pa, pb []float32
-		if c.PackedA != nil {
+		switch {
+		case c.APack != nil:
+			ctx.growA()
+			c.APack.PackPanelA(ctx.packA, img, ii, pp, mc, kc, kern.mr)
+			pa = ctx.packA
+		case c.PackedA != nil:
 			pa = c.PackedA[pm*pp+ii*kc:]
-		} else {
+		default:
 			ctx.growA()
 			packA(ctx.packA, c.A, ii, pp, mc, kc, c.K, kern.mr)
 			pa = ctx.packA
@@ -383,9 +392,9 @@ func (t *task) runTile(ctx *Context, idx int) {
 			packB(ctx.packB, cb, pp, jj, kc, nc, c.N, kern.nr)
 			pb = ctx.packB
 		}
-		ctx.macroKernel(kern, pa, pb, cc, ii, jj, mc, nc, kc, c.N, c.Store && pp == 0)
+		ctx.macroKernel(kern, pa, pb, cc, ii, jj, mc, nc, kc, ldc, c.Store && pp == 0)
 		if epi != nil {
-			epi.applyEpilogueTile(cc, ii, jj, mc, nc, c.N)
+			epi.applyEpilogueTile(cc, ii, jj, mc, nc, ldc)
 		}
 	}
 }

@@ -7,8 +7,9 @@ package gemm
 // PrepackB produce, once, the exact panel layout the macro-kernel consumes;
 // Call.PackedA / Call.PackedB then skip that side's per-call packing
 // entirely. The layout mirrors the blocked loop nest: k-panels (kcBlock
-// columns) outermost, then mcBlock-row (or ncBlock-column) panels within
-// each, so panel (pp, ii) of A starts at roundUp(m,mr)*pp + ii*kc.
+// columns) outermost, then mc-row (or nc-column) macro panels within each,
+// so panel (pp, ii) of A starts at roundUp(m,mr)*pp + ii*kc — exact for any
+// kernel because mc/nc are multiples of the micro-tile.
 //
 // The panel layout bakes in the active micro-kernel's mr×nr geometry
 // (kernel.go): buffers prepacked under one kernel are invalid after
@@ -31,13 +32,13 @@ func PackedBSize(k, n int) int { return roundUp(n, activeKernel().nr) * k }
 // PrepackAInto packs the whole m×k matrix a into dst, which must hold
 // PackedASize(m, k) values.
 func PrepackAInto(dst, a []float32, m, k int) {
-	mr := activeKernel().mr
-	pm := roundUp(m, mr)
+	kern := activeKernel()
+	pm := roundUp(m, kern.mr)
 	for pp := 0; pp < k; pp += kcBlock {
 		kc := min(kcBlock, k-pp)
-		for ii := 0; ii < m; ii += mcBlock {
-			mc := min(mcBlock, m-ii)
-			packA(dst[pm*pp+ii*kc:], a, ii, pp, mc, kc, k, mr)
+		for ii := 0; ii < m; ii += kern.mc {
+			mc := min(kern.mc, m-ii)
+			packA(dst[pm*pp+ii*kc:], a, ii, pp, mc, kc, k, kern.mr)
 		}
 	}
 }
@@ -52,13 +53,13 @@ func PrepackA(a []float32, m, k int) []float32 {
 // PrepackBInto packs the whole k×n matrix b into dst, which must hold
 // PackedBSize(k, n) values.
 func PrepackBInto(dst, b []float32, k, n int) {
-	nr := activeKernel().nr
-	pn := roundUp(n, nr)
+	kern := activeKernel()
+	pn := roundUp(n, kern.nr)
 	for pp := 0; pp < k; pp += kcBlock {
 		kc := min(kcBlock, k-pp)
-		for jj := 0; jj < n; jj += ncBlock {
-			nc := min(ncBlock, n-jj)
-			packB(dst[pn*pp+jj*kc:], b, pp, jj, kc, nc, n, nr)
+		for jj := 0; jj < n; jj += kern.nc {
+			nc := min(kern.nc, n-jj)
+			packB(dst[pn*pp+jj*kc:], b, pp, jj, kc, nc, n, kern.nr)
 		}
 	}
 }

@@ -1,0 +1,31 @@
+//go:build amd64 && !noasm
+
+package gemm
+
+// Vectorised row helpers for amd64. FMARow backs the NHWC depthwise
+// convolution kernel, whose inner loop is a straight elementwise FMA over
+// the channel axis.
+
+// vecAVX2 gates the assembly row helpers on the same probe as the AVX2
+// GEMM kernel.
+var vecAVX2 = hasAVX2FMA()
+
+// FMARow computes dst[i] += a[i]*b[i] for i in [0, len(dst)). a and b must
+// be at least as long as dst.
+func FMARow(dst, a, b []float32) {
+	n := len(dst)
+	if vecAVX2 && n >= 8 {
+		q := n &^ 7
+		fmaRowAVX2(&dst[0], &a[0], &b[0], int64(q))
+		dst, a, b = dst[q:n], a[q:n], b[q:n]
+	}
+	for i := range dst {
+		dst[i] += a[i] * b[i]
+	}
+}
+
+// fmaRowAVX2 computes dst[i] += a[i]*b[i] for i in [0, n); n must be a
+// positive multiple of 8. Implemented in vec_amd64.s.
+//
+//go:noescape
+func fmaRowAVX2(dst, a, b *float32, n int64)

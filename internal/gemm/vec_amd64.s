@@ -1,0 +1,28 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// func fmaRowAVX2(dst, a, b *float32, n int64)
+//
+// dst[i] += a[i]*b[i] over n elements, 8 per iteration; n is a positive
+// multiple of 8 (the Go wrapper handles the scalar tail).
+TEXT ·fmaRowAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ n+24(FP), CX
+	SHRQ $3, CX
+
+fmaloop:
+	VMOVUPS (SI), Y1
+	VMOVUPS (DX), Y2
+	VMOVUPS (DI), Y0
+	VFMADD231PS Y2, Y1, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  fmaloop
+	VZEROUPPER
+	RET

@@ -1,0 +1,14 @@
+//go:build !amd64 || noasm
+
+package gemm
+
+// FMARow computes dst[i] += a[i]*b[i] for i in [0, len(dst)). a and b must
+// be at least as long as dst. Portable form; amd64 dispatches to an
+// AVX2/FMA loop when the CPU supports it.
+func FMARow(dst, a, b []float32) {
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	for i := range dst {
+		dst[i] += a[i] * b[i]
+	}
+}

@@ -24,7 +24,7 @@ func supportsDepthwise(n *graph.Node) bool {
 	if err != nil {
 		return false
 	}
-	return p.isDepthwise()
+	return p.layout == "" && p.isDepthwise()
 }
 
 func runConvDepthwise(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
@@ -83,7 +83,7 @@ func supportsGroupIm2col(n *graph.Node) bool {
 	if err != nil {
 		return false
 	}
-	return p.groups > 1
+	return p.layout == "" && p.groups > 1
 }
 
 // runConvGroupIm2col deliberately mirrors a generic grouped-conv lowering:

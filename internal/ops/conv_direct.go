@@ -6,8 +6,9 @@ import (
 )
 
 // conv.direct — the textbook seven-loop convolution. It supports every
-// attribute combination (groups, dilation, asymmetric padding) and is the
-// correctness reference for all other conv kernels. DarkNet-style
+// attribute combination (groups, dilation, asymmetric padding) and both
+// data layouts (NCHW and NHWC differ only in index strides here), making
+// it the correctness reference for all other conv kernels. DarkNet-style
 // frameworks run convolution this way, which is why the darknet-sim
 // backend selects it.
 func init() {
@@ -27,9 +28,22 @@ func runConvDirect(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 	}
 	y := out[0].Data()
 
+	// Layout enters only through the index strides: (channel, row, col)
+	// element strides for the input and output tensors.
+	xsC, xsY, xsX := p.h*p.w, p.w, 1
+	if p.layout == "nhwc" && !p.srcNCHW {
+		xsC, xsY, xsX = 1, p.w*p.cin, p.cin
+	}
+	ysC, ysY, ysX := p.oh*p.ow, p.ow, 1
+	if p.layout == "nhwc" {
+		ysC, ysY, ysX = 1, p.ow*p.cout, p.cout
+	}
+
 	cinG := p.cin / p.groups
 	coutG := p.cout / p.groups
 	for b := 0; b < p.n; b++ {
+		xb := x[b*p.cin*p.h*p.w:]
+		yb := y[b*p.cout*p.oh*p.ow:]
 		for g := 0; g < p.groups; g++ {
 			for ocg := 0; ocg < coutG; ocg++ {
 				oc := g*coutG + ocg
@@ -52,13 +66,13 @@ func runConvDirect(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 									if ix < 0 || ix >= p.w {
 										continue
 									}
-									xv := x[((b*p.cin+ic)*p.h+iy)*p.w+ix]
+									xv := xb[ic*xsC+iy*xsY+ix*xsX]
 									wv := w[((oc*cinG+icg)*p.kh+ky)*p.kw+kx]
 									acc += xv * wv
 								}
 							}
 						}
-						y[((b*p.cout+oc)*p.oh+oy)*p.ow+ox] = acc
+						yb[oc*ysC+oy*ysY+ox*ysX] = acc
 					}
 				}
 			}

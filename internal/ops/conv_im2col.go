@@ -33,8 +33,18 @@ import (
 // call; a pure depthwise conv is better served by conv.depthwise (this
 // kernel still computes it correctly, just slowly).
 func init() {
-	Register(NewOverwritingKernel("conv.im2col", "Conv", nil, runConvIm2col))
-	Register(NewOverwritingKernel("conv.im2col_explicit", "Conv", nil, runConvIm2colExplicit))
+	Register(NewOverwritingKernel("conv.im2col", "Conv", supportsConvNCHW, runConvIm2col))
+	Register(NewOverwritingKernel("conv.im2col_explicit", "Conv", supportsConvNCHW, runConvIm2colExplicit))
+}
+
+// supportsConvNCHW admits any valid NCHW Conv; NHWC nodes go to the
+// layout-aware tier (conv.im2col_nhwc / conv.depthwise_nhwc / conv.direct).
+func supportsConvNCHW(n *graph.Node) bool {
+	p, err := resolveConv(n)
+	if err != nil {
+		return false
+	}
+	return p.layout == ""
 }
 
 // packedConvWeights returns the cached prepacked per-group weight panels

@@ -1,0 +1,114 @@
+package ops
+
+// NHWC implicit-GEMM convolution support: a gemm.PackSrcA that packs A
+// panels straight from the input image.
+//
+// Under NHWC the GEMM transposes relative to the NCHW tier: each group's
+// output window [oh*ow × coutG] is the product of the unfolded input rows
+// [oh*ow × kdim] and the reshaped weight matrix [kdim × coutG]. The
+// per-image receptive fields are therefore the *A* operand — one row per
+// output pixel — while the constant weights ride as a prepacked B shared
+// across the whole batch (gemm.Call.APack). The row dimension kd decodes
+// with the channel innermost, kd = (ky*kw + kx)*cinG + c, so every
+// (ky, kx) tap covers a contiguous NHWC channel run: the gather is a
+// contiguous read fanned out with stride mr, the transpose of the pack
+// strips conv.im2col's NCHW source writes.
+//
+// When a boundary NCHW→NHWC transpose has been folded into the conv
+// (src_layout "nchw"), the input stays NCHW in memory and the same walk
+// reads channel runs with stride h*w instead — the permutation costs a
+// strided gather inside a pack pass that already existed, not a
+// materialised transpose.
+
+// convPackSrcA describes the virtual A matrix of one convolution group:
+// A[row][kd] = x[img][iy][ix][chan0+c] with (oy, ox) = row decoded over
+// the output raster, iy = oy*sh - padT + ky*dh, ix = ox*sw - padL + kx*dw,
+// zero outside the input. It is read-only during a gemm call, so the pool
+// may pack panels from several workers at once.
+type convPackSrcA struct {
+	x       []float32 // whole input batch (NHWC, or NCHW when srcNCHW)
+	srcNCHW bool      // folded boundary transpose: gather from NCHW memory
+	cin     int       // channels per image (image stride is cin*h*w)
+	h, w    int
+	chan0   int // first input channel of this group
+	cinG    int // channels per group (run length of one (ky,kx) tap)
+
+	kh, kw, sh, sw, padT, padL, dh, dw int
+	oh, ow                             int
+}
+
+// init points the source at group g of the convolution described by p.
+func (s *convPackSrcA) init(x []float32, p *convParams, g int) {
+	s.x = x
+	s.srcNCHW = p.srcNCHW
+	s.cin, s.h, s.w = p.cin, p.h, p.w
+	s.cinG = p.cin / p.groups
+	s.chan0 = g * s.cinG
+	s.kh, s.kw, s.sh, s.sw = p.kh, p.kw, p.sh, p.sw
+	s.padT, s.padL, s.dh, s.dw = p.padT, p.padL, p.dh, p.dw
+	s.oh, s.ow = p.oh, p.ow
+}
+
+// PackPanelA implements gemm.PackSrcA: the mc×kc panel at (ii, pp) of
+// image img's unfold matrix, written as strips of mr rows, column-major
+// within each strip, rows beyond mc zero-padded. Each row is one output
+// pixel; its kc columns are walked as (ky, kx) taps of cinG-channel runs,
+// decoded incrementally instead of dividing per element.
+func (s *convPackSrcA) PackPanelA(dst []float32, img, ii, pp, mc, kc, mr int) {
+	plane := s.h * s.w
+	for i := 0; i < mc; i += mr {
+		strip := dst[(i/mr)*kc*mr:]
+		rows := min(mr, mc-i)
+		for r := 0; r < rows; r++ {
+			rowIdx := ii + i + r
+			oy := rowIdx / s.ow
+			ox := rowIdx - oy*s.ow
+			iy0 := oy*s.sh - s.padT
+			ix0 := ox*s.sw - s.padL
+			row := strip[r:]
+			// Decode kd = pp once, then step (c, kx, ky) across the panel.
+			c := pp % s.cinG
+			t := pp / s.cinG
+			kx := t % s.kw
+			ky := t / s.kw
+			for p := 0; p < kc; {
+				run := min(s.cinG-c, kc-p)
+				iy := iy0 + ky*s.dh
+				ix := ix0 + kx*s.dw
+				if iy >= 0 && iy < s.h && ix >= 0 && ix < s.w {
+					if s.srcNCHW {
+						src := s.x[img*s.cin*plane+(s.chan0+c)*plane+iy*s.w+ix:]
+						for q := 0; q < run; q++ {
+							row[(p+q)*mr] = src[q*plane]
+						}
+					} else {
+						src := s.x[((img*s.h+iy)*s.w+ix)*s.cin+s.chan0+c:]
+						for q := 0; q < run; q++ {
+							row[(p+q)*mr] = src[q]
+						}
+					}
+				} else {
+					for q := 0; q < run; q++ {
+						row[(p+q)*mr] = 0
+					}
+				}
+				p += run
+				c += run
+				if c == s.cinG {
+					c = 0
+					if kx++; kx == s.kw {
+						kx = 0
+						ky++
+					}
+				}
+			}
+		}
+		// Edge strips must stay full: zero the rows past the panel.
+		for r := rows; r < mr; r++ {
+			row := strip[r:]
+			for p := 0; p < kc; p++ {
+				row[p*mr] = 0
+			}
+		}
+	}
+}

@@ -43,7 +43,7 @@ func supportsConvInt8(n *graph.Node) bool {
 	// Depthwise convolutions have K = kh*kw per group — far too little
 	// arithmetic per packed byte for the GEMM tier to pay off.
 	kdim := (p.cin / p.groups) * p.kh * p.kw
-	return !p.isDepthwise() && kdim <= maxInt8K
+	return p.layout == "" && !p.isDepthwise() && kdim <= maxInt8K
 }
 
 // int8ConvWeights returns the node's cached quantized weight panels,

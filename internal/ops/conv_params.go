@@ -20,6 +20,14 @@ import (
 //	         "activation" string       ("", "relu", "relu6", "leakyrelu";
 //	                                    set by the fusion pass)
 //	         "alpha" float64           (LeakyRelu slope when fused)
+//	         "layout" string           ("" = NCHW, "nhwc"; set by the
+//	                                    layout-assignment pass)
+//	         "src_layout" string       (NHWC convs only: "nchw" when a
+//	                                    boundary transpose was folded into
+//	                                    the input gather, so X stays NCHW)
+//
+// Under layout "nhwc" the data input is [N, H, W, Cin] and the output is
+// [N, OH, OW, Cout]; the weight and bias conventions are unchanged.
 type convParams struct {
 	n, cin, h, w           int // input
 	cout, kh, kw           int // weights
@@ -31,6 +39,8 @@ type convParams struct {
 	hasBias                bool
 	activation             string
 	alpha                  float32
+	layout                 string // "" (NCHW) or "nhwc"
+	srcNCHW                bool   // NHWC conv reading an NCHW input (folded transpose)
 }
 
 // Attribute defaults are package-level so the resolvers stay
@@ -51,12 +61,29 @@ func resolveConv(n *graph.Node) (convParams, error) {
 	}
 	x, w := n.Inputs[0].Shape, n.Inputs[1].Shape
 	if len(x) != 4 {
-		return p, fmt.Errorf("Conv input must be 4-D NCHW, got %v", x)
+		return p, fmt.Errorf("Conv input must be 4-D, got %v", x)
 	}
 	if len(w) != 4 {
 		return p, fmt.Errorf("Conv weight must be 4-D [Cout,Cin/g,KH,KW], got %v", w)
 	}
-	p.n, p.cin, p.h, p.w = x[0], x[1], x[2], x[3]
+	switch p.layout = n.Attrs.Str("layout", ""); p.layout {
+	case "":
+		p.n, p.cin, p.h, p.w = x[0], x[1], x[2], x[3]
+	case "nhwc":
+		switch src := n.Attrs.Str("src_layout", "nhwc"); src {
+		case "nhwc":
+			p.n, p.h, p.w, p.cin = x[0], x[1], x[2], x[3]
+		case "nchw":
+			// A folded boundary transpose: the input stays NCHW in memory
+			// and the implicit-GEMM gather absorbs the permutation.
+			p.srcNCHW = true
+			p.n, p.cin, p.h, p.w = x[0], x[1], x[2], x[3]
+		default:
+			return p, fmt.Errorf("Conv src_layout %q invalid (want nhwc or nchw)", src)
+		}
+	default:
+		return p, fmt.Errorf("Conv layout %q invalid (want \"\" or nhwc)", p.layout)
+	}
 	p.cout, p.kh, p.kw = w[0], w[2], w[3]
 	p.groups = n.Attrs.Int("group", 1)
 	if p.groups < 1 {

@@ -25,7 +25,7 @@ func supportsSpatialPack(n *graph.Node) bool {
 	if err != nil {
 		return false
 	}
-	return p.groups == 1 && p.dh == 1 && p.dw == 1
+	return p.layout == "" && p.groups == 1 && p.dh == 1 && p.dw == 1
 }
 
 // Tile geometry: 32 output pixels per tile keeps patch buffers within L1

@@ -30,7 +30,7 @@ func supportsWinograd(n *graph.Node) bool {
 	if err != nil {
 		return false
 	}
-	return p.kh == 3 && p.kw == 3 && p.sh == 1 && p.sw == 1 &&
+	return p.layout == "" && p.kh == 3 && p.kw == 3 && p.sh == 1 && p.sw == 1 &&
 		p.dh == 1 && p.dw == 1 && p.groups == 1
 }
 

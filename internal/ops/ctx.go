@@ -141,6 +141,10 @@ type Ctx struct {
 	// would heap-allocate every run).
 	convSrc convPackSrc
 
+	// convSrcA is the NHWC-tier A-side pack source conv.im2col_nhwc points
+	// its Calls at, reusable per session like convSrc.
+	convSrcA convPackSrcA
+
 	// convSrc8 and denseSrc8 are the quantizing pack sources of the int8
 	// kernels, reusable per session for the same reason.
 	convSrc8  convPackSrc8

@@ -65,6 +65,20 @@ func runPad(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 			yd[i] = value
 		}
 	}
+	if n.Attrs.Str("layout", "") == "nhwc" {
+		// NHWC: dims decode as [N, H, W, C]; the pad touches the two middle
+		// axes and every (b, y) source row is a contiguous w*c block.
+		nb, h, w, c := s[0], s[1], s[2], s[3]
+		oh, ow := out[0].Shape()[1], out[0].Shape()[2]
+		for b := 0; b < nb; b++ {
+			src := xd[b*h*w*c:]
+			dst := yd[b*oh*ow*c:]
+			for y := 0; y < h; y++ {
+				copy(dst[((y+top)*ow+left)*c:((y+top)*ow+left+w)*c], src[y*w*c:(y+1)*w*c])
+			}
+		}
+		return nil
+	}
 	for i := 0; i < nb*c; i++ {
 		src := xd[i*h*w:]
 		dst := yd[i*oh*ow:]

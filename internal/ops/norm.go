@@ -29,6 +29,30 @@ func runBatchNorm(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 		spatial *= d
 	}
 	xd, yd := x.Data(), out[0].Data()
+	if n.Attrs.Str("layout", "") == "nhwc" {
+		// Channel-innermost: precompute the per-channel affine form once,
+		// then sweep pixel rows with a fused multiply-add over the channel
+		// axis.
+		c = s[len(s)-1]
+		pixels := nb
+		for _, d := range s[1 : len(s)-1] {
+			pixels *= d
+		}
+		ab := ctx.ScratchUninit("batchnorm.direct/ab", n, 2*c)
+		av, bv := ab[:c], ab[c:]
+		for ch := 0; ch < c; ch++ {
+			av[ch] = scale[ch] / float32(math.Sqrt(float64(variance[ch])+eps))
+			bv[ch] = bias[ch] - av[ch]*mean[ch]
+		}
+		for px := 0; px < pixels; px++ {
+			src := xd[px*c : (px+1)*c]
+			dst := yd[px*c : (px+1)*c]
+			for i, v := range src {
+				dst[i] = av[i]*v + bv[i]
+			}
+		}
+		return nil
+	}
 	for ch := 0; ch < c; ch++ {
 		// Precompute the affine form: y = a*x + b.
 		a := scale[ch] / float32(math.Sqrt(float64(variance[ch])+eps))

@@ -21,6 +21,40 @@ func runMaxPool(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 		return err
 	}
 	x, y := in[0].Data(), out[0].Data()
+	if p.layout == "nhwc" {
+		// Channel-innermost: one output pixel is a C-vector, reduced
+		// vector-wise over the window taps.
+		for b := 0; b < p.n; b++ {
+			for oy := 0; oy < p.oh; oy++ {
+				for ox := 0; ox < p.ow; ox++ {
+					base := ((b*p.oh+oy)*p.ow + ox) * p.c
+					dst := y[base : base+p.c]
+					for i := range dst {
+						dst[i] = float32(math.Inf(-1))
+					}
+					for ky := 0; ky < p.kh; ky++ {
+						iy := oy*p.sh - p.padT + ky
+						if iy < 0 || iy >= p.h {
+							continue
+						}
+						for kx := 0; kx < p.kw; kx++ {
+							ix := ox*p.sw - p.padL + kx
+							if ix < 0 || ix >= p.w {
+								continue
+							}
+							src := x[((b*p.h+iy)*p.w+ix)*p.c:][:p.c]
+							for i, v := range src {
+								if v > dst[i] {
+									dst[i] = v
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	}
 	for b := 0; b < p.n; b++ {
 		for c := 0; c < p.c; c++ {
 			src := x[(b*p.c+c)*p.h*p.w:]
@@ -57,6 +91,47 @@ func runAvgPool(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 		return err
 	}
 	x, y := in[0].Data(), out[0].Data()
+	if p.layout == "nhwc" {
+		for b := 0; b < p.n; b++ {
+			for oy := 0; oy < p.oh; oy++ {
+				for ox := 0; ox < p.ow; ox++ {
+					base := ((b*p.oh+oy)*p.ow + ox) * p.c
+					dst := y[base : base+p.c]
+					for i := range dst {
+						dst[i] = 0
+					}
+					count := 0
+					for ky := 0; ky < p.kh; ky++ {
+						iy := oy*p.sh - p.padT + ky
+						if iy < 0 || iy >= p.h {
+							continue
+						}
+						for kx := 0; kx < p.kw; kx++ {
+							ix := ox*p.sw - p.padL + kx
+							if ix < 0 || ix >= p.w {
+								continue
+							}
+							src := x[((b*p.h+iy)*p.w+ix)*p.c:][:p.c]
+							for i, v := range src {
+								dst[i] += v
+							}
+							count++
+						}
+					}
+					if p.includePad {
+						count = p.kh * p.kw
+					}
+					if count > 0 {
+						inv := 1 / float32(count)
+						for i := range dst {
+							dst[i] *= inv
+						}
+					}
+				}
+			}
+		}
+		return nil
+	}
 	for b := 0; b < p.n; b++ {
 		for c := 0; c < p.c; c++ {
 			src := x[(b*p.c+c)*p.h*p.w:]
@@ -97,8 +172,23 @@ func runAvgPool(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 func runGlobalAvgPool(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
 	x := in[0]
 	s := x.Shape()
-	nb, c, spatial := s[0], s[1], s[2]*s[3]
 	xd, yd := x.Data(), out[0].Data()
+	if n.Attrs.Str("layout", "") == "nhwc" {
+		nb, spatial, c := s[0], s[1]*s[2], s[3]
+		inv := 1 / float32(spatial)
+		for b := 0; b < nb; b++ {
+			img := xd[b*spatial*c:]
+			for ch := 0; ch < c; ch++ {
+				var sum float64
+				for sp := 0; sp < spatial; sp++ {
+					sum += float64(img[sp*c+ch])
+				}
+				yd[b*c+ch] = float32(sum) * inv
+			}
+		}
+		return nil
+	}
+	nb, c, spatial := s[0], s[1], s[2]*s[3]
 	inv := 1 / float32(spatial)
 	for b := 0; b < nb; b++ {
 		for ch := 0; ch < c; ch++ {

@@ -31,6 +31,7 @@ func init() {
 	graph.RegisterShapeFn("Flatten", flattenShape)
 	graph.RegisterShapeFn("Reshape", reshapeShape)
 	graph.RegisterShapeFn("Pad", padShape)
+	graph.RegisterShapeFn("Transpose", transposeShape)
 }
 
 func sameShape(n *graph.Node) ([][]int, error) {
@@ -45,7 +46,34 @@ func convShape(n *graph.Node) ([][]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.layout == "nhwc" {
+		return [][]int{{p.n, p.oh, p.ow, p.cout}}, nil
+	}
 	return [][]int{{p.n, p.cout, p.oh, p.ow}}, nil
+}
+
+// transposeShape permutes the input shape by the "perm" attribute:
+// out[i] = in[perm[i]]. The layout pass only emits rank-4 NCHW↔NHWC
+// permutations, but the rule is rank-generic.
+func transposeShape(n *graph.Node) ([][]int, error) {
+	if len(n.Inputs) != 1 {
+		return nil, fmt.Errorf("Transpose wants 1 input, got %d", len(n.Inputs))
+	}
+	s := n.Inputs[0].Shape
+	perm := n.Attrs.Ints("perm", nil)
+	if len(perm) != len(s) {
+		return nil, fmt.Errorf("Transpose perm %v does not match input rank %d", perm, len(s))
+	}
+	out := make([]int, len(s))
+	seen := make([]bool, len(s))
+	for i, p := range perm {
+		if p < 0 || p >= len(s) || seen[p] {
+			return nil, fmt.Errorf("Transpose perm %v is not a permutation of 0..%d", perm, len(s)-1)
+		}
+		seen[p] = true
+		out[i] = s[p]
+	}
+	return [][]int{out}, nil
 }
 
 func batchNormShape(n *graph.Node) ([][]int, error) {
@@ -57,6 +85,9 @@ func batchNormShape(n *graph.Node) ([][]int, error) {
 		return nil, fmt.Errorf("BatchNorm input must have a channel dim, got %v", x)
 	}
 	c := x[1]
+	if n.Attrs.Str("layout", "") == "nhwc" {
+		c = x[len(x)-1]
+	}
 	for i := 1; i < 5; i++ {
 		s := n.Inputs[i].Shape
 		if len(s) != 1 || s[0] != c {
@@ -73,6 +104,7 @@ type poolParams struct {
 	padT, padL, padB, padR int
 	oh, ow                 int
 	includePad             bool
+	layout                 string // "" (NCHW) or "nhwc"
 }
 
 func resolvePool(n *graph.Node) (poolParams, error) {
@@ -82,9 +114,16 @@ func resolvePool(n *graph.Node) (poolParams, error) {
 	}
 	x := n.Inputs[0].Shape
 	if len(x) != 4 {
-		return p, fmt.Errorf("%s input must be 4-D NCHW, got %v", n.Op, x)
+		return p, fmt.Errorf("%s input must be 4-D, got %v", n.Op, x)
 	}
-	p.n, p.c, p.h, p.w = x[0], x[1], x[2], x[3]
+	switch p.layout = n.Attrs.Str("layout", ""); p.layout {
+	case "":
+		p.n, p.c, p.h, p.w = x[0], x[1], x[2], x[3]
+	case "nhwc":
+		p.n, p.h, p.w, p.c = x[0], x[1], x[2], x[3]
+	default:
+		return p, fmt.Errorf("%s layout %q invalid (want \"\" or nhwc)", n.Op, p.layout)
+	}
 	kernel := n.Attrs.Ints("kernel", nil)
 	if len(kernel) != 2 || kernel[0] < 1 || kernel[1] < 1 {
 		return p, fmt.Errorf("%s kernel %v invalid", n.Op, kernel)
@@ -117,6 +156,9 @@ func poolShape(n *graph.Node) ([][]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.layout == "nhwc" {
+		return [][]int{{p.n, p.oh, p.ow, p.c}}, nil
+	}
 	return [][]int{{p.n, p.c, p.oh, p.ow}}, nil
 }
 
@@ -127,6 +169,9 @@ func globalPoolShape(n *graph.Node) ([][]int, error) {
 	x := n.Inputs[0].Shape
 	if len(x) != 4 {
 		return nil, fmt.Errorf("GlobalAveragePool input must be 4-D, got %v", x)
+	}
+	if n.Attrs.Str("layout", "") == "nhwc" {
+		return [][]int{{x[0], 1, 1, x[3]}}, nil
 	}
 	return [][]int{{x[0], x[1], 1, 1}}, nil
 }
@@ -297,11 +342,14 @@ func padShape(n *graph.Node) ([][]int, error) {
 	}
 	x := n.Inputs[0].Shape
 	if len(x) != 4 {
-		return nil, fmt.Errorf("Pad input must be 4-D NCHW, got %v", x)
+		return nil, fmt.Errorf("Pad input must be 4-D, got %v", x)
 	}
 	pads := n.Attrs.Ints("pads", nil)
 	if len(pads) != 4 || pads[0] < 0 || pads[1] < 0 || pads[2] < 0 || pads[3] < 0 {
 		return nil, fmt.Errorf("Pad pads %v invalid (want [top,left,bottom,right])", pads)
+	}
+	if n.Attrs.Str("layout", "") == "nhwc" {
+		return [][]int{{x[0], x[1] + pads[0] + pads[2], x[2] + pads[1] + pads[3], x[3]}}, nil
 	}
 	return [][]int{{x[0], x[1], x[2] + pads[0] + pads[2], x[3] + pads[1] + pads[3]}}, nil
 }

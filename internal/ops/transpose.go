@@ -1,0 +1,70 @@
+package ops
+
+import (
+	"fmt"
+
+	"orpheus/internal/graph"
+	"orpheus/internal/tensor"
+)
+
+// Transpose — materialised axis permutation. The layout-assignment pass
+// inserts these only at layout frontiers it cannot cancel or fold away
+// (e.g. an NHWC interior feeding an NCHW graph output), so on all-NHWC
+// models the steady-state plan carries none. The kernel is rank-generic;
+// the innermost output axis is copied as a run when it is contiguous in
+// the source (true for NCHW→NHWC's channel gather reverse, [0,3,1,2]).
+func init() {
+	Register(NewOverwritingKernel("transpose.copy", "Transpose", nil, runTransposeCopy))
+}
+
+// maxTransposeRank bounds the index bookkeeping so the hot path uses
+// fixed-size stack arrays — Transpose must not allocate per run.
+const maxTransposeRank = 8
+
+func runTransposeCopy(ctx *Ctx, n *graph.Node, in, out []*tensor.Tensor) error {
+	perm := n.Attrs.Ints("perm", nil)
+	rank := in[0].Rank()
+	if rank == 0 || rank > maxTransposeRank || len(perm) != rank {
+		return fmt.Errorf("Transpose perm %v invalid for rank-%d input", perm, rank)
+	}
+	var ishape, istr, oshape, ostr [maxTransposeRank]int
+	for i := 0; i < rank; i++ {
+		ishape[i] = in[0].Dim(i)
+	}
+	istr[rank-1] = 1
+	for i := rank - 2; i >= 0; i-- {
+		istr[i] = istr[i+1] * ishape[i+1]
+	}
+	total := 1
+	for i := 0; i < rank; i++ {
+		oshape[i] = ishape[perm[i]]
+		ostr[i] = istr[perm[i]] // source stride of output axis i
+		total *= ishape[i]
+	}
+	x, y := in[0].Data(), out[0].Data()
+	inner := oshape[rank-1]
+	innerStr := ostr[rank-1]
+	var idx [maxTransposeRank]int
+	for di := 0; di < total; di += inner {
+		off := 0
+		for i := 0; i < rank-1; i++ {
+			off += idx[i] * ostr[i]
+		}
+		row := y[di : di+inner]
+		if innerStr == 1 {
+			copy(row, x[off:off+inner])
+		} else {
+			for j := range row {
+				row[j] = x[off]
+				off += innerStr
+			}
+		}
+		for i := rank - 2; i >= 0; i-- {
+			if idx[i]++; idx[i] < oshape[i] {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return nil
+}

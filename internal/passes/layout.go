@@ -1,0 +1,466 @@
+package passes
+
+import (
+	"fmt"
+
+	"orpheus/internal/graph"
+)
+
+// ConvertLayout is the layout-assignment pass: it rewrites eligible
+// subgraphs from the importer's NCHW convention to NHWC so the backend can
+// select the channel-innermost kernel tier (conv.im2col_nhwc,
+// conv.depthwise_nhwc, the NHWC pool/pad branches).
+//
+// The pass works in three phases:
+//
+//  1. Assignment. Every layout-capable node (Conv with constant weights,
+//     the pooling ops, Pad, all-NHWC Concat over the channel axis) is
+//     assigned layout "nhwc"; layout-agnostic elementwise nodes (Relu,
+//     Add, ...) adopt the layout of the value flowing through them. The
+//     externally visible contract — graph inputs and outputs — stays NCHW.
+//
+//  2. Frontiers. Wherever a value's layout disagrees with what its
+//     consumer wants, an explicit Transpose is inserted (one per
+//     (value, target), shared by all consumers needing it); NHWC values
+//     reaching graph outputs get a closing NHWC→NCHW Transpose.
+//
+//  3. Folding. Frontier transposes are then removed wherever the data
+//     movement is avoidable: adjacent pairs whose composition is the
+//     identity cancel; permutations that do not reorder the underlying
+//     elements (e.g. [N,1,1,C]→[N,C,1,1] after a global pool, feeding a
+//     Flatten) are elided; and an NCHW→NHWC transpose consumed only by
+//     NHWC GEMM convolutions is folded into their input gather
+//     (src_layout "nchw" — the pack pass absorbs the permutation). On the
+//     all-convolutional zoo models every materialised transpose folds
+//     away and the steady-state plan carries zero Transpose steps.
+//
+// The pass is idempotent: converted nodes are recognised by their layout
+// attribute and frontier checks find no mismatches on a second run.
+func ConvertLayout(stats *LayoutStats) Pass {
+	if stats == nil {
+		stats = &LayoutStats{}
+	}
+	return newPass("convert-layout", func(g *graph.Graph) (bool, error) {
+		return convertLayout(g, stats)
+	})
+}
+
+// LayoutPipeline returns the standard pipeline with ConvertLayout
+// appended: the structural simplifications (pad fusion, batch-norm
+// folding, activation fusion) run on the NCHW form first, then the
+// surviving graph is converted. stats may be nil.
+func LayoutPipeline(stats *LayoutStats) *Pipeline {
+	p := Default()
+	p.Passes = append(p.Passes, ConvertLayout(stats))
+	return p
+}
+
+// LayoutStats reports what ConvertLayout did, for the inspect tool and
+// the layout experiment. Counters accumulate across pipeline iterations;
+// NHWCNodes and Remaining reflect the final graph.
+type LayoutStats struct {
+	NHWCNodes int // nodes executing in NHWC layout
+	Inserted  int // frontier Transposes inserted
+	Cancelled int // adjacent inverse pairs cancelled
+	Elided    int // order-preserving Transposes elided
+	Folded    int // boundary Transposes folded into conv gathers
+	Remaining int // materialised Transposes left in the graph
+}
+
+var (
+	permToNHWC = []int{0, 2, 3, 1} // NCHW → NHWC
+	permToNCHW = []int{0, 3, 1, 2} // NHWC → NCHW
+)
+
+func permEq(p, q []int) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func rank(v *graph.Value) int { return len(v.Shape) }
+
+// scalarConst reports whether v is a constant broadcasting to every
+// element (size 1), which is layout-invariant.
+func scalarConst(v *graph.Value) bool {
+	if !v.IsConst() {
+		return false
+	}
+	return v.Const.Size() == 1
+}
+
+func sameShape(a, b *graph.Value) bool {
+	if rank(a) != rank(b) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// transposeOutLayout classifies the value a Transpose produces, so a
+// re-run of the pass reconstructs layouts without extra bookkeeping.
+func transposeOutLayout(n *graph.Node) string {
+	if permEq(n.Attrs.Ints("perm", nil), permToNHWC) {
+		return "nhwc"
+	}
+	return "nchw"
+}
+
+func convertLayout(g *graph.Graph, stats *LayoutStats) (bool, error) {
+	changed := false
+
+	// Phase 1: decide a layout for every value, walking in topo order so
+	// producers are classified before consumers. Values default to "nchw"
+	// (graph inputs, constants, outputs of unconverted nodes).
+	if err := g.TopoSort(); err != nil {
+		return false, err
+	}
+	layout := make(map[*graph.Value]string)
+	nhwcNodes := 0
+	markNHWC := func(n *graph.Node) {
+		if _, has := n.Attrs["layout"]; !has {
+			n.Attrs["layout"] = "nhwc"
+			changed = true
+		}
+		layout[n.Outputs[0]] = "nhwc"
+		nhwcNodes++
+	}
+	for _, n := range g.Nodes {
+		switch n.Op {
+		case "Conv":
+			if rank(n.Inputs[0]) == 4 && len(n.Inputs) >= 2 && n.Inputs[1].IsConst() {
+				markNHWC(n)
+			}
+		case "MaxPool", "AveragePool", "GlobalAveragePool", "Pad":
+			if rank(n.Inputs[0]) == 4 {
+				markNHWC(n)
+			}
+		case "BatchNorm":
+			// Pre-activation BNs (WRN-style) survive FoldBatchNorm; the
+			// kernel applies its per-channel affine on either layout.
+			if rank(n.Inputs[0]) == 4 && layout[n.Inputs[0]] == "nhwc" {
+				markNHWC(n)
+			}
+		case "Concat":
+			// Convert only a channel concat whose operands are all
+			// already NHWC — a mixed concat would trade one layout
+			// frontier for several.
+			axis := n.Attrs.Int("axis", 1)
+			ok := axis == 1 || (axis == 3 && n.Attrs.Str("layout", "") == "nhwc")
+			for _, in := range n.Inputs {
+				if rank(in) != 4 || in.IsConst() || layout[in] != "nhwc" {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				markNHWC(n)
+				n.Attrs["axis"] = 3
+			}
+		case "Relu", "Relu6", "LeakyRelu", "Sigmoid", "Identity", "Dropout":
+			if rank(n.Inputs[0]) == 4 && layout[n.Inputs[0]] == "nhwc" {
+				layout[n.Outputs[0]] = "nhwc"
+				nhwcNodes++
+			}
+		case "Add", "Mul":
+			// Elementwise with a layout-invariant second operand: a
+			// broadcast scalar constant, or a same-shape NHWC value.
+			if rank(n.Inputs[0]) == 4 && layout[n.Inputs[0]] == "nhwc" && len(n.Inputs) == 2 {
+				b := n.Inputs[1]
+				if scalarConst(b) || (!b.IsConst() && sameShape(n.Inputs[0], b) && layout[b] == "nhwc") {
+					layout[n.Outputs[0]] = "nhwc"
+					nhwcNodes++
+				}
+			}
+		case "Transpose":
+			layout[n.Outputs[0]] = transposeOutLayout(n)
+		}
+	}
+
+	// Phase 2: insert explicit Transposes at layout frontiers. One
+	// transpose per (value, target layout), shared across consumers.
+	inserted := make(map[*graph.Value]map[string]*graph.Value)
+	frontier := func(v *graph.Value, target string) (*graph.Value, error) {
+		if m := inserted[v]; m != nil && m[target] != nil {
+			return m[target], nil
+		}
+		perm, suffix := permToNHWC, "nhwc"
+		if target == "nchw" {
+			perm, suffix = permToNCHW, "nchw"
+		}
+		out, err := g.Add("Transpose", fmt.Sprintf("%s_to_%s", v.Name, suffix),
+			graph.Attrs{"perm": append([]int(nil), perm...)}, v)
+		if err != nil {
+			return nil, err
+		}
+		if inserted[v] == nil {
+			inserted[v] = make(map[string]*graph.Value)
+		}
+		inserted[v][target] = out
+		layout[out] = target
+		stats.Inserted++
+		changed = true
+		return out, nil
+	}
+	for _, n := range g.Nodes {
+		if n.Op == "Transpose" {
+			continue
+		}
+		for i, in := range n.Inputs {
+			if rank(in) != 4 || in.IsConst() {
+				continue
+			}
+			have := layout[in]
+			if have == "" {
+				have = "nchw"
+			}
+			want := wantedLayout(n, i)
+			if want == "" || want == have {
+				continue
+			}
+			// Skip edges rule 2 below would immediately elide again: the
+			// permutation only moves size-1 axes and the consumer reshapes
+			// anyway, so no transpose is needed (and inserting one would
+			// make the pass non-idempotent).
+			if n.Op == "Flatten" || n.Op == "Reshape" {
+				perm := permToNHWC
+				if want == "nchw" {
+					perm = permToNCHW
+				}
+				if orderPreserving(in.Shape, perm) {
+					continue
+				}
+			}
+			tv, err := frontier(in, want)
+			if err != nil {
+				return changed, err
+			}
+			n.Inputs[i] = tv
+		}
+	}
+	for i, o := range g.Outputs {
+		if rank(o) == 4 && layout[o] == "nhwc" {
+			tv, err := frontier(o, "nchw")
+			if err != nil {
+				return changed, err
+			}
+			g.Outputs[i] = tv
+		}
+	}
+	if changed {
+		// Refresh shapes before folding: the fold rules below reason about
+		// element order via the (now NHWC) value shapes.
+		if err := g.TopoSort(); err != nil {
+			return changed, err
+		}
+		if err := g.InferShapes(); err != nil {
+			return changed, err
+		}
+	}
+
+	// Phase 3: fold transposes to a fixed point.
+	folded := false
+	for {
+		f, err := foldTransposes(g, stats)
+		if err != nil {
+			return changed, err
+		}
+		if !f {
+			break
+		}
+		changed, folded = true, true
+	}
+	if folded {
+		if err := g.TopoSort(); err != nil {
+			return changed, err
+		}
+		if err := g.InferShapes(); err != nil {
+			return changed, err
+		}
+	}
+
+	stats.NHWCNodes = nhwcNodes
+	stats.Remaining = 0
+	for _, n := range g.Nodes {
+		if n.Op == "Transpose" {
+			stats.Remaining++
+		}
+	}
+	return changed, nil
+}
+
+// wantedLayout returns the layout node n wants for input slot i, or "" if
+// the slot is layout-indifferent (non-spatial operands).
+func wantedLayout(n *graph.Node, i int) string {
+	switch n.Op {
+	case "Conv":
+		if i != 0 {
+			return ""
+		}
+		if n.Attrs.Str("layout", "") == "nhwc" {
+			return n.Attrs.Str("src_layout", "nhwc")
+		}
+		return "nchw"
+	case "MaxPool", "AveragePool", "GlobalAveragePool", "Pad", "Concat", "BatchNorm":
+		if i > 0 {
+			return "" // per-channel parameter vectors
+		}
+		if n.Attrs.Str("layout", "") == "nhwc" {
+			return "nhwc"
+		}
+		return "nchw"
+	case "Relu", "Relu6", "LeakyRelu", "Sigmoid", "Identity", "Dropout", "Add", "Mul":
+		// Elementwise: runs on whatever layout flows in; frontiers never
+		// split these edges. (Mixed Add operands were excluded in phase 1.)
+		return ""
+	}
+	// Everything else (Dense, Flatten, Reshape, Softmax, BatchNorm, ...)
+	// assumes the NCHW element order.
+	return "nchw"
+}
+
+// foldTransposes applies one round of the transpose-removal rules and
+// reports whether anything changed.
+func foldTransposes(g *graph.Graph, stats *LayoutStats) (bool, error) {
+	consumers := g.Consumers()
+	for _, n := range g.Nodes {
+		if n.Op != "Transpose" {
+			continue
+		}
+		perm := n.Attrs.Ints("perm", nil)
+
+		// Rule 1 — pair cancellation: this transpose undoes the transpose
+		// producing its input, so both data movements vanish.
+		if p := n.Inputs[0].Producer; p != nil && p.Op == "Transpose" {
+			prev := p.Attrs.Ints("perm", nil)
+			if len(prev) == len(perm) {
+				identity := true
+				for i := range perm {
+					if prev[perm[i]] != i {
+						identity = false
+						break
+					}
+				}
+				if identity {
+					g.ReplaceUses(n.Outputs[0], p.Inputs[0])
+					if err := g.RemoveNode(n); err != nil {
+						return false, err
+					}
+					stats.Cancelled++
+					removeIfDead(g, p)
+					return true, nil
+				}
+			}
+		}
+
+		// Rule 2 — order-preserving elision: the permutation only moves
+		// size-1 axes, so the flat element order is unchanged. Consumers
+		// must be shape-flattening ops (the value's 4-D shape changes).
+		if orderPreserving(n.Inputs[0].Shape, perm) && !isGraphOutput(g, n.Outputs[0]) {
+			ok := len(consumers[n.Outputs[0]]) > 0
+			for _, c := range consumers[n.Outputs[0]] {
+				if c.Op != "Flatten" && c.Op != "Reshape" {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				g.ReplaceUses(n.Outputs[0], n.Inputs[0])
+				if err := g.RemoveNode(n); err != nil {
+					return false, err
+				}
+				stats.Elided++
+				return true, nil
+			}
+		}
+
+		// Rule 3 — source fold: an NCHW→NHWC transpose feeding only NHWC
+		// GEMM convolutions disappears into their implicit-GEMM gather
+		// (src_layout "nchw" reads channel runs with a plane stride).
+		if permEq(perm, permToNHWC) && !isGraphOutput(g, n.Outputs[0]) {
+			ok := len(consumers[n.Outputs[0]]) > 0
+			for _, c := range consumers[n.Outputs[0]] {
+				if !foldableNHWCConv(c, n.Outputs[0]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, c := range consumers[n.Outputs[0]] {
+					c.Attrs["src_layout"] = "nchw"
+					c.Inputs[0] = n.Inputs[0]
+				}
+				if err := g.RemoveNode(n); err != nil {
+					return false, err
+				}
+				stats.Folded++
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// orderPreserving reports whether applying perm to a tensor of the given
+// shape leaves the flat element order unchanged — true exactly when the
+// axes of size > 1 keep their relative order.
+func orderPreserving(shape []int, perm []int) bool {
+	if len(shape) != len(perm) {
+		return false
+	}
+	last := -1
+	for _, src := range perm {
+		if shape[src] == 1 {
+			continue
+		}
+		if src < last {
+			return false
+		}
+		last = src
+	}
+	return true
+}
+
+// foldableNHWCConv reports whether node c is an NHWC convolution that can
+// absorb an NCHW input through its gather: v must be its data input, the
+// conv must not already carry a folded source, and it must not be
+// depthwise (conv.depthwise_nhwc has no strided-gather form; the fold
+// would demote it to conv.direct).
+func foldableNHWCConv(c *graph.Node, v *graph.Value) bool {
+	if c.Op != "Conv" || c.Attrs.Str("layout", "") != "nhwc" ||
+		c.Attrs.Str("src_layout", "nhwc") != "nhwc" {
+		return false
+	}
+	if len(c.Inputs) < 2 || c.Inputs[0] != v {
+		return false
+	}
+	w := c.Inputs[1].Shape
+	if len(w) != 4 {
+		return false
+	}
+	groups := c.Attrs.Int("group", 1)
+	cin, cout := w[1]*groups, w[0]
+	depthwise := groups > 1 && groups == cin && cout == cin
+	return !depthwise
+}
+
+// removeIfDead removes n when nothing consumes its outputs.
+func removeIfDead(g *graph.Graph, n *graph.Node) {
+	consumers := g.Consumers()
+	for _, out := range n.Outputs {
+		if len(consumers[out]) > 0 || isGraphOutput(g, out) {
+			return
+		}
+	}
+	_ = g.RemoveNode(n)
+}

@@ -245,6 +245,42 @@ func BenchmarkQuantModel(b *testing.B) {
 	}
 }
 
+// BenchmarkLayoutModel times full single-sample inference with the plan
+// compiled NCHW versus NHWC (PrepareOpts.Layout) — the PR-10 before/after
+// pair behind BENCH_pr10.json. Every zoo model appears so the pairs show
+// where channel-innermost execution wins (depthwise-heavy nets) and where
+// the NCHW tier stays ahead; the auto arbiter keeps the faster side.
+func BenchmarkLayoutModel(b *testing.B) {
+	for _, model := range []string{"wrn-40-2", "mobilenet-v1", "resnet-18", "inception-v3", "resnet-50"} {
+		g := cachedModel(b, model)
+		for _, layout := range []string{"nchw", "nhwc"} {
+			b.Run(model+"/"+layout, func(b *testing.B) {
+				be, err := backend.ByName("orpheus")
+				if err != nil {
+					b.Fatal(err)
+				}
+				plan, err := be.PrepareWith(g, backend.PrepareOpts{Workers: 1, MaxBatch: 1, Layout: layout})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sess := runtime.NewSession(plan)
+				x := tensor.Rand(tensor.NewRNG(1), -1, 1, g.Inputs[0].Shape...)
+				in := map[string]*tensor.Tensor{g.Inputs[0].Name: x}
+				if _, err := sess.Run(context.Background(), in); err != nil { // warm-up packs weights
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sess.Run(context.Background(), in); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkConvImplicit times full single-sample inference with the GEMM
 // convolution path flipped between the production implicit form
 // (conv.im2col: virtual B-pack + fused epilogue) and the explicit form
